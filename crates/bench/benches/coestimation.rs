@@ -1,0 +1,90 @@
+//! Criterion benchmarks of the co-estimation framework itself: the
+//! baseline vs. each acceleration technique (the machine-measured
+//! counterpart of Tables 1 and 2), plus the Fig. 7 exploration loop.
+
+use co_estimation::{Acceleration, CoSimConfig, CoSimulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use soc_bench::table1_caching;
+use std::hint::black_box;
+use systems::producer_consumer::{self, ProducerConsumerParams};
+use systems::tcpip::{self, TcpIpParams};
+
+fn bench_params() -> TcpIpParams {
+    TcpIpParams {
+        num_packets: 16,
+        len_range: (16, 48),
+        pkt_period: 6_000,
+        seed: 0xDA7E_2000,
+    }
+}
+
+fn run(accel: Acceleration, dma: u32) -> f64 {
+    let config = CoSimConfig::date2000_defaults()
+        .with_dma_block_size(dma)
+        .with_accel(accel);
+    let mut sim = CoSimulator::new(tcpip::build(&bench_params()), config).expect("builds");
+    sim.run().total_energy_j()
+}
+
+/// Table 1/2 as a machine benchmark: the speedup ratios reported by the
+/// binaries correspond to the time ratios between these groups.
+fn accel_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcpip_coestimation");
+    g.sample_size(10);
+    for dma in [2u32, 64] {
+        g.bench_function(format!("orig/dma{dma}"), |b| {
+            b.iter(|| black_box(run(Acceleration::none(), dma)))
+        });
+        g.bench_function(format!("caching/dma{dma}"), |b| {
+            b.iter(|| black_box(run(Acceleration::caching(table1_caching()), dma)))
+        });
+        g.bench_function(format!("macromodel/dma{dma}"), |b| {
+            b.iter(|| black_box(run(Acceleration::macromodel(), dma)))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 1(b)'s co-simulation as a benchmark (the separate-estimation
+/// baseline is dominated by the same estimator costs).
+fn fig1b_bench(c: &mut Criterion) {
+    let params = ProducerConsumerParams {
+        num_pkts: 6,
+        pkt_bytes: 64,
+        start_period: 800,
+        tick_period: 200,
+        num_starts: 30,
+    };
+    let mut g = c.benchmark_group("producer_consumer");
+    g.sample_size(10);
+    g.bench_function("coestimation", |b| {
+        b.iter(|| {
+            let mut sim = CoSimulator::new(
+                producer_consumer::build(&params),
+                CoSimConfig::date2000_defaults(),
+            )
+            .expect("builds");
+            black_box(sim.run().total_energy_j())
+        })
+    });
+    g.finish();
+}
+
+/// One Fig. 7 exploration point (the sweep is 48 of these).
+fn fig7_point_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcpip_exploration");
+    g.sample_size(10);
+    g.bench_function("one_point", |b| {
+        b.iter(|| {
+            let config = CoSimConfig::date2000_defaults().with_dma_block_size(16);
+            let mut sim =
+                CoSimulator::new(tcpip::build(&TcpIpParams::fig7_defaults()), config)
+                    .expect("builds");
+            black_box(sim.run().total_energy_j())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, accel_benches, fig1b_bench, fig7_point_bench);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Criterion benchmarks of the substrate simulators: where the
+//! co-estimation wall-clock time actually goes (gate-level simulation,
+//! ISS execution, cache and bus models, sequence compaction).
+
+use cfsm::{BlockId, CfgBuilder, Cfsm, EventId, Expr, Stmt, Terminator, TransitionId, VarId};
+use co_estimation::KMemoryCompactor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gatesim::bus as gbus;
+use gatesim::{HwCfsm, Netlist, PowerConfig, Simulator, SynthConfig};
+use iss::{PowerModel, SwCfsm};
+use std::hint::black_box;
+
+/// A 16-bit accumulate loop machine shared by the HW and SW benches.
+fn loop_machine() -> Cfsm {
+    let v0 = VarId(0);
+    let v1 = VarId(1);
+    let mut cb = CfgBuilder::new();
+    cb.block(
+        vec![],
+        Terminator::Branch {
+            cond: Expr::gt(Expr::Var(v0), Expr::Const(0)),
+            then_block: BlockId(1),
+            else_block: BlockId(2),
+        },
+    );
+    cb.block(
+        vec![
+            Stmt::Assign {
+                var: v1,
+                expr: Expr::bin(
+                    cfsm::BinOp::And,
+                    Expr::add(Expr::Var(v1), Expr::Var(v0)),
+                    Expr::Const(0x7FFF),
+                ),
+            },
+            Stmt::Assign {
+                var: v0,
+                expr: Expr::sub(Expr::Var(v0), Expr::Const(1)),
+            },
+        ],
+        Terminator::Goto(BlockId(0)),
+    );
+    cb.block(vec![], Terminator::Return);
+    let mut b = Cfsm::builder("loop");
+    let s = b.state("s");
+    b.var("v0", 0);
+    b.var("v1", 0);
+    b.transition(s, vec![EventId(0)], None, cb.finish().expect("valid"), s);
+    b.finish().expect("valid machine")
+}
+
+fn gate_sim_bench(c: &mut Criterion) {
+    // A 16-bit multiplier array — a representative datapath block.
+    let mut nl = Netlist::new();
+    let a = gbus::input_bus(&mut nl, 16);
+    let b_ = gbus::input_bus(&mut nl, 16);
+    let _p = gbus::multiplier(&mut nl, &a, &b_);
+    let mut sim = Simulator::new(&nl, PowerConfig::date2000_defaults()).expect("valid");
+    let mut g = c.benchmark_group("gatesim");
+    g.bench_function("mul16_cycle", |bch| {
+        let mut x = 1u64;
+        bch.iter(|| {
+            x = x.wrapping_mul(48271) % 0xFFFF;
+            sim.set_input_bus(a.nets(), x);
+            sim.set_input_bus(b_.nets(), x ^ 0x5A5A);
+            black_box(sim.step())
+        })
+    });
+    g.bench_function("hw_transition_30_iters", |bch| {
+        let mut hw = HwCfsm::synthesize(
+            &loop_machine(),
+            &SynthConfig::new(),
+            &PowerConfig::date2000_defaults(),
+        )
+        .expect("synthesizable");
+        bch.iter(|| {
+            black_box(
+                hw.transition_mut(TransitionId(0))
+                    .run(&[30, 0], &|_| 0, &[])
+                    .energy_j,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn iss_bench(c: &mut Criterion) {
+    let mut sw = SwCfsm::new(&loop_machine(), PowerModel::sparclite(), &|_| false)
+        .expect("compiles");
+    c.bench_function("iss/sw_transition_100_iters", |b| {
+        b.iter(|| {
+            black_box(
+                sw.run_transition(TransitionId(0), &[100, 0], &|_| 0, &[])
+                    .energy_j,
+            )
+        })
+    });
+}
+
+fn cache_bench(c: &mut Criterion) {
+    let mut cache = cachesim::Cache::new(cachesim::CacheConfig::sparclite_icache());
+    c.bench_function("cachesim/access", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(68) % (64 * 1024);
+            black_box(cache.access(addr).hit)
+        })
+    });
+}
+
+fn bus_bench(c: &mut Criterion) {
+    let mut bus = busmodel::Bus::new(busmodel::BusConfig::date2000_defaults());
+    let m = bus.register_master("m", 1);
+    let ops: Vec<(u64, i64, bool)> = (0..32).map(|i| (i * 8, i as i64 * 3, i % 2 == 0)).collect();
+    c.bench_function("busmodel/transfer_32_words", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            let tr = bus.transfer(m, t, &ops);
+            t = tr.end;
+            black_box(tr.energy_j)
+        })
+    });
+}
+
+fn compaction_bench(c: &mut Criterion) {
+    let stream: Vec<u32> = (0..10_000u32).map(|i| i * 2654435761 % 97).collect();
+    c.bench_function("sampling/compact_10k_window100_keep20", |b| {
+        b.iter(|| {
+            let mut comp = KMemoryCompactor::new(100, 20);
+            let mut kept = 0usize;
+            for &s in &stream {
+                if let Some(batch) = comp.push(s) {
+                    kept += batch.len();
+                }
+            }
+            black_box(kept)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    gate_sim_bench,
+    iss_bench,
+    cache_bench,
+    bus_bench,
+    compaction_bench
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation for §5.2's remark that macro-modeling's relative accuracy
+//! also holds when "attempting to rank several different HW/SW
+//! partitions": sweep every feasible mapping of the TCP/IP processes and
+//! check that the macro-model ranks the partitions like the detailed
+//! framework does.
+
+use co_estimation::{explore_partitions, Acceleration, CoSimConfig};
+use systems::tcpip::{build, TcpIpParams};
+
+fn main() {
+    println!("== Ablation: ranking HW/SW partitions with macro-modeling ==\n");
+    let params = TcpIpParams {
+        num_packets: 10,
+        len_range: (16, 48),
+        pkt_period: 6_000,
+        seed: 0xDA7E_2000,
+    };
+    let soc = build(&params);
+    let movable: Vec<cfsm::ProcId> = ["create_pack", "checksum"]
+        .iter()
+        .map(|n| soc.network.process_by_name(n).expect("process exists"))
+        .collect();
+
+    let base_cfg = CoSimConfig::date2000_defaults();
+    let detailed = explore_partitions(&soc, &base_cfg, &movable).expect("sweep");
+    let mm = explore_partitions(
+        &soc,
+        &base_cfg.with_accel(Acceleration::macromodel()),
+        &movable,
+    )
+    .expect("sweep");
+
+    println!(
+        "{:<44} {:>14} {:>16}",
+        "partition", "detailed (J)", "macromodel (J)"
+    );
+    for (d, m) in detailed.iter().zip(&mm) {
+        assert_eq!(d.label, m.label, "sweeps enumerate identically");
+        println!(
+            "{:<44} {:>14.4e} {:>16.4e}",
+            d.label,
+            d.energy_j(),
+            m.energy_j()
+        );
+    }
+
+    let rank = |pts: &[co_estimation::PartitionPoint]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..pts.len()).collect();
+        idx.sort_by(|&a, &b| {
+            pts[a]
+                .energy_j()
+                .partial_cmp(&pts[b].energy_j())
+                .expect("no NaN")
+        });
+        idx
+    };
+    let agree = rank(&detailed) == rank(&mm);
+    println!(
+        "\npartition ranking preserved by macro-modeling: {}",
+        if agree { "YES" } else { "NO" }
+    );
+    let best = &detailed[rank(&detailed)[0]];
+    println!("best partition (detailed): {}", best.label);
+}

@@ -1,0 +1,33 @@
+//! Regenerates Fig. 6: relative accuracy (tracking fidelity) of
+//! macro-modeling — system energy with macro-modeling vs. the vanilla
+//! framework across the DMA-size configurations.
+
+use soc_bench::{fig6, ranks_agree};
+use systems::tcpip::TcpIpParams;
+
+fn main() {
+    println!("== Fig. 6: relative accuracy of energy macro-modeling ==");
+    println!("(paper: points fall on a near-line; ranking of configurations preserved)\n");
+    let points = fig6(&TcpIpParams::table_defaults());
+    println!(
+        "{:>4} {:>16} {:>22}",
+        "DMA", "orig energy (J)", "macromodel energy (J)"
+    );
+    for p in &points {
+        println!("{:>4} {:>16.4e} {:>22.4e}", p.dma, p.orig_j, p.macro_j);
+    }
+    // Least-squares slope through the origin-shifted points, as a
+    // linearity summary.
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.orig_j).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.macro_j).sum::<f64>() / n;
+    let sxy: f64 = points.iter().map(|p| (p.orig_j - mx) * (p.macro_j - my)).sum();
+    let sxx: f64 = points.iter().map(|p| (p.orig_j - mx).powi(2)).sum();
+    let syy: f64 = points.iter().map(|p| (p.macro_j - my).powi(2)).sum();
+    let r = sxy / (sxx.sqrt() * syy.sqrt());
+    println!("\nlinear correlation r = {r:.4} (paper shows a near-linear relationship)");
+    println!(
+        "configuration ranking preserved: {}",
+        if ranks_agree(&points) { "YES" } else { "NO" }
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates Fig. 7: exhaustive exploration of the TCP/IP
+//! communication architecture — 6 priority assignments × 8 DMA sizes =
+//! 48 design points, reporting the energy surface and the minimum.
+
+use co_estimation::minimum_energy;
+use soc_bench::{fig7, FIG7_DMA_SIZES};
+use std::time::Instant;
+use systems::tcpip::TcpIpParams;
+
+fn main() {
+    println!("== Fig. 7: communication-architecture design-space exploration ==");
+    println!("(paper: 48 points; minimum at DMA = 128 with priorities");
+    println!(" Create_Pack > IP_Check > Checksum; whole sweep ≈ 180 min on an");
+    println!(" Ultra Enterprise 450 — measure how long it takes here)\n");
+    let t0 = Instant::now();
+    let points = fig7(&TcpIpParams::fig7_defaults());
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    // Group rows by priority label.
+    let mut labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+    labels.dedup();
+    print!("{:<38}", "priorities \\ DMA");
+    for dma in FIG7_DMA_SIZES {
+        print!("{dma:>10}");
+    }
+    println!();
+    for label in labels {
+        print!("{label:<38}");
+        for dma in FIG7_DMA_SIZES {
+            let p = points
+                .iter()
+                .find(|p| p.label == label && p.dma_block_size == dma)
+                .expect("grid point");
+            print!("{:>10.3e}", p.energy_j());
+        }
+        println!();
+    }
+    let min = minimum_energy(&points).expect("nonempty sweep");
+    println!(
+        "\nminimum energy {:.4e} J at DMA = {} with priorities {}",
+        min.energy_j(),
+        min.dma_block_size,
+        min.label
+    );
+    println!("exploration of {} points took {elapsed:.2} s", points.len());
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 2: speedup and accuracy of the macro-modeling
+//! acceleration over the TCP/IP DMA-size sweep.
+
+use soc_bench::{render_speedup_table, table2};
+use systems::tcpip::TcpIpParams;
+
+fn main() {
+    println!("== Table 2: power macro-modeling — speedup and accuracy ==");
+    println!("(paper: speedups 18.9x–87.1x, avg 44.8x; error 19.6%–32.9%, conservative)\n");
+    let rows = table2(&TcpIpParams::table_defaults());
+    print!("{}", render_speedup_table(&rows, "Macromodel", true));
+    let conservative = rows.iter().all(|r| r.accel_energy_j > r.orig_energy_j);
+    println!(
+        "\nmacro-model estimates are {} (paper: conservative / over-estimating)",
+        if conservative {
+            "conservative for every configuration"
+        } else {
+            "NOT uniformly conservative"
+        }
+    );
+}

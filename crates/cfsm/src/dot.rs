@@ -1,0 +1,208 @@
+//! Graphviz (DOT) rendering of networks, machines and control-flow
+//! graphs — the "source-level graphical interface" niceties a
+//! co-design environment provides for inspecting a specification.
+
+use crate::cfg::{Cfg, Terminator};
+use crate::machine::Cfsm;
+use crate::network::{Implementation, Network};
+use std::fmt::Write as _;
+
+/// Renders the process/event topology of a network: processes as nodes
+/// (doublecircle = HW, box = SW), one edge per (emitter, event, listener).
+pub fn network_to_dot(net: &Network) -> String {
+    let mut s = String::from("digraph network {\n  rankdir=LR;\n");
+    for p in net.process_ids() {
+        let shape = match net.mapping(p) {
+            Implementation::Hw => "doublecircle",
+            Implementation::Sw => "box",
+        };
+        let _ = writeln!(
+            s,
+            "  p{} [label=\"{}\\n[{}]\" shape={}];",
+            p.0,
+            net.cfsm(p).name(),
+            net.mapping(p),
+            shape
+        );
+    }
+    // Emission edges: for each process, each event its bodies can emit,
+    // draw an edge to every listener.
+    for p in net.process_ids() {
+        let mut emitted = std::collections::BTreeSet::new();
+        for t in net.cfsm(p).transitions() {
+            for b in t.body.blocks() {
+                for st in &b.stmts {
+                    if let crate::cfg::Stmt::Emit { event, .. } = st {
+                        emitted.insert(*event);
+                    }
+                }
+            }
+        }
+        for e in emitted {
+            for q in net.listeners(e) {
+                let _ = writeln!(
+                    s,
+                    "  p{} -> p{} [label=\"{}\"];",
+                    p.0, q.0, net.events()[e.0 as usize].name
+                );
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders one machine's state graph: control states as nodes, one edge
+/// per transition labeled with its trigger events.
+pub fn machine_to_dot(machine: &Cfsm, event_name: &dyn Fn(crate::EventId) -> String) -> String {
+    let mut s = format!("digraph {} {{\n", sanitize(machine.name()));
+    for (i, name) in machine.states().iter().enumerate() {
+        let style = if i == machine.initial_state().0 as usize {
+            " peripheries=2"
+        } else {
+            ""
+        };
+        let _ = writeln!(s, "  s{i} [label=\"{name}\"{style}];");
+    }
+    for t in machine.transitions() {
+        let trig: Vec<String> = t.trigger.iter().map(|&e| event_name(e)).collect();
+        let guard = if t.guard.is_some() { " [g]" } else { "" };
+        let _ = writeln!(
+            s,
+            "  s{} -> s{} [label=\"{}{}\"];",
+            t.from.0,
+            t.to.0,
+            trig.join(" & "),
+            guard
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders a transition body's control-flow graph: one node per basic
+/// block (showing its statement count), labeled branch edges.
+pub fn cfg_to_dot(cfg: &Cfg, title: &str) -> String {
+    let mut s = format!("digraph {} {{\n  node [shape=box];\n", sanitize(title));
+    for (i, b) in cfg.blocks().iter().enumerate() {
+        let _ = writeln!(s, "  b{i} [label=\"B{i}\\n{} stmts\"];", b.stmts.len());
+        match &b.term {
+            Terminator::Goto(t) => {
+                let _ = writeln!(s, "  b{i} -> b{};", t.0);
+            }
+            Terminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } => {
+                let _ = writeln!(s, "  b{i} -> b{} [label=\"T\"];", then_block.0);
+                let _ = writeln!(s, "  b{i} -> b{} [label=\"F\"];", else_block.0);
+            }
+            Terminator::Return => {
+                let _ = writeln!(s, "  b{i} -> exit;");
+            }
+        }
+    }
+    s.push_str("  exit [shape=doublecircle label=\"\"];\n}\n");
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_none_or(|c| c.is_numeric()) {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{Stmt, ValidateCfgError};
+    use crate::event::EventDef;
+    use crate::expr::Expr;
+    use crate::{BlockId, CfgBuilder, EventId};
+
+    fn diamond() -> Result<Cfg, ValidateCfgError> {
+        let mut b = CfgBuilder::new();
+        b.block(
+            vec![],
+            Terminator::Branch {
+                cond: Expr::Const(1),
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+        );
+        b.block(vec![], Terminator::Goto(BlockId(3)));
+        b.block(vec![], Terminator::Goto(BlockId(3)));
+        b.block(vec![], Terminator::Return);
+        b.finish()
+    }
+
+    #[test]
+    fn cfg_dot_contains_all_blocks_and_edges() {
+        let dot = cfg_to_dot(&diamond().expect("valid"), "diamond");
+        assert!(dot.starts_with("digraph diamond {"));
+        for b in ["b0", "b1", "b2", "b3"] {
+            assert!(dot.contains(b), "missing {b}");
+        }
+        assert!(dot.contains("b0 -> b1 [label=\"T\"]"));
+        assert!(dot.contains("b0 -> b2 [label=\"F\"]"));
+        assert!(dot.contains("b3 -> exit"));
+    }
+
+    #[test]
+    fn machine_dot_marks_initial_state_and_triggers() {
+        let mut b = Cfsm::builder("m");
+        let a = b.state("idle");
+        let c = b.state("run");
+        b.transition(a, vec![EventId(0)], None, Cfg::empty(), c);
+        b.transition(c, vec![EventId(1)], Some(Expr::Const(1)), Cfg::empty(), a);
+        let m = b.finish().expect("valid");
+        let dot = machine_to_dot(&m, &|e| format!("EV{}", e.0));
+        assert!(dot.contains("peripheries=2"), "initial state marked");
+        assert!(dot.contains("EV0"));
+        assert!(dot.contains("[g]"), "guard annotated");
+    }
+
+    #[test]
+    fn network_dot_draws_event_edges_between_processes() {
+        let mut nb = Network::builder();
+        let go = nb.event(EventDef::pure("GO"));
+        let out = nb.event(EventDef::pure("OUT"));
+        let mut prod = Cfsm::builder("prod");
+        let s = prod.state("s");
+        prod.transition(
+            s,
+            vec![go],
+            None,
+            Cfg::straight_line(vec![Stmt::Emit {
+                event: out,
+                value: None,
+            }]),
+            s,
+        );
+        nb.process(prod.finish().expect("valid"), Implementation::Sw);
+        let mut cons = Cfsm::builder("cons");
+        let c = cons.state("c");
+        cons.transition(c, vec![out], None, Cfg::empty(), c);
+        nb.process(cons.finish().expect("valid"), Implementation::Hw);
+        let net = nb.finish().expect("valid network");
+        let dot = network_to_dot(&net);
+        assert!(dot.contains("prod"));
+        assert!(dot.contains("cons"));
+        assert!(dot.contains("p0 -> p1 [label=\"OUT\"]"));
+        assert!(dot.contains("doublecircle"), "HW shape");
+        assert!(dot.contains("shape=box"), "SW shape");
+    }
+
+    #[test]
+    fn sanitize_handles_awkward_names() {
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+        assert_eq!(sanitize("1abc"), "g_1abc");
+    }
+}

@@ -1,0 +1,230 @@
+//! Events — the communication primitive of a CFSM network.
+//!
+//! CFSMs communicate through *events*, possibly carrying an integer value.
+//! Following POLIS semantics, each (process, event) input port is a
+//! **single-place buffer**: a newly delivered occurrence overwrites an
+//! unconsumed one (events can be lost), and firing a transition consumes
+//! the buffered occurrences it reads.
+
+use std::fmt;
+
+/// Identifier of an event type within a [`Network`](crate::Network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u32);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ev{}", self.0)
+    }
+}
+
+/// Static description of an event type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventDef {
+    /// Human-readable name, e.g. `"END_COMP"`.
+    pub name: String,
+    /// Whether occurrences carry an integer value.
+    pub carries_value: bool,
+}
+
+impl EventDef {
+    /// Creates a pure (valueless) event definition.
+    pub fn pure(name: impl Into<String>) -> Self {
+        EventDef {
+            name: name.into(),
+            carries_value: false,
+        }
+    }
+
+    /// Creates a valued event definition.
+    pub fn valued(name: impl Into<String>) -> Self {
+        EventDef {
+            name: name.into(),
+            carries_value: true,
+        }
+    }
+}
+
+/// An event occurrence: the event plus its (optional) value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventOccurrence {
+    /// Which event occurred.
+    pub event: EventId,
+    /// The carried value (`None` for pure events).
+    pub value: Option<i64>,
+}
+
+impl EventOccurrence {
+    /// A pure occurrence of `event`.
+    pub fn pure(event: EventId) -> Self {
+        EventOccurrence { event, value: None }
+    }
+
+    /// A valued occurrence of `event`.
+    pub fn valued(event: EventId, value: i64) -> Self {
+        EventOccurrence {
+            event,
+            value: Some(value),
+        }
+    }
+}
+
+/// Per-process single-place input buffers, indexed by [`EventId`].
+///
+/// # Examples
+///
+/// ```
+/// use cfsm::{EventBuffer, EventId, EventOccurrence};
+///
+/// let mut buf = EventBuffer::new(4);
+/// buf.deliver(EventOccurrence::valued(EventId(2), 7));
+/// assert!(buf.is_present(EventId(2)));
+/// assert_eq!(buf.value(EventId(2)), Some(7));
+/// buf.consume(EventId(2));
+/// assert!(!buf.is_present(EventId(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventBuffer {
+    slots: Vec<Option<Option<i64>>>, // present? -> carried value
+    lost: u64,
+}
+
+impl EventBuffer {
+    /// Creates buffers for `n_events` event types, all empty.
+    pub fn new(n_events: usize) -> Self {
+        EventBuffer {
+            slots: vec![None; n_events],
+            lost: 0,
+        }
+    }
+
+    /// Number of event slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether there are zero event slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Delivers an occurrence, overwriting (losing) any unconsumed one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event id is out of range.
+    pub fn deliver(&mut self, occ: EventOccurrence) {
+        let slot = &mut self.slots[occ.event.0 as usize];
+        if slot.is_some() {
+            self.lost += 1;
+        }
+        *slot = Some(occ.value);
+    }
+
+    /// Whether an unconsumed occurrence of `event` is buffered.
+    pub fn is_present(&self, event: EventId) -> bool {
+        self.slots
+            .get(event.0 as usize)
+            .is_some_and(|s| s.is_some())
+    }
+
+    /// The buffered value of `event` (None if absent or pure).
+    pub fn value(&self, event: EventId) -> Option<i64> {
+        self.slots.get(event.0 as usize).copied().flatten().flatten()
+    }
+
+    /// Consumes the buffered occurrence of `event`, if any.
+    pub fn consume(&mut self, event: EventId) {
+        if let Some(slot) = self.slots.get_mut(event.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Consumes all buffered occurrences.
+    pub fn consume_all(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+
+    /// Number of occurrences lost to overwrites so far (a POLIS
+    /// single-place-buffer diagnostic).
+    pub fn lost_count(&self) -> u64 {
+        self.lost
+    }
+
+    /// Iterates over the currently present events.
+    pub fn present(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| EventId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defs() {
+        let p = EventDef::pure("RESET");
+        assert!(!p.carries_value);
+        let v = EventDef::valued("TIME");
+        assert!(v.carries_value);
+        assert_eq!(v.name, "TIME");
+    }
+
+    #[test]
+    fn deliver_and_consume() {
+        let mut b = EventBuffer::new(3);
+        assert!(!b.is_present(EventId(0)));
+        b.deliver(EventOccurrence::pure(EventId(0)));
+        assert!(b.is_present(EventId(0)));
+        assert_eq!(b.value(EventId(0)), None);
+        b.consume(EventId(0));
+        assert!(!b.is_present(EventId(0)));
+    }
+
+    #[test]
+    fn valued_occurrence_roundtrip() {
+        let mut b = EventBuffer::new(1);
+        b.deliver(EventOccurrence::valued(EventId(0), -9));
+        assert_eq!(b.value(EventId(0)), Some(-9));
+    }
+
+    #[test]
+    fn overwrite_counts_as_lost() {
+        let mut b = EventBuffer::new(1);
+        b.deliver(EventOccurrence::valued(EventId(0), 1));
+        b.deliver(EventOccurrence::valued(EventId(0), 2));
+        assert_eq!(b.lost_count(), 1);
+        assert_eq!(b.value(EventId(0)), Some(2)); // newest wins
+    }
+
+    #[test]
+    fn present_iterates_current() {
+        let mut b = EventBuffer::new(4);
+        b.deliver(EventOccurrence::pure(EventId(1)));
+        b.deliver(EventOccurrence::pure(EventId(3)));
+        let present: Vec<_> = b.present().collect();
+        assert_eq!(present, vec![EventId(1), EventId(3)]);
+    }
+
+    #[test]
+    fn consume_all_clears() {
+        let mut b = EventBuffer::new(2);
+        b.deliver(EventOccurrence::pure(EventId(0)));
+        b.deliver(EventOccurrence::pure(EventId(1)));
+        b.consume_all();
+        assert_eq!(b.present().count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn deliver_out_of_range_panics() {
+        let mut b = EventBuffer::new(1);
+        b.deliver(EventOccurrence::pure(EventId(5)));
+    }
+}

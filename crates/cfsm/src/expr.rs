@@ -1,0 +1,323 @@
+//! Integer expressions used in transition guards and bodies.
+//!
+//! POLIS transition bodies are built from a small library of
+//! pre-characterizable arithmetic / relational / logical functions
+//! (`ADD(x1,x2)`, `NOT(x1)`, `EQ(x1,x2)`, …). Expressions here mirror that
+//! library: every operator node corresponds to one macro-operation for the
+//! software macro-modeling flow.
+
+use crate::event::EventId;
+use std::fmt;
+
+/// Identifier of a per-process local variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+    /// Logical negation (`x == 0`).
+    LNot,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (truncating). Division by zero yields zero (hardware
+    /// convention; keeps the behavioral model total).
+    Div,
+    /// Remainder. Remainder by zero yields zero.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (modulo 64).
+    Shl,
+    /// Arithmetic right shift (modulo 64).
+    Shr,
+    /// Equality (1/0).
+    Eq,
+    /// Inequality (1/0).
+    Ne,
+    /// Less-than (1/0).
+    Lt,
+    /// Less-or-equal (1/0).
+    Le,
+    /// Greater-than (1/0).
+    Gt,
+    /// Greater-or-equal (1/0).
+    Ge,
+}
+
+/// An integer expression over local variables and the values of the
+/// triggering input events.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Local variable read.
+    Var(VarId),
+    /// The value carried by the given (triggering) input event.
+    EventValue(EventId),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a binary operation.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for a unary operation.
+    pub fn un(op: UnOp, e: Expr) -> Expr {
+        Expr::Unary(op, Box::new(e))
+    }
+
+    /// `lhs + rhs`. (A static constructor, not an operator overload —
+    /// `Expr` values are AST nodes, not numbers.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, lhs, rhs)
+    }
+
+    /// `lhs - rhs`. (A static constructor, not an operator overload.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, lhs, rhs)
+    }
+
+    /// `lhs == rhs` (1/0).
+    pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, lhs, rhs)
+    }
+
+    /// `lhs < rhs` (1/0).
+    pub fn lt(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, lhs, rhs)
+    }
+
+    /// `lhs > rhs` (1/0).
+    pub fn gt(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, lhs, rhs)
+    }
+
+    /// Evaluates the expression.
+    ///
+    /// `vars[i]` is the value of `VarId(i)`; `event_value(e)` returns the
+    /// value carried by input event `e` (0 if absent/pure — consistent with
+    /// the generated-code convention of reading a stale buffer).
+    pub fn eval(&self, vars: &[i64], event_value: &dyn Fn(EventId) -> i64) -> i64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(v) => vars[v.0 as usize],
+            Expr::EventValue(e) => event_value(*e),
+            Expr::Unary(op, e) => {
+                let x = e.eval(vars, event_value);
+                match op {
+                    UnOp::Neg => x.wrapping_neg(),
+                    UnOp::Not => !x,
+                    UnOp::LNot => i64::from(x == 0),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let x = a.eval(vars, event_value);
+                let y = b.eval(vars, event_value);
+                match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Div => {
+                        if y == 0 {
+                            0
+                        } else {
+                            x.wrapping_div(y)
+                        }
+                    }
+                    BinOp::Rem => {
+                        if y == 0 {
+                            0
+                        } else {
+                            x.wrapping_rem(y)
+                        }
+                    }
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    BinOp::Shl => x.wrapping_shl(y as u32 % 64),
+                    BinOp::Shr => x.wrapping_shr(y as u32 % 64),
+                    BinOp::Eq => i64::from(x == y),
+                    BinOp::Ne => i64::from(x != y),
+                    BinOp::Lt => i64::from(x < y),
+                    BinOp::Le => i64::from(x <= y),
+                    BinOp::Gt => i64::from(x > y),
+                    BinOp::Ge => i64::from(x >= y),
+                }
+            }
+        }
+    }
+
+    /// Visits every operator node (used for macro-operation counting and
+    /// code generation sizing).
+    pub fn visit_ops(&self, f: &mut dyn FnMut(OpKind)) {
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::EventValue(_) => {}
+            Expr::Unary(op, e) => {
+                e.visit_ops(f);
+                f(OpKind::Unary(*op));
+            }
+            Expr::Binary(op, a, b) => {
+                a.visit_ops(f);
+                b.visit_ops(f);
+                f(OpKind::Binary(*op));
+            }
+        }
+    }
+
+    /// Number of operator nodes in the expression.
+    pub fn op_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_ops(&mut |_| n += 1);
+        n
+    }
+
+    /// Maximum depth of the expression tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::EventValue(_) => 1,
+            Expr::Unary(_, e) => 1 + e.depth(),
+            Expr::Binary(_, a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+}
+
+/// An operator occurrence reported by [`Expr::visit_ops`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A unary operator.
+    Unary(UnOp),
+    /// A binary operator.
+    Binary(BinOp),
+}
+
+impl From<i64> for Expr {
+    fn from(c: i64) -> Self {
+        Expr::Const(c)
+    }
+}
+
+impl From<VarId> for Expr {
+    fn from(v: VarId) -> Self {
+        Expr::Var(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev0(_: EventId) -> i64 {
+        0
+    }
+
+    #[test]
+    fn constants_and_vars() {
+        let vars = [10, 20];
+        assert_eq!(Expr::Const(5).eval(&vars, &ev0), 5);
+        assert_eq!(Expr::Var(VarId(1)).eval(&vars, &ev0), 20);
+    }
+
+    #[test]
+    fn event_values() {
+        let f = |e: EventId| if e == EventId(3) { 42 } else { 0 };
+        assert_eq!(Expr::EventValue(EventId(3)).eval(&[], &f), 42);
+        assert_eq!(Expr::EventValue(EventId(0)).eval(&[], &f), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::add(Expr::Const(2), Expr::bin(BinOp::Mul, 3.into(), 4.into()));
+        assert_eq!(e.eval(&[], &ev0), 14);
+        assert_eq!(Expr::sub(10.into(), 3.into()).eval(&[], &ev0), 7);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(Expr::bin(BinOp::Div, 5.into(), 0.into()).eval(&[], &ev0), 0);
+        assert_eq!(Expr::bin(BinOp::Rem, 5.into(), 0.into()).eval(&[], &ev0), 0);
+    }
+
+    #[test]
+    fn comparisons_yield_01() {
+        assert_eq!(Expr::lt(1.into(), 2.into()).eval(&[], &ev0), 1);
+        assert_eq!(Expr::gt(1.into(), 2.into()).eval(&[], &ev0), 0);
+        assert_eq!(Expr::eq(7.into(), 7.into()).eval(&[], &ev0), 1);
+        assert_eq!(Expr::bin(BinOp::Ne, 7.into(), 7.into()).eval(&[], &ev0), 0);
+        assert_eq!(Expr::bin(BinOp::Le, 2.into(), 2.into()).eval(&[], &ev0), 1);
+        assert_eq!(Expr::bin(BinOp::Ge, 1.into(), 2.into()).eval(&[], &ev0), 0);
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(Expr::un(UnOp::Neg, 5.into()).eval(&[], &ev0), -5);
+        assert_eq!(Expr::un(UnOp::Not, 0.into()).eval(&[], &ev0), -1);
+        assert_eq!(Expr::un(UnOp::LNot, 0.into()).eval(&[], &ev0), 1);
+        assert_eq!(Expr::un(UnOp::LNot, 3.into()).eval(&[], &ev0), 0);
+    }
+
+    #[test]
+    fn bitwise_and_shifts() {
+        assert_eq!(Expr::bin(BinOp::And, 6.into(), 3.into()).eval(&[], &ev0), 2);
+        assert_eq!(Expr::bin(BinOp::Or, 6.into(), 1.into()).eval(&[], &ev0), 7);
+        assert_eq!(Expr::bin(BinOp::Xor, 6.into(), 3.into()).eval(&[], &ev0), 5);
+        assert_eq!(Expr::bin(BinOp::Shl, 1.into(), 4.into()).eval(&[], &ev0), 16);
+        assert_eq!(Expr::bin(BinOp::Shr, 16.into(), 4.into()).eval(&[], &ev0), 1);
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        let e = Expr::add(i64::MAX.into(), 1.into());
+        assert_eq!(e.eval(&[], &ev0), i64::MIN);
+    }
+
+    #[test]
+    fn op_count_and_depth() {
+        let e = Expr::add(
+            Expr::bin(BinOp::Mul, Expr::Var(VarId(0)), 2.into()),
+            Expr::un(UnOp::Neg, 3.into()),
+        );
+        assert_eq!(e.op_count(), 3);
+        assert_eq!(e.depth(), 3);
+        let mut kinds = Vec::new();
+        e.visit_ops(&mut |k| kinds.push(k));
+        assert_eq!(
+            kinds,
+            vec![
+                OpKind::Binary(BinOp::Mul),
+                OpKind::Unary(UnOp::Neg),
+                OpKind::Binary(BinOp::Add)
+            ]
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! `cfsm` — Codesign Finite State Machines, the POLIS behavioral model.
+//!
+//! This crate provides the system-specification substrate of the DATE 2000
+//! power co-estimation paper: a system is a [`Network`] of concurrent
+//! [`Cfsm`] processes communicating through [events](EventDef) with
+//! single-place buffers, each process mapped to hardware or software
+//! ([`Implementation`]). Transition bodies are [control-flow
+//! graphs](Cfg) over integer [expressions](Expr); interpreting a body
+//! yields the taken [`PathId`] (the energy-cache key), the emitted events,
+//! the [macro-operation](MacroOp) trace (the macro-modeling currency) and
+//! the issued shared-memory accesses (the bus/cache workload).
+//!
+//! # Examples
+//!
+//! ```
+//! use cfsm::{Cfsm, Cfg, Stmt, Expr, Network, EventDef, Implementation, EventOccurrence};
+//!
+//! // One process that increments a counter on every TICK.
+//! let mut nb = Network::builder();
+//! let tick = nb.event(EventDef::pure("TICK"));
+//! let done = nb.event(EventDef::valued("DONE"));
+//!
+//! let mut mb = Cfsm::builder("counter");
+//! let s = mb.state("run");
+//! let n = mb.var("n", 0);
+//! mb.transition(
+//!     s,
+//!     vec![tick],
+//!     None,
+//!     Cfg::straight_line(vec![
+//!         Stmt::Assign { var: n, expr: Expr::add(Expr::Var(n), Expr::Const(1)) },
+//!         Stmt::Emit { event: done, value: Some(Expr::Var(n)) },
+//!     ]),
+//!     s,
+//! );
+//! let p = nb.process(mb.finish()?, Implementation::Sw);
+//!
+//! let net = nb.finish()?;
+//! let mut state = net.spawn();
+//! net.broadcast(&mut state, EventOccurrence::pure(tick));
+//! let fired = net.fire(&mut state, p).expect("enabled");
+//! assert_eq!(fired.execution.emitted, vec![(done, Some(1))]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cfg;
+pub mod dot;
+mod event;
+mod expr;
+mod macro_op;
+mod machine;
+mod network;
+
+pub use cfg::{
+    BasicBlock, BlockId, Cfg, CfgBuilder, ExecEnv, Execution, MemAccess, NullEnv, PathId, Stmt,
+    Terminator, ValidateCfgError,
+};
+pub use event::{EventBuffer, EventDef, EventId, EventOccurrence};
+pub use expr::{BinOp, Expr, OpKind, UnOp, VarId};
+pub use macro_op::{MacroOp, ALL_MACRO_OPS};
+pub use machine::{
+    Cfsm, CfsmBuilder, CfsmRuntime, FireResult, StateId, Transition, TransitionId,
+    ValidateCfsmError,
+};
+pub use network::{
+    BuildNetworkError, Implementation, Network, NetworkBuilder, NetworkState, ProcId, SharedMemory,
+};

@@ -1,0 +1,356 @@
+//! Energy book-keeping and power waveforms.
+//!
+//! The simulation master "collects the cycles and energy statistics for
+//! each invocation of the lower-level simulators, performs the necessary
+//! book-keeping, and can display energy and power waveforms for the
+//! various parts of the system" (§3). [`EnergyAccount`] is that ledger.
+
+use std::fmt;
+
+/// Index of an energy ledger component (one per process, plus the bus
+/// and the cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub u32);
+
+/// A time-bucketed power waveform for one component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    bucket_cycles: u64,
+    energy_j: Vec<f64>,
+}
+
+impl Waveform {
+    fn new(bucket_cycles: u64) -> Self {
+        Waveform {
+            bucket_cycles,
+            energy_j: Vec::new(),
+        }
+    }
+
+    /// Cycles per bucket.
+    pub fn bucket_cycles(&self) -> u64 {
+        self.bucket_cycles
+    }
+
+    /// Energy per bucket, joules.
+    pub fn energy_per_bucket_j(&self) -> &[f64] {
+        &self.energy_j
+    }
+
+    /// Average power per bucket at the given clock, watts.
+    pub fn power_per_bucket_w(&self, freq_hz: f64) -> Vec<f64> {
+        let dt = self.bucket_cycles as f64 / freq_hz;
+        self.energy_j.iter().map(|e| e / dt).collect()
+    }
+
+    /// Index and power of the peak bucket (None when empty).
+    pub fn peak(&self) -> Option<(usize, f64)> {
+        self.energy_j
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN energies"))
+            .map(|(i, &e)| (i, e))
+    }
+
+    fn deposit(&mut self, start_cycle: u64, end_cycle: u64, energy_j: f64) {
+        let end_cycle = end_cycle.max(start_cycle + 1);
+        let first = (start_cycle / self.bucket_cycles) as usize;
+        let last = ((end_cycle - 1) / self.bucket_cycles) as usize;
+        if self.energy_j.len() <= last {
+            self.energy_j.resize(last + 1, 0.0);
+        }
+        // Deposit proportionally to the overlap with each bucket.
+        let span = (end_cycle - start_cycle) as f64;
+        for b in first..=last {
+            let b_start = b as u64 * self.bucket_cycles;
+            let b_end = b_start + self.bucket_cycles;
+            let overlap =
+                (end_cycle.min(b_end) - start_cycle.max(b_start)) as f64;
+            self.energy_j[b] += energy_j * overlap / span;
+        }
+    }
+}
+
+/// Per-component energy totals of one record.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ComponentTotals {
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// Total busy cycles attributed.
+    pub busy_cycles: u64,
+    /// Number of cost records (≈ firings / transfers).
+    pub records: u64,
+}
+
+/// The system-wide energy ledger (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use co_estimation::EnergyAccount;
+///
+/// let mut acct = EnergyAccount::new(100); // 100-cycle waveform buckets
+/// let producer = acct.add_component("producer");
+/// acct.record(producer, 0, 250, 3.0e-9);
+/// assert!((acct.total_energy_j() - 3.0e-9).abs() < 1e-18);
+/// assert_eq!(acct.totals(producer).busy_cycles, 250);
+/// assert_eq!(acct.waveform(producer).energy_per_bucket_j().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyAccount {
+    names: Vec<String>,
+    totals: Vec<ComponentTotals>,
+    waveforms: Vec<Waveform>,
+    bucket_cycles: u64,
+}
+
+impl EnergyAccount {
+    /// A ledger with the given waveform bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_cycles` is zero.
+    pub fn new(bucket_cycles: u64) -> Self {
+        assert!(bucket_cycles > 0, "bucket width must be nonzero");
+        EnergyAccount {
+            names: Vec::new(),
+            totals: Vec::new(),
+            waveforms: Vec::new(),
+            bucket_cycles,
+        }
+    }
+
+    /// Registers a component.
+    pub fn add_component(&mut self, name: impl Into<String>) -> ComponentId {
+        let id = ComponentId(self.names.len() as u32);
+        self.names.push(name.into());
+        self.totals.push(ComponentTotals::default());
+        self.waveforms.push(Waveform::new(self.bucket_cycles));
+        id
+    }
+
+    /// Records one cost spanning `[start_cycle, end_cycle)`.
+    pub fn record(&mut self, c: ComponentId, start_cycle: u64, end_cycle: u64, energy_j: f64) {
+        let t = &mut self.totals[c.0 as usize];
+        t.energy_j += energy_j;
+        t.busy_cycles += end_cycle.saturating_sub(start_cycle);
+        t.records += 1;
+        self.waveforms[c.0 as usize].deposit(start_cycle, end_cycle, energy_j);
+    }
+
+    /// A component's name.
+    pub fn name(&self, c: ComponentId) -> &str {
+        &self.names[c.0 as usize]
+    }
+
+    /// A component's totals.
+    pub fn totals(&self, c: ComponentId) -> ComponentTotals {
+        self.totals[c.0 as usize]
+    }
+
+    /// A component's waveform.
+    pub fn waveform(&self, c: ComponentId) -> &Waveform {
+        &self.waveforms[c.0 as usize]
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Iterates `(id, name, totals)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ComponentId, &str, ComponentTotals)> {
+        (0..self.names.len()).map(|i| {
+            (
+                ComponentId(i as u32),
+                self.names[i].as_str(),
+                self.totals[i],
+            )
+        })
+    }
+
+    /// Total energy across all components, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.totals.iter().map(|t| t.energy_j).sum()
+    }
+
+    /// Renders all component waveforms as CSV: one row per bucket, one
+    /// column per component plus a `total`, energies in joules. Suitable
+    /// for any plotting tool (the paper's master "can display energy and
+    /// power waveforms for the various parts of the system").
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("bucket,start_cycle");
+        for name in &self.names {
+            s.push(',');
+            s.push_str(name);
+        }
+        s.push_str(",total\n");
+        let len = self
+            .waveforms
+            .iter()
+            .map(|w| w.energy_j.len())
+            .max()
+            .unwrap_or(0);
+        for b in 0..len {
+            s.push_str(&format!("{b},{}", b as u64 * self.bucket_cycles));
+            let mut total = 0.0;
+            for w in &self.waveforms {
+                let e = w.energy_j.get(b).copied().unwrap_or(0.0);
+                total += e;
+                s.push_str(&format!(",{e:.6e}"));
+            }
+            s.push_str(&format!(",{total:.6e}\n"));
+        }
+        s
+    }
+
+    /// The total-system waveform (element-wise sum).
+    pub fn system_waveform(&self) -> Waveform {
+        let len = self
+            .waveforms
+            .iter()
+            .map(|w| w.energy_j.len())
+            .max()
+            .unwrap_or(0);
+        let mut sum = vec![0.0; len];
+        for w in &self.waveforms {
+            for (i, e) in w.energy_j.iter().enumerate() {
+                sum[i] += e;
+            }
+        }
+        Waveform {
+            bucket_cycles: self.bucket_cycles,
+            energy_j: sum,
+        }
+    }
+}
+
+impl fmt::Display for EnergyAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<20} {:>14} {:>12} {:>8}", "component", "energy (J)", "cycles", "records")?;
+        for (_, name, t) in self.iter() {
+            writeln!(
+                f,
+                "{:<20} {:>14.4e} {:>12} {:>8}",
+                name, t.energy_j, t.busy_cycles, t.records
+            )?;
+        }
+        write!(f, "{:<20} {:>14.4e}", "TOTAL", self.total_energy_j())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut a = EnergyAccount::new(10);
+        let c = a.add_component("hw");
+        a.record(c, 0, 10, 1e-9);
+        a.record(c, 10, 30, 2e-9);
+        let t = a.totals(c);
+        assert!((t.energy_j - 3e-9).abs() < 1e-18);
+        assert_eq!(t.busy_cycles, 30);
+        assert_eq!(t.records, 2);
+    }
+
+    #[test]
+    fn waveform_spreads_energy_over_buckets() {
+        let mut a = EnergyAccount::new(10);
+        let c = a.add_component("x");
+        // 20 cycles spanning exactly 2 buckets → half each.
+        a.record(c, 0, 20, 4e-9);
+        let w = a.waveform(c);
+        assert_eq!(w.energy_per_bucket_j().len(), 2);
+        assert!((w.energy_per_bucket_j()[0] - 2e-9).abs() < 1e-18);
+        assert!((w.energy_per_bucket_j()[1] - 2e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn waveform_partial_overlap() {
+        let mut a = EnergyAccount::new(10);
+        let c = a.add_component("x");
+        // [5, 15): half in bucket 0, half in bucket 1.
+        a.record(c, 5, 15, 2e-9);
+        let w = a.waveform(c);
+        assert!((w.energy_per_bucket_j()[0] - 1e-9).abs() < 1e-18);
+        assert!((w.energy_per_bucket_j()[1] - 1e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn peak_detection() {
+        let mut a = EnergyAccount::new(10);
+        let c = a.add_component("x");
+        a.record(c, 0, 10, 1e-9);
+        a.record(c, 20, 30, 9e-9);
+        a.record(c, 40, 50, 3e-9);
+        let (idx, e) = a.waveform(c).peak().expect("nonempty");
+        assert_eq!(idx, 2);
+        assert!((e - 9e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn system_waveform_sums_components() {
+        let mut a = EnergyAccount::new(10);
+        let x = a.add_component("x");
+        let y = a.add_component("y");
+        a.record(x, 0, 10, 1e-9);
+        a.record(y, 0, 10, 2e-9);
+        let sys = a.system_waveform();
+        assert!((sys.energy_per_bucket_j()[0] - 3e-9).abs() < 1e-18);
+        assert!((a.total_energy_j() - 3e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn power_conversion() {
+        let mut a = EnergyAccount::new(100);
+        let c = a.add_component("x");
+        a.record(c, 0, 100, 1e-9);
+        // 1 nJ over 100 cycles at 1 MHz = 100 µs → 10 µW.
+        let p = a.waveform(c).power_per_bucket_w(1e6);
+        assert!((p[0] - 1e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_record_counts_one_cycle_bucket() {
+        let mut a = EnergyAccount::new(10);
+        let c = a.add_component("x");
+        a.record(c, 25, 25, 1e-9); // instantaneous
+        let w = a.waveform(c);
+        assert!((w.energy_per_bucket_j()[2] - 1e-9).abs() < 1e-18);
+        assert_eq!(a.totals(c).busy_cycles, 0);
+    }
+
+    #[test]
+    fn csv_export_has_header_rows_and_totals() {
+        let mut a = EnergyAccount::new(10);
+        let x = a.add_component("hw");
+        let y = a.add_component("sw");
+        a.record(x, 0, 10, 1e-9);
+        a.record(y, 10, 20, 2e-9);
+        let csv = a.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("bucket,start_cycle,hw,sw,total"));
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].starts_with("0,0,"));
+        assert!(rows[1].starts_with("1,10,"));
+        // Total column equals the ledger total.
+        let total: f64 = rows
+            .iter()
+            .map(|r| r.rsplit(',').next().expect("total").parse::<f64>().expect("num"))
+            .sum();
+        assert!((total - a.total_energy_j()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let mut a = EnergyAccount::new(10);
+        let c = a.add_component("producer");
+        a.record(c, 0, 5, 1e-9);
+        let s = a.to_string();
+        assert!(s.contains("producer"));
+        assert!(s.contains("TOTAL"));
+    }
+}

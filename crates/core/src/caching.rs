@@ -1,0 +1,301 @@
+//! Energy and delay caching (§4.2 of the paper).
+//!
+//! During co-simulation, a few computation paths execute a very large
+//! number of times (the 10%-of-code/90%-of-time observation), and for
+//! most of them the low-level simulator keeps reporting (nearly) the
+//! same energy and delay. The energy cache exploits this: per
+//! `(task, path)` it accumulates the mean and variance of the reported
+//! energy; once a path has been simulated at least
+//! [`CachingConfig::thresh_iss_calls`] times with a coefficient of
+//! variation below [`CachingConfig::thresh_variance`], further executions
+//! reuse the cached means instead of invoking the simulator.
+
+use crate::stats::RunningStats;
+use cfsm::{PathId, ProcId};
+use std::collections::HashMap;
+
+/// User knobs trading accuracy for speed (§4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachingConfig {
+    /// Maximum coefficient of variation (σ/µ) of a path's energy for its
+    /// cached value to be used.
+    pub thresh_variance: f64,
+    /// Minimum number of detailed-simulator calls before the cache may
+    /// serve a path.
+    pub thresh_iss_calls: u32,
+    /// Keep every raw energy observation per path (needed to draw the
+    /// Fig. 4b energy histograms; costs memory, off by default).
+    pub keep_samples: bool,
+}
+
+impl CachingConfig {
+    /// Paper-style defaults: paths must be seen 3 times and vary by less
+    /// than 5% to be served from the cache.
+    pub fn new() -> Self {
+        CachingConfig {
+            thresh_variance: 0.05,
+            thresh_iss_calls: 3,
+            keep_samples: false,
+        }
+    }
+
+    /// Aggressive caching: serve after a single observation regardless of
+    /// variance (maximum speedup; exact only for data-independent power
+    /// models such as the SPARClite's).
+    pub fn aggressive() -> Self {
+        CachingConfig {
+            thresh_variance: f64::INFINITY,
+            thresh_iss_calls: 1,
+            keep_samples: false,
+        }
+    }
+
+    /// A profiling configuration that never serves from the cache but
+    /// records every observation — used to extract the per-path energy
+    /// histograms of Fig. 4(b).
+    pub fn profiling() -> Self {
+        CachingConfig {
+            thresh_variance: 0.0,
+            thresh_iss_calls: u32::MAX,
+            keep_samples: true,
+        }
+    }
+}
+
+impl Default for CachingConfig {
+    fn default() -> Self {
+        CachingConfig::new()
+    }
+}
+
+/// Statistics the cache keeps for one `(task, path)` pair.
+#[derive(Debug, Clone, Default)]
+pub struct PathStats {
+    /// Energy observations, joules.
+    pub energy: RunningStats,
+    /// Delay observations, cycles.
+    pub cycles: RunningStats,
+    /// Raw energy samples (populated only under
+    /// [`CachingConfig::keep_samples`]).
+    pub samples: Vec<f64>,
+}
+
+/// The per-system energy/delay cache (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use co_estimation::{EnergyCache, CachingConfig};
+/// use cfsm::{ProcId, PathId};
+///
+/// let mut cache = EnergyCache::new(CachingConfig {
+///     thresh_variance: 0.05,
+///     thresh_iss_calls: 2,
+///     keep_samples: false,
+/// });
+/// let key = (ProcId(0), PathId(42));
+/// assert!(cache.lookup(key).is_none()); // cold
+/// cache.record(key, 1.0e-9, 100);
+/// assert!(cache.lookup(key).is_none()); // below call threshold
+/// cache.record(key, 1.0e-9, 100);
+/// let hit = cache.lookup(key).expect("cache serves stable path");
+/// assert_eq!(hit.cycles, 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyCache {
+    config: CachingConfig,
+    entries: HashMap<(ProcId, PathId), PathStats>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A value served by the cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedCost {
+    /// Mean energy, joules.
+    pub energy_j: f64,
+    /// Mean delay, rounded to whole cycles.
+    pub cycles: u64,
+}
+
+impl EnergyCache {
+    /// An empty cache with the given thresholds.
+    pub fn new(config: CachingConfig) -> Self {
+        EnergyCache {
+            config,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The thresholds in force.
+    pub fn config(&self) -> &CachingConfig {
+        &self.config
+    }
+
+    /// Attempts to serve `(task, path)` from the cache. Counts a hit or
+    /// miss accordingly.
+    pub fn lookup(&mut self, key: (ProcId, PathId)) -> Option<CachedCost> {
+        let served = self.entries.get(&key).and_then(|st| {
+            let eligible = st.energy.count() >= self.config.thresh_iss_calls as u64
+                && st.energy.coeff_of_variation() <= self.config.thresh_variance;
+            if eligible {
+                Some(CachedCost {
+                    energy_j: st.energy.mean(),
+                    cycles: st.cycles.mean().round() as u64,
+                })
+            } else {
+                None
+            }
+        });
+        match served {
+            Some(c) => {
+                self.hits += 1;
+                Some(c)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a detailed-simulator observation for `(task, path)`.
+    pub fn record(&mut self, key: (ProcId, PathId), energy_j: f64, cycles: u64) {
+        let keep = self.config.keep_samples;
+        let st = self.entries.entry(key).or_default();
+        st.energy.push(energy_j);
+        st.cycles.push(cycles as f64);
+        if keep {
+            st.samples.push(energy_j);
+        }
+    }
+
+    /// The statistics gathered for one path, if any (energy histograms —
+    /// Fig. 4b — are built from these).
+    pub fn path_stats(&self, key: (ProcId, PathId)) -> Option<&PathStats> {
+        self.entries.get(&key)
+    }
+
+    /// Number of distinct `(task, path)` pairs seen.
+    pub fn distinct_paths(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Fraction of lookups served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Iterates over all `(key, stats)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(ProcId, PathId), &PathStats)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: u32, path: u64) -> (ProcId, PathId) {
+        (ProcId(p), PathId(path))
+    }
+
+    fn cache(var: f64, calls: u32) -> EnergyCache {
+        EnergyCache::new(CachingConfig {
+            thresh_variance: var,
+            thresh_iss_calls: calls,
+            keep_samples: false,
+        })
+    }
+
+    #[test]
+    fn cold_paths_miss() {
+        let mut c = cache(0.1, 2);
+        assert!(c.lookup(key(0, 1)).is_none());
+        assert_eq!(c.hit_miss(), (0, 1));
+    }
+
+    #[test]
+    fn serves_after_threshold_calls() {
+        let mut c = cache(0.1, 3);
+        for _ in 0..2 {
+            c.record(key(0, 1), 2e-9, 50);
+            assert!(c.lookup(key(0, 1)).is_none(), "below call threshold");
+        }
+        c.record(key(0, 1), 2e-9, 50);
+        let hit = c.lookup(key(0, 1)).expect("served");
+        assert!((hit.energy_j - 2e-9).abs() < 1e-18);
+        assert_eq!(hit.cycles, 50);
+    }
+
+    #[test]
+    fn high_variance_path_never_served() {
+        let mut c = cache(0.05, 2);
+        // Energies varying by 2x → CV far above 5%.
+        c.record(key(0, 9), 1e-9, 10);
+        c.record(key(0, 9), 2e-9, 20);
+        c.record(key(0, 9), 1e-9, 10);
+        assert!(c.lookup(key(0, 9)).is_none());
+    }
+
+    #[test]
+    fn low_variance_path_served_with_mean() {
+        let mut c = cache(0.05, 2);
+        c.record(key(1, 5), 1.00e-9, 100);
+        c.record(key(1, 5), 1.02e-9, 100);
+        c.record(key(1, 5), 0.98e-9, 100);
+        let hit = c.lookup(key(1, 5)).expect("served");
+        assert!((hit.energy_j - 1.0e-9).abs() < 1e-12 * 1e-9 + 1e-15);
+    }
+
+    #[test]
+    fn keys_are_per_task_and_path() {
+        let mut c = cache(1.0, 1);
+        c.record(key(0, 7), 1e-9, 1);
+        assert!(c.lookup(key(1, 7)).is_none(), "different task");
+        assert!(c.lookup(key(0, 8)).is_none(), "different path");
+        assert!(c.lookup(key(0, 7)).is_some());
+        assert_eq!(c.distinct_paths(), 1);
+    }
+
+    #[test]
+    fn hit_rate_tracks_lookups() {
+        let mut c = cache(1.0, 1);
+        c.record(key(0, 1), 1e-9, 1);
+        c.lookup(key(0, 1)); // hit
+        c.lookup(key(0, 2)); // miss
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggressive_config_serves_after_one_call() {
+        let mut c = EnergyCache::new(CachingConfig::aggressive());
+        c.record(key(0, 3), 5e-9, 42);
+        assert!(c.lookup(key(0, 3)).is_some());
+    }
+
+    #[test]
+    fn path_stats_expose_histogram_inputs() {
+        let mut c = cache(1.0, 1);
+        for e in [1.0, 2.0, 3.0] {
+            c.record(key(0, 4), e, 10);
+        }
+        let st = c.path_stats(key(0, 4)).expect("exists");
+        assert_eq!(st.energy.count(), 3);
+        assert!((st.energy.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(st.energy.min(), 1.0);
+        assert_eq!(st.energy.max(), 3.0);
+    }
+}

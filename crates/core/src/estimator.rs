@@ -1,0 +1,321 @@
+//! Component power estimators — the pluggable lower-level simulators.
+//!
+//! Each process of the network gets one estimator according to its
+//! mapping: a gate-level [`HwCfsm`](gatesim::HwCfsm) for hardware, an
+//! enhanced ISS [`SwCfsm`](iss::SwCfsm) for software. The co-simulation
+//! master drives them through the single [`ComponentEstimator::run`]
+//! interface and, in debug builds, cross-checks their functional results
+//! against the behavioral execution — the two engines must agree on the
+//! path taken.
+
+use crate::config::CoSimConfig;
+use cfsm::{EventId, Execution, Implementation, Network, ProcId, TransitionId};
+use gatesim::bus::mask_to_width;
+use gatesim::{HwCfsm, SynthError};
+use iss::codegen::CodegenError;
+use iss::{PowerModel, SwCfsm};
+use std::fmt;
+
+/// Errors from building estimators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildEstimatorError {
+    /// Hardware synthesis failed for a process.
+    Synth(String, SynthError),
+    /// Software compilation failed for a process.
+    Codegen(String, CodegenError),
+}
+
+impl fmt::Display for BuildEstimatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildEstimatorError::Synth(p, e) => write!(f, "synthesizing `{p}`: {e}"),
+            BuildEstimatorError::Codegen(p, e) => write!(f, "compiling `{p}`: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildEstimatorError {}
+
+/// What a detailed simulation of one firing cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetailedCost {
+    /// Execution cycles (excluding bus/cache effects, which the master
+    /// adds).
+    pub cycles: u64,
+    /// Energy, joules.
+    pub energy_j: f64,
+}
+
+/// A component's detailed power estimator.
+#[derive(Debug)]
+pub enum ComponentEstimator {
+    /// Gate-level simulation of the synthesized FSMD.
+    Hw(Box<HwCfsm>),
+    /// Enhanced instruction-set simulation of the compiled program.
+    Sw(Box<SwCfsm>),
+}
+
+impl ComponentEstimator {
+    /// Builds the estimator matching the process's mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildEstimatorError`] naming the process on failure.
+    pub fn build(
+        network: &Network,
+        proc: ProcId,
+        config: &CoSimConfig,
+    ) -> Result<Self, BuildEstimatorError> {
+        let machine = network.cfsm(proc);
+        match network.mapping(proc) {
+            Implementation::Hw => {
+                let hw = HwCfsm::synthesize(machine, &config.synth, &config.hw_power)
+                    .map_err(|e| BuildEstimatorError::Synth(machine.name().to_string(), e))?;
+                Ok(ComponentEstimator::Hw(Box::new(hw)))
+            }
+            Implementation::Sw => {
+                let power = PowerModel::of_kind(config.sw_power);
+                let sw = SwCfsm::new(machine, power, &|e| {
+                    network
+                        .events()
+                        .get(e.0 as usize)
+                        .map(|d| d.carries_value)
+                        .unwrap_or(false)
+                })
+                .map_err(|e| BuildEstimatorError::Codegen(machine.name().to_string(), e))?;
+                Ok(ComponentEstimator::Sw(Box::new(sw)))
+            }
+        }
+    }
+
+    /// Whether this is the hardware estimator.
+    pub fn is_hw(&self) -> bool {
+        matches!(self, ComponentEstimator::Hw(_))
+    }
+
+    /// Runs the detailed simulator for one firing.
+    ///
+    /// `vars_in` / `event_value` are the pre-firing behavioral state;
+    /// `exec` is the behavioral execution whose path the estimator must
+    /// reproduce (its recorded read values feed the replay). In debug
+    /// builds the functional results are cross-checked.
+    pub fn run(
+        &mut self,
+        transition: TransitionId,
+        vars_in: &[i64],
+        event_value: &dyn Fn(EventId) -> i64,
+        exec: &Execution,
+        datapath_width: usize,
+    ) -> DetailedCost {
+        let reads = exec.read_values();
+        match self {
+            ComponentEstimator::Hw(hw) => {
+                let run = hw.transition_mut(transition).run(vars_in, event_value, &reads);
+                debug_assert_eq!(
+                    run.emitted.len(),
+                    exec.emitted.len(),
+                    "gate-level and behavioral emission counts diverged"
+                );
+                debug_assert_eq!(
+                    run.mem_ops.len(),
+                    exec.mem_accesses.len(),
+                    "gate-level and behavioral memory traffic diverged"
+                );
+                let _ = datapath_width;
+                DetailedCost {
+                    cycles: run.cycles,
+                    energy_j: run.energy_j,
+                }
+            }
+            ComponentEstimator::Sw(sw) => {
+                let run = sw.run_transition(transition, vars_in, event_value, &reads);
+                debug_assert_eq!(
+                    run.emitted, exec.emitted,
+                    "ISS and behavioral emissions diverged"
+                );
+                DetailedCost {
+                    cycles: run.cycles + run.stalls,
+                    energy_j: run.energy_j,
+                }
+            }
+        }
+    }
+
+    /// Energy of `cycles` of bus-wait idling, joules.
+    ///
+    /// In `detailed` mode the hardware estimator actually steps the
+    /// gate-level netlist through the wait (charging the clock tree);
+    /// when an acceleration technique is serving the firing, the
+    /// analytically equivalent clock charge is used instead — the two
+    /// agree exactly because nothing toggles while idling. Software
+    /// waits charge the processor's stall energy per cycle.
+    pub fn wait_energy(&mut self, transition: TransitionId, cycles: u64, detailed: bool) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        match self {
+            ComponentEstimator::Hw(hw) => {
+                let t = hw.transition_mut(transition);
+                if detailed {
+                    t.idle_step(cycles)
+                } else {
+                    t.idle_energy_per_cycle_j() * cycles as f64
+                }
+            }
+            ComponentEstimator::Sw(sw) => {
+                sw.cpu_mut().power_model().stall_energy_j() * cycles as f64
+            }
+        }
+    }
+
+    /// For SW components: the fetch addresses of one behavioral
+    /// execution (prologue + taken blocks + epilogue), used by the master
+    /// to drive the cache simulator. Returns `None` for HW components.
+    pub fn ifetch_addrs(&self, transition: TransitionId, exec: &Execution) -> Option<Vec<u64>> {
+        match self {
+            ComponentEstimator::Hw(_) => None,
+            ComponentEstimator::Sw(sw) => {
+                let p = sw.program();
+                let tc = &p.transitions[transition.0 as usize];
+                let mut addrs: Vec<u64> = p.slot_addrs(tc.prologue_slots).collect();
+                for b in &exec.trace {
+                    addrs.extend(p.slot_addrs(tc.block_slots[b.0 as usize]));
+                }
+                addrs.extend(p.slot_addrs(tc.epilogue_slots));
+                Some(addrs)
+            }
+        }
+    }
+
+    /// Functional cross-check helper: whether `got` variables match the
+    /// behavioral `want`, modulo the hardware datapath width.
+    pub fn vars_agree(&self, got: &[i64], want: &[i64], width: usize) -> bool {
+        match self {
+            ComponentEstimator::Hw(_) => got
+                .iter()
+                .zip(want)
+                .all(|(&g, &w)| mask_to_width(g, width) == mask_to_width(w, width)),
+            ComponentEstimator::Sw(_) => got == want,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfsm::{Cfg, Cfsm, EventDef, EventOccurrence, Expr, Stmt};
+
+    fn simple_network(mapping: Implementation) -> (Network, ProcId) {
+        let mut nb = Network::builder();
+        let go = nb.event(EventDef::pure("GO"));
+        let out = nb.event(EventDef::valued("OUT"));
+        let mut mb = Cfsm::builder("p");
+        let s = mb.state("s");
+        let v = mb.var("v", 0);
+        mb.transition(
+            s,
+            vec![go],
+            None,
+            Cfg::straight_line(vec![
+                Stmt::Assign {
+                    var: v,
+                    expr: Expr::add(Expr::Var(v), Expr::Const(5)),
+                },
+                Stmt::Emit {
+                    event: out,
+                    value: Some(Expr::Var(v)),
+                },
+            ]),
+            s,
+        );
+        let p = nb.process(mb.finish().expect("valid machine"), mapping);
+        (nb.finish().expect("valid network"), p)
+    }
+
+    fn fire_once(net: &Network, p: ProcId) -> (Vec<i64>, Execution) {
+        let mut st = net.spawn();
+        net.broadcast(
+            &mut st,
+            EventOccurrence::pure(net.event_by_name("GO").expect("GO")),
+        );
+        let vars_in = st.runtime(p).vars().to_vec();
+        let fr = net.fire(&mut st, p).expect("fires");
+        (vars_in, fr.execution)
+    }
+
+    #[test]
+    fn builds_hw_and_sw() {
+        let cfg = CoSimConfig::date2000_defaults();
+        let (net, p) = simple_network(Implementation::Hw);
+        assert!(ComponentEstimator::build(&net, p, &cfg)
+            .expect("hw builds")
+            .is_hw());
+        let (net, p) = simple_network(Implementation::Sw);
+        assert!(!ComponentEstimator::build(&net, p, &cfg)
+            .expect("sw builds")
+            .is_hw());
+    }
+
+    #[test]
+    fn hw_and_sw_report_positive_costs() {
+        let cfg = CoSimConfig::date2000_defaults();
+        for mapping in [Implementation::Hw, Implementation::Sw] {
+            let (net, p) = simple_network(mapping);
+            let mut est = ComponentEstimator::build(&net, p, &cfg).expect("builds");
+            let (vars_in, exec) = fire_once(&net, p);
+            let cost = est.run(TransitionId(0), &vars_in, &|_| 0, &exec, cfg.synth.width);
+            assert!(cost.cycles > 0, "{mapping} cycles");
+            assert!(cost.energy_j > 0.0, "{mapping} energy");
+        }
+    }
+
+    #[test]
+    fn sw_exposes_ifetch_trace_hw_does_not() {
+        let cfg = CoSimConfig::date2000_defaults();
+        let (net, p) = simple_network(Implementation::Sw);
+        let est = ComponentEstimator::build(&net, p, &cfg).expect("builds");
+        let (_, exec) = fire_once(&net, p);
+        let addrs = est.ifetch_addrs(TransitionId(0), &exec).expect("SW trace");
+        assert!(!addrs.is_empty());
+        assert!(addrs.windows(2).all(|w| w[0] < w[1]), "monotone layout");
+
+        let (net, p) = simple_network(Implementation::Hw);
+        let est = ComponentEstimator::build(&net, p, &cfg).expect("builds");
+        assert!(est.ifetch_addrs(TransitionId(0), &exec).is_none());
+    }
+
+    #[test]
+    fn vars_agree_masks_hw_width() {
+        let cfg = CoSimConfig::date2000_defaults();
+        let (net, p) = simple_network(Implementation::Hw);
+        let est = ComponentEstimator::build(&net, p, &cfg).expect("builds");
+        // 0x1_0005 masked to 16 bits equals 0x0005.
+        assert!(est.vars_agree(&[0x0005], &[0x1_0005], 16));
+        let (net, p) = simple_network(Implementation::Sw);
+        let est = ComponentEstimator::build(&net, p, &cfg).expect("builds");
+        assert!(!est.vars_agree(&[0x0005], &[0x1_0005], 16));
+    }
+
+    #[test]
+    fn division_in_hw_mapping_fails_to_build() {
+        let mut nb = Network::builder();
+        let go = nb.event(EventDef::pure("GO"));
+        let mut mb = Cfsm::builder("divider");
+        let s = mb.state("s");
+        let v = mb.var("v", 0);
+        mb.transition(
+            s,
+            vec![go],
+            None,
+            Cfg::straight_line(vec![Stmt::Assign {
+                var: v,
+                expr: Expr::bin(cfsm::BinOp::Div, Expr::Var(v), Expr::Const(3)),
+            }]),
+            s,
+        );
+        let p = nb.process(mb.finish().expect("valid machine"), Implementation::Hw);
+        let net = nb.finish().expect("valid network");
+        let err = ComponentEstimator::build(&net, p, &CoSimConfig::date2000_defaults());
+        assert!(matches!(err, Err(BuildEstimatorError::Synth(_, _))));
+    }
+}

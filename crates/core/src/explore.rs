@@ -1,0 +1,211 @@
+//! Design-space exploration driver (§5.3 of the paper).
+//!
+//! The co-estimation tool exists to be called *iteratively*: Fig. 7
+//! sweeps all meaningful assignments of bus/RTOS priorities and DMA
+//! block sizes for the TCP/IP subsystem (6 × 8 = 48 points) and picks the
+//! minimum-energy configuration. This module provides that sweep.
+
+use crate::config::{CoSimConfig, SocDescription};
+use crate::estimator::BuildEstimatorError;
+use crate::master::{CoSimReport, CoSimulator};
+use cfsm::ProcId;
+
+/// One evaluated configuration.
+#[derive(Debug, Clone)]
+pub struct ExplorationPoint {
+    /// DMA block size used.
+    pub dma_block_size: u32,
+    /// The priority assignment: `(process, priority)` pairs.
+    pub priorities: Vec<(ProcId, u8)>,
+    /// Human-readable label of the priority order.
+    pub label: String,
+    /// The full co-estimation report.
+    pub report: CoSimReport,
+}
+
+impl ExplorationPoint {
+    /// Total energy of this configuration, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.report.total_energy_j()
+    }
+}
+
+/// All permutations of the given items (Heap's algorithm, deterministic
+/// order).
+pub fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    fn heap<T: Clone>(arr: &mut Vec<T>, k: usize, out: &mut Vec<Vec<T>>) {
+        if k <= 1 {
+            out.push(arr.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(arr, k - 1, out);
+            if k.is_multiple_of(2) {
+                arr.swap(i, k - 1);
+            } else {
+                arr.swap(0, k - 1);
+            }
+        }
+    }
+    let mut arr = items.to_vec();
+    let mut out = Vec::new();
+    let k = arr.len();
+    heap(&mut arr, k, &mut out);
+    out
+}
+
+/// Sweeps the communication-architecture design space: every priority
+/// permutation of `prioritized_procs` × every DMA size in `dma_sizes`.
+///
+/// Priorities are assigned in descending order along each permutation
+/// (first process gets the highest priority).
+///
+/// # Errors
+///
+/// Returns the first [`BuildEstimatorError`] encountered.
+pub fn explore_bus_architecture(
+    soc: &SocDescription,
+    base: &CoSimConfig,
+    prioritized_procs: &[ProcId],
+    dma_sizes: &[u32],
+) -> Result<Vec<ExplorationPoint>, BuildEstimatorError> {
+    let perms = permutations(prioritized_procs);
+    let mut points = Vec::with_capacity(perms.len() * dma_sizes.len());
+    for perm in &perms {
+        let mut soc_variant = soc.clone();
+        let n = perm.len() as u8;
+        let mut priorities = Vec::with_capacity(perm.len());
+        let mut label_parts = Vec::with_capacity(perm.len());
+        for (rank, &p) in perm.iter().enumerate() {
+            let pri = n - rank as u8; // descending
+            soc_variant.set_priority(p, pri);
+            priorities.push((p, pri));
+            label_parts.push(soc.network.cfsm(p).name().to_string());
+        }
+        let label = label_parts.join(" > ");
+        for &dma in dma_sizes {
+            let config = base.with_dma_block_size(dma);
+            let mut sim = CoSimulator::new(soc_variant.clone(), config)?;
+            let report = sim.run();
+            points.push(ExplorationPoint {
+                dma_block_size: dma,
+                priorities: priorities.clone(),
+                label: label.clone(),
+                report,
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// One evaluated HW/SW partition.
+#[derive(Debug, Clone)]
+pub struct PartitionPoint {
+    /// The mapping of each process, in process-id order.
+    pub mapping: Vec<cfsm::Implementation>,
+    /// Human-readable label, e.g. `create_pack=SW checksum=HW`.
+    pub label: String,
+    /// The full co-estimation report.
+    pub report: CoSimReport,
+}
+
+impl PartitionPoint {
+    /// Total energy of this partition, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.report.total_energy_j()
+    }
+}
+
+/// Evaluates every 2^n HW/SW partition of the given processes (§5.2
+/// mentions using the tool "to rank several different HW/SW
+/// partitions"). Processes not listed keep their original mapping.
+///
+/// Skips partitions whose hardware mapping fails to synthesize (e.g.
+/// processes using division) — such points are simply absent from the
+/// result, mirroring a real flow's infeasible designs.
+///
+/// # Errors
+///
+/// Propagates estimator-build failures that are not synthesis
+/// infeasibilities.
+pub fn explore_partitions(
+    soc: &SocDescription,
+    config: &CoSimConfig,
+    movable: &[ProcId],
+) -> Result<Vec<PartitionPoint>, BuildEstimatorError> {
+    use cfsm::Implementation;
+    let n = movable.len();
+    assert!(n <= 16, "too many movable processes for exhaustive sweep");
+    let mut points = Vec::with_capacity(1 << n);
+    for bits in 0..(1u32 << n) {
+        let mut soc_variant = soc.clone();
+        let mut label_parts = Vec::with_capacity(n);
+        for (k, &p) in movable.iter().enumerate() {
+            let m = if bits >> k & 1 == 1 {
+                Implementation::Hw
+            } else {
+                Implementation::Sw
+            };
+            soc_variant.network.set_mapping(p, m);
+            label_parts.push(format!("{}={}", soc.network.cfsm(p).name(), m));
+        }
+        let label = label_parts.join(" ");
+        match CoSimulator::new(soc_variant.clone(), config.clone()) {
+            Ok(mut sim) => {
+                let report = sim.run();
+                points.push(PartitionPoint {
+                    mapping: soc_variant
+                        .network
+                        .process_ids()
+                        .map(|p| soc_variant.network.mapping(p))
+                        .collect(),
+                    label,
+                    report,
+                });
+            }
+            Err(BuildEstimatorError::Synth(_, _)) => continue, // infeasible in HW
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(points)
+}
+
+/// The minimum-energy point of an exploration.
+pub fn minimum_energy(points: &[ExplorationPoint]) -> Option<&ExplorationPoint> {
+    points.iter().min_by(|a, b| {
+        a.energy_j()
+            .partial_cmp(&b.energy_j())
+            .expect("energies are not NaN")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_counts() {
+        assert_eq!(permutations(&[1]).len(), 1);
+        assert_eq!(permutations(&[1, 2]).len(), 2);
+        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
+        assert_eq!(permutations(&[1, 2, 3, 4]).len(), 24);
+    }
+
+    #[test]
+    fn permutations_are_distinct_and_complete() {
+        let mut ps = permutations(&[1, 2, 3]);
+        ps.sort();
+        ps.dedup();
+        assert_eq!(ps.len(), 6);
+        for p in &ps {
+            let mut q = p.clone();
+            q.sort_unstable();
+            assert_eq!(q, vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn permutations_deterministic() {
+        assert_eq!(permutations(&['a', 'b', 'c']), permutations(&['a', 'b', 'c']));
+    }
+}

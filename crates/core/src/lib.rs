@@ -1,0 +1,90 @@
+//! `co-estimation` — the SOC power co-estimation framework of
+//! *"Efficient Power Co-Estimation Techniques for System-on-Chip Design"*
+//! (Lajolo, Raghunathan, Dey, Lavagno — DATE 2000).
+//!
+//! A system is described as a CFSM network with a HW/SW mapping
+//! ([`SocDescription`]); the [`CoSimulator`] simulates its discrete-event
+//! behavioral model while concurrently and synchronously driving the
+//! per-component power estimators (gate-level simulation for hardware,
+//! an enhanced ISS for software, a behavioral bus model for the
+//! integration architecture, and a cache simulator attached to the
+//! master) — *power co-estimation*. The baseline the paper argues
+//! against, independent per-component estimation from behavioral traces,
+//! is provided by [`estimate_separately`].
+//!
+//! Three acceleration techniques (§4) can be switched on through
+//! [`Acceleration`]:
+//!
+//! * **energy & delay caching** ([`EnergyCache`], §4.2),
+//! * **software/hardware power macro-modeling** ([`ParameterFile`], §4.1),
+//! * **statistical sampling / sequence compaction**
+//!   ([`SamplingConfig`], [`KMemoryCompactor`], §4.3).
+//!
+//! [`explore_bus_architecture`] drives the iterative design-space
+//! exploration of §5.3.
+//!
+//! # Examples
+//!
+//! Building a tiny SOC and co-estimating its power:
+//!
+//! ```
+//! use cfsm::{Cfsm, Cfg, Stmt, Expr, Network, EventDef, Implementation, EventOccurrence};
+//! use co_estimation::{CoSimulator, CoSimConfig, SocDescription};
+//!
+//! let mut nb = Network::builder();
+//! let tick = nb.event(EventDef::pure("TICK"));
+//! let mut mb = Cfsm::builder("counter");
+//! let s = mb.state("s");
+//! let v = mb.var("v", 0);
+//! mb.transition(s, vec![tick], None,
+//!     Cfg::straight_line(vec![Stmt::Assign {
+//!         var: v,
+//!         expr: Expr::add(Expr::Var(v), Expr::Const(1)),
+//!     }]), s);
+//! nb.process(mb.finish()?, Implementation::Hw);
+//!
+//! let soc = SocDescription {
+//!     name: "counter".into(),
+//!     network: nb.finish()?,
+//!     stimulus: (0..4).map(|i| (i * 100, EventOccurrence::pure(tick))).collect(),
+//!     priorities: vec![1],
+//! };
+//! let mut sim = CoSimulator::new(soc, CoSimConfig::date2000_defaults())?;
+//! let report = sim.run();
+//! assert_eq!(report.firings, 4);
+//! assert!(report.total_energy_j() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod account;
+mod caching;
+mod config;
+mod estimator;
+mod explore;
+mod macromodel;
+mod master;
+mod sampling;
+mod separate;
+pub mod spec;
+mod stats;
+
+pub use account::{ComponentId, ComponentTotals, EnergyAccount, Waveform};
+pub use caching::{CachedCost, CachingConfig, EnergyCache, PathStats};
+pub use config::{Acceleration, CoSimConfig, RtosPolicy, SocDescription};
+pub use estimator::{BuildEstimatorError, ComponentEstimator, DetailedCost};
+pub use explore::{
+    explore_bus_architecture, explore_partitions, minimum_energy, permutations,
+    ExplorationPoint, PartitionPoint,
+};
+pub use macromodel::{
+    characterize_hw, characterize_sw, MacroCost, ParameterFile, ParseParameterError,
+};
+pub use master::{CoSimReport, CoSimulator, CostSource, ProcessReport};
+pub use sampling::{compact_static, KMemoryCompactor, SamplingConfig, StreamStats};
+pub use separate::{
+    capture_traces, estimate_separately, BehavioralTrace, FiringRecord, SeparateReport,
+};
+pub use stats::RunningStats;

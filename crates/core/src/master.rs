@@ -1,0 +1,854 @@
+//! The co-simulation master — the paper's contribution (§3).
+//!
+//! [`CoSimulator`] simulates the discrete-event behavioral model of the
+//! entire system with a global view of time, and synchronizes the
+//! per-component power estimators with it: whenever a CFSM transition
+//! fires (the unit of synchronization), the master captures the
+//! component's pre-firing state, dispatches the transition to that
+//! component's estimator — gate-level simulator, enhanced ISS, energy
+//! cache, or macro-model, depending on the mapping and the active
+//! acceleration — and folds the returned `(cycles, energy)` back into
+//! the global schedule: software transitions are serialized on the
+//! embedded CPU by priority (the RTOS model), shared-memory traffic is
+//! serialized and priced by the bus model, instruction fetches drive the
+//! cache simulator (whose reference stream comes from the *behavioral*
+//! model, as in the paper), and emissions are delivered when the firing
+//! completes — making downstream execution traces timing-sensitive,
+//! which is exactly why co-estimation is needed (§2).
+
+use crate::account::{ComponentId, EnergyAccount};
+use crate::caching::EnergyCache;
+use crate::config::{CoSimConfig, SocDescription};
+use crate::estimator::{BuildEstimatorError, ComponentEstimator, DetailedCost};
+use crate::macromodel::{characterize_hw, characterize_sw, ParameterFile};
+use busmodel::{Bus, MasterId};
+use cachesim::Cache;
+use cfsm::{
+    EventId, EventOccurrence, Implementation, NetworkState, PathId, ProcId,
+};
+use desim::{EventQueue, SimTime};
+use iss::PowerModel;
+use std::collections::HashMap;
+
+/// Master events.
+#[derive(Debug, Clone)]
+enum Ev {
+    /// Environment stimulus or inter-process emission delivery.
+    Deliver(EventOccurrence),
+    /// A hardware process finished its firing.
+    HwDone(ProcId),
+    /// The software task occupying the CPU finished.
+    SwDone(ProcId),
+    /// The bus arbiter may be able to grant a DMA block.
+    BusKick,
+}
+
+/// A firing waiting for its shared-memory phase to finish on the bus.
+#[derive(Debug, Clone)]
+struct FiringWait {
+    proc: ProcId,
+    transition: cfsm::TransitionId,
+    exec_end: u64,
+    detailed: bool,
+    is_sw: bool,
+    emissions: Vec<(EventId, Option<i64>)>,
+}
+
+/// How a firing's cost was obtained (speedup accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostSource {
+    /// Detailed simulator (ISS / gate-level).
+    Detailed,
+    /// Served by the energy cache.
+    Cache,
+    /// Computed by the macro-model.
+    MacroModel,
+    /// Reused under firing-level sampling.
+    Sampled,
+}
+
+/// Per-process results of a co-estimation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessReport {
+    /// Process name.
+    pub name: String,
+    /// HW or SW mapping.
+    pub mapping: Implementation,
+    /// Energy attributed to the component's own execution, joules.
+    pub energy_j: f64,
+    /// Cycles the component was busy.
+    pub busy_cycles: u64,
+    /// Number of transition firings.
+    pub firings: u64,
+}
+
+/// The complete result of one co-estimation run.
+#[derive(Debug, Clone)]
+pub struct CoSimReport {
+    /// System name.
+    pub system: String,
+    /// Per-process results, indexed by [`ProcId`].
+    pub processes: Vec<ProcessReport>,
+    /// Bus (integration architecture) energy, joules.
+    pub bus_energy_j: f64,
+    /// Bus statistics.
+    pub bus: busmodel::BusStats,
+    /// Cache energy, joules.
+    pub cache_energy_j: f64,
+    /// Cache statistics (zeros when cache modeling is disabled).
+    pub cache: cachesim::CacheStats,
+    /// Simulated end time, master cycles.
+    pub total_cycles: u64,
+    /// Total transition firings.
+    pub firings: u64,
+    /// Calls answered by the detailed simulators.
+    pub detailed_calls: u64,
+    /// Calls served by an acceleration technique instead.
+    pub accelerated_calls: u64,
+    /// The full energy ledger (waveforms, per-component breakdown).
+    pub account: EnergyAccount,
+}
+
+impl CoSimReport {
+    /// Total system energy (components + bus + cache), joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.processes.iter().map(|p| p.energy_j).sum::<f64>()
+            + self.bus_energy_j
+            + self.cache_energy_j
+    }
+
+    /// Energy of the named process, joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process has that name.
+    pub fn process_energy_j(&self, name: &str) -> f64 {
+        self.processes
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("no process named `{name}`"))
+            .energy_j
+    }
+
+    /// Average system power at the configured clock, watts.
+    pub fn average_power_w(&self, clock_hz: f64) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.total_energy_j() / (self.total_cycles as f64 / clock_hz)
+        }
+    }
+}
+
+/// The co-simulation master (see module docs).
+///
+/// # Examples
+///
+/// See the `systems` crate for complete SOC descriptions; the general
+/// shape is:
+///
+/// ```no_run
+/// use co_estimation::{CoSimulator, CoSimConfig};
+/// # fn soc() -> co_estimation::SocDescription { unimplemented!() }
+///
+/// let mut sim = CoSimulator::new(soc(), CoSimConfig::date2000_defaults())?;
+/// let report = sim.run();
+/// println!("total energy: {:.3e} J", report.total_energy_j());
+/// # Ok::<(), co_estimation::BuildEstimatorError>(())
+/// ```
+#[derive(Debug)]
+pub struct CoSimulator {
+    soc: SocDescription,
+    config: CoSimConfig,
+    state: NetworkState,
+    estimators: Vec<ComponentEstimator>,
+    queue: EventQueue<Ev>,
+    bus: Bus,
+    bus_master: Vec<MasterId>,
+    icache: Option<Cache>,
+    account: EnergyAccount,
+    comp_of_proc: Vec<ComponentId>,
+    bus_comp: ComponentId,
+    cache_comp: ComponentId,
+    cache: Option<EnergyCache>,
+    sw_params: Option<ParameterFile>,
+    hw_params: Option<ParameterFile>,
+    sample_state: HashMap<(ProcId, PathId), (u32, DetailedCost)>,
+    /// Firings whose shared-memory phase is still being granted block by
+    /// block on the bus, keyed by bus request id.
+    bus_pending: HashMap<busmodel::ReqId, FiringWait>,
+    busy: Vec<bool>,
+    cpu_free_at: u64,
+    now: u64,
+    end_time: u64,
+    firings: u64,
+    firings_per_proc: Vec<u64>,
+    detailed_calls: u64,
+    accelerated_calls: u64,
+}
+
+impl CoSimulator {
+    /// Builds the master: synthesizes/compiles every component, wires the
+    /// bus, cache and ledger, and queues the stimulus.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildEstimatorError`] if any component fails to build.
+    pub fn new(soc: SocDescription, config: CoSimConfig) -> Result<Self, BuildEstimatorError> {
+        assert_eq!(
+            soc.priorities.len(),
+            soc.network.process_count(),
+            "one priority per process required"
+        );
+        let n = soc.network.process_count();
+        let mut estimators = Vec::with_capacity(n);
+        for p in soc.network.process_ids() {
+            estimators.push(ComponentEstimator::build(&soc.network, p, &config)?);
+        }
+        let mut bus = Bus::new(config.bus.clone());
+        let mut bus_master = Vec::with_capacity(n);
+        for p in soc.network.process_ids() {
+            bus_master.push(bus.register_master(
+                soc.network.cfsm(p).name(),
+                soc.priorities[p.0 as usize],
+            ));
+        }
+        let mut account = EnergyAccount::new(config.waveform_bucket_cycles);
+        let comp_of_proc: Vec<ComponentId> = soc
+            .network
+            .process_ids()
+            .map(|p| account.add_component(soc.network.cfsm(p).name()))
+            .collect();
+        let bus_comp = account.add_component("bus");
+        let cache_comp = account.add_component("icache");
+        let mut queue = EventQueue::new();
+        for &(t, occ) in &soc.stimulus {
+            queue.push(SimTime::from_cycles(t), Ev::Deliver(occ));
+        }
+        let cache = config.accel.caching.clone().map(EnergyCache::new);
+        let (sw_params, hw_params) = if config.accel.macromodel {
+            (
+                Some(characterize_sw(&PowerModel::of_kind(config.sw_power))),
+                Some(characterize_hw(&config.synth, &config.hw_power)),
+            )
+        } else {
+            (None, None)
+        };
+        let state = soc.network.spawn();
+        let icache = config.icache.clone().map(Cache::new);
+        Ok(CoSimulator {
+            state,
+            estimators,
+            queue,
+            bus,
+            bus_master,
+            icache,
+            account,
+            comp_of_proc,
+            bus_comp,
+            cache_comp,
+            cache,
+            sw_params,
+            hw_params,
+            sample_state: HashMap::new(),
+            bus_pending: HashMap::new(),
+            busy: vec![false; n],
+            cpu_free_at: 0,
+            now: 0,
+            end_time: 0,
+            firings: 0,
+            firings_per_proc: vec![0; n],
+            detailed_calls: 0,
+            accelerated_calls: 0,
+            soc,
+            config,
+        })
+    }
+
+    /// Runs to quiescence (or the firing bound) and reports.
+    pub fn run(&mut self) -> CoSimReport {
+        while self.step() {}
+        self.report()
+    }
+
+    /// Processes one master event; returns `false` when the queue is
+    /// exhausted or the firing bound is reached.
+    pub fn step(&mut self) -> bool {
+        if self.firings >= self.config.max_firings {
+            return false;
+        }
+        let Some((t, ev)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = t.cycles();
+        match ev {
+            Ev::Deliver(occ) => self.soc.network.broadcast(&mut self.state, occ),
+            Ev::HwDone(p) | Ev::SwDone(p) => self.busy[p.0 as usize] = false,
+            Ev::BusKick => self.bus_kick(t.cycles()),
+        }
+        self.dispatch_ready();
+        true
+    }
+
+    /// Tries to grant one DMA block at time `t`; a successful grant
+    /// schedules the next kick at its end, and a finished request
+    /// completes the owning firing.
+    fn bus_kick(&mut self, t: u64) {
+        match self.bus.grant_block(t) {
+            Some(g) => {
+                self.account.record(self.bus_comp, g.start, g.end, g.energy_j);
+                self.queue.push(SimTime::from_cycles(g.end), Ev::BusKick);
+                if g.request_done {
+                    let wait = self
+                        .bus_pending
+                        .remove(&g.request)
+                        .expect("every bus request has a pending firing");
+                    let end = g.end.max(wait.exec_end);
+                    self.complete_firing(wait, end);
+                }
+            }
+            None => {
+                // Busy bus: the grant that made it busy scheduled a kick
+                // at its end. Idle bus with only future-paced blocks:
+                // kick again when the earliest becomes ready.
+                if self.bus.busy_until() <= t {
+                    if let Some(r) = self.bus.next_ready_time() {
+                        if r > t {
+                            self.queue.push(SimTime::from_cycles(r), Ev::BusKick);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finishes a firing at time `end`: charges the bus-wait idling,
+    /// delivers emissions, and releases the component (and CPU).
+    fn complete_firing(&mut self, wait: FiringWait, end: u64) {
+        let p = wait.proc;
+        let idle = end.saturating_sub(wait.exec_end);
+        let idle_energy =
+            self.estimators[p.0 as usize].wait_energy(wait.transition, idle, wait.detailed);
+        if idle > 0 {
+            self.account
+                .record(self.comp_of_proc[p.0 as usize], wait.exec_end, end, idle_energy);
+        }
+        for (e, v) in wait.emissions {
+            let occ = match v {
+                Some(v) => EventOccurrence::valued(e, v),
+                None => EventOccurrence::pure(e),
+            };
+            self.queue.push(SimTime::from_cycles(end), Ev::Deliver(occ));
+        }
+        let done = if wait.is_sw {
+            self.cpu_free_at = end;
+            Ev::SwDone(p)
+        } else {
+            Ev::HwDone(p)
+        };
+        self.queue.push(SimTime::from_cycles(end), done);
+        self.end_time = self.end_time.max(end);
+    }
+
+    /// Current simulation time, cycles.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The energy cache (for histogram extraction — Fig. 4b).
+    pub fn energy_cache(&self) -> Option<&EnergyCache> {
+        self.cache.as_ref()
+    }
+
+    /// The characterized software parameter file, when macro-modeling is
+    /// active.
+    pub fn sw_parameter_file(&self) -> Option<&ParameterFile> {
+        self.sw_params.as_ref()
+    }
+
+    /// Schedules every process that can run at the current time.
+    fn dispatch_ready(&mut self) {
+        let t = self.now;
+        // Hardware processes run concurrently; order simultaneous starts
+        // by bus priority (descending), then process id.
+        let mut hw_ready: Vec<ProcId> = self
+            .soc
+            .network
+            .process_ids()
+            .filter(|&p| {
+                self.soc.network.mapping(p) == Implementation::Hw
+                    && !self.busy[p.0 as usize]
+                    && self.soc.network.cfsm(p).enabled(self.state.runtime(p)).is_some()
+            })
+            .collect();
+        hw_ready.sort_by_key(|&p| {
+            (
+                std::cmp::Reverse(self.soc.priorities[p.0 as usize]),
+                p.0,
+            )
+        });
+        for p in hw_ready {
+            self.busy[p.0 as usize] = true;
+            self.fire(p, t);
+        }
+        // Software: one task at a time on the shared CPU, arbitrated by
+        // the configured RTOS policy, dispatched when the CPU is free.
+        if self.cpu_free_at <= t {
+            let sw_ready: Option<ProcId> = self
+                .soc
+                .network
+                .process_ids()
+                .filter(|&p| {
+                    self.soc.network.mapping(p) == Implementation::Sw
+                        && !self.busy[p.0 as usize]
+                        && self
+                            .soc
+                            .network
+                            .cfsm(p)
+                            .enabled(self.state.runtime(p))
+                            .is_some()
+                })
+                .max_by_key(|&p| {
+                    let pri = match self.config.rtos_policy {
+                        crate::config::RtosPolicy::FixedPriority => {
+                            self.soc.priorities[p.0 as usize]
+                        }
+                        crate::config::RtosPolicy::Fifo => 0,
+                    };
+                    (pri, std::cmp::Reverse(p.0))
+                });
+            if let Some(p) = sw_ready {
+                self.busy[p.0 as usize] = true;
+                self.fire(p, t);
+            }
+        }
+    }
+
+    /// Fires process `p` at time `t`: behavioral execution, cost
+    /// estimation, cache integration, and either immediate completion or
+    /// hand-off to the bus arbiter for the shared-memory phase.
+    fn fire(&mut self, p: ProcId, t: u64) {
+        // Pre-firing snapshot (what the estimators replay).
+        let vars_in = self.state.runtime(p).vars().to_vec();
+        let ev_snapshot: HashMap<EventId, i64> = {
+            let buf = self.state.runtime(p).buffer();
+            buf.present()
+                .map(|e| (e, buf.value(e).unwrap_or(0)))
+                .collect()
+        };
+        let fr = self
+            .soc
+            .network
+            .fire(&mut self.state, p)
+            .expect("dispatch_ready only fires enabled processes");
+        self.firings += 1;
+        self.firings_per_proc[p.0 as usize] += 1;
+
+        // Component cost, through the acceleration pipeline.
+        let (cost, source) = self.estimate(p, &fr, &vars_in, &ev_snapshot);
+
+        // Instruction-cache references come from the *behavioral* model
+        // (block trace), independent of which estimator priced the
+        // firing — exactly as in the paper.
+        let mut stall_cycles = 0u64;
+        if let Some(icache) = &mut self.icache {
+            if let Some(addrs) = self.estimators[p.0 as usize].ifetch_addrs(fr.transition, &fr.execution)
+            {
+                let e0 = icache.energy_j();
+                let s0 = icache.stall_cycles();
+                icache.access_all(addrs);
+                let de = icache.energy_j() - e0;
+                stall_cycles = icache.stall_cycles() - s0;
+                self.account.record(self.cache_comp, t, t + stall_cycles.max(1), de);
+            }
+        }
+
+        // The component's execution phase: computation plus cache-miss
+        // stalls (charged at the processor's stall power).
+        let detailed = source == CostSource::Detailed;
+        let stall_energy =
+            self.estimators[p.0 as usize].wait_energy(fr.transition, stall_cycles, detailed);
+        let exec_end = t + cost.cycles + stall_cycles;
+        self.account.record(
+            self.comp_of_proc[p.0 as usize],
+            t,
+            exec_end,
+            cost.energy_j + stall_energy,
+        );
+        self.end_time = self.end_time.max(exec_end);
+
+        let is_sw = !self.estimators[p.0 as usize].is_hw();
+        let wait = FiringWait {
+            proc: p,
+            transition: fr.transition,
+            exec_end,
+            detailed,
+            is_sw,
+            emissions: fr.execution.emitted.clone(),
+        };
+
+        // Shared-memory phase: the transactions are granted DMA block by
+        // DMA block under priority arbitration; the firing completes when
+        // its last block does.
+        let ops: Vec<(u64, i64, bool)> = fr
+            .execution
+            .mem_accesses
+            .iter()
+            .map(|a| (a.addr, a.value, a.write))
+            .collect();
+        if ops.is_empty() {
+            self.complete_firing(wait, exec_end);
+        } else {
+            if is_sw {
+                // The processor owns the transfer (programmed I/O / DMA
+                // set-up interleaved with computation); the RTOS keeps
+                // the CPU allocated until the last block completes.
+                self.cpu_free_at = u64::MAX;
+            }
+            // The component issues its transactions *throughout* its
+            // computation, not in a burst at the end: pace the blocks
+            // evenly across the execution window, so concurrent
+            // components genuinely contend for the bus.
+            let blocks = (ops.len() as u64).div_ceil(self.config.bus.dma_block_size as u64);
+            let interval = cost.cycles / blocks.max(1);
+            let req = self.bus.enqueue_paced(
+                self.bus_master[p.0 as usize],
+                t,
+                &ops,
+                interval,
+            );
+            self.bus_pending.insert(req, wait);
+            self.queue.push(SimTime::from_cycles(t), Ev::BusKick);
+        }
+    }
+
+    /// Routes one firing through the active acceleration technique.
+    fn estimate(
+        &mut self,
+        p: ProcId,
+        fr: &cfsm::FireResult,
+        vars_in: &[i64],
+        ev_snapshot: &HashMap<EventId, i64>,
+    ) -> (DetailedCost, CostSource) {
+        // Macro-modeling replaces the detailed estimators entirely.
+        if self.config.accel.macromodel {
+            let params = if self.estimators[p.0 as usize].is_hw() {
+                self.hw_params.as_ref().expect("hw params characterized")
+            } else {
+                self.sw_params.as_ref().expect("sw params characterized")
+            };
+            let (cycles, energy_j) = params.estimate(&fr.execution.macro_ops);
+            self.accelerated_calls += 1;
+            return (
+                DetailedCost {
+                    cycles: cycles.max(1),
+                    energy_j,
+                },
+                CostSource::MacroModel,
+            );
+        }
+        let key = (p, fr.execution.path);
+        // Energy cache.
+        if let Some(cache) = &mut self.cache {
+            if let Some(hit) = cache.lookup(key) {
+                self.accelerated_calls += 1;
+                return (
+                    DetailedCost {
+                        cycles: hit.cycles,
+                        energy_j: hit.energy_j,
+                    },
+                    CostSource::Cache,
+                );
+            }
+        }
+        // Firing-level sampling.
+        if let Some(s) = &self.config.accel.sampling {
+            if let Some((countdown, last)) = self.sample_state.get_mut(&key) {
+                if *countdown > 0 {
+                    *countdown -= 1;
+                    let last = *last;
+                    self.accelerated_calls += 1;
+                    return (last, CostSource::Sampled);
+                }
+                *countdown = s.period.saturating_sub(1);
+            }
+        }
+        // Detailed simulation.
+        let cost = self.estimators[p.0 as usize].run(
+            fr.transition,
+            vars_in,
+            &|e| ev_snapshot.get(&e).copied().unwrap_or(0),
+            &fr.execution,
+            self.config.synth.width,
+        );
+        self.detailed_calls += 1;
+        if let Some(cache) = &mut self.cache {
+            cache.record(key, cost.energy_j, cost.cycles);
+        }
+        if let Some(s) = &self.config.accel.sampling {
+            self.sample_state
+                .entry(key)
+                .or_insert((s.period.saturating_sub(1), cost));
+            self.sample_state.get_mut(&key).expect("just inserted").1 = cost;
+        }
+        (cost, CostSource::Detailed)
+    }
+
+    /// Builds the final report.
+    fn report(&self) -> CoSimReport {
+        let processes = self
+            .soc
+            .network
+            .process_ids()
+            .map(|p| {
+                let totals = self.account.totals(self.comp_of_proc[p.0 as usize]);
+                ProcessReport {
+                    name: self.soc.network.cfsm(p).name().to_string(),
+                    mapping: self.soc.network.mapping(p),
+                    energy_j: totals.energy_j,
+                    busy_cycles: totals.busy_cycles,
+                    firings: self.firings_per_proc[p.0 as usize],
+                }
+            })
+            .collect();
+        CoSimReport {
+            system: self.soc.name.clone(),
+            processes,
+            bus_energy_j: self.account.totals(self.bus_comp).energy_j,
+            bus: self.bus.stats(),
+            cache_energy_j: self.account.totals(self.cache_comp).energy_j,
+            cache: self
+                .icache
+                .as_ref()
+                .map(|c| c.stats())
+                .unwrap_or_default(),
+            total_cycles: self.end_time,
+            firings: self.firings,
+            detailed_calls: self.detailed_calls,
+            accelerated_calls: self.accelerated_calls,
+            account: self.account.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::caching::CachingConfig;
+    use crate::config::Acceleration;
+    use cfsm::{Cfg, Cfsm, EventDef, Expr, Network, Stmt};
+
+    /// A two-process system: a SW producer that reacts to GO by emitting
+    /// DATA(v), and an HW consumer that accumulates DATA values.
+    fn two_proc_soc(n_stimuli: u64) -> SocDescription {
+        let mut nb = Network::builder();
+        let go = nb.event(EventDef::pure("GO"));
+        let data = nb.event(EventDef::valued("DATA"));
+
+        let mut prod = Cfsm::builder("producer");
+        let s = prod.state("s");
+        let v = prod.var("v", 0);
+        prod.transition(
+            s,
+            vec![go],
+            None,
+            Cfg::straight_line(vec![
+                Stmt::Assign {
+                    var: v,
+                    expr: Expr::add(Expr::Var(v), Expr::Const(3)),
+                },
+                Stmt::Emit {
+                    event: data,
+                    value: Some(Expr::Var(v)),
+                },
+            ]),
+            s,
+        );
+        nb.process(prod.finish().expect("valid"), Implementation::Sw);
+
+        let mut cons = Cfsm::builder("consumer");
+        let c = cons.state("c");
+        let acc = cons.var("acc", 0);
+        cons.transition(
+            c,
+            vec![data],
+            None,
+            Cfg::straight_line(vec![Stmt::Assign {
+                var: acc,
+                expr: Expr::add(Expr::Var(acc), Expr::EventValue(data)),
+            }]),
+            c,
+        );
+        nb.process(cons.finish().expect("valid"), Implementation::Hw);
+
+        let network = nb.finish().expect("valid network");
+        let stimulus = (0..n_stimuli)
+            .map(|i| (i * 10_000, EventOccurrence::pure(go)))
+            .collect();
+        SocDescription {
+            name: "two-proc".into(),
+            network,
+            stimulus,
+            priorities: vec![1, 1],
+        }
+    }
+
+    fn run_with(accel: Acceleration, n: u64) -> CoSimReport {
+        let cfg = CoSimConfig::date2000_defaults().with_accel(accel);
+        let mut sim = CoSimulator::new(two_proc_soc(n), cfg).expect("builds");
+        sim.run()
+    }
+
+    #[test]
+    fn baseline_run_produces_energy_and_time() {
+        let r = run_with(Acceleration::none(), 5);
+        assert_eq!(r.firings, 10, "5 producer + 5 consumer firings");
+        assert!(r.total_energy_j() > 0.0);
+        assert!(r.total_cycles > 0);
+        assert!(r.process_energy_j("producer") > 0.0);
+        assert!(r.process_energy_j("consumer") > 0.0);
+        assert_eq!(r.detailed_calls, 10);
+        assert_eq!(r.accelerated_calls, 0);
+        assert!(r.cache.accesses > 0, "SW fetches hit the icache");
+    }
+
+    #[test]
+    fn consumer_accumulates_all_values() {
+        let cfg = CoSimConfig::date2000_defaults();
+        let soc = two_proc_soc(4);
+        let consumer = soc.network.process_by_name("consumer").expect("exists");
+        let mut sim = CoSimulator::new(soc, cfg).expect("builds");
+        let _ = sim.run();
+        // 3 + 6 + 9 + 12 = 30.
+        assert_eq!(sim.state.runtime(consumer).vars()[0], 30);
+    }
+
+    #[test]
+    fn caching_reduces_detailed_calls_without_changing_energy() {
+        let base = run_with(Acceleration::none(), 20);
+        let cached = run_with(
+            Acceleration::caching(CachingConfig {
+                thresh_variance: 0.05,
+                thresh_iss_calls: 2,
+                keep_samples: false,
+            }),
+            20,
+        );
+        assert!(cached.detailed_calls < base.detailed_calls);
+        assert!(cached.accelerated_calls > 0);
+        // SPARClite power model + repeatable HW runs → identical totals
+        // within float tolerance.
+        let rel = (cached.total_energy_j() - base.total_energy_j()).abs()
+            / base.total_energy_j();
+        assert!(rel < 0.01, "caching error {rel} too large");
+    }
+
+    #[test]
+    fn macromodel_overestimates_but_is_fast() {
+        let base = run_with(Acceleration::none(), 10);
+        let mm = run_with(Acceleration::macromodel(), 10);
+        assert_eq!(mm.detailed_calls, 0, "macro-model never calls simulators");
+        assert_eq!(mm.accelerated_calls, mm.firings);
+        // Conservative: the additive model over-estimates.
+        assert!(
+            mm.process_energy_j("producer") > base.process_energy_j("producer"),
+            "macromodel should over-estimate SW energy"
+        );
+    }
+
+    #[test]
+    fn sampling_reuses_previous_costs() {
+        let sampled = run_with(
+            Acceleration::sampling(crate::SamplingConfig { period: 4 }),
+            16,
+        );
+        assert!(sampled.accelerated_calls > 0);
+        assert!(sampled.detailed_calls < sampled.firings);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_with(Acceleration::none(), 8);
+        let b = run_with(Acceleration::none(), 8);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.total_energy_j().to_bits(), b.total_energy_j().to_bits());
+    }
+
+    #[test]
+    fn bus_unused_when_no_shared_memory() {
+        let r = run_with(Acceleration::none(), 3);
+        assert_eq!(r.bus.words, 0);
+        assert_eq!(r.bus_energy_j, 0.0);
+    }
+
+    #[test]
+    fn waveforms_cover_run() {
+        let r = run_with(Acceleration::none(), 5);
+        let sys = r.account.system_waveform();
+        assert!(!sys.energy_per_bucket_j().is_empty());
+        let sum: f64 = sys.energy_per_bucket_j().iter().sum();
+        assert!((sum - r.total_energy_j()).abs() < 1e-9 * r.total_energy_j());
+    }
+
+    #[test]
+    fn rtos_policy_changes_sw_dispatch_order() {
+        // Two SW tasks both enabled by the same stimulus: under
+        // FixedPriority the high-priority one runs first; under Fifo the
+        // lower process id wins.
+        fn two_sw_soc() -> SocDescription {
+            let mut nb = cfsm::Network::builder();
+            let go = nb.event(EventDef::pure("GO"));
+            let a_done = nb.event(EventDef::pure("A_DONE"));
+            let b_done = nb.event(EventDef::pure("B_DONE"));
+            for (name, done) in [("a", a_done), ("b", b_done)] {
+                let mut mb = Cfsm::builder(name);
+                let s = mb.state("s");
+                mb.transition(
+                    s,
+                    vec![go],
+                    None,
+                    Cfg::straight_line(vec![Stmt::Emit {
+                        event: done,
+                        value: None,
+                    }]),
+                    s,
+                );
+                nb.process(mb.finish().expect("valid"), Implementation::Sw);
+            }
+            SocDescription {
+                name: "two-sw".into(),
+                network: nb.finish().expect("valid"),
+                stimulus: vec![(100, EventOccurrence::pure(go))],
+                priorities: vec![1, 9], // `b` outranks `a`
+            }
+        }
+        let first_busy = |policy: crate::RtosPolicy| {
+            let mut cfg = CoSimConfig::date2000_defaults();
+            cfg.rtos_policy = policy;
+            cfg.waveform_bucket_cycles = 8; // resolve the two CPU slots
+            let mut sim = CoSimulator::new(two_sw_soc(), cfg).expect("builds");
+            let r = sim.run();
+            // The task dispatched first finishes first; with identical
+            // bodies, the one with the *earlier* completion window is the
+            // one whose waveform bucket charge starts first. Use busy
+            // windows via the account: both have equal busy_cycles, so
+            // compare who fired in the earlier CPU slot by peak position.
+            let a = r.account.waveform(crate::ComponentId(0)).peak().expect("a ran");
+            let b = r.account.waveform(crate::ComponentId(1)).peak().expect("b ran");
+            (a.0, b.0)
+        };
+        let (a_pri, b_pri) = first_busy(crate::RtosPolicy::FixedPriority);
+        let (a_fifo, b_fifo) = first_busy(crate::RtosPolicy::Fifo);
+        assert!(b_pri < a_pri, "priority: b (pri 9) runs first ({b_pri} vs {a_pri})");
+        assert!(a_fifo < b_fifo, "fifo: a (lower id) runs first ({a_fifo} vs {b_fifo})");
+    }
+
+    #[test]
+    fn max_firings_bounds_run() {
+        let mut cfg = CoSimConfig::date2000_defaults();
+        cfg.max_firings = 4;
+        let mut sim = CoSimulator::new(two_proc_soc(100), cfg).expect("builds");
+        let r = sim.run();
+        assert!(r.firings <= 5, "bounded by max_firings");
+    }
+}

@@ -1,0 +1,299 @@
+//! The *separate estimation* baseline (§2 of the paper).
+//!
+//! This is the methodology the paper argues against: first run a
+//! **timing-independent behavioral simulation** of the whole system
+//! (every reaction takes zero time) and capture each component's input
+//! traces; then drive every component's power estimator *independently*
+//! with its captured trace, with no feedback between component timing and
+//! system behavior.
+//!
+//! For systems whose execution traces are timing-sensitive — e.g. the
+//! Fig. 1 consumer, whose loop bound is the *difference of arrival
+//! times* of its inputs — the captured traces differ from the ones a
+//! timing-accurate co-simulation produces, and the energy estimates can
+//! be wrong by large factors (the paper measures a 62% under-estimation).
+
+use crate::config::{CoSimConfig, SocDescription};
+use crate::estimator::{BuildEstimatorError, ComponentEstimator};
+use busmodel::Bus;
+use cfsm::{EventId, EventOccurrence, Execution, NetworkState, ProcId, TransitionId};
+use std::collections::HashMap;
+
+/// One captured firing of one process.
+#[derive(Debug, Clone)]
+pub struct FiringRecord {
+    /// The process that fired.
+    pub proc: ProcId,
+    /// Which transition fired.
+    pub transition: TransitionId,
+    /// Variable values before the firing.
+    pub vars_in: Vec<i64>,
+    /// Input-event values visible at the firing.
+    pub event_values: HashMap<EventId, i64>,
+    /// The behavioral execution.
+    pub execution: Execution,
+}
+
+/// The product of the behavioral (zero-delay) simulation.
+#[derive(Debug, Clone, Default)]
+pub struct BehavioralTrace {
+    /// All firings, in behavioral order.
+    pub firings: Vec<FiringRecord>,
+}
+
+impl BehavioralTrace {
+    /// The firings of one process, in order.
+    pub fn of_process(&self, p: ProcId) -> impl Iterator<Item = &FiringRecord> {
+        self.firings.iter().filter(move |f| f.proc == p)
+    }
+
+    /// Number of firings of one process.
+    pub fn firing_count(&self, p: ProcId) -> usize {
+        self.of_process(p).count()
+    }
+}
+
+/// Bounds runaway zero-delay loops.
+const MAX_DELTA_FIRINGS: u64 = 10_000_000;
+
+/// Runs the timing-independent behavioral simulation and captures every
+/// component's execution trace.
+///
+/// Reactions take zero time: at each stimulus instant, enabled processes
+/// fire (in process-id order) and their emissions are delivered
+/// immediately, repeating until the system quiesces, before the next
+/// stimulus is applied.
+///
+/// # Panics
+///
+/// Panics if the system does not quiesce (runaway zero-delay loop).
+pub fn capture_traces(soc: &SocDescription) -> BehavioralTrace {
+    let mut state: NetworkState = soc.network.spawn();
+    let mut trace = BehavioralTrace::default();
+    let mut stimulus = soc.stimulus.clone();
+    stimulus.sort_by_key(|&(t, _)| t);
+    let mut total = 0u64;
+    for &(_, occ) in &stimulus {
+        soc.network.broadcast(&mut state, occ);
+        // Delta cycles until quiescent.
+        while let Some(p) = soc.network.any_enabled(&state) {
+            assert!(
+                total < MAX_DELTA_FIRINGS,
+                "behavioral simulation does not quiesce"
+            );
+            total += 1;
+            let vars_in = state.runtime(p).vars().to_vec();
+            let event_values: HashMap<EventId, i64> = {
+                let buf = state.runtime(p).buffer();
+                buf.present()
+                    .map(|e| (e, buf.value(e).unwrap_or(0)))
+                    .collect()
+            };
+            let fr = soc
+                .network
+                .fire(&mut state, p)
+                .expect("any_enabled returned an enabled process");
+            for &(e, v) in &fr.execution.emitted {
+                let occ = match v {
+                    Some(v) => EventOccurrence::valued(e, v),
+                    None => EventOccurrence::pure(e),
+                };
+                soc.network.broadcast(&mut state, occ);
+            }
+            trace.firings.push(FiringRecord {
+                proc: p,
+                transition: fr.transition,
+                vars_in,
+                event_values,
+                execution: fr.execution,
+            });
+        }
+    }
+    trace
+}
+
+/// The result of separate (independent) power estimation.
+#[derive(Debug, Clone)]
+pub struct SeparateReport {
+    /// Per-process energy, joules, indexed by [`ProcId`].
+    pub process_energy_j: Vec<f64>,
+    /// Per-process names.
+    pub process_names: Vec<String>,
+    /// Bus energy estimated from the captured (timing-free) trace.
+    pub bus_energy_j: f64,
+    /// Total firings replayed.
+    pub firings: u64,
+}
+
+impl SeparateReport {
+    /// Energy of the named process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process has that name.
+    pub fn process_energy_j(&self, name: &str) -> f64 {
+        let i = self
+            .process_names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("no process named `{name}`"));
+        self.process_energy_j[i]
+    }
+
+    /// Total estimated energy (components + bus).
+    pub fn total_energy_j(&self) -> f64 {
+        self.process_energy_j.iter().sum::<f64>() + self.bus_energy_j
+    }
+}
+
+/// Performs separate estimation: captures behavioral traces, then drives
+/// each component's detailed estimator independently with its own trace.
+///
+/// # Errors
+///
+/// Returns a [`BuildEstimatorError`] if a component fails to build.
+pub fn estimate_separately(
+    soc: &SocDescription,
+    config: &CoSimConfig,
+) -> Result<SeparateReport, BuildEstimatorError> {
+    let trace = capture_traces(soc);
+    let mut process_energy = vec![0.0; soc.network.process_count()];
+    let mut names = Vec::with_capacity(soc.network.process_count());
+    for p in soc.network.process_ids() {
+        names.push(soc.network.cfsm(p).name().to_string());
+        let mut est = ComponentEstimator::build(&soc.network, p, config)?;
+        for rec in trace.of_process(p) {
+            let ev = rec.event_values.clone();
+            let cost = est.run(
+                rec.transition,
+                &rec.vars_in,
+                &|e| ev.get(&e).copied().unwrap_or(0),
+                &rec.execution,
+                config.synth.width,
+            );
+            process_energy[p.0 as usize] += cost.energy_j;
+        }
+    }
+    // Bus energy from the captured trace (no contention information).
+    let mut bus = Bus::new(config.bus.clone());
+    let m = bus.register_master("trace", 0);
+    let mut bus_energy = 0.0;
+    for rec in &trace.firings {
+        let ops: Vec<(u64, i64, bool)> = rec
+            .execution
+            .mem_accesses
+            .iter()
+            .map(|a| (a.addr, a.value, a.write))
+            .collect();
+        if !ops.is_empty() {
+            bus_energy += bus.transfer(m, 0, &ops).energy_j;
+        }
+    }
+    Ok(SeparateReport {
+        process_energy_j: process_energy,
+        process_names: names,
+        bus_energy_j: bus_energy,
+        firings: trace.firings.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfsm::{Cfg, Cfsm, EventDef, Expr, Implementation, Network, Stmt};
+
+    /// Producer (SW) emits DATA on GO; consumer (HW) counts DATA.
+    fn soc() -> SocDescription {
+        let mut nb = Network::builder();
+        let go = nb.event(EventDef::pure("GO"));
+        let data = nb.event(EventDef::valued("DATA"));
+        let mut prod = Cfsm::builder("producer");
+        let s = prod.state("s");
+        let v = prod.var("v", 0);
+        prod.transition(
+            s,
+            vec![go],
+            None,
+            Cfg::straight_line(vec![
+                Stmt::Assign {
+                    var: v,
+                    expr: Expr::add(Expr::Var(v), Expr::Const(1)),
+                },
+                Stmt::Emit {
+                    event: data,
+                    value: Some(Expr::Var(v)),
+                },
+            ]),
+            s,
+        );
+        nb.process(prod.finish().expect("valid"), Implementation::Sw);
+        let mut cons = Cfsm::builder("consumer");
+        let c = cons.state("c");
+        let n = cons.var("n", 0);
+        cons.transition(
+            c,
+            vec![data],
+            None,
+            Cfg::straight_line(vec![Stmt::Assign {
+                var: n,
+                expr: Expr::add(Expr::Var(n), Expr::Const(1)),
+            }]),
+            c,
+        );
+        nb.process(cons.finish().expect("valid"), Implementation::Hw);
+        let network = nb.finish().expect("valid network");
+        SocDescription {
+            name: "sep-test".into(),
+            network,
+            stimulus: (0..6).map(|i| (i * 100, EventOccurrence::pure(go))).collect(),
+            priorities: vec![1, 1],
+        }
+    }
+
+    #[test]
+    fn capture_records_all_firings_in_order() {
+        let soc = soc();
+        let trace = capture_traces(&soc);
+        // Each GO → producer fires, then consumer fires.
+        assert_eq!(trace.firings.len(), 12);
+        let producer = soc.network.process_by_name("producer").expect("exists");
+        let consumer = soc.network.process_by_name("consumer").expect("exists");
+        assert_eq!(trace.firing_count(producer), 6);
+        assert_eq!(trace.firing_count(consumer), 6);
+        assert_eq!(trace.firings[0].proc, producer);
+        assert_eq!(trace.firings[1].proc, consumer);
+    }
+
+    #[test]
+    fn captured_vars_track_behavioral_state() {
+        let soc = soc();
+        let trace = capture_traces(&soc);
+        let producer = soc.network.process_by_name("producer").expect("exists");
+        let vars: Vec<i64> = trace.of_process(producer).map(|f| f.vars_in[0]).collect();
+        assert_eq!(vars, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn separate_estimation_sums_component_energies() {
+        let soc = soc();
+        let rep = estimate_separately(&soc, &CoSimConfig::date2000_defaults())
+            .expect("estimates");
+        assert_eq!(rep.firings, 12);
+        assert!(rep.process_energy_j("producer") > 0.0);
+        assert!(rep.process_energy_j("consumer") > 0.0);
+        assert!(rep.total_energy_j() > 0.0);
+        assert_eq!(rep.bus_energy_j, 0.0, "no shared memory in this system");
+    }
+
+    #[test]
+    fn separate_is_deterministic() {
+        let soc = soc();
+        let cfg = CoSimConfig::date2000_defaults();
+        let a = estimate_separately(&soc, &cfg).expect("a");
+        let b = estimate_separately(&soc, &cfg).expect("b");
+        assert_eq!(
+            a.total_energy_j().to_bits(),
+            b.total_energy_j().to_bits()
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Streaming statistics (Welford's algorithm).
+//!
+//! The energy cache of §4.2 stores, per execution path, only the running
+//! mean and variance of the energies reported by the low-level simulator
+//! — this module provides that accumulator.
+
+/// Numerically stable running mean/variance.
+///
+/// # Examples
+///
+/// ```
+/// use co_estimation::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for RunningStats {
+    fn default() -> Self {
+        RunningStats::new()
+    }
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let d = x - self.mean;
+        self.mean += d / self.count as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Coefficient of variation `σ/|µ|` (0 when the mean is 0 or fewer
+    /// than 2 observations) — the scale-free "variance" the caching
+    /// threshold compares against.
+    pub fn coeff_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.mean.abs()
+        }
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.coeff_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = RunningStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn constant_stream_has_zero_variance() {
+        let mut s = RunningStats::new();
+        for _ in 0..100 {
+            s.push(7.25);
+        }
+        assert!((s.mean() - 7.25).abs() < 1e-12);
+        assert!(s.population_variance().abs() < 1e-18);
+        assert_eq!(s.coeff_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 1.37).sin() * 10.0).collect();
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.population_variance() - var).abs() < 1e-9);
+        assert!((s.min() - xs.iter().cloned().fold(f64::INFINITY, f64::min)).abs() < 1e-12);
+        assert!((s.max() - xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_is_scale_free() {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for x in [1.0, 2.0, 3.0] {
+            a.push(x);
+            b.push(x * 1e-9); // nanojoule scale
+        }
+        assert!((a.coeff_of_variation() - b.coeff_of_variation()).abs() < 1e-12);
+    }
+}

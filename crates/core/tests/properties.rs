@@ -1,0 +1,153 @@
+//! Property-based tests for the co-estimation framework's data
+//! structures: the energy cache, the streaming statistics, the energy
+//! ledger, and both sequence compactors.
+
+use cfsm::{PathId, ProcId};
+use co_estimation::{
+    compact_static, CachingConfig, EnergyAccount, EnergyCache, KMemoryCompactor, RunningStats,
+    StreamStats,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Welford statistics match the two-pass formulas for any stream.
+    #[test]
+    fn running_stats_match_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.population_variance() - var).abs() <= 1e-4 * var.abs().max(1.0));
+        prop_assert!(s.min() <= s.mean() + 1e-9 && s.mean() <= s.max() + 1e-9);
+    }
+
+    /// The cache never serves a path until it has seen `thresh_iss_calls`
+    /// observations, and what it serves is the running mean.
+    #[test]
+    fn cache_respects_call_threshold(
+        energies in prop::collection::vec(1e-9f64..2e-9, 1..30),
+        thresh in 1u32..10,
+    ) {
+        let mut cache = EnergyCache::new(CachingConfig {
+            thresh_variance: f64::INFINITY,
+            thresh_iss_calls: thresh,
+            keep_samples: false,
+        });
+        let key = (ProcId(0), PathId(7));
+        for (i, &e) in energies.iter().enumerate() {
+            let served = cache.lookup(key);
+            if (i as u32) < thresh {
+                prop_assert!(served.is_none(), "served before threshold at {i}");
+            } else {
+                let hit = served.expect("served after threshold");
+                let mean = energies[..i].iter().sum::<f64>() / i as f64;
+                prop_assert!((hit.energy_j - mean).abs() < 1e-12 * mean);
+            }
+            cache.record(key, e, 10);
+        }
+    }
+
+    /// Zero-variance paths are always served once past the call
+    /// threshold, regardless of how tight the variance threshold is.
+    #[test]
+    fn constant_paths_always_cacheable(e in 1e-12f64..1e-3, count in 2u64..50) {
+        let mut cache = EnergyCache::new(CachingConfig {
+            thresh_variance: 0.0,
+            thresh_iss_calls: 2,
+            keep_samples: false,
+        });
+        let key = (ProcId(1), PathId(1));
+        for _ in 0..count {
+            cache.record(key, e, 5);
+        }
+        let hit = cache.lookup(key).expect("constant path must be served");
+        prop_assert!((hit.energy_j - e).abs() < 1e-9 * e);
+        prop_assert_eq!(hit.cycles, 5);
+    }
+
+    /// The ledger's waveform conserves energy exactly for any record
+    /// pattern.
+    #[test]
+    fn account_waveform_conserves_energy(
+        records in prop::collection::vec((0u64..5_000, 1u64..800, 1e-12f64..1e-6), 1..60),
+        bucket in 1u64..500,
+    ) {
+        let mut acct = EnergyAccount::new(bucket);
+        let c = acct.add_component("c");
+        let mut total = 0.0;
+        for &(start, len, e) in &records {
+            acct.record(c, start, start + len, e);
+            total += e;
+        }
+        let waveform_sum: f64 = acct.waveform(c).energy_per_bucket_j().iter().sum();
+        prop_assert!((waveform_sum - total).abs() <= 1e-9 * total,
+            "waveform {waveform_sum} vs ledger {total}");
+        prop_assert!((acct.total_energy_j() - total).abs() <= 1e-12 * total.max(1e-30));
+    }
+
+    /// Dynamic compaction: output length is exactly keep per full window,
+    /// the ratio accounting is consistent, and every emitted symbol
+    /// occurs in the input.
+    #[test]
+    fn dynamic_compactor_accounting(
+        stream in prop::collection::vec(0u8..6, 1..300),
+        k in 2usize..40,
+    ) {
+        let keep = (k / 2).max(1);
+        let mut c = KMemoryCompactor::new(k, keep);
+        let mut out = Vec::new();
+        for &s in &stream {
+            if let Some(b) = c.push(s) {
+                prop_assert_eq!(b.len(), keep);
+                out.extend(b);
+            }
+        }
+        if let Some(b) = c.flush() {
+            out.extend(b);
+        }
+        prop_assert_eq!(c.seen(), stream.len() as u64);
+        prop_assert_eq!(c.dispatched(), out.len() as u64);
+        prop_assert!(c.ratio() >= 1.0);
+        for s in &out {
+            prop_assert!(stream.contains(s));
+        }
+    }
+
+    /// Static compaction emits a subsequence of contiguous runs whose
+    /// length is within one run of the requested ratio.
+    #[test]
+    fn static_compactor_respects_ratio(
+        stream in prop::collection::vec(0u8..4, 50..400),
+        ratio in 2usize..6,
+    ) {
+        let k = 10usize;
+        let out = compact_static(&stream, ratio, k, |&s| s as u64);
+        let expect = stream.len() / ratio;
+        prop_assert!(
+            out.len() <= expect + k && out.len() + k >= expect,
+            "len {} vs expected ~{expect}",
+            out.len()
+        );
+    }
+
+    /// Total-variation distances are symmetric, bounded by [0, 1], and
+    /// zero on identical streams.
+    #[test]
+    fn stream_distance_is_a_premetric(
+        a in prop::collection::vec(0u8..5, 1..100),
+        b in prop::collection::vec(0u8..5, 1..100),
+    ) {
+        let sa = StreamStats::measure(&a);
+        let sb = StreamStats::measure(&b);
+        let dab = sa.freq_distance(&sb);
+        let dba = sb.freq_distance(&sa);
+        prop_assert!((dab - dba).abs() < 1e-12, "symmetry");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&dab), "bounded: {dab}");
+        prop_assert!(sa.freq_distance(&sa) < 1e-12, "identity");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&sa.pair_distance(&sb)));
+    }
+}

@@ -1,0 +1,313 @@
+//! A generic discrete-event simulation kernel.
+//!
+//! [`Kernel`] owns a set of boxed [`Process`]es and a deterministic
+//! [`EventQueue`](crate::EventQueue). Processes receive events addressed to
+//! them and may schedule further events (to themselves or to peers) through
+//! the [`Context`] passed to their handler. The kernel is the PTOLEMY
+//! analogue in this reproduction: a single simulation master with a global
+//! view of time.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// Identifier of a process registered with a [`Kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u32);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc{}", self.0)
+    }
+}
+
+/// A simulation actor that reacts to events of type `E`.
+pub trait Process<E> {
+    /// Handles `event` delivered at the current simulation time.
+    ///
+    /// Further events may be scheduled through `ctx`.
+    fn handle(&mut self, event: &E, ctx: &mut Context<'_, E>);
+}
+
+/// Handler-side view of the kernel: current time plus the ability to
+/// schedule future events.
+#[derive(Debug)]
+pub struct Context<'a, E> {
+    now: SimTime,
+    self_id: ProcessId,
+    outbox: &'a mut Vec<(SimTime, ProcessId, E)>,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the process whose handler is running.
+    pub fn self_id(&self) -> ProcessId {
+        self.self_id
+    }
+
+    /// Schedules `event` for delivery to `target` after `delay`.
+    pub fn send(&mut self, target: ProcessId, delay: SimDuration, event: E) {
+        self.outbox.push((self.now + delay, target, event));
+    }
+
+    /// Schedules `event` for delivery to the running process after `delay`.
+    pub fn send_self(&mut self, delay: SimDuration, event: E) {
+        let me = self.self_id;
+        self.send(me, delay, event);
+    }
+}
+
+/// A single-master discrete-event simulator (see module docs).
+///
+/// # Examples
+///
+/// A one-shot "ping-pong" between two processes:
+///
+/// ```
+/// use desim::{Kernel, Process, Context, ProcessId, SimDuration, SimTime};
+///
+/// struct Echo { heard: u32 }
+/// impl Process<u32> for Echo {
+///     fn handle(&mut self, ev: &u32, ctx: &mut Context<'_, u32>) {
+///         self.heard += ev;
+///         if *ev < 3 {
+///             ctx.send_self(SimDuration::from_cycles(5), ev + 1);
+///         }
+///     }
+/// }
+///
+/// let mut k = Kernel::new();
+/// let p = k.add_process(Echo { heard: 0 });
+/// k.post(SimTime::ZERO, p, 1u32);
+/// k.run();
+/// assert_eq!(k.now(), SimTime::from_cycles(10)); // events at 0, 5, 10
+/// ```
+pub struct Kernel<E> {
+    processes: Vec<Box<dyn Process<E>>>,
+    queue: EventQueue<(ProcessId, E)>,
+    now: SimTime,
+    delivered: u64,
+}
+
+impl<E> fmt::Debug for Kernel<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("processes", &self.processes.len())
+            .field("pending", &self.queue.len())
+            .field("now", &self.now)
+            .field("delivered", &self.delivered)
+            .finish()
+    }
+}
+
+impl<E> Kernel<E> {
+    /// Creates an empty kernel at time zero.
+    pub fn new() -> Self {
+        Kernel {
+            processes: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            delivered: 0,
+        }
+    }
+
+    /// Registers a process, returning its id.
+    pub fn add_process(&mut self, p: impl Process<E> + 'static) -> ProcessId {
+        let id = ProcessId(self.processes.len() as u32);
+        self.processes.push(Box::new(p));
+        id
+    }
+
+    /// Schedules `event` for delivery to `target` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past or `target` is unknown.
+    pub fn post(&mut self, time: SimTime, target: ProcessId, event: E) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        assert!(
+            (target.0 as usize) < self.processes.len(),
+            "unknown process {target}"
+        );
+        self.queue.push(time, (target, event));
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Delivers a single event, if one is pending. Returns `false` when the
+    /// queue is exhausted.
+    pub fn step(&mut self) -> bool {
+        let Some((time, (target, event))) = self.queue.pop() else {
+            return false;
+        };
+        self.now = time;
+        self.delivered += 1;
+        let mut outbox = Vec::new();
+        {
+            let mut ctx = Context {
+                now: time,
+                self_id: target,
+                outbox: &mut outbox,
+            };
+            self.processes[target.0 as usize].handle(&event, &mut ctx);
+        }
+        for (t, tgt, ev) in outbox {
+            self.post(t, tgt, ev);
+        }
+        true
+    }
+
+    /// Runs until the event queue is exhausted.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue is exhausted or time would exceed `until`.
+    /// Events at exactly `until` are still delivered.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Mutable access to a registered process (for inspection in tests).
+    ///
+    /// Returns `None` for unknown ids. Downcasting is the caller's
+    /// responsibility; prefer keeping handles to shared state instead.
+    pub fn process_mut(&mut self, id: ProcessId) -> Option<&mut (dyn Process<E> + '_)> {
+        self.processes
+            .get_mut(id.0 as usize)
+            .map(|b| &mut **b as _)
+    }
+}
+
+impl<E> Default for Kernel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Recorder {
+        log: Rc<RefCell<Vec<(u64, u32)>>>,
+    }
+    impl Process<u32> for Recorder {
+        fn handle(&mut self, ev: &u32, ctx: &mut Context<'_, u32>) {
+            self.log.borrow_mut().push((ctx.now().cycles(), *ev));
+        }
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut k = Kernel::new();
+        let p = k.add_process(Recorder { log: log.clone() });
+        k.post(SimTime::from_cycles(5), p, 50);
+        k.post(SimTime::from_cycles(1), p, 10);
+        k.post(SimTime::from_cycles(5), p, 51);
+        k.run();
+        assert_eq!(*log.borrow(), vec![(1, 10), (5, 50), (5, 51)]);
+        assert_eq!(k.delivered(), 3);
+    }
+
+    struct Chain;
+    impl Process<u32> for Chain {
+        fn handle(&mut self, ev: &u32, ctx: &mut Context<'_, u32>) {
+            if *ev > 0 {
+                ctx.send_self(SimDuration::from_cycles(2), ev - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn self_scheduling_chain_advances_time() {
+        let mut k = Kernel::new();
+        let p = k.add_process(Chain);
+        k.post(SimTime::ZERO, p, 4);
+        k.run();
+        assert_eq!(k.now(), SimTime::from_cycles(8));
+        assert_eq!(k.delivered(), 5);
+    }
+
+    #[test]
+    fn run_until_stops_before_later_events() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut k = Kernel::new();
+        let p = k.add_process(Recorder { log: log.clone() });
+        for t in [1u64, 5, 9] {
+            k.post(SimTime::from_cycles(t), p, t as u32);
+        }
+        k.run_until(SimTime::from_cycles(5));
+        assert_eq!(*log.borrow(), vec![(1, 1), (5, 5)]);
+        k.run();
+        assert_eq!(log.borrow().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut k = Kernel::new();
+        let p = k.add_process(Chain);
+        k.post(SimTime::from_cycles(3), p, 0);
+        k.run();
+        k.post(SimTime::from_cycles(1), p, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown process")]
+    fn posting_to_unknown_process_panics() {
+        let mut k: Kernel<u32> = Kernel::new();
+        k.post(SimTime::ZERO, ProcessId(7), 0);
+    }
+
+    struct PingPong {
+        peer: Option<ProcessId>,
+        count: Rc<RefCell<u32>>,
+    }
+    impl Process<u32> for PingPong {
+        fn handle(&mut self, ev: &u32, ctx: &mut Context<'_, u32>) {
+            *self.count.borrow_mut() += 1;
+            if let (Some(peer), true) = (self.peer, *ev > 0) {
+                ctx.send(peer, SimDuration::from_cycles(1), ev - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn two_process_ping_pong() {
+        let count = Rc::new(RefCell::new(0));
+        let mut k = Kernel::new();
+        let a = k.add_process(PingPong {
+            peer: Some(ProcessId(1)),
+            count: count.clone(),
+        });
+        let _b = k.add_process(PingPong {
+            peer: Some(ProcessId(0)),
+            count: count.clone(),
+        });
+        k.post(SimTime::ZERO, a, 6);
+        k.run();
+        assert_eq!(*count.borrow(), 7);
+        assert_eq!(k.now(), SimTime::from_cycles(6));
+    }
+}

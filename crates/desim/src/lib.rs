@@ -1,0 +1,41 @@
+//! `desim` — a deterministic discrete-event simulation kernel.
+//!
+//! This crate is the PTOLEMY analogue of the SOC power co-estimation
+//! framework from *"Efficient Power Co-Estimation Techniques for
+//! System-on-Chip Design"* (Lajolo, Raghunathan, Dey, Lavagno — DATE 2000):
+//! a single simulation master with a global view of simulated time that the
+//! higher-level `co-estimation` crate uses to synchronize the hardware and
+//! software power estimators.
+//!
+//! The crate provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — simulated time in master clock cycles;
+//! * [`EventQueue`] — a timestamp-ordered pending-event set with FIFO
+//!   tie-breaking (bit-for-bit reproducible schedules);
+//! * [`Kernel`] / [`Process`] — a generic event-dispatch loop;
+//! * [`RtosScheduler`] — a behavioral model of the RTOS that serializes
+//!   software tasks on the shared embedded processor.
+//!
+//! # Examples
+//!
+//! ```
+//! use desim::{EventQueue, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::from_cycles(3), "b");
+//! q.push(SimTime::from_cycles(1), "a");
+//! assert_eq!(q.pop(), Some((SimTime::from_cycles(1), "a")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernel;
+mod queue;
+mod rtos;
+mod time;
+
+pub use kernel::{Context, Kernel, Process, ProcessId};
+pub use queue::EventQueue;
+pub use rtos::{Grant, Policy, Priority, RtosScheduler, TaskId};
+pub use time::{SimDuration, SimTime};

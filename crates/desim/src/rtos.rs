@@ -1,0 +1,452 @@
+//! A behavioral real-time operating system (RTOS) model.
+//!
+//! In a HW/SW co-estimation run, every software-mapped CFSM shares one
+//! embedded processor. The POLIS flow generates an RTOS that serializes
+//! their transitions according to a user-selected scheduling policy; this
+//! module reproduces that behaviour as a *scheduling oracle*: the master
+//! submits computation requests (`task wants `d` cycles of CPU from time
+//! `t`), and the scheduler answers with the [`Grant`]s describing when each
+//! request actually occupies the processor.
+//!
+//! Three policies are modeled:
+//!
+//! * [`Policy::Fifo`] — non-preemptive, first-come first-served.
+//! * [`Policy::FixedPriority`] — non-preemptive static priorities
+//!   (higher [`Priority`] value runs first among simultaneously-ready
+//!   requests).
+//! * [`Policy::RoundRobin`] — preemptive time slicing with a fixed quantum,
+//!   rotating among ready tasks.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a task registered with the [`RtosScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Static task priority; larger values are more urgent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Priority(pub u8);
+
+/// The scheduling policy of the modeled RTOS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Non-preemptive first-come first-served.
+    Fifo,
+    /// Non-preemptive static priorities ([`Priority`]), FIFO among equals.
+    FixedPriority,
+    /// Preemptive round-robin with the given time quantum.
+    RoundRobin(SimDuration),
+}
+
+/// A span of CPU time granted to a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// The task receiving the processor.
+    pub task: TaskId,
+    /// Identifier of the request this grant (partially) serves.
+    pub request: u64,
+    /// First cycle of execution.
+    pub start: SimTime,
+    /// One past the last cycle of execution (`start + served`).
+    pub end: SimTime,
+    /// Whether the request is fully served once this grant completes.
+    pub completes: bool,
+}
+
+impl Grant {
+    /// The duration of this grant.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Request {
+    id: u64,
+    task: TaskId,
+    ready: SimTime,
+    remaining: SimDuration,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct TaskInfo {
+    #[allow(dead_code)]
+    name: String,
+    priority: Priority,
+    busy: SimDuration,
+}
+
+/// A behavioral single-CPU scheduler (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use desim::{RtosScheduler, Policy, Priority, SimTime, SimDuration};
+///
+/// let mut rtos = RtosScheduler::new(Policy::FixedPriority);
+/// let lo = rtos.register_task("logger", Priority(1));
+/// let hi = rtos.register_task("control", Priority(9));
+///
+/// // Both become ready at t=0; the high-priority task runs first.
+/// rtos.submit(lo, SimTime::ZERO, SimDuration::from_cycles(10));
+/// rtos.submit(hi, SimTime::ZERO, SimDuration::from_cycles(5));
+///
+/// let g1 = rtos.next_grant().expect("pending work");
+/// assert_eq!(g1.task, hi);
+/// let g2 = rtos.next_grant().expect("pending work");
+/// assert_eq!(g2.task, lo);
+/// assert_eq!(g2.start, SimTime::from_cycles(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RtosScheduler {
+    policy: Policy,
+    tasks: Vec<TaskInfo>,
+    pending: Vec<Request>,
+    /// Round-robin rotation order (task ids of partially-served requests).
+    rr_ring: VecDeque<u64>,
+    cpu_free: SimTime,
+    next_req: u64,
+    next_seq: u64,
+    busy_total: SimDuration,
+}
+
+impl RtosScheduler {
+    /// Creates a scheduler with the given policy and no tasks.
+    pub fn new(policy: Policy) -> Self {
+        if let Policy::RoundRobin(q) = policy {
+            assert!(!q.is_zero(), "round-robin quantum must be nonzero");
+        }
+        RtosScheduler {
+            policy,
+            tasks: Vec::new(),
+            pending: Vec::new(),
+            rr_ring: VecDeque::new(),
+            cpu_free: SimTime::ZERO,
+            next_req: 0,
+            next_seq: 0,
+            busy_total: SimDuration::ZERO,
+        }
+    }
+
+    /// Registers a task and returns its id.
+    pub fn register_task(&mut self, name: impl Into<String>, priority: Priority) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(TaskInfo {
+            name: name.into(),
+            priority,
+            busy: SimDuration::ZERO,
+        });
+        id
+    }
+
+    /// Changes a task's static priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` was not registered.
+    pub fn set_priority(&mut self, task: TaskId, priority: Priority) {
+        self.tasks[task.0 as usize].priority = priority;
+    }
+
+    /// Submits a computation request: `task` wants `duration` cycles of CPU,
+    /// becoming ready at `ready`. Returns the request id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` was not registered or `duration` is zero.
+    pub fn submit(&mut self, task: TaskId, ready: SimTime, duration: SimDuration) -> u64 {
+        assert!(
+            (task.0 as usize) < self.tasks.len(),
+            "unknown task {task}"
+        );
+        assert!(!duration.is_zero(), "request duration must be nonzero");
+        let id = self.next_req;
+        self.next_req += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(Request {
+            id,
+            task,
+            ready,
+            remaining: duration,
+            seq,
+        });
+        self.rr_ring.push_back(id);
+        id
+    }
+
+    /// Whether any request is pending (fully or partially unserved).
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Time at which the CPU next becomes free.
+    pub fn cpu_free_at(&self) -> SimTime {
+        self.cpu_free
+    }
+
+    /// Total CPU busy time accumulated so far.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_total
+    }
+
+    /// Per-task CPU busy time accumulated so far.
+    pub fn task_busy_time(&self, task: TaskId) -> SimDuration {
+        self.tasks[task.0 as usize].busy
+    }
+
+    /// Produces the next [`Grant`] in execution order, or `None` when no
+    /// request is pending. Driving this to `None` after each batch of
+    /// `submit`s yields the complete, deterministic CPU schedule.
+    pub fn next_grant(&mut self) -> Option<Grant> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        // The CPU can start work at max(cpu_free, earliest ready time).
+        let earliest_ready = self
+            .pending
+            .iter()
+            .map(|r| r.ready)
+            .min()
+            .expect("pending nonempty");
+        let now = self.cpu_free.max(earliest_ready);
+
+        // Requests that are ready at `now` compete according to policy.
+        let idx = self.select(now);
+        let quantum = match self.policy {
+            Policy::RoundRobin(q) => Some(q),
+            _ => None,
+        };
+        let req = &mut self.pending[idx];
+        let served = match quantum {
+            Some(q) => q.min(req.remaining),
+            None => req.remaining,
+        };
+        let start = now;
+        let end = start + served;
+        let task = req.task;
+        let reqid = req.id;
+        req.remaining = SimDuration::from_cycles(req.remaining.cycles() - served.cycles());
+        // A preempted request re-arms as ready at the end of its slice and
+        // goes to the back of the rotation ring.
+        let completes = req.remaining.is_zero();
+        if completes {
+            self.pending.swap_remove(idx);
+            self.rr_ring.retain(|&r| r != reqid);
+        } else {
+            req.ready = end;
+            self.rr_ring.retain(|&r| r != reqid);
+            self.rr_ring.push_back(reqid);
+        }
+        self.cpu_free = end;
+        self.busy_total += served;
+        self.tasks[task.0 as usize].busy += served;
+        Some(Grant {
+            task,
+            request: reqid,
+            start,
+            end,
+            completes,
+        })
+    }
+
+    /// Runs the scheduler to completion, returning all remaining grants.
+    pub fn drain(&mut self) -> Vec<Grant> {
+        let mut out = Vec::new();
+        while let Some(g) = self.next_grant() {
+            out.push(g);
+        }
+        out
+    }
+
+    /// Index into `pending` of the request to run next at time `now`.
+    fn select(&self, now: SimTime) -> usize {
+        let ready: Vec<usize> = (0..self.pending.len())
+            .filter(|&i| self.pending[i].ready <= now)
+            .collect();
+        debug_assert!(!ready.is_empty(), "select called with no ready request");
+        match self.policy {
+            Policy::Fifo => ready
+                .into_iter()
+                .min_by_key(|&i| self.pending[i].seq)
+                .expect("nonempty"),
+            Policy::FixedPriority => ready
+                .into_iter()
+                .min_by_key(|&i| {
+                    let r = &self.pending[i];
+                    let pri = self.tasks[r.task.0 as usize].priority;
+                    (std::cmp::Reverse(pri), r.seq)
+                })
+                .expect("nonempty"),
+            Policy::RoundRobin(_) => {
+                // The ring holds every live request in queue order
+                // (arrival order, preempted requests moved to the back);
+                // run the first ready one.
+                for &rid in &self.rr_ring {
+                    if let Some(i) = ready
+                        .iter()
+                        .copied()
+                        .find(|&i| self.pending[i].id == rid)
+                    {
+                        return i;
+                    }
+                }
+                unreachable!("every pending request is in the round-robin ring")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cy(c: u64) -> SimDuration {
+        SimDuration::from_cycles(c)
+    }
+    fn at(c: u64) -> SimTime {
+        SimTime::from_cycles(c)
+    }
+
+    #[test]
+    fn fifo_serializes_in_arrival_order() {
+        let mut r = RtosScheduler::new(Policy::Fifo);
+        let a = r.register_task("a", Priority(0));
+        let b = r.register_task("b", Priority(9));
+        r.submit(a, at(0), cy(10));
+        r.submit(b, at(0), cy(10)); // higher priority but FIFO ignores it
+        let g = r.drain();
+        assert_eq!(g[0].task, a);
+        assert_eq!(g[1].task, b);
+        assert_eq!(g[1].start, at(10));
+        assert_eq!(g[1].end, at(20));
+        assert!(g.iter().all(|g| g.completes));
+    }
+
+    #[test]
+    fn priority_orders_simultaneous_requests() {
+        let mut r = RtosScheduler::new(Policy::FixedPriority);
+        let lo = r.register_task("lo", Priority(1));
+        let mid = r.register_task("mid", Priority(5));
+        let hi = r.register_task("hi", Priority(9));
+        r.submit(lo, at(0), cy(3));
+        r.submit(mid, at(0), cy(3));
+        r.submit(hi, at(0), cy(3));
+        let order: Vec<TaskId> = r.drain().iter().map(|g| g.task).collect();
+        assert_eq!(order, vec![hi, mid, lo]);
+    }
+
+    #[test]
+    fn nonpreemptive_priority_does_not_preempt_running() {
+        let mut r = RtosScheduler::new(Policy::FixedPriority);
+        let lo = r.register_task("lo", Priority(1));
+        let hi = r.register_task("hi", Priority(9));
+        r.submit(lo, at(0), cy(100));
+        r.submit(hi, at(10), cy(5)); // arrives while lo "runs"
+        let g = r.drain();
+        assert_eq!(g[0].task, lo);
+        assert_eq!(g[0].end, at(100));
+        assert_eq!(g[1].task, hi);
+        assert_eq!(g[1].start, at(100));
+    }
+
+    #[test]
+    fn idle_gap_jumps_to_next_ready() {
+        let mut r = RtosScheduler::new(Policy::Fifo);
+        let a = r.register_task("a", Priority(0));
+        r.submit(a, at(50), cy(10));
+        let g = r.next_grant().expect("one grant");
+        assert_eq!(g.start, at(50));
+        assert_eq!(g.end, at(60));
+    }
+
+    #[test]
+    fn round_robin_slices_and_rotates() {
+        let mut r = RtosScheduler::new(Policy::RoundRobin(cy(4)));
+        let a = r.register_task("a", Priority(0));
+        let b = r.register_task("b", Priority(0));
+        r.submit(a, at(0), cy(8));
+        r.submit(b, at(0), cy(4));
+        let g = r.drain();
+        // a runs 4, then b runs 4 (completes), then a finishes.
+        assert_eq!(
+            g.iter().map(|g| (g.task, g.completes)).collect::<Vec<_>>(),
+            vec![(a, false), (b, true), (a, true)]
+        );
+        assert_eq!(g[2].end, at(12));
+    }
+
+    #[test]
+    fn round_robin_single_task_runs_contiguously() {
+        let mut r = RtosScheduler::new(Policy::RoundRobin(cy(3)));
+        let a = r.register_task("a", Priority(0));
+        r.submit(a, at(0), cy(7));
+        let g = r.drain();
+        assert_eq!(g.len(), 3); // 3+3+1
+        assert_eq!(g.last().expect("nonempty").end, at(7));
+        assert!(g.windows(2).all(|w| w[0].end == w[1].start));
+    }
+
+    #[test]
+    fn busy_time_accounting() {
+        let mut r = RtosScheduler::new(Policy::Fifo);
+        let a = r.register_task("a", Priority(0));
+        let b = r.register_task("b", Priority(0));
+        r.submit(a, at(0), cy(10));
+        r.submit(b, at(0), cy(5));
+        r.drain();
+        assert_eq!(r.busy_time(), cy(15));
+        assert_eq!(r.task_busy_time(a), cy(10));
+        assert_eq!(r.task_busy_time(b), cy(5));
+    }
+
+    #[test]
+    fn grants_never_overlap() {
+        let mut r = RtosScheduler::new(Policy::FixedPriority);
+        let tasks: Vec<TaskId> = (0..5)
+            .map(|i| r.register_task(format!("t{i}"), Priority(i as u8)))
+            .collect();
+        for (i, &t) in tasks.iter().enumerate() {
+            r.submit(t, at(i as u64 * 3), cy(7));
+            r.submit(t, at(i as u64 * 11), cy(2));
+        }
+        let g = r.drain();
+        for w in g.windows(2) {
+            assert!(w[0].end <= w[1].start, "overlapping grants: {w:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_duration_request_rejected() {
+        let mut r = RtosScheduler::new(Policy::Fifo);
+        let a = r.register_task("a", Priority(0));
+        r.submit(a, at(0), cy(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum")]
+    fn zero_quantum_rejected() {
+        let _ = RtosScheduler::new(Policy::RoundRobin(cy(0)));
+    }
+
+    #[test]
+    fn set_priority_affects_future_selection() {
+        let mut r = RtosScheduler::new(Policy::FixedPriority);
+        let a = r.register_task("a", Priority(1));
+        let b = r.register_task("b", Priority(2));
+        r.set_priority(a, Priority(10));
+        r.submit(a, at(0), cy(1));
+        r.submit(b, at(0), cy(1));
+        assert_eq!(r.next_grant().expect("grant").task, a);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the discrete-event kernel.
+
+use desim::{EventQueue, Policy, Priority, RtosScheduler, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping the queue yields a non-decreasing sequence of timestamps,
+    /// and every pushed payload comes back exactly once.
+    #[test]
+    fn queue_pops_sorted_and_complete(times in prop::collection::vec(0u64..1000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_cycles(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut seen = vec![false; times.len()];
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t >= last);
+            prop_assert_eq!(t.cycles(), times[i]);
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+            last = t;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Equal-timestamp events preserve insertion order (stability).
+    #[test]
+    fn queue_is_fifo_stable(groups in prop::collection::vec((0u64..10, 1usize..8), 1..20)) {
+        let mut q = EventQueue::new();
+        let mut order: Vec<(u64, usize)> = Vec::new();
+        let mut n = 0usize;
+        for &(t, count) in &groups {
+            for _ in 0..count {
+                q.push(SimTime::from_cycles(t), n);
+                order.push((t, n));
+                n += 1;
+            }
+        }
+        order.sort_by_key(|&(t, i)| (t, i)); // stable expected order
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.cycles(), i));
+        }
+        prop_assert_eq!(popped, order);
+    }
+
+    /// RTOS grants never overlap, cover exactly the requested durations,
+    /// and never start before a request is ready — for every policy.
+    #[test]
+    fn rtos_schedule_is_feasible(
+        reqs in prop::collection::vec((0u32..4, 0u64..100, 1u64..50), 1..40),
+        policy_sel in 0u8..3,
+    ) {
+        let policy = match policy_sel {
+            0 => Policy::Fifo,
+            1 => Policy::FixedPriority,
+            _ => Policy::RoundRobin(SimDuration::from_cycles(5)),
+        };
+        let mut r = RtosScheduler::new(policy);
+        let tasks: Vec<_> = (0..4).map(|i| r.register_task(format!("t{i}"), Priority(i as u8))).collect();
+        let mut ready_of = std::collections::HashMap::new();
+        let mut want: u64 = 0;
+        for &(t, ready, dur) in &reqs {
+            let id = r.submit(tasks[t as usize], SimTime::from_cycles(ready), SimDuration::from_cycles(dur));
+            ready_of.insert(id, ready);
+            want += dur;
+        }
+        let grants = r.drain();
+        let mut served: u64 = 0;
+        let mut last_end = SimTime::ZERO;
+        for g in &grants {
+            prop_assert!(g.start >= last_end, "grants overlap");
+            prop_assert!(g.start.cycles() >= ready_of[&g.request], "ran before ready");
+            served += g.duration().cycles();
+            last_end = g.end;
+        }
+        prop_assert_eq!(served, want);
+        prop_assert_eq!(r.busy_time().cycles(), want);
+        prop_assert!(!r.has_pending());
+    }
+
+    /// Each request's grants are temporally ordered and exactly one grant
+    /// completes it.
+    #[test]
+    fn rtos_requests_complete_exactly_once(
+        durs in prop::collection::vec(1u64..30, 1..20),
+    ) {
+        let mut r = RtosScheduler::new(Policy::RoundRobin(SimDuration::from_cycles(3)));
+        let t = r.register_task("t", Priority(0));
+        for &d in &durs {
+            r.submit(t, SimTime::ZERO, SimDuration::from_cycles(d));
+        }
+        let grants = r.drain();
+        for (rid, _) in durs.iter().enumerate() {
+            let mine: Vec<_> = grants.iter().filter(|g| g.request == rid as u64).collect();
+            prop_assert!(!mine.is_empty());
+            prop_assert_eq!(mine.iter().filter(|g| g.completes).count(), 1);
+            prop_assert!(mine.last().expect("nonempty").completes);
+            let total: u64 = mine.iter().map(|g| g.duration().cycles()).sum();
+            prop_assert_eq!(total, durs[rid]);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Word-level datapath building blocks.
+//!
+//! A [`Bus`] is an ordered set of nets (LSB first) representing a binary
+//! word. The functions here instantiate structural gate-level
+//! implementations of the arithmetic/relational operators that the CFSM →
+//! netlist synthesizer needs: ripple-carry adders and subtractors,
+//! shift-add multipliers, comparators, bitwise logic, constant shifters
+//! and register banks. All arithmetic is two's-complement modulo
+//! 2^width.
+
+use crate::netlist::{GateKind, NetId, Netlist};
+
+/// A word of nets, least-significant bit first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bus(pub Vec<NetId>);
+
+impl Bus {
+    /// Bit width of the bus.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The underlying nets, LSB first.
+    pub fn nets(&self) -> &[NetId] {
+        &self.0
+    }
+
+    /// The most significant (sign) bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty bus.
+    pub fn msb(&self) -> NetId {
+        *self.0.last().expect("bus must be nonempty")
+    }
+}
+
+/// Masks `v` to `width` bits (helper for comparing word-level simulation
+/// against 64-bit behavioral values).
+pub fn mask_to_width(v: i64, width: usize) -> u64 {
+    if width >= 64 {
+        v as u64
+    } else {
+        (v as u64) & ((1u64 << width) - 1)
+    }
+}
+
+/// Sign-extends a `width`-bit value back to i64.
+pub fn sign_extend(v: u64, width: usize) -> i64 {
+    if width >= 64 {
+        return v as i64;
+    }
+    let m = 1u64 << (width - 1);
+    ((v & ((1u64 << width) - 1)) ^ m) as i64 - m as i64
+}
+
+/// Instantiates a bus of primary inputs.
+pub fn input_bus(nl: &mut Netlist, width: usize) -> Bus {
+    Bus((0..width).map(|_| nl.input()).collect())
+}
+
+/// Instantiates a constant bus holding `value` (low bits).
+pub fn const_bus(nl: &mut Netlist, width: usize, value: u64) -> Bus {
+    Bus((0..width)
+        .map(|i| nl.constant((value >> i) & 1 == 1))
+        .collect())
+}
+
+/// A register bank: `width` DFFs loading `d` when `enable` is high,
+/// holding otherwise. Returns the Q bus.
+pub fn register(nl: &mut Netlist, d: &Bus, enable: NetId, init: u64) -> Bus {
+    // q = dff(mux(enable, d, q)) — forward-reference each dff's own net.
+    let width = d.width();
+    let mut q_nets = Vec::with_capacity(width);
+    for i in 0..width {
+        // Each iteration creates: mux at id K, dff at id K+1 reading the mux.
+        let mux_id = NetId(nl.gate_count() as u32);
+        let dff_id = NetId(mux_id.0 + 1);
+        let mux = nl.gate(GateKind::Mux, vec![enable, d.0[i], dff_id]);
+        debug_assert_eq!(mux, mux_id);
+        let q = nl.dff(mux, (init >> i) & 1 == 1);
+        debug_assert_eq!(q, dff_id);
+        q_nets.push(q);
+    }
+    Bus(q_nets)
+}
+
+/// A one-bit full adder; returns `(sum, carry_out)`.
+pub fn full_adder(nl: &mut Netlist, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+    let axb = nl.gate(GateKind::Xor, vec![a, b]);
+    let sum = nl.gate(GateKind::Xor, vec![axb, cin]);
+    let ab = nl.gate(GateKind::And, vec![a, b]);
+    let axb_cin = nl.gate(GateKind::And, vec![axb, cin]);
+    let cout = nl.gate(GateKind::Or, vec![ab, axb_cin]);
+    (sum, cout)
+}
+
+/// Ripple-carry adder; returns `(sum_bus, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn adder(nl: &mut Netlist, a: &Bus, b: &Bus, cin: NetId) -> (Bus, NetId) {
+    assert_eq!(a.width(), b.width(), "adder operands must match in width");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.width());
+    for i in 0..a.width() {
+        let (s, c) = full_adder(nl, a.0[i], b.0[i], carry);
+        sum.push(s);
+        carry = c;
+    }
+    (Bus(sum), carry)
+}
+
+/// Two's-complement subtractor `a - b`; returns `(difference, borrow_free)`
+/// where the second component is the final carry (1 = no borrow, i.e.
+/// `a >= b` unsigned).
+pub fn subtractor(nl: &mut Netlist, a: &Bus, b: &Bus) -> (Bus, NetId) {
+    let nb = bitwise_not(nl, b);
+    let one = nl.constant(true);
+    adder(nl, a, &nb, one)
+}
+
+/// Arithmetic negation `-a`.
+pub fn negate(nl: &mut Netlist, a: &Bus) -> Bus {
+    let w = a.width();
+    let zero = const_bus(nl, w, 0);
+    subtractor(nl, &zero, a).0
+}
+
+/// Bitwise NOT.
+pub fn bitwise_not(nl: &mut Netlist, a: &Bus) -> Bus {
+    Bus(a.0.iter().map(|&n| nl.gate(GateKind::Not, vec![n])).collect())
+}
+
+/// Bitwise binary op over two buses.
+///
+/// # Panics
+///
+/// Panics if the widths differ or `kind` is not a 2-input logic kind.
+pub fn bitwise(nl: &mut Netlist, kind: GateKind, a: &Bus, b: &Bus) -> Bus {
+    assert_eq!(a.width(), b.width(), "bitwise operands must match in width");
+    assert!(
+        matches!(
+            kind,
+            GateKind::And | GateKind::Or | GateKind::Xor | GateKind::Nand | GateKind::Nor
+        ),
+        "not a bitwise kind"
+    );
+    Bus(a.0
+        .iter()
+        .zip(&b.0)
+        .map(|(&x, &y)| nl.gate(kind, vec![x, y]))
+        .collect())
+}
+
+/// Equality comparator (single net, 1 = equal).
+pub fn equal(nl: &mut Netlist, a: &Bus, b: &Bus) -> NetId {
+    assert_eq!(a.width(), b.width(), "eq operands must match in width");
+    let bits: Vec<NetId> = a
+        .0
+        .iter()
+        .zip(&b.0)
+        .map(|(&x, &y)| nl.gate(GateKind::Xnor, vec![x, y]))
+        .collect();
+    nl.gate(GateKind::And, bits)
+}
+
+/// Signed less-than `a < b` (single net).
+///
+/// Computed as the sign of `a - b` corrected for overflow:
+/// `lt = sign(diff) ^ overflow`, `overflow = (sa ^ sb) & (sa ^ sdiff)`.
+pub fn less_than_signed(nl: &mut Netlist, a: &Bus, b: &Bus) -> NetId {
+    let (diff, _) = subtractor(nl, a, b);
+    let sa = a.msb();
+    let sb = b.msb();
+    let sd = diff.msb();
+    let sa_x_sb = nl.gate(GateKind::Xor, vec![sa, sb]);
+    let sa_x_sd = nl.gate(GateKind::Xor, vec![sa, sd]);
+    let ovf = nl.gate(GateKind::And, vec![sa_x_sb, sa_x_sd]);
+    nl.gate(GateKind::Xor, vec![sd, ovf])
+}
+
+/// Nonzero detector (single net, 1 = any bit set).
+pub fn nonzero(nl: &mut Netlist, a: &Bus) -> NetId {
+    nl.gate(GateKind::Or, a.0.clone())
+}
+
+/// Word multiplexer: `sel ? a : b`.
+pub fn mux_bus(nl: &mut Netlist, sel: NetId, a: &Bus, b: &Bus) -> Bus {
+    assert_eq!(a.width(), b.width(), "mux operands must match in width");
+    Bus(a.0
+        .iter()
+        .zip(&b.0)
+        .map(|(&x, &y)| nl.gate(GateKind::Mux, vec![sel, x, y]))
+        .collect())
+}
+
+/// Logical shift left by a constant amount (zero fill, bits drop off the
+/// top).
+pub fn shift_left_const(nl: &mut Netlist, a: &Bus, amount: usize) -> Bus {
+    let w = a.width();
+    let zero = nl.constant(false);
+    Bus((0..w)
+        .map(|i| {
+            if i >= amount {
+                a.0[i - amount]
+            } else {
+                zero
+            }
+        })
+        .collect())
+}
+
+/// Arithmetic shift right by a constant amount (sign fill).
+pub fn shift_right_const(_nl: &mut Netlist, a: &Bus, amount: usize) -> Bus {
+    let w = a.width();
+    let sign = a.msb();
+    Bus((0..w)
+        .map(|i| {
+            if i + amount < w {
+                a.0[i + amount]
+            } else {
+                sign
+            }
+        })
+        .collect())
+}
+
+/// Shift-add multiplier (low `width` bits of the product).
+pub fn multiplier(nl: &mut Netlist, a: &Bus, b: &Bus) -> Bus {
+    assert_eq!(a.width(), b.width(), "mul operands must match in width");
+    let w = a.width();
+    let mut acc = const_bus(nl, w, 0);
+    for i in 0..w {
+        // partial = (b[i] ? a : 0) << i, accumulated.
+        let shifted = shift_left_const(nl, a, i);
+        let zero = const_bus(nl, w, 0);
+        let partial = mux_bus(nl, b.0[i], &shifted, &zero);
+        let cin = nl.constant(false);
+        acc = adder(nl, &acc, &partial, cin).0;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PowerConfig;
+    use crate::sim::Simulator;
+
+    const W: usize = 8;
+
+    /// Drives two input buses through a datapath and reads the result.
+    fn eval2(build: impl Fn(&mut Netlist, &Bus, &Bus) -> Bus, a: u64, b: u64) -> u64 {
+        let mut nl = Netlist::new();
+        let ba = input_bus(&mut nl, W);
+        let bb = input_bus(&mut nl, W);
+        let out = build(&mut nl, &ba, &bb);
+        let mut sim = Simulator::new(&nl, PowerConfig::date2000_defaults()).expect("valid");
+        sim.set_input_bus(ba.nets(), a);
+        sim.set_input_bus(bb.nets(), b);
+        sim.step();
+        sim.value_bus(out.nets())
+    }
+
+    fn eval2_bit(build: impl Fn(&mut Netlist, &Bus, &Bus) -> NetId, a: u64, b: u64) -> bool {
+        let mut nl = Netlist::new();
+        let ba = input_bus(&mut nl, W);
+        let bb = input_bus(&mut nl, W);
+        let out = build(&mut nl, &ba, &bb);
+        let mut sim = Simulator::new(&nl, PowerConfig::date2000_defaults()).expect("valid");
+        sim.set_input_bus(ba.nets(), a);
+        sim.set_input_bus(bb.nets(), b);
+        sim.step();
+        sim.value(out)
+    }
+
+    #[test]
+    fn adder_matches_wrapping_add() {
+        for (a, b) in [(0u64, 0u64), (1, 1), (100, 55), (200, 200), (255, 1)] {
+            let got = eval2(
+                |nl, x, y| {
+                    let c0 = nl.constant(false);
+                    adder(nl, x, y, c0).0
+                },
+                a,
+                b,
+            );
+            assert_eq!(got, (a + b) & 0xFF, "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn subtractor_matches_wrapping_sub() {
+        for (a, b) in [(0u64, 0u64), (5, 3), (3, 5), (255, 255), (0, 1)] {
+            let got = eval2(|nl, x, y| subtractor(nl, x, y).0, a, b);
+            assert_eq!(got, a.wrapping_sub(b) & 0xFF, "{a}-{b}");
+        }
+    }
+
+    #[test]
+    fn multiplier_matches_wrapping_mul() {
+        for (a, b) in [(0u64, 7u64), (3, 5), (15, 17), (100, 100), (255, 2)] {
+            let got = eval2(multiplier, a, b);
+            assert_eq!(got, (a * b) & 0xFF, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn comparators() {
+        for (a, b) in [(0i64, 0i64), (1, 2), (2, 1), (-3, 4), (4, -3), (-5, -2)] {
+            let ua = mask_to_width(a, W);
+            let ub = mask_to_width(b, W);
+            assert_eq!(eval2_bit(equal, ua, ub), a == b, "{a}=={b}");
+            assert_eq!(eval2_bit(less_than_signed, ua, ub), a < b, "{a}<{b}");
+        }
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = 0b1100_1010u64;
+        let b = 0b1010_0110u64;
+        assert_eq!(
+            eval2(|nl, x, y| bitwise(nl, GateKind::And, x, y), a, b),
+            a & b
+        );
+        assert_eq!(
+            eval2(|nl, x, y| bitwise(nl, GateKind::Or, x, y), a, b),
+            a | b
+        );
+        assert_eq!(
+            eval2(|nl, x, y| bitwise(nl, GateKind::Xor, x, y), a, b),
+            a ^ b
+        );
+    }
+
+    #[test]
+    fn negate_and_not() {
+        let got = eval2(|nl, x, _| negate(nl, x), 5, 0);
+        assert_eq!(got, (-5i64 as u64) & 0xFF);
+        let got = eval2(|nl, x, _| bitwise_not(nl, x), 0b1111_0000, 0);
+        assert_eq!(got, 0b0000_1111);
+    }
+
+    #[test]
+    fn shifts_by_constant() {
+        let got = eval2(|nl, x, _| shift_left_const(nl, x, 3), 0b0001_0110, 0);
+        assert_eq!(got, 0b1011_0000);
+        // Arithmetic right shift keeps the sign bit.
+        let got = eval2(|nl, x, _| shift_right_const(nl, x, 2), 0b1000_0000, 0);
+        assert_eq!(got, 0b1110_0000);
+    }
+
+    #[test]
+    fn nonzero_detector() {
+        assert!(!eval2_bit(|nl, x, _| nonzero(nl, x), 0, 0));
+        assert!(eval2_bit(|nl, x, _| nonzero(nl, x), 0b0100_0000, 0));
+    }
+
+    #[test]
+    fn mux_bus_selects_words() {
+        let mut nl = Netlist::new();
+        let sel = nl.input();
+        let a = input_bus(&mut nl, W);
+        let b = input_bus(&mut nl, W);
+        let out = mux_bus(&mut nl, sel, &a, &b);
+        let mut sim = Simulator::new(&nl, PowerConfig::date2000_defaults()).expect("valid");
+        sim.set_input_bus(a.nets(), 0x12);
+        sim.set_input_bus(b.nets(), 0x34);
+        sim.set_input(sel, true);
+        sim.step();
+        assert_eq!(sim.value_bus(out.nets()), 0x12);
+        sim.set_input(sel, false);
+        sim.step();
+        assert_eq!(sim.value_bus(out.nets()), 0x34);
+    }
+
+    #[test]
+    fn register_loads_and_holds() {
+        let mut nl = Netlist::new();
+        let en = nl.input();
+        let d = input_bus(&mut nl, W);
+        let q = register(&mut nl, &d, en, 0x0F);
+        let mut sim = Simulator::new(&nl, PowerConfig::date2000_defaults()).expect("valid");
+        // Initial value visible before any load.
+        assert_eq!(sim.value_bus(q.nets()), 0x0F);
+        sim.set_input_bus(d.nets(), 0xAA);
+        sim.set_input(en, false);
+        sim.step();
+        assert_eq!(sim.value_bus(q.nets()), 0x0F, "hold when disabled");
+        sim.set_input(en, true);
+        sim.step();
+        assert_eq!(sim.value_bus(q.nets()), 0xAA, "load when enabled");
+        sim.set_input(en, false);
+        sim.set_input_bus(d.nets(), 0x55);
+        sim.step();
+        assert_eq!(sim.value_bus(q.nets()), 0xAA, "hold again");
+    }
+
+    #[test]
+    fn mask_and_sign_extend_roundtrip() {
+        for v in [-128i64, -1, 0, 1, 127] {
+            assert_eq!(sign_extend(mask_to_width(v, 8), 8), v);
+        }
+        assert_eq!(mask_to_width(-1, 64), u64::MAX);
+        assert_eq!(sign_extend(u64::MAX, 64), -1);
+    }
+}

@@ -1,0 +1,53 @@
+//! `gatesim` — gate-level netlists, logic simulation, and
+//! switched-capacitance power estimation.
+//!
+//! This crate is the SIS-power-estimator analogue of the DATE 2000 power
+//! co-estimation paper: the hardware-mapped parts of a system-on-chip are
+//! synthesized to gates ([`HwCfsm::synthesize`]) and simulated cycle by
+//! cycle ([`Simulator`]) with per-net toggle-count energy accounting
+//! ([`PowerConfig`], [`EnergyReport`]) — "a gate-level simulator that
+//! reports power consumed on demand at cycle-level accuracy" (§3).
+//!
+//! Layers:
+//!
+//! * [`Netlist`] / [`GateKind`] — the structural IR;
+//! * [`bus`] — word-level datapath blocks (adders, multipliers,
+//!   comparators, registers);
+//! * [`Simulator`] — deterministic cycle-based logic simulation with
+//!   energy capture;
+//! * [`HwCfsm`] — CFSM transitions synthesized to FSMDs plus the
+//!   run protocol the co-simulation master uses.
+//!
+//! # Examples
+//!
+//! ```
+//! use gatesim::{Netlist, GateKind, Simulator, PowerConfig};
+//!
+//! let mut n = Netlist::new();
+//! let a = n.input();
+//! let b = n.input();
+//! let sum = n.gate(GateKind::Xor, vec![a, b]);
+//! n.mark_output("sum", sum);
+//!
+//! let mut sim = Simulator::new(&n, PowerConfig::date2000_defaults())?;
+//! sim.set_input(a, true);
+//! let energy = sim.step();
+//! assert!(sim.value(sum) && energy > 0.0);
+//! # Ok::<(), gatesim::ValidateNetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod blif;
+pub mod bus;
+mod netlist;
+mod power;
+mod sim;
+mod synth;
+
+pub use netlist::{Gate, GateKind, NetId, Netlist, ValidateNetlistError};
+pub use power::{CapacitanceMap, EnergyReport, PowerConfig};
+pub use sim::Simulator;
+pub use synth::{HwCfsm, HwRun, HwTransition, SynthConfig, SynthError};

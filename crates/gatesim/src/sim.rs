@@ -1,0 +1,409 @@
+//! Cycle-based logic simulation with toggle-count energy.
+//!
+//! The simulator evaluates the combinational gates in topological order
+//! once per cycle (zero-delay semantics), then clocks all DFFs
+//! simultaneously. Every net whose settled value differs from the previous
+//! cycle contributes one switch of its effective capacitance to the
+//! cycle's energy — the same accounting the modified SIS power estimator
+//! of the paper performs.
+
+use crate::netlist::{GateKind, NetId, Netlist, ValidateNetlistError};
+use crate::power::{CapacitanceMap, EnergyReport, PowerConfig};
+
+/// A simulation instance bound to one netlist.
+///
+/// # Examples
+///
+/// ```
+/// use gatesim::{Netlist, GateKind, Simulator, PowerConfig};
+///
+/// let mut n = Netlist::new();
+/// let a = n.input();
+/// let b = n.input();
+/// let x = n.gate(GateKind::Xor, vec![a, b]);
+/// n.mark_output("x", x);
+///
+/// let mut sim = Simulator::new(&n, PowerConfig::date2000_defaults())?;
+/// sim.set_input(a, true);
+/// let e = sim.step();
+/// assert!(sim.value(x));
+/// assert!(e > 0.0); // nets toggled
+/// # Ok::<(), gatesim::ValidateNetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    netlist: Netlist,
+    order: Vec<NetId>,
+    caps: CapacitanceMap,
+    config: PowerConfig,
+    values: Vec<bool>,
+    inputs: Vec<bool>,
+    report: EnergyReport,
+    toggles: Vec<u64>,
+    cycle: u64,
+}
+
+impl Simulator {
+    /// Builds a simulator, validating the netlist.
+    ///
+    /// All nets start at their reset values (DFF init values, inputs low,
+    /// combinational logic settled accordingly).
+    ///
+    /// # Errors
+    ///
+    /// Returns the netlist's [`ValidateNetlistError`] if it is malformed.
+    pub fn new(netlist: &Netlist, config: PowerConfig) -> Result<Self, ValidateNetlistError> {
+        let order = netlist.validate()?;
+        let caps = CapacitanceMap::new(netlist, &config);
+        let n = netlist.gate_count();
+        let mut sim = Simulator {
+            netlist: netlist.clone(),
+            order,
+            caps,
+            config,
+            values: vec![false; n],
+            inputs: vec![false; n],
+            report: EnergyReport::default(),
+            toggles: vec![0; n],
+            cycle: 0,
+        };
+        // Settle reset state without charging energy.
+        for (i, g) in sim.netlist.gates().iter().enumerate() {
+            if let GateKind::Dff(init) = g.kind {
+                sim.values[i] = init;
+            }
+        }
+        sim.settle();
+        Ok(sim)
+    }
+
+    /// Forces a primary input for subsequent cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an `Input` gate.
+    pub fn set_input(&mut self, net: NetId, value: bool) {
+        assert_eq!(
+            self.netlist.gates()[net.0 as usize].kind,
+            GateKind::Input,
+            "{net} is not a primary input"
+        );
+        self.inputs[net.0 as usize] = value;
+    }
+
+    /// Forces a whole bus of inputs from the low bits of `value`
+    /// (bit *i* of `value` drives `nets[i]`).
+    pub fn set_input_bus(&mut self, nets: &[NetId], value: u64) {
+        for (i, &n) in nets.iter().enumerate() {
+            self.set_input(n, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// The settled value of a net.
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.0 as usize]
+    }
+
+    /// Reads a bus of nets as an integer (bit *i* from `nets[i]`).
+    pub fn value_bus(&self, nets: &[NetId]) -> u64 {
+        nets.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &n)| acc | ((self.value(n) as u64) << i))
+    }
+
+    /// Simulates one clock cycle with the currently forced inputs and
+    /// returns the cycle's energy in joules.
+    ///
+    /// A cycle consists of: apply inputs → settle combinational logic →
+    /// charge toggled nets + clock tree → clock DFFs.
+    pub fn step(&mut self) -> f64 {
+        let before = self.values.clone();
+        // 1. Apply inputs.
+        for (i, g) in self.netlist.gates().iter().enumerate() {
+            if g.kind == GateKind::Input {
+                self.values[i] = self.inputs[i];
+            }
+        }
+        // 2. Settle combinational logic.
+        self.settle();
+        // 3. Energy from toggles against the previous settled state.
+        let mut energy = self.caps.clock_energy_per_cycle_j();
+        for (i, (&now, &was)) in self.values.iter().zip(&before).enumerate() {
+            if now != was {
+                self.toggles[i] += 1;
+                energy += self.config.switch_energy_j(self.caps.cap_ff(i as u32));
+            }
+        }
+        // 4. Clock edge: DFFs sample their D inputs simultaneously. A Q
+        //    output that changes switches its net's capacitance too (its
+        //    downstream effect is charged at the next cycle's settle).
+        let sampled: Vec<(usize, bool)> = self
+            .netlist
+            .gates()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| {
+                if g.kind.is_sequential() {
+                    Some((i, self.values[g.inputs[0].0 as usize]))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (i, v) in sampled {
+            if self.values[i] != v {
+                self.toggles[i] += 1;
+                energy += self.config.switch_energy_j(self.caps.cap_ff(i as u32));
+            }
+            self.values[i] = v;
+        }
+        self.cycle += 1;
+        self.report.per_cycle_j.push(energy);
+        energy
+    }
+
+    /// Runs `n` cycles and returns the energy over them, in joules.
+    pub fn run(&mut self, n: u64) -> f64 {
+        (0..n).map(|_| self.step()).sum()
+    }
+
+    /// The accumulated cycle-by-cycle energy report.
+    pub fn report(&self) -> &EnergyReport {
+        &self.report
+    }
+
+    /// Clock-tree energy charged every cycle regardless of activity,
+    /// joules.
+    pub fn clock_energy_per_cycle_j(&self) -> f64 {
+        self.caps.clock_energy_per_cycle_j()
+    }
+
+    /// Total toggle count of a net so far.
+    pub fn toggle_count(&self, net: NetId) -> u64 {
+        self.toggles[net.0 as usize]
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Clears the energy report and toggle counters (state is kept).
+    pub fn clear_stats(&mut self) {
+        self.report = EnergyReport::default();
+        for t in &mut self.toggles {
+            *t = 0;
+        }
+    }
+
+    /// Propagates values through the combinational gates (topological
+    /// order), leaving DFF outputs and inputs untouched.
+    fn settle(&mut self) {
+        for idx in 0..self.order.len() {
+            let id = self.order[idx];
+            let g = &self.netlist.gates()[id.0 as usize];
+            let v = match g.kind {
+                GateKind::Buf => self.values[g.inputs[0].0 as usize],
+                GateKind::Not => !self.values[g.inputs[0].0 as usize],
+                GateKind::And => g.inputs.iter().all(|&i| self.values[i.0 as usize]),
+                GateKind::Or => g.inputs.iter().any(|&i| self.values[i.0 as usize]),
+                GateKind::Nand => !g.inputs.iter().all(|&i| self.values[i.0 as usize]),
+                GateKind::Nor => !g.inputs.iter().any(|&i| self.values[i.0 as usize]),
+                GateKind::Xor => g
+                    .inputs
+                    .iter()
+                    .fold(false, |acc, &i| acc ^ self.values[i.0 as usize]),
+                GateKind::Xnor => !g
+                    .inputs
+                    .iter()
+                    .fold(false, |acc, &i| acc ^ self.values[i.0 as usize]),
+                GateKind::Mux => {
+                    let sel = self.values[g.inputs[0].0 as usize];
+                    if sel {
+                        self.values[g.inputs[1].0 as usize]
+                    } else {
+                        self.values[g.inputs[2].0 as usize]
+                    }
+                }
+                GateKind::Input
+                | GateKind::Const0
+                | GateKind::Const1
+                | GateKind::Dff(_) => unreachable!("not in combinational order"),
+            };
+            self.values[id.0 as usize] = v;
+        }
+        // Constants hold their values.
+        for (i, g) in self.netlist.gates().iter().enumerate() {
+            match g.kind {
+                GateKind::Const0 => self.values[i] = false,
+                GateKind::Const1 => self.values[i] = true,
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    fn cfg() -> PowerConfig {
+        PowerConfig::date2000_defaults()
+    }
+
+    #[test]
+    fn gate_truth_tables() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let and = n.gate(GateKind::And, vec![a, b]);
+        let or = n.gate(GateKind::Or, vec![a, b]);
+        let nand = n.gate(GateKind::Nand, vec![a, b]);
+        let nor = n.gate(GateKind::Nor, vec![a, b]);
+        let xor = n.gate(GateKind::Xor, vec![a, b]);
+        let xnor = n.gate(GateKind::Xnor, vec![a, b]);
+        let not = n.gate(GateKind::Not, vec![a]);
+        let buf = n.gate(GateKind::Buf, vec![a]);
+        let mut sim = Simulator::new(&n, cfg()).expect("valid");
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            sim.set_input(a, va);
+            sim.set_input(b, vb);
+            sim.step();
+            assert_eq!(sim.value(and), va && vb);
+            assert_eq!(sim.value(or), va || vb);
+            assert_eq!(sim.value(nand), !(va && vb));
+            assert_eq!(sim.value(nor), !(va || vb));
+            assert_eq!(sim.value(xor), va ^ vb);
+            assert_eq!(sim.value(xnor), !(va ^ vb));
+            assert_eq!(sim.value(not), !va);
+            assert_eq!(sim.value(buf), va);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut n = Netlist::new();
+        let s = n.input();
+        let a = n.input();
+        let b = n.input();
+        let m = n.gate(GateKind::Mux, vec![s, a, b]);
+        let mut sim = Simulator::new(&n, cfg()).expect("valid");
+        sim.set_input(a, true);
+        sim.set_input(b, false);
+        sim.set_input(s, true);
+        sim.step();
+        assert!(sim.value(m));
+        sim.set_input(s, false);
+        sim.step();
+        assert!(!sim.value(m));
+    }
+
+    #[test]
+    fn dff_delays_by_one_cycle() {
+        let mut n = Netlist::new();
+        let d = n.input();
+        let q = n.dff(d, false);
+        let mut sim = Simulator::new(&n, cfg()).expect("valid");
+        sim.set_input(d, true);
+        sim.step();
+        // During the cycle the old Q (reset value) is visible; after the
+        // edge the new value is latched.
+        assert!(sim.value(q));
+        sim.set_input(d, false);
+        sim.step();
+        assert!(!sim.value(q));
+    }
+
+    #[test]
+    fn toggle_flop_oscillates() {
+        let mut n = Netlist::new();
+        let inv = n.gate(GateKind::Not, vec![NetId(1)]);
+        let q = n.dff(inv, false);
+        let mut sim = Simulator::new(&n, cfg()).expect("valid");
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            sim.step();
+            seen.push(sim.value(q));
+        }
+        assert_eq!(seen, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn energy_zero_when_nothing_toggles() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let _x = n.gate(GateKind::Not, vec![a]);
+        let mut sim = Simulator::new(&n, cfg()).expect("valid");
+        // No DFFs → no clock energy; inputs held → no toggles.
+        let e1 = sim.step();
+        assert_eq!(e1, 0.0);
+        sim.set_input(a, true);
+        let e2 = sim.step();
+        assert!(e2 > 0.0);
+        let e3 = sim.step();
+        assert_eq!(e3, 0.0);
+    }
+
+    #[test]
+    fn energy_scales_with_activity() {
+        // A 4-bit input bus into inverters: toggling more bits costs more.
+        let mut n = Netlist::new();
+        let bits: Vec<NetId> = (0..4).map(|_| n.input()).collect();
+        for &b in &bits {
+            n.gate(GateKind::Not, vec![b]);
+        }
+        let mut sim = Simulator::new(&n, cfg()).expect("valid");
+        sim.set_input_bus(&bits, 0b0001);
+        let e1 = sim.step();
+        sim.set_input_bus(&bits, 0b1110);
+        let e4 = sim.step(); // all 4 bits flip
+        assert!(e4 > e1);
+        assert_eq!(sim.toggle_count(bits[0]), 2);
+    }
+
+    #[test]
+    fn bus_helpers_roundtrip() {
+        let mut n = Netlist::new();
+        let bits: Vec<NetId> = (0..8).map(|_| n.input()).collect();
+        let mut sim = Simulator::new(&n, cfg()).expect("valid");
+        sim.set_input_bus(&bits, 0xA5);
+        sim.step();
+        assert_eq!(sim.value_bus(&bits), 0xA5);
+    }
+
+    #[test]
+    fn report_accumulates_and_clears() {
+        let mut n = Netlist::new();
+        let d = n.input();
+        let _q = n.dff(d, false);
+        let mut sim = Simulator::new(&n, cfg()).expect("valid");
+        sim.run(5);
+        assert_eq!(sim.report().cycles(), 5);
+        assert!(sim.report().total_j() > 0.0); // clock energy
+        assert_eq!(sim.cycle(), 5);
+        sim.clear_stats();
+        assert_eq!(sim.report().cycles(), 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let inv = n.gate(GateKind::Not, vec![NetId(2)]);
+        let q = n.dff(inv, false);
+        let x = n.gate(GateKind::Xor, vec![a, q]);
+        n.mark_output("x", x);
+        let run = || {
+            let mut sim = Simulator::new(&n, cfg()).expect("valid");
+            let mut trace = Vec::new();
+            for i in 0..20u64 {
+                sim.set_input(a, i % 3 == 0);
+                let e = sim.step();
+                trace.push((sim.value(x), e.to_bits()));
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+}

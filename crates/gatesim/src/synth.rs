@@ -1,0 +1,1113 @@
+//! Structural synthesis of CFSM transitions into gate-level FSMDs.
+//!
+//! The POLIS flow synthesizes each hardware-mapped CFSM into a netlist
+//! that the (modified SIS) gate-level power estimator simulates. This
+//! module reproduces that step: every transition body becomes a one-hot
+//! controller over *segments* (cycle-sized slices of CFG basic blocks)
+//! plus a word-level datapath over the process variables, built from the
+//! [`bus`](crate::bus) library.
+//!
+//! ## Run protocol
+//!
+//! The co-simulation master drives a synthesized transition the way the
+//! paper's master drives the HW power simulator ("state, input values,
+//! commands" in; "cycles, power" out — Fig. 2b):
+//!
+//! 1. **load cycle** — variable values are forced through the load port;
+//! 2. **start cycle** — the controller leaves idle;
+//! 3. **execution cycles** — one segment per cycle until `done`;
+//!    shared-memory reads are a two-cycle issue/capture handshake, with
+//!    the master supplying the read data between cycles.
+//!
+//! The reported cycle count therefore includes the two synchronization
+//! overhead cycles per firing.
+//!
+//! ## Limitations
+//!
+//! Division, remainder, and shifts by a non-constant amount have no
+//! structural implementation ([`SynthError::UnsupportedOp`]); processes
+//! using them belong in software. Transition guards are evaluated by the
+//! behavioral master (their energy is folded into the controller).
+
+use crate::bus::{
+    adder, bitwise, bitwise_not, const_bus, equal, input_bus, less_than_signed, mask_to_width,
+    multiplier, negate, nonzero, shift_left_const, shift_right_const, sign_extend, Bus,
+};
+use crate::netlist::{GateKind, NetId, Netlist, ValidateNetlistError};
+use crate::power::PowerConfig;
+use crate::sim::Simulator;
+use cfsm::{BinOp, Cfsm, EventId, Expr, Stmt, Terminator, TransitionId, UnOp, VarId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Synthesis parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Datapath word width in bits (values wrap modulo 2^width).
+    pub width: usize,
+}
+
+impl SynthConfig {
+    /// 16-bit datapath — wide enough for the paper's example systems
+    /// (byte streams, timestamps, 16-bit checksums).
+    pub fn new() -> Self {
+        SynthConfig { width: 16 }
+    }
+
+    /// Sets the datapath width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= width <= 63`.
+    pub fn with_width(width: usize) -> Self {
+        assert!((1..=63).contains(&width), "width must be in 1..=63");
+        SynthConfig { width }
+    }
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig::new()
+    }
+}
+
+/// Errors from synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// The operator has no structural implementation.
+    UnsupportedOp(&'static str),
+    /// The generated netlist failed validation (internal error).
+    Netlist(ValidateNetlistError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::UnsupportedOp(op) => {
+                write!(f, "operator {op} has no hardware implementation")
+            }
+            SynthError::Netlist(e) => write!(f, "generated netlist invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+impl From<ValidateNetlistError> for SynthError {
+    fn from(e: ValidateNetlistError) -> Self {
+        SynthError::Netlist(e)
+    }
+}
+
+/// A cycle-sized slice of a basic block.
+#[derive(Debug, Clone)]
+struct Segment {
+    /// Capture the memory read data into this variable at segment entry.
+    capture: Option<VarId>,
+    assigns: Vec<(VarId, Expr)>,
+    emits: Vec<(EventId, Option<Expr>)>,
+    mem_issue: Option<MemIssue>,
+    next: SegNext,
+}
+
+#[derive(Debug, Clone)]
+enum MemIssue {
+    Read(Expr),
+    Write(Expr, Expr),
+}
+
+#[derive(Debug, Clone)]
+enum SegNext {
+    Goto(usize),
+    Branch {
+        cond: Expr,
+        then_seg: usize,
+        else_seg: usize,
+    },
+    Done,
+}
+
+/// Splits a CFG into segments: each memory operation ends a segment (one
+/// bus transaction per cycle; reads capture in the following segment).
+fn segment_cfg(body: &cfsm::Cfg) -> Vec<Segment> {
+    let fresh = |capture: Option<VarId>| Segment {
+        capture,
+        assigns: Vec::new(),
+        emits: Vec::new(),
+        mem_issue: None,
+        next: SegNext::Done, // patched below
+    };
+    // First pass: per-block segment lists.
+    let mut per_block: Vec<Vec<Segment>> = Vec::with_capacity(body.len());
+    for block in body.blocks() {
+        let mut segs = vec![fresh(None)];
+        for stmt in &block.stmts {
+            let cur = segs.len() - 1;
+            match stmt {
+                Stmt::Assign { var, expr } => segs[cur].assigns.push((*var, expr.clone())),
+                Stmt::Emit { event, value } => segs[cur].emits.push((*event, value.clone())),
+                Stmt::MemRead { var, addr } => {
+                    segs[cur].mem_issue = Some(MemIssue::Read(addr.clone()));
+                    segs.push(fresh(Some(*var)));
+                }
+                Stmt::MemWrite { addr, value } => {
+                    segs[cur].mem_issue = Some(MemIssue::Write(addr.clone(), value.clone()));
+                    segs.push(fresh(None));
+                }
+            }
+        }
+        per_block.push(segs);
+    }
+    // Block -> first segment index.
+    let mut first = Vec::with_capacity(per_block.len());
+    let mut total = 0usize;
+    for segs in &per_block {
+        first.push(total);
+        total += segs.len();
+    }
+    // Second pass: link.
+    let mut out = Vec::with_capacity(total);
+    for (bi, segs) in per_block.into_iter().enumerate() {
+        let base = first[bi];
+        let n = segs.len();
+        for (si, mut seg) in segs.into_iter().enumerate() {
+            seg.next = if si + 1 < n {
+                SegNext::Goto(base + si + 1)
+            } else {
+                match &body.blocks()[bi].term {
+                    Terminator::Goto(t) => SegNext::Goto(first[t.0 as usize]),
+                    Terminator::Branch {
+                        cond,
+                        then_block,
+                        else_block,
+                    } => SegNext::Branch {
+                        cond: cond.clone(),
+                        then_seg: first[then_block.0 as usize],
+                        else_seg: first[else_block.0 as usize],
+                    },
+                    Terminator::Return => SegNext::Done,
+                }
+            };
+            out.push(seg);
+        }
+    }
+    out
+}
+
+/// I/O ports of one synthesized transition.
+#[derive(Debug, Clone)]
+struct Ports {
+    start: NetId,
+    load: NetId,
+    var_in: Vec<Bus>,
+    var_q: Vec<Bus>,
+    ev_in: BTreeMap<EventId, Bus>,
+    mem_data_in: Bus,
+    done: NetId,
+    emit_pulse: BTreeMap<EventId, NetId>,
+    emit_value: BTreeMap<EventId, Bus>,
+    mem_re: NetId,
+    mem_we: NetId,
+    mem_addr: Bus,
+    mem_wdata: Bus,
+}
+
+/// One synthesized, simulatable transition.
+///
+/// The gate-level simulator state persists across runs (hardware is not
+/// reset between firings), so the energy of a firing depends on the
+/// previous datapath contents — the source of the per-path energy
+/// variance that motivates the paper's caching thresholds (Fig. 4).
+#[derive(Debug)]
+pub struct HwTransition {
+    sim: Simulator,
+    ports: Ports,
+    width: usize,
+    gate_count: usize,
+    segment_count: usize,
+}
+
+/// The result of running one transition on the gate-level simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwRun {
+    /// Total cycles, including the load and start synchronization cycles.
+    pub cycles: u64,
+    /// Energy dissipated over those cycles, in joules.
+    pub energy_j: f64,
+    /// Final variable values (sign-extended back to i64).
+    pub vars_out: Vec<i64>,
+    /// Events emitted, in cycle order.
+    pub emitted: Vec<(EventId, Option<i64>)>,
+    /// Memory transactions issued: `(addr, write?, write_data)`.
+    pub mem_ops: Vec<(u64, bool, i64)>,
+}
+
+/// Guards against malformed controllers spinning forever.
+const MAX_RUN_CYCLES: u64 = 50_000_000;
+
+impl HwTransition {
+    /// Runs the transition: `vars_in` are the live variable values,
+    /// `event_value` supplies triggering event values, `mem_reads` the
+    /// ordered functional read data (from the behavioral execution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more reads are issued than `mem_reads` supplies, or if
+    /// the controller exceeds an internal cycle budget.
+    pub fn run(
+        &mut self,
+        vars_in: &[i64],
+        event_value: &dyn Fn(EventId) -> i64,
+        mem_reads: &[i64],
+    ) -> HwRun {
+        let w = self.width;
+        let sim = &mut self.sim;
+        // Load cycle.
+        sim.set_input(self.ports.start, false);
+        sim.set_input(self.ports.load, true);
+        for (v, bus) in self.ports.var_in.iter().enumerate() {
+            sim.set_input_bus(bus.nets(), mask_to_width(vars_in[v], w));
+        }
+        for (&e, bus) in &self.ports.ev_in {
+            sim.set_input_bus(bus.nets(), mask_to_width(event_value(e), w));
+        }
+        let mut energy = sim.step();
+        let mut cycles = 1u64;
+        // Start handshake cycle.
+        sim.set_input(self.ports.load, false);
+        sim.set_input(self.ports.start, true);
+        energy += sim.step();
+        cycles += 1;
+        sim.set_input(self.ports.start, false);
+        // Execution cycles.
+        let mut emitted = Vec::new();
+        let mut mem_ops = Vec::new();
+        let mut next_read = 0usize;
+        loop {
+            energy += sim.step();
+            cycles += 1;
+            assert!(
+                cycles < MAX_RUN_CYCLES,
+                "hardware transition exceeded cycle budget; runaway controller?"
+            );
+            for (&e, &pulse) in &self.ports.emit_pulse {
+                if sim.value(pulse) {
+                    let val = self
+                        .ports
+                        .emit_value
+                        .get(&e)
+                        .map(|bus| sign_extend(sim.value_bus(bus.nets()), w));
+                    emitted.push((e, val));
+                }
+            }
+            if sim.value(self.ports.mem_re) {
+                let addr = sim.value_bus(self.ports.mem_addr.nets());
+                mem_ops.push((addr, false, 0));
+                assert!(
+                    next_read < mem_reads.len(),
+                    "hardware issued more reads than the behavioral execution supplied"
+                );
+                sim.set_input_bus(
+                    self.ports.mem_data_in.nets(),
+                    mask_to_width(mem_reads[next_read], w),
+                );
+                next_read += 1;
+            }
+            if sim.value(self.ports.mem_we) {
+                let addr = sim.value_bus(self.ports.mem_addr.nets());
+                let data = sign_extend(sim.value_bus(self.ports.mem_wdata.nets()), w);
+                mem_ops.push((addr, true, data));
+            }
+            if sim.value(self.ports.done) {
+                break;
+            }
+        }
+        let vars_out = self
+            .ports
+            .var_q
+            .iter()
+            .map(|bus| sign_extend(sim.value_bus(bus.nets()), w))
+            .collect();
+        HwRun {
+            cycles,
+            energy_j: energy,
+            vars_out,
+            emitted,
+            mem_ops,
+        }
+    }
+
+    /// Steps the netlist `cycles` times with held inputs — the component
+    /// idling while it waits for the bus — and returns the energy (clock
+    /// tree only, since nothing toggles). The paper observes that the
+    /// integration architecture changes component power "even though the
+    /// HW and SW parts are unchanged" (§5.3); this is that mechanism.
+    pub fn idle_step(&mut self, cycles: u64) -> f64 {
+        self.sim.run(cycles)
+    }
+
+    /// Clock-tree energy per idle cycle, joules (the analytic equivalent
+    /// of [`idle_step`](HwTransition::idle_step), used when an
+    /// acceleration technique skips the gate-level simulation).
+    pub fn idle_energy_per_cycle_j(&self) -> f64 {
+        self.sim.clock_energy_per_cycle_j()
+    }
+
+    /// Gates in this transition's netlist.
+    pub fn gate_count(&self) -> usize {
+        self.gate_count
+    }
+
+    /// Number of controller segments.
+    pub fn segment_count(&self) -> usize {
+        self.segment_count
+    }
+}
+
+/// A hardware-mapped CFSM: one synthesized netlist per transition.
+///
+/// # Examples
+///
+/// ```
+/// use cfsm::{Cfsm, Cfg, Stmt, Expr, EventId};
+/// use gatesim::{HwCfsm, SynthConfig, PowerConfig};
+///
+/// let mut b = Cfsm::builder("inc");
+/// let s = b.state("s");
+/// let v = b.var("v", 0);
+/// let t = b.transition(
+///     s,
+///     vec![EventId(0)],
+///     None,
+///     Cfg::straight_line(vec![Stmt::Assign {
+///         var: v,
+///         expr: Expr::add(Expr::Var(v), Expr::Const(1)),
+///     }]),
+///     s,
+/// );
+/// let machine = b.finish()?;
+/// let mut hw = HwCfsm::synthesize(&machine, &SynthConfig::new(), &PowerConfig::date2000_defaults())?;
+/// let run = hw.transition_mut(t).run(&[41], &|_| 0, &[]);
+/// assert_eq!(run.vars_out, vec![42]);
+/// assert!(run.energy_j > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct HwCfsm {
+    name: String,
+    transitions: Vec<HwTransition>,
+}
+
+impl HwCfsm {
+    /// Synthesizes every transition of `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::UnsupportedOp`] for operators with no
+    /// structural implementation.
+    pub fn synthesize(
+        machine: &Cfsm,
+        config: &SynthConfig,
+        power: &PowerConfig,
+    ) -> Result<Self, SynthError> {
+        let n_vars = machine.vars().len();
+        let mut transitions = Vec::with_capacity(machine.transitions().len());
+        for t in machine.transitions() {
+            transitions.push(synthesize_transition(t, n_vars, config, power)?);
+        }
+        Ok(HwCfsm {
+            name: machine.name().to_string(),
+            transitions,
+        })
+    }
+
+    /// The machine name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Mutable access to one synthesized transition.
+    pub fn transition_mut(&mut self, id: TransitionId) -> &mut HwTransition {
+        &mut self.transitions[id.0 as usize]
+    }
+
+    /// Total gates across all transitions.
+    pub fn gate_count(&self) -> usize {
+        self.transitions.iter().map(|t| t.gate_count()).sum()
+    }
+
+    /// Number of synthesized transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+}
+
+fn collect_event_reads_expr(e: &Expr, out: &mut BTreeSet<EventId>) {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => {}
+        Expr::EventValue(ev) => {
+            out.insert(*ev);
+        }
+        Expr::Unary(_, a) => collect_event_reads_expr(a, out),
+        Expr::Binary(_, a, b) => {
+            collect_event_reads_expr(a, out);
+            collect_event_reads_expr(b, out);
+        }
+    }
+}
+
+/// Synthesizes one expression into the datapath. `current` maps variables
+/// to their value buses within the active segment.
+fn synth_expr(
+    nl: &mut Netlist,
+    expr: &Expr,
+    current: &HashMap<VarId, Bus>,
+    ev_in: &BTreeMap<EventId, Bus>,
+    width: usize,
+) -> Result<Bus, SynthError> {
+    Ok(match expr {
+        Expr::Const(c) => const_bus(nl, width, mask_to_width(*c, width)),
+        Expr::Var(v) => current
+            .get(v)
+            .unwrap_or_else(|| panic!("variable {v} not in datapath"))
+            .clone(),
+        Expr::EventValue(e) => ev_in
+            .get(e)
+            .expect("event input bus exists for every read event")
+            .clone(),
+        Expr::Unary(op, a) => {
+            let ba = synth_expr(nl, a, current, ev_in, width)?;
+            match op {
+                UnOp::Neg => negate(nl, &ba),
+                UnOp::Not => bitwise_not(nl, &ba),
+                UnOp::LNot => {
+                    let nz = nonzero(nl, &ba);
+                    let b = nl.gate(GateKind::Not, vec![nz]);
+                    extend_bit(nl, b, width)
+                }
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let ba = synth_expr(nl, a, current, ev_in, width)?;
+            // Constant shift amounts short-circuit before synthesizing b.
+            match op {
+                BinOp::Shl | BinOp::Shr => {
+                    let amount = match **b {
+                        Expr::Const(c) if c >= 0 => c as usize % width.max(1),
+                        _ => {
+                            return Err(SynthError::UnsupportedOp(
+                                "shift by non-constant amount",
+                            ))
+                        }
+                    };
+                    return Ok(if matches!(op, BinOp::Shl) {
+                        shift_left_const(nl, &ba, amount)
+                    } else {
+                        shift_right_const(nl, &ba, amount)
+                    });
+                }
+                _ => {}
+            }
+            let bb = synth_expr(nl, b, current, ev_in, width)?;
+            match op {
+                BinOp::Add => {
+                    let c0 = nl.constant(false);
+                    adder(nl, &ba, &bb, c0).0
+                }
+                BinOp::Sub => {
+                    let nb = bitwise_not(nl, &bb);
+                    let c1 = nl.constant(true);
+                    adder(nl, &ba, &nb, c1).0
+                }
+                BinOp::Mul => multiplier(nl, &ba, &bb),
+                BinOp::Div => return Err(SynthError::UnsupportedOp("division")),
+                BinOp::Rem => return Err(SynthError::UnsupportedOp("remainder")),
+                BinOp::And => bitwise(nl, GateKind::And, &ba, &bb),
+                BinOp::Or => bitwise(nl, GateKind::Or, &ba, &bb),
+                BinOp::Xor => bitwise(nl, GateKind::Xor, &ba, &bb),
+                BinOp::Shl | BinOp::Shr => unreachable!("handled above"),
+                BinOp::Eq => {
+                    let b = equal(nl, &ba, &bb);
+                    extend_bit(nl, b, width)
+                }
+                BinOp::Ne => {
+                    let e = equal(nl, &ba, &bb);
+                    let b = nl.gate(GateKind::Not, vec![e]);
+                    extend_bit(nl, b, width)
+                }
+                BinOp::Lt => {
+                    let b = less_than_signed(nl, &ba, &bb);
+                    extend_bit(nl, b, width)
+                }
+                BinOp::Le => {
+                    // a <= b  ==  !(b < a)
+                    let gt = less_than_signed(nl, &bb, &ba);
+                    let b = nl.gate(GateKind::Not, vec![gt]);
+                    extend_bit(nl, b, width)
+                }
+                BinOp::Gt => {
+                    let b = less_than_signed(nl, &bb, &ba);
+                    extend_bit(nl, b, width)
+                }
+                BinOp::Ge => {
+                    let lt = less_than_signed(nl, &ba, &bb);
+                    let b = nl.gate(GateKind::Not, vec![lt]);
+                    extend_bit(nl, b, width)
+                }
+            }
+        }
+    })
+}
+
+/// Zero-extends a single bit to a bus.
+fn extend_bit(nl: &mut Netlist, bit: NetId, width: usize) -> Bus {
+    let zero = nl.constant(false);
+    let mut nets = vec![bit];
+    nets.resize(width, zero);
+    Bus(nets)
+}
+
+/// OR-combines `(select, bus)` pairs into one bus; selects are assumed
+/// one-hot. Returns a zero bus if the list is empty.
+fn onehot_merge(nl: &mut Netlist, width: usize, arms: &[(NetId, Bus)]) -> Bus {
+    if arms.is_empty() {
+        return const_bus(nl, width, 0);
+    }
+    let mut bits = Vec::with_capacity(width);
+    for i in 0..width {
+        let masked: Vec<NetId> = arms
+            .iter()
+            .map(|(sel, bus)| nl.gate(GateKind::And, vec![*sel, bus.0[i]]))
+            .collect();
+        bits.push(nl.gate(GateKind::Or, masked));
+    }
+    Bus(bits)
+}
+
+/// ORs a list of nets (0 if empty).
+fn or_all(nl: &mut Netlist, nets: Vec<NetId>) -> NetId {
+    if nets.is_empty() {
+        nl.constant(false)
+    } else {
+        nl.gate(GateKind::Or, nets)
+    }
+}
+
+fn synthesize_transition(
+    t: &cfsm::Transition,
+    n_vars: usize,
+    config: &SynthConfig,
+    power: &PowerConfig,
+) -> Result<HwTransition, SynthError> {
+    let w = config.width;
+    let segments = segment_cfg(&t.body);
+    let n_segs = segments.len();
+    let mut nl = Netlist::new();
+
+    // Ports.
+    let start = nl.input();
+    let load = nl.input();
+    let var_in: Vec<Bus> = (0..n_vars).map(|_| input_bus(&mut nl, w)).collect();
+    let mem_data_in = input_bus(&mut nl, w);
+    let mut ev_reads = BTreeSet::new();
+    for seg in &segments {
+        for (_, e) in &seg.assigns {
+            collect_event_reads_expr(e, &mut ev_reads);
+        }
+        for (_, v) in &seg.emits {
+            if let Some(v) = v {
+                collect_event_reads_expr(v, &mut ev_reads);
+            }
+        }
+        match &seg.mem_issue {
+            Some(MemIssue::Read(a)) => collect_event_reads_expr(a, &mut ev_reads),
+            Some(MemIssue::Write(a, v)) => {
+                collect_event_reads_expr(a, &mut ev_reads);
+                collect_event_reads_expr(v, &mut ev_reads);
+            }
+            None => {}
+        }
+        if let SegNext::Branch { cond, .. } = &seg.next {
+            collect_event_reads_expr(cond, &mut ev_reads);
+        }
+    }
+    let ev_in: BTreeMap<EventId, Bus> = ev_reads
+        .into_iter()
+        .map(|e| (e, input_bus(&mut nl, w)))
+        .collect();
+
+    // Controller flops via late-bound wires.
+    let idle_d = nl.wire();
+    let idle_q = nl.dff(idle_d, true);
+    let seg_d: Vec<NetId> = (0..n_segs).map(|_| nl.wire()).collect();
+    let seg_q: Vec<NetId> = seg_d.iter().map(|&d| nl.dff(d, false)).collect();
+
+    // Variable registers: q = dff(mux(load, var_in, mux(wen, wdata, q))).
+    let var_wen: Vec<NetId> = (0..n_vars).map(|_| nl.wire()).collect();
+    let var_wdata: Vec<Bus> = (0..n_vars)
+        .map(|_| Bus((0..w).map(|_| nl.wire()).collect()))
+        .collect();
+    let mut var_q: Vec<Bus> = Vec::with_capacity(n_vars);
+    for v in 0..n_vars {
+        let mut q_bits = Vec::with_capacity(w);
+        for i in 0..w {
+            let q_fb = nl.wire();
+            let inner = nl.gate(GateKind::Mux, vec![var_wen[v], var_wdata[v].0[i], q_fb]);
+            let d = nl.gate(GateKind::Mux, vec![load, var_in[v].0[i], inner]);
+            let q = nl.dff(d, false);
+            nl.drive(q_fb, q);
+            q_bits.push(q);
+        }
+        var_q.push(Bus(q_bits));
+    }
+
+    // Per-segment datapath.
+    struct SegOut {
+        writes: Vec<(VarId, Bus)>,
+        emits: Vec<(EventId, Option<Bus>)>,
+        mem: Option<(bool, Bus, Option<Bus>)>, // (is_write, addr, wdata)
+        cond: Option<NetId>,
+    }
+    let mut seg_outs: Vec<SegOut> = Vec::with_capacity(n_segs);
+    for seg in &segments {
+        let mut current: HashMap<VarId, Bus> = (0..n_vars)
+            .map(|v| (VarId(v as u32), var_q[v].clone()))
+            .collect();
+        let mut writes: Vec<(VarId, Bus)> = Vec::new();
+        if let Some(v) = seg.capture {
+            current.insert(v, mem_data_in.clone());
+            writes.push((v, mem_data_in.clone()));
+        }
+        for (v, expr) in &seg.assigns {
+            let bus = synth_expr(&mut nl, expr, &current, &ev_in, w)?;
+            current.insert(*v, bus.clone());
+            writes.retain(|(wv, _)| wv != v);
+            writes.push((*v, bus));
+        }
+        let mut emits = Vec::new();
+        for (e, val) in &seg.emits {
+            let vb = match val {
+                Some(expr) => Some(synth_expr(&mut nl, expr, &current, &ev_in, w)?),
+                None => None,
+            };
+            emits.push((*e, vb));
+        }
+        let mem = match &seg.mem_issue {
+            Some(MemIssue::Read(a)) => {
+                let ab = synth_expr(&mut nl, a, &current, &ev_in, w)?;
+                Some((false, ab, None))
+            }
+            Some(MemIssue::Write(a, v)) => {
+                let ab = synth_expr(&mut nl, a, &current, &ev_in, w)?;
+                let vb = synth_expr(&mut nl, v, &current, &ev_in, w)?;
+                Some((true, ab, Some(vb)))
+            }
+            None => None,
+        };
+        let cond = match &seg.next {
+            SegNext::Branch { cond, .. } => {
+                let cb = synth_expr(&mut nl, cond, &current, &ev_in, w)?;
+                Some(nonzero(&mut nl, &cb))
+            }
+            _ => None,
+        };
+        seg_outs.push(SegOut {
+            writes,
+            emits,
+            mem,
+            cond,
+        });
+    }
+
+    // Next-state logic.
+    let not_start = nl.gate(GateKind::Not, vec![start]);
+    let idle_hold = nl.gate(GateKind::And, vec![idle_q, not_start]);
+    let entry_edge = nl.gate(GateKind::And, vec![idle_q, start]);
+    let mut incoming: Vec<Vec<NetId>> = vec![Vec::new(); n_segs];
+    incoming[0].push(entry_edge);
+    let mut done_edges = Vec::new();
+    for (k, (seg, out)) in segments.iter().zip(&seg_outs).enumerate() {
+        let active = seg_q[k];
+        match &seg.next {
+            SegNext::Goto(tgt) => incoming[*tgt].push(active),
+            SegNext::Done => done_edges.push(active),
+            SegNext::Branch {
+                then_seg, else_seg, ..
+            } => {
+                let c = out.cond.expect("branch segments have a condition");
+                let nc = nl.gate(GateKind::Not, vec![c]);
+                let et = nl.gate(GateKind::And, vec![active, c]);
+                let ee = nl.gate(GateKind::And, vec![active, nc]);
+                incoming[*then_seg].push(et);
+                incoming[*else_seg].push(ee);
+            }
+        }
+    }
+    let done = or_all(&mut nl, done_edges.clone());
+    let mut idle_in = vec![idle_hold];
+    idle_in.extend(done_edges);
+    let idle_next = nl.gate(GateKind::Or, idle_in);
+    nl.drive(idle_d, idle_next);
+    for (k, ins) in incoming.into_iter().enumerate() {
+        let nxt = or_all(&mut nl, ins);
+        nl.drive(seg_d[k], nxt);
+    }
+
+    // Variable write ports.
+    for v in 0..n_vars {
+        let arms: Vec<(NetId, Bus)> = seg_outs
+            .iter()
+            .enumerate()
+            .flat_map(|(k, out)| {
+                let sq = seg_q[k];
+                out.writes
+                    .iter()
+                    .filter(|(wv, _)| wv.0 as usize == v)
+                    .map(move |(_, bus)| (sq, bus.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let wen = or_all(&mut nl, arms.iter().map(|&(s, _)| s).collect());
+        nl.drive(var_wen[v], wen);
+        let data = onehot_merge(&mut nl, w, &arms);
+        for i in 0..w {
+            nl.drive(var_wdata[v].0[i], data.0[i]);
+        }
+    }
+
+    // Emit ports.
+    let mut emit_events = BTreeSet::new();
+    for out in &seg_outs {
+        for (e, _) in &out.emits {
+            emit_events.insert(*e);
+        }
+    }
+    let mut emit_pulse = BTreeMap::new();
+    let mut emit_value = BTreeMap::new();
+    for &e in &emit_events {
+        let pulses: Vec<NetId> = seg_outs
+            .iter()
+            .enumerate()
+            .filter(|(_, out)| out.emits.iter().any(|(oe, _)| *oe == e))
+            .map(|(k, _)| seg_q[k])
+            .collect();
+        let pulse = or_all(&mut nl, pulses);
+        nl.mark_output(format!("emit_{}", e.0), pulse);
+        emit_pulse.insert(e, pulse);
+        let arms: Vec<(NetId, Bus)> = seg_outs
+            .iter()
+            .enumerate()
+            .flat_map(|(k, out)| {
+                let sq = seg_q[k];
+                out.emits
+                    .iter()
+                    .filter(|(oe, v)| *oe == e && v.is_some())
+                    .map(move |(_, v)| (sq, v.clone().expect("checked some")))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        if !arms.is_empty() {
+            let bus = onehot_merge(&mut nl, w, &arms);
+            emit_value.insert(e, bus);
+        }
+    }
+
+    // Memory port.
+    let read_arms: Vec<(NetId, Bus)> = seg_outs
+        .iter()
+        .enumerate()
+        .filter_map(|(k, out)| match &out.mem {
+            Some((false, addr, _)) => Some((seg_q[k], addr.clone())),
+            _ => None,
+        })
+        .collect();
+    let write_arms: Vec<(NetId, Bus, Bus)> = seg_outs
+        .iter()
+        .enumerate()
+        .filter_map(|(k, out)| match &out.mem {
+            Some((true, addr, Some(data))) => Some((seg_q[k], addr.clone(), data.clone())),
+            _ => None,
+        })
+        .collect();
+    let mem_re = or_all(&mut nl, read_arms.iter().map(|&(s, _)| s).collect());
+    let mem_we = or_all(&mut nl, write_arms.iter().map(|&(s, _, _)| s).collect());
+    let mut addr_arms: Vec<(NetId, Bus)> = read_arms;
+    addr_arms.extend(write_arms.iter().map(|(s, a, _)| (*s, a.clone())));
+    let mem_addr = onehot_merge(&mut nl, w, &addr_arms);
+    let wdata_arms: Vec<(NetId, Bus)> = write_arms
+        .iter()
+        .map(|(s, _, d)| (*s, d.clone()))
+        .collect();
+    let mem_wdata = onehot_merge(&mut nl, w, &wdata_arms);
+    nl.mark_output("done", done);
+    nl.mark_output("mem_re", mem_re);
+    nl.mark_output("mem_we", mem_we);
+
+    let gate_count = nl.gate_count();
+    let sim = Simulator::new(&nl, power.clone())?;
+    Ok(HwTransition {
+        sim,
+        ports: Ports {
+            start,
+            load,
+            var_in,
+            var_q,
+            ev_in,
+            mem_data_in,
+            done,
+            emit_pulse,
+            emit_value,
+            mem_re,
+            mem_we,
+            mem_addr,
+            mem_wdata,
+        },
+        width: w,
+        gate_count,
+        segment_count: n_segs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfsm::{BlockId, Cfg, CfgBuilder, NullEnv};
+
+    fn power() -> PowerConfig {
+        PowerConfig::date2000_defaults()
+    }
+
+    fn synth_single(body: Cfg, n_vars: usize) -> HwCfsm {
+        let mut b = Cfsm::builder("t");
+        let s = b.state("s");
+        for v in 0..n_vars {
+            b.var(format!("v{v}"), 0);
+        }
+        b.transition(s, vec![EventId(0)], None, body, s);
+        let m = b.finish().expect("valid machine");
+        HwCfsm::synthesize(&m, &SynthConfig::with_width(16), &power()).expect("synthesizable")
+    }
+
+    #[test]
+    fn straight_line_assign_matches_interpreter() {
+        let body = Cfg::straight_line(vec![
+            Stmt::Assign {
+                var: VarId(0),
+                expr: Expr::add(Expr::Var(VarId(0)), Expr::Const(5)),
+            },
+            Stmt::Assign {
+                var: VarId(1),
+                expr: Expr::bin(BinOp::Mul, Expr::Var(VarId(0)), Expr::Const(3)),
+            },
+        ]);
+        let mut vars = [10i64, 0];
+        body.execute(&mut vars, &mut NullEnv);
+        let mut hw = synth_single(body, 2);
+        let run = hw.transition_mut(TransitionId(0)).run(&[10, 0], &|_| 0, &[]);
+        assert_eq!(run.vars_out, vars.to_vec());
+        assert!(run.energy_j > 0.0);
+        assert_eq!(run.cycles, 3); // load + start + 1 segment
+    }
+
+    #[test]
+    fn chained_assigns_within_one_block() {
+        // v1 = v0 + 1; v2 = v1 * 2 — same cycle, chained combinationally.
+        let body = Cfg::straight_line(vec![
+            Stmt::Assign {
+                var: VarId(1),
+                expr: Expr::add(Expr::Var(VarId(0)), Expr::Const(1)),
+            },
+            Stmt::Assign {
+                var: VarId(2),
+                expr: Expr::bin(BinOp::Mul, Expr::Var(VarId(1)), Expr::Const(2)),
+            },
+        ]);
+        let mut hw = synth_single(body, 3);
+        let run = hw.transition_mut(TransitionId(0)).run(&[7, 0, 0], &|_| 0, &[]);
+        assert_eq!(run.vars_out, vec![7, 8, 16]);
+    }
+
+    #[test]
+    fn branch_follows_condition() {
+        let mut b = CfgBuilder::new();
+        b.block(
+            vec![],
+            Terminator::Branch {
+                cond: Expr::gt(Expr::Var(VarId(0)), Expr::Const(10)),
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+        );
+        b.block(
+            vec![Stmt::Assign {
+                var: VarId(1),
+                expr: Expr::Const(111),
+            }],
+            Terminator::Return,
+        );
+        b.block(
+            vec![Stmt::Assign {
+                var: VarId(1),
+                expr: Expr::Const(222),
+            }],
+            Terminator::Return,
+        );
+        let body = b.finish().expect("valid");
+        let mut hw = synth_single(body, 2);
+        let run = hw.transition_mut(TransitionId(0)).run(&[20, 0], &|_| 0, &[]);
+        assert_eq!(run.vars_out[1], 111);
+        let run = hw.transition_mut(TransitionId(0)).run(&[3, 0], &|_| 0, &[]);
+        assert_eq!(run.vars_out[1], 222);
+    }
+
+    #[test]
+    fn loop_cycles_scale_with_iterations() {
+        // while v0 > 0 { v1 += v0; v0 -= 1 }
+        let mut b = CfgBuilder::new();
+        b.block(
+            vec![],
+            Terminator::Branch {
+                cond: Expr::gt(Expr::Var(VarId(0)), Expr::Const(0)),
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+        );
+        b.block(
+            vec![
+                Stmt::Assign {
+                    var: VarId(1),
+                    expr: Expr::add(Expr::Var(VarId(1)), Expr::Var(VarId(0))),
+                },
+                Stmt::Assign {
+                    var: VarId(0),
+                    expr: Expr::sub(Expr::Var(VarId(0)), Expr::Const(1)),
+                },
+            ],
+            Terminator::Goto(BlockId(0)),
+        );
+        b.block(vec![], Terminator::Return);
+        let body = b.finish().expect("valid");
+        let mut hw = synth_single(body.clone(), 2);
+        let r3 = hw.transition_mut(TransitionId(0)).run(&[3, 0], &|_| 0, &[]);
+        assert_eq!(r3.vars_out, vec![0, 6]);
+        let r6 = hw.transition_mut(TransitionId(0)).run(&[6, 0], &|_| 0, &[]);
+        assert_eq!(r6.vars_out, vec![0, 21]);
+        // 2 overhead + (1 head + 1 body) per iteration + final head + exit.
+        assert_eq!(r3.cycles, 2 + 2 * 3 + 2);
+        assert_eq!(r6.cycles, 2 + 2 * 6 + 2);
+        assert!(r6.energy_j > r3.energy_j);
+    }
+
+    #[test]
+    fn emit_pulses_and_values() {
+        let body = Cfg::straight_line(vec![
+            Stmt::Emit {
+                event: EventId(1),
+                value: Some(Expr::add(Expr::Var(VarId(0)), Expr::Const(2))),
+            },
+            Stmt::Emit {
+                event: EventId(2),
+                value: None,
+            },
+        ]);
+        let mut hw = synth_single(body, 1);
+        let run = hw.transition_mut(TransitionId(0)).run(&[40], &|_| 0, &[]);
+        assert_eq!(
+            run.emitted,
+            vec![(EventId(1), Some(42)), (EventId(2), None)]
+        );
+    }
+
+    #[test]
+    fn event_value_inputs_reach_datapath() {
+        let body = Cfg::straight_line(vec![Stmt::Assign {
+            var: VarId(0),
+            expr: Expr::sub(Expr::EventValue(EventId(3)), Expr::Const(1)),
+        }]);
+        let mut hw = synth_single(body, 1);
+        let run = hw
+            .transition_mut(TransitionId(0))
+            .run(&[0], &|e| if e == EventId(3) { 100 } else { 0 }, &[]);
+        assert_eq!(run.vars_out, vec![99]);
+    }
+
+    #[test]
+    fn memory_read_write_handshake() {
+        // v0 = mem[8]; mem[12] = v0 + 1
+        let body = Cfg::straight_line(vec![
+            Stmt::MemRead {
+                var: VarId(0),
+                addr: Expr::Const(8),
+            },
+            Stmt::MemWrite {
+                addr: Expr::Const(12),
+                value: Expr::add(Expr::Var(VarId(0)), Expr::Const(1)),
+            },
+        ]);
+        let mut hw = synth_single(body, 1);
+        let run = hw.transition_mut(TransitionId(0)).run(&[0], &|_| 0, &[55]);
+        assert_eq!(run.vars_out, vec![55]);
+        assert_eq!(run.mem_ops, vec![(8, false, 0), (12, true, 56)]);
+    }
+
+    #[test]
+    fn division_is_unsupported() {
+        let body = Cfg::straight_line(vec![Stmt::Assign {
+            var: VarId(0),
+            expr: Expr::bin(BinOp::Div, Expr::Var(VarId(0)), Expr::Const(2)),
+        }]);
+        let mut b = Cfsm::builder("t");
+        let s = b.state("s");
+        b.var("v0", 0);
+        b.transition(s, vec![EventId(0)], None, body, s);
+        let m = b.finish().expect("valid machine");
+        let err = HwCfsm::synthesize(&m, &SynthConfig::new(), &power());
+        assert!(matches!(err, Err(SynthError::UnsupportedOp(_))));
+    }
+
+    #[test]
+    fn constant_shifts_supported() {
+        let body = Cfg::straight_line(vec![Stmt::Assign {
+            var: VarId(0),
+            expr: Expr::bin(BinOp::Shl, Expr::Var(VarId(0)), Expr::Const(3)),
+        }]);
+        let mut hw = synth_single(body, 1);
+        let run = hw.transition_mut(TransitionId(0)).run(&[5], &|_| 0, &[]);
+        assert_eq!(run.vars_out, vec![40]);
+    }
+
+    #[test]
+    fn energy_is_data_dependent() {
+        // Same path, different data → different switched capacitance.
+        let body = Cfg::straight_line(vec![Stmt::Assign {
+            var: VarId(1),
+            expr: Expr::bin(BinOp::Xor, Expr::Var(VarId(0)), Expr::Var(VarId(1))),
+        }]);
+        let mut hw = synth_single(body, 2);
+        let t = hw.transition_mut(TransitionId(0));
+        let quiet = t.run(&[0, 0], &|_| 0, &[]);
+        let quiet2 = t.run(&[0, 0], &|_| 0, &[]);
+        let busy = t.run(&[0xFFFF_i64 & 0x7FFF, 0x2AAA], &|_| 0, &[]);
+        assert!(busy.energy_j > quiet2.energy_j);
+        // Identical consecutive runs settle to identical energies.
+        assert!((quiet2.energy_j - quiet.energy_j).abs() <= quiet.energy_j);
+    }
+
+    #[test]
+    fn unreachable_segments_are_tolerated() {
+        // A block that is never jumped to still synthesizes (tie low).
+        let mut b = CfgBuilder::new();
+        b.block(vec![], Terminator::Return);
+        b.block(
+            vec![Stmt::Assign {
+                var: VarId(0),
+                expr: Expr::Const(9),
+            }],
+            Terminator::Return,
+        );
+        let body = b.finish().expect("valid");
+        let mut hw = synth_single(body, 1);
+        let run = hw.transition_mut(TransitionId(0)).run(&[1], &|_| 0, &[]);
+        assert_eq!(run.vars_out, vec![1]); // dead block never executed
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests over randomly generated netlists: BLIF round-trips
+//! and the dead-logic sweep must preserve observable behavior for *any*
+//! structurally valid design, not just the handcrafted ones.
+
+use gatesim::{analysis, blif, GateKind, NetId, Netlist, PowerConfig, Simulator};
+use proptest::prelude::*;
+
+/// A recipe for one random gate: kind selector and input selectors
+/// (resolved modulo the nets available at creation time).
+type GateRecipe = (u8, u16, u16, u16);
+
+fn arb_netlist() -> impl Strategy<Value = (Netlist, u32)> {
+    (
+        2u32..6,                                        // primary inputs
+        prop::collection::vec(any::<GateRecipe>(), 1..40), // gates
+        1u8..4,                                         // outputs to mark
+    )
+        .prop_map(|(n_inputs, recipes, n_outputs)| {
+            let mut nl = Netlist::new();
+            let inputs: Vec<NetId> = (0..n_inputs).map(|_| nl.input()).collect();
+            let _ = &inputs;
+            for (kind_sel, a, b, c) in recipes {
+                let avail = nl.gate_count() as u16;
+                let pick = |x: u16| NetId((x % avail) as u32);
+                match kind_sel % 10 {
+                    0 => {
+                        nl.gate(GateKind::Not, vec![pick(a)]);
+                    }
+                    1 => {
+                        nl.gate(GateKind::Buf, vec![pick(a)]);
+                    }
+                    2 => {
+                        nl.gate(GateKind::And, vec![pick(a), pick(b)]);
+                    }
+                    3 => {
+                        nl.gate(GateKind::Or, vec![pick(a), pick(b)]);
+                    }
+                    4 => {
+                        nl.gate(GateKind::Xor, vec![pick(a), pick(b)]);
+                    }
+                    5 => {
+                        nl.gate(GateKind::Nand, vec![pick(a), pick(b)]);
+                    }
+                    6 => {
+                        nl.gate(GateKind::Nor, vec![pick(a), pick(b)]);
+                    }
+                    7 => {
+                        nl.gate(GateKind::Xnor, vec![pick(a), pick(b)]);
+                    }
+                    8 => {
+                        nl.gate(GateKind::Mux, vec![pick(a), pick(b), pick(c)]);
+                    }
+                    _ => {
+                        nl.dff(pick(a), a % 2 == 0);
+                    }
+                }
+            }
+            let total = nl.gate_count() as u32;
+            for k in 0..n_outputs {
+                let net = NetId((total - 1).saturating_sub(k as u32));
+                nl.mark_output(format!("o{k}"), net);
+            }
+            (nl, n_inputs)
+        })
+        // Gates only reference earlier nets, so the result is always a DAG.
+        .prop_filter("netlist validates", |(nl, _)| nl.validate().is_ok())
+}
+
+/// Drives both netlists with the same stimulus and compares the named
+/// outputs cycle by cycle.
+fn equivalent(a: &Netlist, b: &Netlist, n_inputs: u32, seed: u64) -> bool {
+    let cfg = PowerConfig::date2000_defaults();
+    let mut sa = Simulator::new(a, cfg.clone()).expect("a valid");
+    let mut sb = Simulator::new(b, cfg).expect("b valid");
+    let ia = a.primary_inputs();
+    let ib = b.primary_inputs();
+    let mut x = seed | 1;
+    for _ in 0..24 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let v = (x >> 32) & ((1u64 << n_inputs) - 1);
+        sa.set_input_bus(&ia, v);
+        sb.set_input_bus(&ib, v);
+        sa.step();
+        sb.step();
+        for (name, net) in a.outputs() {
+            let other = b.output(name).expect("output preserved");
+            if sa.value(*net) != sb.value(other) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// BLIF round-trips preserve gate counts and observable behavior.
+    #[test]
+    fn blif_roundtrip_preserves_behavior((nl, n_inputs) in arb_netlist(), seed in any::<u64>()) {
+        let text = blif::to_blif(&nl, "rand");
+        let back = blif::from_blif(&text).expect("round-trip parses");
+        prop_assert_eq!(back.gate_count(), nl.gate_count());
+        prop_assert_eq!(back.dff_count(), nl.dff_count());
+        prop_assert!(equivalent(&nl, &back, n_inputs, seed));
+    }
+
+    /// Sweeping dead logic preserves the behavior of every named output
+    /// and never grows the netlist.
+    #[test]
+    fn sweep_preserves_observable_behavior((nl, n_inputs) in arb_netlist(), seed in any::<u64>()) {
+        let (swept, removed) = analysis::sweep_dead_logic(&nl);
+        prop_assert!(swept.gate_count() + removed == nl.gate_count());
+        prop_assert!(swept.validate().is_ok());
+        prop_assert!(equivalent(&nl, &swept, n_inputs, seed));
+    }
+
+    /// Constant propagation preserves observable behavior and never
+    /// increases the gate count after a sweep.
+    #[test]
+    fn constant_propagation_preserves_behavior((nl, n_inputs) in arb_netlist(), seed in any::<u64>()) {
+        let (folded, _) = analysis::propagate_constants(&nl);
+        prop_assert!(folded.validate().is_ok());
+        prop_assert!(equivalent(&nl, &folded, n_inputs, seed));
+        let (cleaned, _) = analysis::sweep_dead_logic(&folded);
+        prop_assert!(cleaned.gate_count() <= nl.gate_count());
+        prop_assert!(equivalent(&nl, &cleaned, n_inputs, seed));
+    }
+
+    /// Statistics never fail on valid netlists, and depth is bounded by
+    /// the combinational gate count.
+    #[test]
+    fn stats_are_sane((nl, _) in arb_netlist()) {
+        let st = analysis::stats(&nl, &PowerConfig::date2000_defaults()).expect("valid");
+        prop_assert_eq!(st.gates, nl.gate_count());
+        prop_assert!(st.depth <= st.gates);
+        prop_assert!(st.total_cap_ff >= 0.0);
+        prop_assert_eq!(st.dffs, nl.dff_count());
+    }
+
+    /// Simulation energy is non-negative and deterministic for any
+    /// netlist and stimulus.
+    #[test]
+    fn simulation_energy_nonnegative_and_deterministic((nl, n_inputs) in arb_netlist(), seed in any::<u64>()) {
+        let run = || {
+            let mut sim = Simulator::new(&nl, PowerConfig::date2000_defaults()).expect("valid");
+            let inputs = nl.primary_inputs();
+            let mut x = seed | 1;
+            let mut total = 0.0;
+            for _ in 0..16 {
+                x = x.wrapping_mul(48271) % 0x7FFF_FFFF;
+                sim.set_input_bus(&inputs, x & ((1u64 << n_inputs) - 1));
+                let e = sim.step();
+                prop_assert!(e >= 0.0);
+                total += e;
+            }
+            Ok(total)
+        };
+        let a: Result<f64, TestCaseError> = run();
+        let b: Result<f64, TestCaseError> = run();
+        prop_assert_eq!(a?.to_bits(), b?.to_bits());
+    }
+}

@@ -1,0 +1,1098 @@
+//! Code generation: CFSM transition bodies → SPARClite-style programs.
+//!
+//! This is the analogue of the POLIS software-synthesis + target-compiler
+//! step (Fig. 2a). The generated code is *optimized across
+//! macro-operation boundaries*: variables live in registers for the whole
+//! transition (loaded once at entry, stored once at exit), constants fold
+//! into immediates, and comparisons fuse with branches. The macro-model
+//! characterization flow, in contrast, measures each macro-operation in
+//! isolation with full operand loads/stores
+//! ([`macro_op_template`]) — this difference is precisely why the
+//! additive macro-model *over-estimates* software energy by ~20–30%
+//! (paper Table 2) while remaining rank-preserving.
+
+use crate::isa::{memmap, AluOp, Cond, Instr, Operand, Reg, INSTR_BYTES};
+use cfsm::{BinOp, Cfsm, EventId, Expr, MacroOp, Stmt, Terminator, UnOp, VarId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Base address of the event-value mailbox (written by the simulation
+/// master before each activation, read by generated code).
+pub const EVENT_VAL_BASE: u64 = 0x2800_0000;
+
+/// First register used to pin CFSM variables (`%r16..`).
+const VAR_REG_BASE: u8 = 16;
+/// Number of pinnable variables.
+const VAR_REG_COUNT: u8 = 12;
+/// First expression scratch register (`%r8..%r15`).
+const SCRATCH_BASE: u8 = 8;
+/// Number of scratch registers.
+const SCRATCH_COUNT: u8 = 8;
+/// Address-formation temporaries.
+const ADDR_REG: Reg = Reg(1);
+const ADDR_REG2: Reg = Reg(2);
+
+/// Errors from code generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// The machine declares more variables than the register allocator
+    /// can pin.
+    TooManyVars(usize),
+    /// An expression nests deeper than the scratch register file.
+    ExprTooDeep,
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::TooManyVars(n) => write!(
+                f,
+                "{n} variables exceed the {VAR_REG_COUNT} pinnable registers"
+            ),
+            CodegenError::ExprTooDeep => {
+                write!(f, "expression deeper than {SCRATCH_COUNT} scratch registers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Code layout of one compiled transition.
+#[derive(Debug, Clone)]
+pub struct TransitionCode {
+    /// Entry instruction index.
+    pub entry: u32,
+    /// Slot range `[start, end)` of the prologue (entry var loads).
+    pub prologue_slots: (u32, u32),
+    /// Per-CFG-block slot ranges `[start, end)` (for I-fetch trace
+    /// generation from behavioral traces).
+    pub block_slots: Vec<(u32, u32)>,
+    /// Slot range of the epilogue (exit var stores + halt).
+    pub epilogue_slots: (u32, u32),
+    /// Events whose values the body reads (the master writes these into
+    /// the mailbox before activation).
+    pub event_reads: Vec<EventId>,
+}
+
+/// A compiled CFSM: program text plus per-transition layout.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The instructions.
+    pub code: Vec<Instr>,
+    /// Per-transition layout, indexed by [`cfsm::TransitionId`].
+    pub transitions: Vec<TransitionCode>,
+    /// Load address of the text segment.
+    pub base_addr: u64,
+    /// Number of machine variables.
+    pub n_vars: usize,
+}
+
+impl Program {
+    /// Total instruction slots (`Set` counts twice).
+    pub fn slot_count(&self) -> u32 {
+        self.code.iter().map(Instr::slots).sum()
+    }
+
+    /// Renders an assembly listing with addresses, transition entry
+    /// labels, and per-block markers — the `objdump`-style view of the
+    /// generated software.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let mut slot = 0u64;
+        for (idx, instr) in self.code.iter().enumerate() {
+            for (t, tc) in self.transitions.iter().enumerate() {
+                if tc.entry == idx as u32 {
+                    let _ = writeln!(s, "transition_{t}:");
+                }
+            }
+            let addr = self.base_addr + slot * INSTR_BYTES;
+            let _ = writeln!(s, "  {addr:#010x}:  {instr}");
+            slot += instr.slots() as u64;
+        }
+        s
+    }
+
+    /// Static per-class instruction counts (code-size profiling).
+    pub fn instruction_mix(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut mix = std::collections::BTreeMap::new();
+        for i in &self.code {
+            let name = match i {
+                Instr::Alu { .. } => "alu",
+                Instr::Set { .. } => "set",
+                Instr::Ld { .. } => "load",
+                Instr::St { .. } => "store",
+                Instr::Branch { .. } => "branch",
+                Instr::Nop => "nop",
+                Instr::Save | Instr::Restore => "window",
+                Instr::Halt => "halt",
+            };
+            *mix.entry(name).or_insert(0) += 1;
+        }
+        mix
+    }
+
+    /// Code size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.slot_count() as u64 * INSTR_BYTES
+    }
+
+    /// The fetch addresses of a slot range.
+    pub fn slot_addrs(&self, range: (u32, u32)) -> impl Iterator<Item = u64> + '_ {
+        (range.0..range.1).map(move |s| self.base_addr + s as u64 * INSTR_BYTES)
+    }
+}
+
+/// Tiny assembler: labels + patching.
+struct Asm {
+    code: Vec<Instr>,
+    labels: Vec<Option<u32>>,
+    patches: Vec<(usize, usize)>, // (instr index, label id)
+    slots: u32,
+}
+
+impl Asm {
+    fn new() -> Self {
+        Asm {
+            code: Vec::new(),
+            labels: Vec::new(),
+            patches: Vec::new(),
+            slots: 0,
+        }
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn slot(&self) -> u32 {
+        self.slots
+    }
+
+    fn push(&mut self, i: Instr) {
+        self.slots += i.slots();
+        self.code.push(i);
+    }
+
+    fn label(&mut self) -> usize {
+        self.labels.push(None);
+        self.labels.len() - 1
+    }
+
+    fn bind(&mut self, l: usize) {
+        assert!(self.labels[l].is_none(), "label bound twice");
+        self.labels[l] = Some(self.here());
+    }
+
+    fn branch(&mut self, cond: Cond, l: usize) {
+        self.patches.push((self.code.len(), l));
+        self.push(Instr::Branch { cond, target: 0 });
+    }
+
+    fn finish(mut self) -> Vec<Instr> {
+        for (idx, l) in self.patches {
+            let target = self.labels[l].expect("label never bound");
+            if let Instr::Branch { target: t, .. } = &mut self.code[idx] {
+                *t = target;
+            } else {
+                unreachable!("patch site is a branch");
+            }
+        }
+        self.code
+    }
+}
+
+/// Compiles every transition of `machine` into one program.
+///
+/// # Errors
+///
+/// Returns a [`CodegenError`] if the machine exceeds the register
+/// allocator's limits.
+///
+/// # Examples
+///
+/// ```
+/// use cfsm::{Cfsm, Cfg, Stmt, Expr, EventId};
+/// use iss::codegen::compile;
+///
+/// let mut b = Cfsm::builder("inc");
+/// let s = b.state("s");
+/// let v = b.var("v", 0);
+/// b.transition(s, vec![EventId(0)], None,
+///     Cfg::straight_line(vec![Stmt::Assign {
+///         var: v,
+///         expr: Expr::add(Expr::Var(v), Expr::Const(1)),
+///     }]), s);
+/// let machine = b.finish()?;
+/// let program = compile(&machine, 0x4000)?;
+/// assert_eq!(program.transitions.len(), 1);
+/// assert!(program.size_bytes() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile(machine: &Cfsm, base_addr: u64) -> Result<Program, CodegenError> {
+    let n_vars = machine.vars().len();
+    if n_vars > VAR_REG_COUNT as usize {
+        return Err(CodegenError::TooManyVars(n_vars));
+    }
+    let mut asm = Asm::new();
+    let mut transitions = Vec::with_capacity(machine.transitions().len());
+    for t in machine.transitions() {
+        transitions.push(compile_transition(&mut asm, t, n_vars)?);
+    }
+    Ok(Program {
+        code: asm.finish(),
+        transitions,
+        base_addr,
+        n_vars,
+    })
+}
+
+fn var_reg(v: VarId) -> Reg {
+    Reg(VAR_REG_BASE + v.0 as u8)
+}
+
+fn scratch(depth: u8) -> Result<Reg, CodegenError> {
+    if depth >= SCRATCH_COUNT {
+        Err(CodegenError::ExprTooDeep)
+    } else {
+        Ok(Reg(SCRATCH_BASE + depth))
+    }
+}
+
+fn collect_vars(e: &Expr, reads: &mut BTreeSet<VarId>, evs: &mut BTreeSet<EventId>) {
+    match e {
+        Expr::Const(_) => {}
+        Expr::Var(v) => {
+            reads.insert(*v);
+        }
+        Expr::EventValue(ev) => {
+            evs.insert(*ev);
+        }
+        Expr::Unary(_, a) => collect_vars(a, reads, evs),
+        Expr::Binary(_, a, b) => {
+            collect_vars(a, reads, evs);
+            collect_vars(b, reads, evs);
+        }
+    }
+}
+
+fn compile_transition(
+    asm: &mut Asm,
+    t: &cfsm::Transition,
+    n_vars: usize,
+) -> Result<TransitionCode, CodegenError> {
+    // Liveness-lite: vars read anywhere are loaded at entry; vars written
+    // anywhere are stored at exit.
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    let mut evs = BTreeSet::new();
+    for block in t.body.blocks() {
+        for s in &block.stmts {
+            match s {
+                Stmt::Assign { var, expr } => {
+                    collect_vars(expr, &mut reads, &mut evs);
+                    writes.insert(*var);
+                }
+                Stmt::Emit { value, .. } => {
+                    if let Some(v) = value {
+                        collect_vars(v, &mut reads, &mut evs);
+                    }
+                }
+                Stmt::MemRead { var, addr } => {
+                    collect_vars(addr, &mut reads, &mut evs);
+                    writes.insert(*var);
+                }
+                Stmt::MemWrite { addr, value } => {
+                    collect_vars(addr, &mut reads, &mut evs);
+                    collect_vars(value, &mut reads, &mut evs);
+                }
+            }
+        }
+        if let Terminator::Branch { cond, .. } = &block.term {
+            collect_vars(cond, &mut reads, &mut evs);
+        }
+    }
+    let _ = n_vars;
+
+    let entry = asm.here();
+    let prologue_start = asm.slot();
+    // Prologue: the RTOS dispatches the transition as a routine — rotate
+    // into a fresh register window, then load the read variables.
+    asm.push(Instr::Save);
+    if !reads.is_empty() {
+        asm.push(Instr::Set {
+            rd: ADDR_REG,
+            imm: memmap::VAR_BASE as i64,
+        });
+        for &v in &reads {
+            asm.push(Instr::Ld {
+                rd: var_reg(v),
+                rs1: ADDR_REG,
+                offset: (v.0 as u64 * memmap::VAR_STRIDE) as i16,
+            });
+        }
+    }
+    let prologue_end = asm.slot();
+
+    // Body blocks, in order; one label per block.
+    let block_labels: Vec<usize> = t.body.blocks().iter().map(|_| asm.label()).collect();
+    let exit_label = asm.label();
+    let mut block_slots = Vec::with_capacity(t.body.blocks().len());
+    for (bi, block) in t.body.blocks().iter().enumerate() {
+        asm.bind(block_labels[bi]);
+        let start = asm.slot();
+        for s in &block.stmts {
+            emit_stmt(asm, s)?;
+        }
+        match &block.term {
+            Terminator::Return => {
+                asm.branch(Cond::Always, exit_label);
+                asm.push(Instr::Nop);
+            }
+            Terminator::Goto(tgt) => {
+                if tgt.0 as usize != bi + 1 {
+                    asm.branch(Cond::Always, block_labels[tgt.0 as usize]);
+                    asm.push(Instr::Nop);
+                }
+                // Fallthrough otherwise.
+            }
+            Terminator::Branch {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                // Fuse a top-level comparison with the branch when
+                // possible (cross-macro-op optimization).
+                let (bcond, fused) = fuse_compare(asm, cond)?;
+                let then_l = block_labels[then_block.0 as usize];
+                let else_l = block_labels[else_block.0 as usize];
+                if !fused {
+                    // Generic: test cond != 0.
+                    let s = emit_expr(asm, cond, 0)?;
+                    asm.push(Instr::Alu {
+                        op: AluOp::Sub,
+                        rd: Reg::ZERO,
+                        rs1: s,
+                        rs2: Operand::Imm(0),
+                        set_cc: true,
+                    });
+                }
+                // Branch to then; fall through / jump to else.
+                asm.branch(bcond, then_l);
+                asm.push(Instr::Nop);
+                if else_block.0 as usize != bi + 1 {
+                    asm.branch(Cond::Always, else_l);
+                    asm.push(Instr::Nop);
+                }
+            }
+        }
+        block_slots.push((start, asm.slot()));
+    }
+
+    // Epilogue: store written variables, halt.
+    asm.bind(exit_label);
+    let epilogue_start = asm.slot();
+    if !writes.is_empty() {
+        asm.push(Instr::Set {
+            rd: ADDR_REG,
+            imm: memmap::VAR_BASE as i64,
+        });
+        for &v in &writes {
+            asm.push(Instr::St {
+                rs: var_reg(v),
+                rs1: ADDR_REG,
+                offset: (v.0 as u64 * memmap::VAR_STRIDE) as i16,
+            });
+        }
+    }
+    asm.push(Instr::Restore);
+    asm.push(Instr::Halt);
+    let epilogue_end = asm.slot();
+
+    Ok(TransitionCode {
+        entry,
+        prologue_slots: (prologue_start, prologue_end),
+        block_slots,
+        epilogue_slots: (epilogue_start, epilogue_end),
+        event_reads: evs.into_iter().collect(),
+    })
+}
+
+/// If `cond` is a top-level comparison, emits the `subcc` and returns the
+/// fused branch condition; otherwise returns `(Ne, false)` and the caller
+/// emits a generic nonzero test.
+fn fuse_compare(asm: &mut Asm, cond: &Expr) -> Result<(Cond, bool), CodegenError> {
+    if let Expr::Binary(op, a, b) = cond {
+        let bc = match op {
+            BinOp::Eq => Some(Cond::Eq),
+            BinOp::Ne => Some(Cond::Ne),
+            BinOp::Lt => Some(Cond::Lt),
+            BinOp::Le => Some(Cond::Le),
+            BinOp::Gt => Some(Cond::Gt),
+            BinOp::Ge => Some(Cond::Ge),
+            _ => None,
+        };
+        if let Some(bc) = bc {
+            let (rs1, rs2) = emit_compare_operands(asm, a, b)?;
+            asm.push(Instr::Alu {
+                op: AluOp::Sub,
+                rd: Reg::ZERO,
+                rs1,
+                rs2,
+                set_cc: true,
+            });
+            return Ok((bc, true));
+        }
+    }
+    Ok((Cond::Ne, false))
+}
+
+/// Emits the operands of a fused comparison, using registers/immediates
+/// directly where possible.
+fn emit_compare_operands(
+    asm: &mut Asm,
+    a: &Expr,
+    b: &Expr,
+) -> Result<(Reg, Operand), CodegenError> {
+    let rs1 = match a {
+        Expr::Var(v) => var_reg(*v),
+        _ => emit_expr(asm, a, 0)?,
+    };
+    let rs2 = match b {
+        Expr::Const(c) if Operand::fits_imm13(*c) => Operand::Imm(*c as i16),
+        Expr::Var(v) => Operand::Reg(var_reg(*v)),
+        _ => {
+            let depth = if rs1.0 >= SCRATCH_BASE && rs1.0 < SCRATCH_BASE + SCRATCH_COUNT {
+                rs1.0 - SCRATCH_BASE + 1
+            } else {
+                0
+            };
+            Operand::Reg(emit_expr(asm, b, depth)?)
+        }
+    };
+    Ok((rs1, rs2))
+}
+
+fn emit_stmt(asm: &mut Asm, s: &Stmt) -> Result<(), CodegenError> {
+    match s {
+        Stmt::Assign { var, expr } => {
+            // Compute into a scratch (or directly reference) and move to
+            // the variable's pinned register.
+            match expr {
+                Expr::Const(c) if Operand::fits_imm13(*c) => {
+                    asm.push(Instr::Alu {
+                        op: AluOp::Or,
+                        rd: var_reg(*var),
+                        rs1: Reg::ZERO,
+                        rs2: Operand::Imm(*c as i16),
+                        set_cc: false,
+                    });
+                }
+                Expr::Const(c) => {
+                    asm.push(Instr::Set {
+                        rd: var_reg(*var),
+                        imm: *c,
+                    });
+                }
+                Expr::Var(src) => {
+                    asm.push(Instr::Alu {
+                        op: AluOp::Or,
+                        rd: var_reg(*var),
+                        rs1: var_reg(*src),
+                        rs2: Operand::Imm(0),
+                        set_cc: false,
+                    });
+                }
+                _ => {
+                    let s = emit_expr(asm, expr, 0)?;
+                    asm.push(Instr::Alu {
+                        op: AluOp::Or,
+                        rd: var_reg(*var),
+                        rs1: s,
+                        rs2: Operand::Imm(0),
+                        set_cc: false,
+                    });
+                }
+            }
+        }
+        Stmt::Emit { event, value } => {
+            let src = match value {
+                None => Reg::ZERO,
+                Some(Expr::Var(v)) => var_reg(*v),
+                Some(e) => emit_expr(asm, e, 0)?,
+            };
+            asm.push(Instr::Set {
+                rd: ADDR_REG,
+                imm: memmap::EMIT_BASE as i64,
+            });
+            asm.push(Instr::St {
+                rs: src,
+                rs1: ADDR_REG,
+                offset: (event.0 as u64 * 8) as i16,
+            });
+        }
+        Stmt::MemRead { var, addr } => {
+            let a = emit_shared_addr(asm, addr)?;
+            asm.push(Instr::Ld {
+                rd: var_reg(*var),
+                rs1: a,
+                offset: 0,
+            });
+        }
+        Stmt::MemWrite { addr, value } => {
+            let a = emit_shared_addr(asm, addr)?;
+            // Value into the next scratch after the address register.
+            let src = match value {
+                Expr::Var(v) => var_reg(*v),
+                Expr::Const(c) if Operand::fits_imm13(*c) => {
+                    let s = scratch(1)?;
+                    asm.push(Instr::Alu {
+                        op: AluOp::Or,
+                        rd: s,
+                        rs1: Reg::ZERO,
+                        rs2: Operand::Imm(*c as i16),
+                        set_cc: false,
+                    });
+                    s
+                }
+                e => emit_expr(asm, e, 1)?,
+            };
+            asm.push(Instr::St {
+                rs: src,
+                rs1: a,
+                offset: 0,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Computes `SHARED_BASE + addr_expr` into scratch 0.
+fn emit_shared_addr(asm: &mut Asm, addr: &Expr) -> Result<Reg, CodegenError> {
+    let s = scratch(0)?;
+    match addr {
+        Expr::Const(c) => {
+            asm.push(Instr::Set {
+                rd: s,
+                imm: memmap::SHARED_BASE as i64 + c,
+            });
+        }
+        _ => {
+            let r = emit_expr(asm, addr, 0)?;
+            asm.push(Instr::Set {
+                rd: ADDR_REG2,
+                imm: memmap::SHARED_BASE as i64,
+            });
+            asm.push(Instr::Alu {
+                op: AluOp::Add,
+                rd: s,
+                rs1: r,
+                rs2: Operand::Reg(ADDR_REG2),
+                set_cc: false,
+            });
+        }
+    }
+    Ok(s)
+}
+
+/// Emits code computing `e` and returns the register holding the result
+/// (a scratch register at `depth`, or a variable's pinned register).
+fn emit_expr(asm: &mut Asm, e: &Expr, depth: u8) -> Result<Reg, CodegenError> {
+    match e {
+        Expr::Var(v) => Ok(var_reg(*v)),
+        Expr::Const(c) => {
+            let s = scratch(depth)?;
+            if Operand::fits_imm13(*c) {
+                asm.push(Instr::Alu {
+                    op: AluOp::Or,
+                    rd: s,
+                    rs1: Reg::ZERO,
+                    rs2: Operand::Imm(*c as i16),
+                    set_cc: false,
+                });
+            } else {
+                asm.push(Instr::Set { rd: s, imm: *c });
+            }
+            Ok(s)
+        }
+        Expr::EventValue(ev) => {
+            let s = scratch(depth)?;
+            asm.push(Instr::Set {
+                rd: ADDR_REG2,
+                imm: EVENT_VAL_BASE as i64,
+            });
+            asm.push(Instr::Ld {
+                rd: s,
+                rs1: ADDR_REG2,
+                offset: (ev.0 as u64 * 8) as i16,
+            });
+            Ok(s)
+        }
+        Expr::Unary(op, a) => {
+            let ra = emit_expr(asm, a, depth)?;
+            let s = scratch(depth)?;
+            match op {
+                UnOp::Neg => asm.push(Instr::Alu {
+                    op: AluOp::Sub,
+                    rd: s,
+                    rs1: Reg::ZERO,
+                    rs2: Operand::Reg(ra),
+                    set_cc: false,
+                }),
+                UnOp::Not => asm.push(Instr::Alu {
+                    op: AluOp::Xor,
+                    rd: s,
+                    rs1: ra,
+                    rs2: Operand::Imm(-1),
+                    set_cc: false,
+                }),
+                UnOp::LNot => {
+                    asm.push(Instr::Alu {
+                        op: AluOp::Sub,
+                        rd: Reg::ZERO,
+                        rs1: ra,
+                        rs2: Operand::Imm(0),
+                        set_cc: true,
+                    });
+                    materialize_cond(asm, Cond::Eq, s);
+                }
+            }
+            Ok(s)
+        }
+        Expr::Binary(op, a, b) => {
+            let s = scratch(depth)?;
+            // Comparisons materialize a 0/1 value.
+            let cmp = match op {
+                BinOp::Eq => Some(Cond::Eq),
+                BinOp::Ne => Some(Cond::Ne),
+                BinOp::Lt => Some(Cond::Lt),
+                BinOp::Le => Some(Cond::Le),
+                BinOp::Gt => Some(Cond::Gt),
+                BinOp::Ge => Some(Cond::Ge),
+                _ => None,
+            };
+            if let Some(c) = cmp {
+                let ra = emit_expr(asm, a, depth)?;
+                let rb_depth = if ra.0 >= SCRATCH_BASE && ra.0 < SCRATCH_BASE + SCRATCH_COUNT {
+                    depth + 1
+                } else {
+                    depth
+                };
+                let rb = match &**b {
+                    Expr::Const(cst) if Operand::fits_imm13(*cst) => Operand::Imm(*cst as i16),
+                    Expr::Var(v) => Operand::Reg(var_reg(*v)),
+                    other => Operand::Reg(emit_expr(asm, other, rb_depth)?),
+                };
+                asm.push(Instr::Alu {
+                    op: AluOp::Sub,
+                    rd: Reg::ZERO,
+                    rs1: ra,
+                    rs2: rb,
+                    set_cc: true,
+                });
+                materialize_cond(asm, c, s);
+                return Ok(s);
+            }
+            let alu = match op {
+                BinOp::Add => AluOp::Add,
+                BinOp::Sub => AluOp::Sub,
+                BinOp::Mul => AluOp::Smul,
+                BinOp::Div => AluOp::Sdiv,
+                BinOp::Rem => AluOp::Srem,
+                BinOp::And => AluOp::And,
+                BinOp::Or => AluOp::Or,
+                BinOp::Xor => AluOp::Xor,
+                BinOp::Shl => AluOp::Sll,
+                BinOp::Shr => AluOp::Sra,
+                _ => unreachable!("comparisons handled above"),
+            };
+            let ra = emit_expr(asm, a, depth)?;
+            let rb_depth = if ra.0 >= SCRATCH_BASE && ra.0 < SCRATCH_BASE + SCRATCH_COUNT {
+                depth + 1
+            } else {
+                depth
+            };
+            let rb = match &**b {
+                Expr::Const(c) if Operand::fits_imm13(*c) => Operand::Imm(*c as i16),
+                Expr::Var(v) => Operand::Reg(var_reg(*v)),
+                other => Operand::Reg(emit_expr(asm, other, rb_depth)?),
+            };
+            asm.push(Instr::Alu {
+                op: alu,
+                rd: s,
+                rs1: ra,
+                rs2: rb,
+                set_cc: false,
+            });
+            Ok(s)
+        }
+    }
+}
+
+/// Materializes the current condition codes as 0/1 into `rd`:
+/// assume-true / branch-over / overwrite-false, using the delay slot.
+fn materialize_cond(asm: &mut Asm, cond: Cond, rd: Reg) {
+    asm.push(Instr::Alu {
+        op: AluOp::Or,
+        rd,
+        rs1: Reg::ZERO,
+        rs2: Operand::Imm(1),
+        set_cc: false,
+    });
+    let done = asm.label();
+    asm.branch(cond, done);
+    asm.push(Instr::Nop);
+    asm.push(Instr::Alu {
+        op: AluOp::Or,
+        rd,
+        rs1: Reg::ZERO,
+        rs2: Operand::Imm(0),
+        set_cc: false,
+    });
+    asm.bind(done);
+}
+
+/// The *isolated* instruction template for one macro-operation, as used
+/// by the characterization flow (Fig. 3): every operand is loaded from
+/// memory, the operation performed, and the result stored back — no
+/// cross-macro-op register reuse. Running these through the ISS yields
+/// the `.time/.size/.energy` parameter-file entries.
+pub fn macro_op_template(op: MacroOp) -> Vec<Instr> {
+    let ld = |rd: u8, off: i16| Instr::Ld {
+        rd: Reg(rd),
+        rs1: ADDR_REG,
+        offset: off,
+    };
+    let st = |rs: u8, off: i16| Instr::St {
+        rs: Reg(rs),
+        rs1: ADDR_REG,
+        offset: off,
+    };
+    let set_base = Instr::Set {
+        rd: ADDR_REG,
+        imm: memmap::VAR_BASE as i64,
+    };
+    let mut v = vec![set_base];
+    match op {
+        MacroOp::Avv => {
+            v.push(ld(8, 0));
+            v.push(st(8, 8));
+        }
+        MacroOp::Aemit => {
+            v.push(ld(8, 0));
+            v.push(Instr::Set {
+                rd: ADDR_REG2,
+                imm: memmap::EMIT_BASE as i64,
+            });
+            v.push(Instr::St {
+                rs: Reg(8),
+                rs1: ADDR_REG2,
+                offset: 0,
+            });
+        }
+        MacroOp::TivarT | MacroOp::TivarF => {
+            v.push(ld(8, 0));
+            v.push(Instr::Alu {
+                op: AluOp::Sub,
+                rd: Reg::ZERO,
+                rs1: Reg(8),
+                rs2: Operand::Imm(0),
+                set_cc: true,
+            });
+            let target = v.len() as u32 + 2;
+            v.push(Instr::Branch {
+                cond: if op == MacroOp::TivarT {
+                    Cond::Always
+                } else {
+                    Cond::Ne
+                },
+                target,
+            });
+            v.push(Instr::Nop);
+        }
+        MacroOp::MemRead => {
+            v.push(Instr::Set {
+                rd: ADDR_REG2,
+                imm: memmap::SHARED_BASE as i64,
+            });
+            v.push(Instr::Ld {
+                rd: Reg(8),
+                rs1: ADDR_REG2,
+                offset: 0,
+            });
+            v.push(st(8, 0));
+        }
+        MacroOp::MemWrite => {
+            v.push(ld(8, 0));
+            v.push(Instr::Set {
+                rd: ADDR_REG2,
+                imm: memmap::SHARED_BASE as i64,
+            });
+            v.push(Instr::St {
+                rs: Reg(8),
+                rs1: ADDR_REG2,
+                offset: 0,
+            });
+        }
+        MacroOp::Unary(u) => {
+            v.push(ld(8, 0));
+            match u {
+                UnOp::Neg => v.push(Instr::Alu {
+                    op: AluOp::Sub,
+                    rd: Reg(9),
+                    rs1: Reg::ZERO,
+                    rs2: Operand::Reg(Reg(8)),
+                    set_cc: false,
+                }),
+                UnOp::Not => v.push(Instr::Alu {
+                    op: AluOp::Xor,
+                    rd: Reg(9),
+                    rs1: Reg(8),
+                    rs2: Operand::Imm(-1),
+                    set_cc: false,
+                }),
+                UnOp::LNot => {
+                    v.push(Instr::Alu {
+                        op: AluOp::Sub,
+                        rd: Reg::ZERO,
+                        rs1: Reg(8),
+                        rs2: Operand::Imm(0),
+                        set_cc: true,
+                    });
+                    v.push(Instr::Alu {
+                        op: AluOp::Or,
+                        rd: Reg(9),
+                        rs1: Reg::ZERO,
+                        rs2: Operand::Imm(1),
+                        set_cc: false,
+                    });
+                    let target = v.len() as u32 + 3;
+                    v.push(Instr::Branch {
+                        cond: Cond::Eq,
+                        target,
+                    });
+                    v.push(Instr::Nop);
+                    v.push(Instr::Alu {
+                        op: AluOp::Or,
+                        rd: Reg(9),
+                        rs1: Reg::ZERO,
+                        rs2: Operand::Imm(0),
+                        set_cc: false,
+                    });
+                }
+            }
+            v.push(st(9, 8));
+        }
+        MacroOp::Binary(b) => {
+            v.push(ld(8, 0));
+            v.push(ld(9, 8));
+            let cmp = match b {
+                BinOp::Eq => Some(Cond::Eq),
+                BinOp::Ne => Some(Cond::Ne),
+                BinOp::Lt => Some(Cond::Lt),
+                BinOp::Le => Some(Cond::Le),
+                BinOp::Gt => Some(Cond::Gt),
+                BinOp::Ge => Some(Cond::Ge),
+                _ => None,
+            };
+            if let Some(c) = cmp {
+                v.push(Instr::Alu {
+                    op: AluOp::Sub,
+                    rd: Reg::ZERO,
+                    rs1: Reg(8),
+                    rs2: Operand::Reg(Reg(9)),
+                    set_cc: true,
+                });
+                v.push(Instr::Alu {
+                    op: AluOp::Or,
+                    rd: Reg(10),
+                    rs1: Reg::ZERO,
+                    rs2: Operand::Imm(1),
+                    set_cc: false,
+                });
+                let target = v.len() as u32 + 3;
+                v.push(Instr::Branch { cond: c, target });
+                v.push(Instr::Nop);
+                v.push(Instr::Alu {
+                    op: AluOp::Or,
+                    rd: Reg(10),
+                    rs1: Reg::ZERO,
+                    rs2: Operand::Imm(0),
+                    set_cc: false,
+                });
+            } else {
+                let alu = match b {
+                    BinOp::Add => AluOp::Add,
+                    BinOp::Sub => AluOp::Sub,
+                    BinOp::Mul => AluOp::Smul,
+                    BinOp::Div => AluOp::Sdiv,
+                    BinOp::Rem => AluOp::Srem,
+                    BinOp::And => AluOp::And,
+                    BinOp::Or => AluOp::Or,
+                    BinOp::Xor => AluOp::Xor,
+                    BinOp::Shl => AluOp::Sll,
+                    BinOp::Shr => AluOp::Sra,
+                    _ => unreachable!("comparisons handled above"),
+                };
+                v.push(Instr::Alu {
+                    op: alu,
+                    rd: Reg(10),
+                    rs1: Reg(8),
+                    rs2: Operand::Reg(Reg(9)),
+                    set_cc: false,
+                });
+            }
+            v.push(st(10, 16));
+        }
+    }
+    v.push(Instr::Halt);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfsm::{Cfg, ALL_MACRO_OPS};
+
+    fn one_transition_machine(body: Cfg, n_vars: usize) -> Cfsm {
+        let mut b = Cfsm::builder("m");
+        let s = b.state("s");
+        for v in 0..n_vars {
+            b.var(format!("v{v}"), 0);
+        }
+        b.transition(s, vec![EventId(0)], None, body, s);
+        b.finish().expect("valid machine")
+    }
+
+    #[test]
+    fn compiles_simple_assign() {
+        let m = one_transition_machine(
+            Cfg::straight_line(vec![Stmt::Assign {
+                var: VarId(0),
+                expr: Expr::add(Expr::Var(VarId(0)), Expr::Const(1)),
+            }]),
+            1,
+        );
+        let p = compile(&m, 0x1000).expect("compiles");
+        assert_eq!(p.transitions.len(), 1);
+        assert!(matches!(p.code.last(), Some(Instr::Halt)));
+        // Prologue loads v0 (read), epilogue stores it (written).
+        assert!(p.code.iter().any(|i| matches!(i, Instr::Ld { .. })));
+        assert!(p.code.iter().any(|i| matches!(i, Instr::St { .. })));
+    }
+
+    #[test]
+    fn too_many_vars_rejected() {
+        let m = one_transition_machine(Cfg::empty(), 13);
+        assert!(matches!(
+            compile(&m, 0),
+            Err(CodegenError::TooManyVars(13))
+        ));
+    }
+
+    #[test]
+    fn block_slot_ranges_are_monotone() {
+        use cfsm::{BlockId, CfgBuilder};
+        let mut cb = CfgBuilder::new();
+        cb.block(
+            vec![],
+            Terminator::Branch {
+                cond: Expr::gt(Expr::Var(VarId(0)), Expr::Const(0)),
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+        );
+        cb.block(
+            vec![Stmt::Assign {
+                var: VarId(0),
+                expr: Expr::sub(Expr::Var(VarId(0)), Expr::Const(1)),
+            }],
+            Terminator::Goto(BlockId(0)),
+        );
+        cb.block(vec![], Terminator::Return);
+        let m = one_transition_machine(cb.finish().expect("valid"), 1);
+        let p = compile(&m, 0).expect("compiles");
+        let t = &p.transitions[0];
+        assert_eq!(t.block_slots.len(), 3);
+        assert!(t.prologue_slots.0 <= t.prologue_slots.1);
+        for w in t.block_slots.windows(2) {
+            assert!(w[0].1 <= w[1].0);
+        }
+        assert!(t.epilogue_slots.1 as u64 * INSTR_BYTES <= p.size_bytes());
+    }
+
+    #[test]
+    fn event_reads_collected() {
+        let m = one_transition_machine(
+            Cfg::straight_line(vec![Stmt::Assign {
+                var: VarId(0),
+                expr: Expr::sub(Expr::EventValue(EventId(4)), Expr::EventValue(EventId(2))),
+            }]),
+            1,
+        );
+        let p = compile(&m, 0).expect("compiles");
+        assert_eq!(p.transitions[0].event_reads, vec![EventId(2), EventId(4)]);
+    }
+
+    #[test]
+    fn all_macro_op_templates_terminate_in_halt() {
+        for &op in ALL_MACRO_OPS {
+            let code = macro_op_template(op);
+            assert!(
+                matches!(code.last(), Some(Instr::Halt)),
+                "{op} template must halt"
+            );
+            assert!(code.len() >= 3, "{op} template too small");
+        }
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction_with_addresses() {
+        let m = one_transition_machine(
+            Cfg::straight_line(vec![Stmt::Assign {
+                var: VarId(0),
+                expr: Expr::add(Expr::Var(VarId(0)), Expr::Const(1)),
+            }]),
+            1,
+        );
+        let p = compile(&m, 0x4000).expect("compiles");
+        let asm = p.disassemble();
+        assert!(asm.contains("transition_0:"));
+        assert!(asm.contains("0x00004000"));
+        assert!(asm.contains("ta 0"), "breakpoint visible");
+        assert_eq!(
+            asm.lines().filter(|l| l.contains("0x")).count(),
+            p.code.len()
+        );
+    }
+
+    #[test]
+    fn instruction_mix_sums_to_code_length() {
+        let m = one_transition_machine(
+            Cfg::straight_line(vec![Stmt::Emit {
+                event: EventId(1),
+                value: Some(Expr::Var(VarId(0))),
+            }]),
+            1,
+        );
+        let p = compile(&m, 0).expect("compiles");
+        let mix = p.instruction_mix();
+        assert_eq!(mix.values().sum::<usize>(), p.code.len());
+        assert!(mix["store"] >= 1, "emit lowers to a store");
+        assert_eq!(mix["halt"], 1);
+    }
+
+    #[test]
+    fn slot_accounting_counts_set_twice() {
+        let m = one_transition_machine(
+            Cfg::straight_line(vec![Stmt::Assign {
+                var: VarId(0),
+                expr: Expr::Const(1_000_000), // needs Set
+            }]),
+            1,
+        );
+        let p = compile(&m, 0).expect("compiles");
+        assert!(p.slot_count() > p.code.len() as u32);
+    }
+}

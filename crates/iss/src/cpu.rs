@@ -1,0 +1,739 @@
+//! The instruction-set simulator core.
+//!
+//! A cycle-approximate model of a scalar, in-order SPARClite-style
+//! pipeline: single-issue, one-cycle ALU ops, multi-cycle multiply and
+//! divide, a load-use interlock, and delayed branches (the delay-slot
+//! instruction always executes). Every retired instruction is charged to
+//! the instruction-level [`PowerModel`]; stall cycles are charged
+//! separately — "the ISS accurately models timing behavior taking into
+//! account register interlocks, pipeline flushes, delayed branches" (§5.1).
+//!
+//! The CPU state (registers, condition codes, local memory, circuit
+//! state) persists across activations, exactly like a processor that is
+//! suspended at a breakpoint between CFSM transitions.
+
+use crate::isa::{memmap, AluOp, Cond, Instr, Operand, Reg};
+use crate::power::{InstrClass, PowerModel};
+use std::collections::HashMap;
+
+/// Integer condition codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Icc {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Overflow.
+    pub v: bool,
+    /// Carry.
+    pub c: bool,
+}
+
+impl Icc {
+    /// Whether `cond` holds under these codes.
+    pub fn holds(self, cond: Cond) -> bool {
+        match cond {
+            Cond::Always => true,
+            Cond::Eq => self.z,
+            Cond::Ne => !self.z,
+            Cond::Lt => self.n != self.v,
+            Cond::Le => self.z || (self.n != self.v),
+            Cond::Gt => !(self.z || (self.n != self.v)),
+            Cond::Ge => self.n == self.v,
+        }
+    }
+}
+
+/// Everything one activation (one CFSM transition between breakpoints)
+/// produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunOutcome {
+    /// Clock cycles consumed, including stalls.
+    pub cycles: u64,
+    /// Energy in joules.
+    pub energy_j: f64,
+    /// Instructions retired.
+    pub instrs: u64,
+    /// Stall cycles (subset of `cycles`).
+    pub stalls: u64,
+    /// Events emitted through the MMIO port: `(event index, value)`.
+    pub emitted: Vec<(u32, i64)>,
+    /// Shared-memory transactions: `(addr, write?, data)`.
+    pub shared_ops: Vec<(u64, bool, i64)>,
+    /// Instruction-fetch addresses (only when recording is enabled).
+    pub ifetch: Vec<u64>,
+}
+
+/// Per-instruction latencies in cycles.
+fn base_cycles(i: &Instr) -> u64 {
+    match i {
+        Instr::Alu { op, .. } => match op {
+            AluOp::Smul => 5,
+            AluOp::Sdiv | AluOp::Srem => 18,
+            _ => 1,
+        },
+        Instr::Set { .. } => 2,
+        Instr::Ld { .. } => 1,
+        Instr::St { .. } => 1,
+        Instr::Branch { .. } => 1,
+        Instr::Nop | Instr::Halt => 1,
+        Instr::Save | Instr::Restore => 1, // + trap penalty when the file wraps
+    }
+}
+
+/// Number of register windows (SPARClite-class).
+pub const N_WINDOWS: usize = 8;
+/// Extra cycles charged by a window overflow/underflow trap (spill or
+/// refill of the 16-register window through memory).
+const WINDOW_TRAP_CYCLES: u64 = 24;
+
+/// Guards against runaway programs.
+const MAX_INSTRS_PER_RUN: u64 = 200_000_000;
+
+/// The simulated processor (see module docs).
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// Global registers `%r0..%r7` (`%r0` hard-wired to zero).
+    globals: [i64; 8],
+    /// The windowed register file: [`N_WINDOWS`] × 16 physical registers
+    /// backing the visible `%r8..%r31`, with the SPARC out/in overlap.
+    window_file: [i64; N_WINDOWS * 16],
+    /// Current window pointer.
+    cwp: usize,
+    /// Nesting depth of `save`s (drives overflow/underflow traps).
+    window_depth: u32,
+    icc: Icc,
+    mem: HashMap<u64, i64>,
+    power: PowerModel,
+    prev_class: Option<InstrClass>,
+    record_ifetch: bool,
+}
+
+impl Cpu {
+    /// Creates a CPU with the given power model, zeroed registers and
+    /// empty memory.
+    pub fn new(power: PowerModel) -> Self {
+        Cpu {
+            globals: [0; 8],
+            window_file: [0; N_WINDOWS * 16],
+            cwp: 0,
+            window_depth: 0,
+            icc: Icc::default(),
+            mem: HashMap::new(),
+            power,
+            // Between activations the processor idles (RTOS wait loop),
+            // so every activation starts from the same circuit state.
+            // This makes the energy of a (path, data) pair exactly
+            // repeatable — the property behind the zero caching error on
+            // SPARClite in Table 1 of the paper.
+            prev_class: Some(InstrClass::Nop),
+            record_ifetch: false,
+        }
+    }
+
+    /// Enables or disables instruction-fetch address recording.
+    pub fn set_record_ifetch(&mut self, on: bool) {
+        self.record_ifetch = on;
+    }
+
+    /// The power model in use.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Physical index of a windowed register under the current window
+    /// pointer (the SPARC overlap: window `w`'s ins are window `w+1`'s
+    /// outs).
+    fn phys(&self, r: Reg) -> usize {
+        debug_assert!(r.0 >= 8);
+        (self.cwp * 16 + (r.0 as usize - 8)) % (N_WINDOWS * 16)
+    }
+
+    /// Reads a register (`%r0` is always zero).
+    pub fn reg(&self, r: Reg) -> i64 {
+        match r.0 {
+            0 => 0,
+            1..=7 => self.globals[r.0 as usize],
+            _ => self.window_file[self.phys(r)],
+        }
+    }
+
+    /// Writes a register (writes to `%r0` are discarded).
+    pub fn set_reg(&mut self, r: Reg, v: i64) {
+        match r.0 {
+            0 => {}
+            1..=7 => self.globals[r.0 as usize] = v,
+            _ => {
+                let i = self.phys(r);
+                self.window_file[i] = v;
+            }
+        }
+    }
+
+    /// Current window pointer (tests/debug).
+    pub fn cwp(&self) -> usize {
+        self.cwp
+    }
+
+    /// Reads local memory (zero if never written).
+    pub fn mem_read(&self, addr: u64) -> i64 {
+        *self.mem.get(&addr).unwrap_or(&0)
+    }
+
+    /// Writes local memory.
+    pub fn mem_write(&mut self, addr: u64, v: i64) {
+        self.mem.insert(addr, v);
+    }
+
+    /// The current condition codes.
+    pub fn icc(&self) -> Icc {
+        self.icc
+    }
+
+    fn operand(&self, op: Operand) -> i64 {
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(i) => i as i64,
+        }
+    }
+
+    /// Executes from instruction index `entry` until `Halt`.
+    ///
+    /// `code` is the program text, `base_addr` its load address (for
+    /// fetch-trace generation), `shared_reads` the ordered functional
+    /// values for loads from the shared window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range control transfer, loads from the MMIO emit
+    /// region, shared reads beyond `shared_reads`, or exceeding the
+    /// internal instruction budget.
+    pub fn run(
+        &mut self,
+        code: &[Instr],
+        entry: u32,
+        base_addr: u64,
+        shared_reads: &[i64],
+    ) -> RunOutcome {
+        // Slot offsets for fetch addresses.
+        let mut out = RunOutcome::default();
+        let mut pc = entry as usize;
+        let mut next_shared = 0usize;
+        // Delay-slot bookkeeping: after executing a taken branch, the
+        // instruction at pc+1 executes, then control moves to the target.
+        let mut pending_target: Option<usize> = None;
+        let mut last_load_rd: Option<Reg> = None;
+        loop {
+            assert!(pc < code.len(), "control transfer out of program");
+            let instr = code[pc];
+            assert!(
+                out.instrs < MAX_INSTRS_PER_RUN,
+                "instruction budget exceeded; runaway program?"
+            );
+            if self.record_ifetch {
+                // One fetch per slot.
+                let slot_base = base_addr + slot_offset(code, pc) * crate::isa::INSTR_BYTES;
+                for s in 0..instr.slots() as u64 {
+                    out.ifetch.push(slot_base + s * crate::isa::INSTR_BYTES);
+                }
+            }
+            // Load-use interlock: one stall if this instruction reads the
+            // destination of the immediately preceding load.
+            if let Some(ld_rd) = last_load_rd {
+                if ld_rd != Reg::ZERO && reads_reg(&instr, ld_rd) {
+                    out.cycles += 1;
+                    out.stalls += 1;
+                    out.energy_j += self.power.stall_energy_j();
+                }
+            }
+            last_load_rd = None;
+
+            let mut operands = (0i64, 0i64);
+            let mut taken: Option<usize> = None;
+            let mut halted = false;
+            match instr {
+                Instr::Alu {
+                    op,
+                    rd,
+                    rs1,
+                    rs2,
+                    set_cc,
+                } => {
+                    let a = self.reg(rs1);
+                    let b = self.operand(rs2);
+                    operands = (a, b);
+                    let (r, carry, overflow) = alu_exec(op, a, b);
+                    self.set_reg(rd, r);
+                    if set_cc {
+                        self.icc = Icc {
+                            n: r < 0,
+                            z: r == 0,
+                            v: overflow,
+                            c: carry,
+                        };
+                    }
+                }
+                Instr::Set { rd, imm } => {
+                    operands = (imm, 0);
+                    self.set_reg(rd, imm);
+                }
+                Instr::Ld { rd, rs1, offset } => {
+                    let addr = (self.reg(rs1) + offset as i64) as u64;
+                    let v = if memmap::is_shared(addr) {
+                        assert!(
+                            next_shared < shared_reads.len(),
+                            "ISS issued more shared reads than supplied"
+                        );
+                        let v = shared_reads[next_shared];
+                        next_shared += 1;
+                        out.shared_ops.push((addr, false, 0));
+                        v
+                    } else if memmap::emit_event(addr).is_some() {
+                        panic!("load from event-emission MMIO region");
+                    } else {
+                        self.mem_read(addr)
+                    };
+                    operands = (addr as i64, v);
+                    self.set_reg(rd, v);
+                    last_load_rd = Some(rd);
+                }
+                Instr::St { rs, rs1, offset } => {
+                    let addr = (self.reg(rs1) + offset as i64) as u64;
+                    let v = self.reg(rs);
+                    operands = (addr as i64, v);
+                    if let Some(ev) = memmap::emit_event(addr) {
+                        out.emitted.push((ev, v));
+                    } else if memmap::is_shared(addr) {
+                        out.shared_ops.push((addr, true, v));
+                    } else {
+                        self.mem_write(addr, v);
+                    }
+                }
+                Instr::Branch { cond, target } => {
+                    if self.icc.holds(cond) {
+                        taken = Some(target as usize);
+                    }
+                }
+                Instr::Nop => {}
+                Instr::Save => {
+                    // SPARC `save` decrements CWP: the caller's outs
+                    // (r8..r15) alias the new window's ins (r24..r31).
+                    self.cwp = (self.cwp + N_WINDOWS - 1) % N_WINDOWS;
+                    self.window_depth += 1;
+                    // With N windows, N-1 nested saves fit; the next one
+                    // spills the oldest window (overflow trap).
+                    if self.window_depth.is_multiple_of(N_WINDOWS as u32 - 1) {
+                        out.cycles += WINDOW_TRAP_CYCLES;
+                        out.stalls += WINDOW_TRAP_CYCLES;
+                        out.energy_j +=
+                            self.power.stall_energy_j() * WINDOW_TRAP_CYCLES as f64;
+                    }
+                }
+                Instr::Restore => {
+                    assert!(self.window_depth > 0, "restore without matching save");
+                    if self.window_depth.is_multiple_of(N_WINDOWS as u32 - 1) {
+                        // Refilling the spilled window (underflow trap).
+                        out.cycles += WINDOW_TRAP_CYCLES;
+                        out.stalls += WINDOW_TRAP_CYCLES;
+                        out.energy_j +=
+                            self.power.stall_energy_j() * WINDOW_TRAP_CYCLES as f64;
+                    }
+                    self.window_depth -= 1;
+                    self.cwp = (self.cwp + 1) % N_WINDOWS;
+                }
+                Instr::Halt => halted = true,
+            }
+
+            out.cycles += base_cycles(&instr);
+            out.instrs += 1;
+            out.energy_j += self
+                .power
+                .instr_energy_j(&instr, self.prev_class, operands);
+            self.prev_class = Some(InstrClass::of(&instr));
+
+            if halted {
+                break;
+            }
+            if let Some(t) = pending_target.take() {
+                // We just executed the delay slot of an earlier branch.
+                pc = t;
+                continue;
+            }
+            if let Some(t) = taken {
+                // Execute the delay slot next, then jump.
+                pending_target = Some(t);
+            }
+            pc += 1;
+        }
+        out
+    }
+}
+
+/// Whether `instr` reads `r` as a source.
+fn reads_reg(instr: &Instr, r: Reg) -> bool {
+    match instr {
+        Instr::Alu { rs1, rs2, .. } => {
+            *rs1 == r || matches!(rs2, Operand::Reg(x) if *x == r)
+        }
+        Instr::Ld { rs1, .. } => *rs1 == r,
+        Instr::St { rs, rs1, .. } => *rs == r || *rs1 == r,
+        _ => false,
+    }
+}
+
+/// Slot offset of instruction index `pc` (Set occupies two slots).
+fn slot_offset(code: &[Instr], pc: usize) -> u64 {
+    code[..pc].iter().map(|i| i.slots() as u64).sum()
+}
+
+/// Executes an ALU op; returns `(result, carry, overflow)`.
+fn alu_exec(op: AluOp, a: i64, b: i64) -> (i64, bool, bool) {
+    match op {
+        AluOp::Add => {
+            let (r, o) = a.overflowing_add(b);
+            let c = (a as u64).overflowing_add(b as u64).1;
+            (r, c, o)
+        }
+        AluOp::Sub => {
+            let (r, o) = a.overflowing_sub(b);
+            let c = (a as u64) < (b as u64);
+            (r, c, o)
+        }
+        AluOp::And => (a & b, false, false),
+        AluOp::Or => (a | b, false, false),
+        AluOp::Xor => (a ^ b, false, false),
+        AluOp::Sll => (a.wrapping_shl(b as u32 % 64), false, false),
+        AluOp::Sra => (a.wrapping_shr(b as u32 % 64), false, false),
+        AluOp::Smul => (a.wrapping_mul(b), false, false),
+        AluOp::Sdiv => (if b == 0 { 0 } else { a.wrapping_div(b) }, false, false),
+        AluOp::Srem => (if b == 0 { 0 } else { a.wrapping_rem(b) }, false, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> Cpu {
+        Cpu::new(PowerModel::sparclite())
+    }
+
+    fn alu(op: AluOp, rd: u8, rs1: u8, rs2: Operand) -> Instr {
+        Instr::Alu {
+            op,
+            rd: Reg(rd),
+            rs1: Reg(rs1),
+            rs2,
+            set_cc: false,
+        }
+    }
+
+    #[test]
+    fn r0_is_always_zero() {
+        let mut c = cpu();
+        c.set_reg(Reg::ZERO, 99);
+        assert_eq!(c.reg(Reg::ZERO), 0);
+        let code = [
+            alu(AluOp::Add, 0, 0, Operand::Imm(7)), // write to r0 discarded
+            Instr::Halt,
+        ];
+        c.run(&code, 0, 0, &[]);
+        assert_eq!(c.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn alu_arithmetic_and_flags() {
+        let mut c = cpu();
+        let code = [
+            Instr::Set { rd: Reg(1), imm: 10 },
+            Instr::Alu {
+                op: AluOp::Sub,
+                rd: Reg(2),
+                rs1: Reg(1),
+                rs2: Operand::Imm(10),
+                set_cc: true,
+            },
+            Instr::Halt,
+        ];
+        c.run(&code, 0, 0, &[]);
+        assert_eq!(c.reg(Reg(2)), 0);
+        assert!(c.icc().z);
+        assert!(!c.icc().n);
+    }
+
+    #[test]
+    fn cond_evaluation_matches_semantics() {
+        // subcc 3 - 5 → negative.
+        let mut c = cpu();
+        let code = [
+            Instr::Set { rd: Reg(1), imm: 3 },
+            Instr::Alu {
+                op: AluOp::Sub,
+                rd: Reg::ZERO,
+                rs1: Reg(1),
+                rs2: Operand::Imm(5),
+                set_cc: true,
+            },
+            Instr::Halt,
+        ];
+        c.run(&code, 0, 0, &[]);
+        assert!(c.icc().holds(Cond::Lt));
+        assert!(c.icc().holds(Cond::Le));
+        assert!(c.icc().holds(Cond::Ne));
+        assert!(!c.icc().holds(Cond::Eq));
+        assert!(!c.icc().holds(Cond::Gt));
+        assert!(!c.icc().holds(Cond::Ge));
+    }
+
+    #[test]
+    fn delayed_branch_executes_delay_slot() {
+        // set r1, 1; ba L; add r1,+10 (delay slot, executes); L: halt
+        // and the skipped instruction add r1,+100 must not run.
+        let code = [
+            Instr::Set { rd: Reg(1), imm: 1 },
+            Instr::Branch { cond: Cond::Always, target: 4 },
+            alu(AluOp::Add, 1, 1, Operand::Imm(10)), // delay slot
+            alu(AluOp::Add, 1, 1, Operand::Imm(100)), // skipped
+            Instr::Halt,
+        ];
+        let mut c = cpu();
+        c.run(&code, 0, 0, &[]);
+        assert_eq!(c.reg(Reg(1)), 11);
+    }
+
+    #[test]
+    fn untaken_branch_falls_through() {
+        let code = [
+            Instr::Alu {
+                op: AluOp::Sub,
+                rd: Reg::ZERO,
+                rs1: Reg::ZERO,
+                rs2: Operand::Imm(0),
+                set_cc: true,
+            }, // Z set
+            Instr::Branch { cond: Cond::Ne, target: 4 }, // not taken
+            Instr::Nop,
+            alu(AluOp::Add, 1, 0, Operand::Imm(5)),
+            Instr::Halt,
+        ];
+        let mut c = cpu();
+        c.run(&code, 0, 0, &[]);
+        assert_eq!(c.reg(Reg(1)), 5);
+    }
+
+    #[test]
+    fn loop_executes_correct_count() {
+        // r1 = 5; L: r2 += 2; subcc r1,1 -> r1; bne L; nop; halt
+        let code = [
+            Instr::Set { rd: Reg(1), imm: 5 },
+            alu(AluOp::Add, 2, 2, Operand::Imm(2)),
+            Instr::Alu {
+                op: AluOp::Sub,
+                rd: Reg(1),
+                rs1: Reg(1),
+                rs2: Operand::Imm(1),
+                set_cc: true,
+            },
+            Instr::Branch { cond: Cond::Ne, target: 1 },
+            Instr::Nop,
+            Instr::Halt,
+        ];
+        let mut c = cpu();
+        let out = c.run(&code, 0, 0, &[]);
+        assert_eq!(c.reg(Reg(2)), 10);
+        assert_eq!(c.reg(Reg(1)), 0);
+        assert!(out.instrs > 15); // 5 iterations of 4 instrs + prologue
+    }
+
+    #[test]
+    fn load_store_local_memory() {
+        let mut c = cpu();
+        let code = [
+            Instr::Set { rd: Reg(1), imm: memmap::VAR_BASE as i64 },
+            Instr::Set { rd: Reg(2), imm: 77 },
+            Instr::St { rs: Reg(2), rs1: Reg(1), offset: 8 },
+            Instr::Ld { rd: Reg(3), rs1: Reg(1), offset: 8 },
+            Instr::Halt,
+        ];
+        c.run(&code, 0, 0, &[]);
+        assert_eq!(c.reg(Reg(3)), 77);
+        assert_eq!(c.mem_read(memmap::VAR_BASE + 8), 77);
+    }
+
+    #[test]
+    fn load_use_interlock_stalls() {
+        let base = [
+            Instr::Set { rd: Reg(1), imm: memmap::VAR_BASE as i64 },
+            Instr::Ld { rd: Reg(2), rs1: Reg(1), offset: 0 },
+        ];
+        // Dependent use immediately after the load.
+        let mut dep = base.to_vec();
+        dep.push(alu(AluOp::Add, 3, 2, Operand::Imm(1)));
+        dep.push(Instr::Halt);
+        // Independent instruction instead.
+        let mut indep = base.to_vec();
+        indep.push(alu(AluOp::Add, 3, 4, Operand::Imm(1)));
+        indep.push(Instr::Halt);
+        let dep_out = cpu().run(&dep, 0, 0, &[]);
+        let indep_out = cpu().run(&indep, 0, 0, &[]);
+        assert_eq!(dep_out.stalls, 1);
+        assert_eq!(indep_out.stalls, 0);
+        assert_eq!(dep_out.cycles, indep_out.cycles + 1);
+        assert!(dep_out.energy_j > indep_out.energy_j);
+    }
+
+    #[test]
+    fn emit_mmio_records_events() {
+        let code = [
+            Instr::Set { rd: Reg(1), imm: memmap::EMIT_BASE as i64 },
+            Instr::Set { rd: Reg(2), imm: 42 },
+            Instr::St { rs: Reg(2), rs1: Reg(1), offset: 24 }, // event 3
+            Instr::Halt,
+        ];
+        let out = cpu().run(&code, 0, 0, &[]);
+        assert_eq!(out.emitted, vec![(3, 42)]);
+        assert!(out.shared_ops.is_empty());
+    }
+
+    #[test]
+    fn shared_window_reads_and_writes() {
+        let code = [
+            Instr::Set { rd: Reg(1), imm: memmap::SHARED_BASE as i64 },
+            Instr::Ld { rd: Reg(2), rs1: Reg(1), offset: 16 },
+            Instr::St { rs: Reg(2), rs1: Reg(1), offset: 32 },
+            Instr::Halt,
+        ];
+        let out = cpu().run(&code, 0, 0, &[1234]);
+        assert_eq!(
+            out.shared_ops,
+            vec![
+                (memmap::SHARED_BASE + 16, false, 0),
+                (memmap::SHARED_BASE + 32, true, 1234)
+            ]
+        );
+        assert_eq!(cpu().run(&code, 0, 0, &[7]).shared_ops.len(), 2);
+    }
+
+    #[test]
+    fn multicycle_ops_cost_more_cycles() {
+        let quick = [alu(AluOp::Add, 1, 1, Operand::Imm(1)), Instr::Halt];
+        let mul = [alu(AluOp::Smul, 1, 1, Operand::Imm(3)), Instr::Halt];
+        let div = [alu(AluOp::Sdiv, 1, 1, Operand::Imm(3)), Instr::Halt];
+        let cq = cpu().run(&quick, 0, 0, &[]).cycles;
+        let cm = cpu().run(&mul, 0, 0, &[]).cycles;
+        let cd = cpu().run(&div, 0, 0, &[]).cycles;
+        assert!(cq < cm && cm < cd);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let code = [
+            Instr::Set { rd: Reg(1), imm: 9 },
+            alu(AluOp::Sdiv, 2, 1, Operand::Imm(0)),
+            alu(AluOp::Srem, 3, 1, Operand::Imm(0)),
+            Instr::Halt,
+        ];
+        let mut c = cpu();
+        c.run(&code, 0, 0, &[]);
+        assert_eq!(c.reg(Reg(2)), 0);
+        assert_eq!(c.reg(Reg(3)), 0);
+    }
+
+    #[test]
+    fn ifetch_recording() {
+        let code = [
+            Instr::Set { rd: Reg(1), imm: 5 }, // 2 slots
+            Instr::Nop,
+            Instr::Halt,
+        ];
+        let mut c = cpu();
+        c.set_record_ifetch(true);
+        let out = c.run(&code, 0, 0x100, &[]);
+        assert_eq!(out.ifetch, vec![0x100, 0x104, 0x108, 0x10C]);
+    }
+
+    #[test]
+    fn register_windows_overlap_outs_and_ins() {
+        // Write %r8 (out), save, read %r24 (in of the new window): the
+        // SPARC overlap must deliver the value across the call boundary.
+        let code = [
+            Instr::Set { rd: Reg(8), imm: 99 },
+            Instr::Save,
+            alu(AluOp::Add, 1, 24, Operand::Imm(1)), // global g1 = in + 1
+            Instr::Restore,
+            Instr::Halt,
+        ];
+        let mut c = cpu();
+        c.run(&code, 0, 0, &[]);
+        assert_eq!(c.reg(Reg(1)), 100, "callee saw the caller's out register");
+        assert_eq!(c.cwp(), 0, "restore returned to the original window");
+        assert_eq!(c.reg(Reg(8)), 99, "caller's window is intact");
+    }
+
+    #[test]
+    fn locals_are_private_per_window() {
+        let code = [
+            Instr::Set { rd: Reg(16), imm: 7 }, // caller local
+            Instr::Save,
+            Instr::Set { rd: Reg(16), imm: 8 }, // callee local
+            Instr::Restore,
+            Instr::Halt,
+        ];
+        let mut c = cpu();
+        c.run(&code, 0, 0, &[]);
+        assert_eq!(c.reg(Reg(16)), 7, "callee's locals did not clobber the caller's");
+    }
+
+    #[test]
+    fn globals_survive_window_rotation() {
+        let code = [
+            Instr::Set { rd: Reg(1), imm: 42 },
+            Instr::Save,
+            Instr::Save,
+            Instr::Halt,
+        ];
+        let mut c = cpu();
+        c.run(&code, 0, 0, &[]);
+        assert_eq!(c.reg(Reg(1)), 42);
+    }
+
+    #[test]
+    fn window_overflow_costs_a_trap() {
+        // N_WINDOWS - 1 saves fit; the (N-1)th triggers the overflow
+        // penalty.
+        let saves_no_trap = N_WINDOWS - 2;
+        let mut code: Vec<Instr> = (0..saves_no_trap).map(|_| Instr::Save).collect();
+        code.push(Instr::Halt);
+        let cheap = cpu().run(&code, 0, 0, &[]);
+        let mut code: Vec<Instr> = (0..saves_no_trap + 1).map(|_| Instr::Save).collect();
+        code.push(Instr::Halt);
+        let spill = cpu().run(&code, 0, 0, &[]);
+        assert!(
+            spill.cycles > cheap.cycles + WINDOW_TRAP_CYCLES / 2,
+            "overflow save must pay the trap ({} vs {})",
+            spill.cycles,
+            cheap.cycles
+        );
+        assert!(spill.energy_j > cheap.energy_j);
+    }
+
+    #[test]
+    #[should_panic(expected = "restore without matching save")]
+    fn unbalanced_restore_panics() {
+        let code = [Instr::Restore, Instr::Halt];
+        cpu().run(&code, 0, 0, &[]);
+    }
+
+    #[test]
+    fn energy_accumulates_deterministically() {
+        let code = [
+            Instr::Set { rd: Reg(1), imm: 3 },
+            alu(AluOp::Smul, 2, 1, Operand::Reg(Reg(1))),
+            Instr::Halt,
+        ];
+        let a = cpu().run(&code, 0, 0, &[]);
+        let b = cpu().run(&code, 0, 0, &[]);
+        assert_eq!(a, b);
+        assert!(a.energy_j > 0.0);
+    }
+}

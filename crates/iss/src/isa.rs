@@ -1,0 +1,342 @@
+//! The instruction set of the modeled embedded processor.
+//!
+//! A SPARClite-flavoured scalar RISC: 32 visible integer registers
+//! (`%r0` hard-wired to zero), integer condition codes set by the `cc`
+//! forms, delayed branches with one delay slot, and hardware
+//! multiply/divide. Registers are modeled 64 bits wide so that software
+//! execution agrees bit-for-bit with the behavioral CFSM interpreter
+//! (the co-estimation cross-checks rely on this).
+//!
+//! `Set` is the usual `sethi`/`or` synthetic: it occupies two instruction
+//! slots and two cycles, like the real pair.
+
+use std::fmt;
+
+/// A general-purpose register. `%r0` always reads zero; writes to it are
+/// discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Number of visible registers.
+    pub const COUNT: usize = 32;
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%r{}", self.0)
+    }
+}
+
+/// The second ALU operand: register or 13-bit signed immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Reg),
+    /// Signed immediate; must fit in 13 bits.
+    Imm(i16),
+}
+
+impl Operand {
+    /// Whether `v` fits the signed 13-bit immediate field.
+    pub fn fits_imm13(v: i64) -> bool {
+        (-4096..=4095).contains(&v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left.
+    Sll,
+    /// Arithmetic shift right.
+    Sra,
+    /// Hardware multiply (SPARClite `smul`).
+    Smul,
+    /// Hardware divide (`sdiv`); division by zero yields zero, matching
+    /// the behavioral model.
+    Sdiv,
+    /// Remainder (synthetic; lowered from `REM` macro-ops).
+    Srem,
+}
+
+/// Branch conditions over the integer condition codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Always.
+    Always,
+    /// Equal (Z).
+    Eq,
+    /// Not equal (!Z).
+    Ne,
+    /// Signed less (N xor V).
+    Lt,
+    /// Signed less-or-equal (Z or (N xor V)).
+    Le,
+    /// Signed greater (!(Z or (N xor V))).
+    Gt,
+    /// Signed greater-or-equal (!(N xor V)).
+    Ge,
+}
+
+impl Cond {
+    /// The negation of the condition.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Always => Cond::Always,
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+}
+
+/// One instruction. Branch targets are absolute instruction indices
+/// within the program (resolved by the assembler in `codegen`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `rd = rs1 op operand`. `set_cc` selects the `cc` form.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Operand,
+        /// Whether integer condition codes are updated.
+        set_cc: bool,
+    },
+    /// Synthetic `sethi`/`or` pair: `rd = imm` (2 slots, 2 cycles).
+    Set {
+        /// Destination.
+        rd: Reg,
+        /// Full-width immediate.
+        imm: i64,
+    },
+    /// Load: `rd = mem[rs1 + offset]`.
+    Ld {
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Signed 13-bit displacement.
+        offset: i16,
+    },
+    /// Store: `mem[rs1 + offset] = rs`.
+    St {
+        /// Source register.
+        rs: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Signed 13-bit displacement.
+        offset: i16,
+    },
+    /// Delayed branch to the absolute instruction index `target`.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// No operation (fills delay slots).
+    Nop,
+    /// SPARC `save`: rotates to the next register window (the `out`
+    /// registers `%r8..%r15` become the new window's `in` registers
+    /// `%r24..%r31`). Spills to memory when the window file is
+    /// exhausted (window-overflow trap, modeled as extra cycles/energy).
+    Save,
+    /// SPARC `restore`: rotates back to the previous window; a
+    /// window-underflow trap refills from memory.
+    Restore,
+    /// Stops execution of the current activation (returns control to the
+    /// simulation master). Models the breakpoint the master plants at the
+    /// end of a CFSM transition.
+    Halt,
+}
+
+impl Instr {
+    /// Instruction slots occupied in memory (`Set` is a 2-slot synthetic).
+    pub fn slots(&self) -> u32 {
+        match self {
+            Instr::Set { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Instruction word size in bytes (each slot).
+pub const INSTR_BYTES: u64 = 4;
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Alu {
+                op,
+                rd,
+                rs1,
+                rs2,
+                set_cc,
+            } => {
+                let name = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::And => "and",
+                    AluOp::Or => "or",
+                    AluOp::Xor => "xor",
+                    AluOp::Sll => "sll",
+                    AluOp::Sra => "sra",
+                    AluOp::Smul => "smul",
+                    AluOp::Sdiv => "sdiv",
+                    AluOp::Srem => "srem",
+                };
+                let cc = if *set_cc { "cc" } else { "" };
+                write!(f, "{name}{cc} {rs1}, {rs2}, {rd}")
+            }
+            Instr::Set { rd, imm } => write!(f, "set {imm}, {rd}"),
+            Instr::Ld { rd, rs1, offset } => write!(f, "ld [{rs1}+{offset}], {rd}"),
+            Instr::St { rs, rs1, offset } => write!(f, "st {rs}, [{rs1}+{offset}]"),
+            Instr::Branch { cond, target } => {
+                let name = match cond {
+                    Cond::Always => "ba",
+                    Cond::Eq => "be",
+                    Cond::Ne => "bne",
+                    Cond::Lt => "bl",
+                    Cond::Le => "ble",
+                    Cond::Gt => "bg",
+                    Cond::Ge => "bge",
+                };
+                write!(f, "{name} .L{target}")
+            }
+            Instr::Nop => write!(f, "nop"),
+            Instr::Save => write!(f, "save"),
+            Instr::Restore => write!(f, "restore"),
+            Instr::Halt => write!(f, "ta 0"),
+        }
+    }
+}
+
+/// Memory map of the modeled system, shared between the code generator,
+/// the ISS, and the co-simulation master.
+pub mod memmap {
+    /// Base of the process-local variable area.
+    pub const VAR_BASE: u64 = 0x3000_0000;
+    /// Base of the shared-memory window (accesses here go to the system
+    /// bus and are reported to the master).
+    pub const SHARED_BASE: u64 = 0x1000_0000;
+    /// Size of the shared-memory window.
+    pub const SHARED_SIZE: u64 = 0x1000_0000;
+    /// Base of the memory-mapped event-emission region; a store to
+    /// `EMIT_BASE + 8*event` emits that event.
+    pub const EMIT_BASE: u64 = 0x2000_0000;
+    /// Bytes per variable slot.
+    pub const VAR_STRIDE: u64 = 8;
+
+    /// Whether an address falls in the shared window.
+    pub fn is_shared(addr: u64) -> bool {
+        (SHARED_BASE..SHARED_BASE + SHARED_SIZE).contains(&addr)
+    }
+
+    /// Whether an address is an event-emission port; returns the event
+    /// index if so.
+    pub fn emit_event(addr: u64) -> Option<u32> {
+        if (EMIT_BASE..EMIT_BASE + 8 * 4096).contains(&addr) {
+            Some(((addr - EMIT_BASE) / 8) as u32)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_constant() {
+        assert_eq!(Reg::ZERO, Reg(0));
+        assert_eq!(Reg::COUNT, 32);
+    }
+
+    #[test]
+    fn imm13_bounds() {
+        assert!(Operand::fits_imm13(0));
+        assert!(Operand::fits_imm13(4095));
+        assert!(Operand::fits_imm13(-4096));
+        assert!(!Operand::fits_imm13(4096));
+        assert!(!Operand::fits_imm13(-4097));
+    }
+
+    #[test]
+    fn cond_negation_is_involutive() {
+        for c in [
+            Cond::Eq,
+            Cond::Ne,
+            Cond::Lt,
+            Cond::Le,
+            Cond::Gt,
+            Cond::Ge,
+        ] {
+            assert_eq!(c.negate().negate(), c);
+            assert_ne!(c.negate(), c);
+        }
+        assert_eq!(Cond::Always.negate(), Cond::Always);
+    }
+
+    #[test]
+    fn set_occupies_two_slots() {
+        assert_eq!(Instr::Set { rd: Reg(1), imm: 123456 }.slots(), 2);
+        assert_eq!(Instr::Nop.slots(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(3),
+            rs1: Reg(1),
+            rs2: Operand::Imm(4),
+            set_cc: true,
+        };
+        assert_eq!(i.to_string(), "addcc %r1, 4, %r3");
+        assert_eq!(
+            Instr::Branch { cond: Cond::Le, target: 7 }.to_string(),
+            "ble .L7"
+        );
+    }
+
+    #[test]
+    fn memmap_regions_are_disjoint() {
+        use memmap::*;
+        assert!(is_shared(SHARED_BASE));
+        assert!(!is_shared(VAR_BASE));
+        assert!(!is_shared(EMIT_BASE));
+        assert_eq!(emit_event(EMIT_BASE + 16), Some(2));
+        assert_eq!(emit_event(VAR_BASE), None);
+    }
+}

@@ -1,0 +1,48 @@
+//! `iss` — a SPARClite-flavoured instruction-set simulator with
+//! instruction-level power models.
+//!
+//! This crate is the SPARCsim analogue of the DATE 2000 power
+//! co-estimation paper: the software-mapped parts of the system run on a
+//! cycle-approximate [`Cpu`] (register interlocks, delayed branches,
+//! multi-cycle multiply/divide) enhanced with the measurement-based
+//! instruction-level power model of Tiwari et al. ([`PowerModel`]).
+//!
+//! Layers:
+//!
+//! * [`isa`] — the instruction set and memory map;
+//! * [`Cpu`] — the execution engine with timing + energy accounting;
+//! * [`codegen`] — POLIS-style software synthesis from CFSM bodies,
+//!   including the isolated per-macro-op templates used by the
+//!   macro-model characterization flow;
+//! * [`SwCfsm`] — the "enhanced ISS" interface the co-simulation master
+//!   drives (state in, cycles + energy out, breakpoint at transition end).
+//!
+//! # Examples
+//!
+//! ```
+//! use iss::{Cpu, PowerModel};
+//! use iss::isa::{Instr, Reg, Operand, AluOp};
+//!
+//! let code = [
+//!     Instr::Set { rd: Reg(1), imm: 20 },
+//!     Instr::Alu { op: AluOp::Add, rd: Reg(2), rs1: Reg(1), rs2: Operand::Imm(22), set_cc: false },
+//!     Instr::Halt,
+//! ];
+//! let mut cpu = Cpu::new(PowerModel::sparclite());
+//! let out = cpu.run(&code, 0, 0, &[]);
+//! assert_eq!(cpu.reg(Reg(2)), 42);
+//! assert!(out.energy_j > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+mod cpu;
+pub mod isa;
+mod power;
+mod runner;
+
+pub use cpu::{Cpu, Icc, RunOutcome};
+pub use power::{InstrClass, PowerModel, PowerModelKind};
+pub use runner::{SwCfsm, SwRun};

@@ -1,0 +1,368 @@
+//! The enhanced-ISS interface used by the co-simulation master.
+//!
+//! The paper's master sends the ISS "state, input values, breakpoints,
+//! commands" and receives "cycles, power" (Fig. 2b). [`SwCfsm`] is that
+//! interface: per activation it writes the live variable and event values
+//! into the simulated processor's memory, runs the compiled transition
+//! code to its breakpoint (`Halt`), and returns cycle, energy, emission
+//! and shared-memory information.
+
+use crate::codegen::{compile, CodegenError, Program, EVENT_VAL_BASE};
+use crate::cpu::Cpu;
+use crate::isa::memmap;
+use crate::power::PowerModel;
+use cfsm::{Cfsm, EventId, TransitionId};
+
+/// The result of one software activation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwRun {
+    /// Clock cycles, including stalls.
+    pub cycles: u64,
+    /// Energy in joules.
+    pub energy_j: f64,
+    /// Instructions retired.
+    pub instrs: u64,
+    /// Stall cycles.
+    pub stalls: u64,
+    /// Final variable values.
+    pub vars_out: Vec<i64>,
+    /// Events emitted, in program order.
+    pub emitted: Vec<(EventId, Option<i64>)>,
+    /// Shared-memory transactions `(addr, write?, data)`.
+    pub mem_ops: Vec<(u64, bool, i64)>,
+}
+
+/// A software-mapped CFSM: compiled program + persistent CPU.
+///
+/// # Examples
+///
+/// ```
+/// use cfsm::{Cfsm, Cfg, Stmt, Expr, EventId, TransitionId};
+/// use iss::{SwCfsm, PowerModel};
+///
+/// let mut b = Cfsm::builder("inc");
+/// let s = b.state("s");
+/// let v = b.var("v", 0);
+/// let t = b.transition(s, vec![EventId(0)], None,
+///     Cfg::straight_line(vec![Stmt::Assign {
+///         var: v,
+///         expr: Expr::add(Expr::Var(v), Expr::Const(1)),
+///     }]), s);
+/// let machine = b.finish()?;
+/// let mut sw = SwCfsm::new(&machine, PowerModel::sparclite(), &|_| true)?;
+/// let run = sw.run_transition(t, &[41], &|_| 0, &[]);
+/// assert_eq!(run.vars_out, vec![42]);
+/// assert!(run.cycles > 0 && run.energy_j > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwCfsm {
+    program: Program,
+    cpu: Cpu,
+    n_vars: usize,
+    carries_value: Vec<bool>,
+}
+
+impl SwCfsm {
+    /// Compiles `machine` and prepares a processor.
+    ///
+    /// `event_carries_value(e)` tells whether event `e` carries a value
+    /// (so emissions can be reported as `Some`/`None` faithfully).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CodegenError`] if compilation fails.
+    pub fn new(
+        machine: &Cfsm,
+        power: PowerModel,
+        event_carries_value: &dyn Fn(EventId) -> bool,
+    ) -> Result<Self, CodegenError> {
+        let program = compile(machine, 0x0010_0000)?;
+        // Precompute the carries-value table for every event mentioned.
+        let mut max_ev = 0u32;
+        for t in &program.transitions {
+            for e in &t.event_reads {
+                max_ev = max_ev.max(e.0 + 1);
+            }
+        }
+        for t in machine.transitions() {
+            for b in t.body.blocks() {
+                for s in b.stmts.iter() {
+                    if let cfsm::Stmt::Emit { event, .. } = s {
+                        max_ev = max_ev.max(event.0 + 1);
+                    }
+                }
+            }
+        }
+        let carries_value = (0..max_ev)
+            .map(|e| event_carries_value(EventId(e)))
+            .collect();
+        Ok(SwCfsm {
+            program,
+            cpu: Cpu::new(power),
+            n_vars: machine.vars().len(),
+            carries_value,
+        })
+    }
+
+    /// The compiled program (layout inspection, I-fetch trace generation).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The simulated processor.
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// Runs one transition to its breakpoint.
+    ///
+    /// `vars_in` supplies all variable values; `event_value` the values of
+    /// the (triggering) input events; `shared_reads` the ordered
+    /// functional data for shared-memory loads.
+    pub fn run_transition(
+        &mut self,
+        transition: TransitionId,
+        vars_in: &[i64],
+        event_value: &dyn Fn(EventId) -> i64,
+        shared_reads: &[i64],
+    ) -> SwRun {
+        assert_eq!(vars_in.len(), self.n_vars, "wrong variable count");
+        let tc = &self.program.transitions[transition.0 as usize];
+        // State transfer: variables and event values into the mailbox.
+        for (v, &val) in vars_in.iter().enumerate() {
+            self.cpu
+                .mem_write(memmap::VAR_BASE + v as u64 * memmap::VAR_STRIDE, val);
+        }
+        for &e in &tc.event_reads {
+            self.cpu
+                .mem_write(EVENT_VAL_BASE + e.0 as u64 * 8, event_value(e));
+        }
+        let out = self.cpu.run(
+            &self.program.code,
+            tc.entry,
+            self.program.base_addr,
+            shared_reads,
+        );
+        let vars_out = (0..self.n_vars)
+            .map(|v| {
+                self.cpu
+                    .mem_read(memmap::VAR_BASE + v as u64 * memmap::VAR_STRIDE)
+            })
+            .collect();
+        let emitted = out
+            .emitted
+            .iter()
+            .map(|&(e, v)| {
+                let carries = self
+                    .carries_value
+                    .get(e as usize)
+                    .copied()
+                    .unwrap_or(false);
+                (EventId(e), if carries { Some(v) } else { None })
+            })
+            .collect();
+        SwRun {
+            cycles: out.cycles,
+            energy_j: out.energy_j,
+            instrs: out.instrs,
+            stalls: out.stalls,
+            vars_out,
+            emitted,
+            mem_ops: out.shared_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfsm::{BlockId, Cfg, CfgBuilder, Expr, NullEnv, Stmt, Terminator, VarId};
+
+    fn machine_with(body: Cfg, n_vars: usize) -> Cfsm {
+        let mut b = Cfsm::builder("m");
+        let s = b.state("s");
+        for v in 0..n_vars {
+            b.var(format!("v{v}"), 0);
+        }
+        b.transition(s, vec![EventId(0)], None, body, s);
+        b.finish().expect("valid machine")
+    }
+
+    fn sw(machine: &Cfsm) -> SwCfsm {
+        SwCfsm::new(machine, PowerModel::sparclite(), &|_| true).expect("compiles")
+    }
+
+    #[test]
+    fn straight_line_matches_interpreter() {
+        let body = Cfg::straight_line(vec![
+            Stmt::Assign {
+                var: VarId(1),
+                expr: Expr::add(Expr::Var(VarId(0)), Expr::Const(100)),
+            },
+            Stmt::Assign {
+                var: VarId(0),
+                expr: Expr::bin(cfsm::BinOp::Mul, Expr::Var(VarId(1)), Expr::Const(3)),
+            },
+        ]);
+        let mut vars = [7i64, 0];
+        body.execute(&mut vars, &mut NullEnv);
+        let m = machine_with(body, 2);
+        let mut s = sw(&m);
+        let run = s.run_transition(TransitionId(0), &[7, 0], &|_| 0, &[]);
+        assert_eq!(run.vars_out, vars.to_vec());
+        assert!(run.instrs > 0);
+    }
+
+    #[test]
+    fn loop_matches_interpreter_and_scales_cycles() {
+        // while v0 > 0 { v1 += v0; v0 -= 1 }
+        let mut cb = CfgBuilder::new();
+        cb.block(
+            vec![],
+            Terminator::Branch {
+                cond: Expr::gt(Expr::Var(VarId(0)), Expr::Const(0)),
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+        );
+        cb.block(
+            vec![
+                Stmt::Assign {
+                    var: VarId(1),
+                    expr: Expr::add(Expr::Var(VarId(1)), Expr::Var(VarId(0))),
+                },
+                Stmt::Assign {
+                    var: VarId(0),
+                    expr: Expr::sub(Expr::Var(VarId(0)), Expr::Const(1)),
+                },
+            ],
+            Terminator::Goto(BlockId(0)),
+        );
+        cb.block(vec![], Terminator::Return);
+        let body = cb.finish().expect("valid");
+        let m = machine_with(body, 2);
+        let mut s = sw(&m);
+        let r5 = s.run_transition(TransitionId(0), &[5, 0], &|_| 0, &[]);
+        assert_eq!(r5.vars_out, vec![0, 15]);
+        let r20 = s.run_transition(TransitionId(0), &[20, 0], &|_| 0, &[]);
+        assert_eq!(r20.vars_out, vec![0, 210]);
+        assert!(r20.cycles > r5.cycles);
+        assert!(r20.energy_j > r5.energy_j);
+    }
+
+    #[test]
+    fn emissions_reported_in_order_with_values() {
+        let body = Cfg::straight_line(vec![
+            Stmt::Emit {
+                event: EventId(2),
+                value: Some(Expr::add(Expr::Var(VarId(0)), Expr::Const(1))),
+            },
+            Stmt::Emit {
+                event: EventId(1),
+                value: None,
+            },
+        ]);
+        let m = machine_with(body, 1);
+        let mut s = SwCfsm::new(&m, PowerModel::sparclite(), &|e| e == EventId(2))
+            .expect("compiles");
+        let run = s.run_transition(TransitionId(0), &[9], &|_| 0, &[]);
+        assert_eq!(run.emitted, vec![(EventId(2), Some(10)), (EventId(1), None)]);
+    }
+
+    #[test]
+    fn event_values_reach_the_body() {
+        let body = Cfg::straight_line(vec![Stmt::Assign {
+            var: VarId(0),
+            expr: Expr::sub(Expr::EventValue(EventId(3)), Expr::EventValue(EventId(1))),
+        }]);
+        let m = machine_with(body, 1);
+        let mut s = sw(&m);
+        let run = s.run_transition(
+            TransitionId(0),
+            &[0],
+            &|e| match e.0 {
+                3 => 50,
+                1 => 8,
+                _ => 0,
+            },
+            &[],
+        );
+        assert_eq!(run.vars_out, vec![42]);
+    }
+
+    #[test]
+    fn shared_memory_roundtrip() {
+        let body = Cfg::straight_line(vec![
+            Stmt::MemRead {
+                var: VarId(0),
+                addr: Expr::Const(64),
+            },
+            Stmt::MemWrite {
+                addr: Expr::Const(72),
+                value: Expr::add(Expr::Var(VarId(0)), Expr::Const(1)),
+            },
+        ]);
+        let m = machine_with(body, 1);
+        let mut s = sw(&m);
+        let run = s.run_transition(TransitionId(0), &[0], &|_| 0, &[99]);
+        assert_eq!(run.vars_out, vec![99]);
+        assert_eq!(
+            run.mem_ops,
+            vec![
+                (memmap::SHARED_BASE + 64, false, 0),
+                (memmap::SHARED_BASE + 72, true, 100)
+            ]
+        );
+    }
+
+    #[test]
+    fn energy_is_deterministic_for_same_inputs() {
+        let body = Cfg::straight_line(vec![Stmt::Assign {
+            var: VarId(0),
+            expr: Expr::bin(cfsm::BinOp::Xor, Expr::Var(VarId(0)), Expr::Const(0x55)),
+        }]);
+        let m = machine_with(body, 1);
+        let mut s1 = sw(&m);
+        let mut s2 = sw(&m);
+        let a = s1.run_transition(TransitionId(0), &[1], &|_| 0, &[]);
+        let b = s2.run_transition(TransitionId(0), &[1], &|_| 0, &[]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparclite_energy_data_independent_but_datadep_varies() {
+        let body = Cfg::straight_line(vec![Stmt::Assign {
+            var: VarId(1),
+            expr: Expr::add(Expr::Var(VarId(0)), Expr::Var(VarId(1))),
+        }]);
+        let m = machine_with(body, 2);
+        // SPARClite: same path, different data → identical energy.
+        // (Fresh instances so inter-activation circuit state is equal.)
+        let e1 = sw(&m)
+            .run_transition(TransitionId(0), &[0, 0], &|_| 0, &[])
+            .energy_j;
+        let e2 = sw(&m)
+            .run_transition(TransitionId(0), &[i32::MAX as i64, 12345], &|_| 0, &[])
+            .energy_j;
+        assert_eq!(e1, e2);
+        // Data-dependent model: energies differ.
+        let d1 = SwCfsm::new(&m, PowerModel::data_dependent(), &|_| true)
+            .expect("compiles")
+            .run_transition(TransitionId(0), &[0, 0], &|_| 0, &[])
+            .energy_j;
+        let d2 = SwCfsm::new(&m, PowerModel::data_dependent(), &|_| true)
+            .expect("compiles")
+            .run_transition(TransitionId(0), &[i32::MAX as i64, 12345], &|_| 0, &[])
+            .energy_j;
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong variable count")]
+    fn wrong_var_count_panics() {
+        let m = machine_with(Cfg::empty(), 2);
+        let mut s = sw(&m);
+        s.run_transition(TransitionId(0), &[1], &|_| 0, &[]);
+    }
+}

@@ -1,0 +1,402 @@
+//! An automotive dashboard / cruise-control subsystem.
+//!
+//! The paper's abstract mentions an automotive controller as the second
+//! case study; this module provides a control-dominated reactive system
+//! in that spirit:
+//!
+//! * **speed_sensor** (HW): counts `WHEEL_PULSE`s; on each periodic
+//!   `SAMPLE` emits `SPEED` (pulses in the window × a scale factor).
+//! * **odometer** (SW): accumulates pulses into a distance count and
+//!   periodically refreshes the display (`ODO`).
+//! * **cruise** (SW): a proportional-integral controller — on `SPEED`
+//!   (while engaged) computes a throttle correction toward the target
+//!   and emits `THROTTLE`.
+//! * **display** (HW): seven-segment encodes the speed digit by digit
+//!   (`SPEED` → segment-decode loop).
+//!
+//! Like the Fig. 1 example, the components' activity is heavily
+//! timing-dependent (speed values depend on how many pulses land in a
+//! sampling window), making it a good co-estimation stress case.
+
+use cfsm::{
+    BlockId, Cfg, CfgBuilder, Cfsm, EventDef, EventOccurrence, Expr, Implementation, Network,
+    Stmt, Terminator,
+};
+use co_estimation::SocDescription;
+
+/// Workload parameters for the automotive controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AutomotiveParams {
+    /// Number of sampling windows to simulate.
+    pub num_samples: u32,
+    /// Sampling period, cycles.
+    pub sample_period: u64,
+    /// Wheel-pulse period at the initial speed, cycles.
+    pub pulse_period: u64,
+    /// Cruise-control speed target (in sensor units).
+    pub target_speed: i64,
+}
+
+impl AutomotiveParams {
+    /// A demo drive: ~40 sampling windows.
+    pub fn demo() -> Self {
+        AutomotiveParams {
+            num_samples: 40,
+            sample_period: 2_000,
+            pulse_period: 180,
+            target_speed: 40,
+        }
+    }
+}
+
+impl Default for AutomotiveParams {
+    fn default() -> Self {
+        AutomotiveParams::demo()
+    }
+}
+
+/// Builds the automotive controller system.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters or internal machine-construction bugs.
+pub fn build(params: &AutomotiveParams) -> SocDescription {
+    assert!(params.num_samples > 0, "need at least one sample");
+    assert!(
+        params.sample_period > 0 && params.pulse_period > 0,
+        "zero period"
+    );
+
+    let mut nb = Network::builder();
+    let wheel = nb.event(EventDef::pure("WHEEL_PULSE"));
+    let sample = nb.event(EventDef::pure("SAMPLE"));
+    let speed = nb.event(EventDef::valued("SPEED"));
+    let odo = nb.event(EventDef::valued("ODO"));
+    let throttle = nb.event(EventDef::valued("THROTTLE"));
+    let seg_done = nb.event(EventDef::pure("SEG_DONE"));
+
+    // --- speed_sensor (HW) ----------------------------------------------
+    let speed_sensor = {
+        let mut b = Cfsm::builder("speed_sensor");
+        let run = b.state("run");
+        let pulses = b.var("pulses", 0);
+        b.transition(
+            run,
+            vec![wheel],
+            None,
+            Cfg::straight_line(vec![Stmt::Assign {
+                var: pulses,
+                expr: Expr::add(Expr::Var(pulses), Expr::Const(1)),
+            }]),
+            run,
+        );
+        b.transition(
+            run,
+            vec![sample],
+            None,
+            Cfg::straight_line(vec![
+                Stmt::Emit {
+                    event: speed,
+                    value: Some(Expr::bin(
+                        cfsm::BinOp::Mul,
+                        Expr::Var(pulses),
+                        Expr::Const(4),
+                    )),
+                },
+                Stmt::Assign {
+                    var: pulses,
+                    expr: Expr::Const(0),
+                },
+            ]),
+            run,
+        );
+        b.finish().expect("speed_sensor machine is valid")
+    };
+
+    // --- odometer (SW) -----------------------------------------------------
+    let odometer = {
+        let mut b = Cfsm::builder("odometer");
+        let run = b.state("run");
+        let dist = b.var("dist", 0);
+        let window = b.var("window", 0);
+        b.transition(
+            run,
+            vec![wheel],
+            None,
+            Cfg::straight_line(vec![
+                Stmt::Assign {
+                    var: dist,
+                    expr: Expr::add(Expr::Var(dist), Expr::Const(1)),
+                },
+                Stmt::Assign {
+                    var: window,
+                    expr: Expr::add(Expr::Var(window), Expr::Const(1)),
+                },
+            ]),
+            run,
+        );
+        // Refresh the odometer display every sampling window.
+        b.transition(
+            run,
+            vec![sample],
+            None,
+            Cfg::straight_line(vec![
+                Stmt::Emit {
+                    event: odo,
+                    value: Some(Expr::Var(dist)),
+                },
+                Stmt::Assign {
+                    var: window,
+                    expr: Expr::Const(0),
+                },
+            ]),
+            run,
+        );
+        b.finish().expect("odometer machine is valid")
+    };
+
+    // --- cruise (SW) ---------------------------------------------------------
+    let cruise = {
+        let mut b = Cfsm::builder("cruise");
+        let run = b.state("run");
+        let integral = b.var("integral", 0);
+        let err = b.var("err", 0);
+        let out = b.var("out", 0);
+        b.transition(
+            run,
+            vec![speed],
+            None,
+            Cfg::straight_line(vec![
+                Stmt::Assign {
+                    var: err,
+                    expr: Expr::sub(Expr::Const(params.target_speed), Expr::EventValue(speed)),
+                },
+                Stmt::Assign {
+                    var: integral,
+                    expr: Expr::add(Expr::Var(integral), Expr::Var(err)),
+                },
+                // Clamp the integral term to ±512 (anti-windup): the
+                // clamp arithmetic is branch-free: i = max(-512, min(512, i)).
+                Stmt::Assign {
+                    var: integral,
+                    expr: Expr::add(
+                        Expr::bin(
+                            cfsm::BinOp::Mul,
+                            Expr::Var(integral),
+                            Expr::bin(
+                                cfsm::BinOp::And,
+                                Expr::bin(cfsm::BinOp::Ge, Expr::Var(integral), Expr::Const(-512)),
+                                Expr::bin(cfsm::BinOp::Le, Expr::Var(integral), Expr::Const(512)),
+                            ),
+                        ),
+                        Expr::add(
+                            Expr::bin(
+                                cfsm::BinOp::Mul,
+                                Expr::Const(512),
+                                Expr::bin(cfsm::BinOp::Gt, Expr::Var(integral), Expr::Const(512)),
+                            ),
+                            Expr::bin(
+                                cfsm::BinOp::Mul,
+                                Expr::Const(-512),
+                                Expr::bin(cfsm::BinOp::Lt, Expr::Var(integral), Expr::Const(-512)),
+                            ),
+                        ),
+                    ),
+                },
+                // out = 4·err + integral/8
+                Stmt::Assign {
+                    var: out,
+                    expr: Expr::add(
+                        Expr::bin(cfsm::BinOp::Mul, Expr::Var(err), Expr::Const(4)),
+                        Expr::bin(cfsm::BinOp::Shr, Expr::Var(integral), Expr::Const(3)),
+                    ),
+                },
+                Stmt::Emit {
+                    event: throttle,
+                    value: Some(Expr::Var(out)),
+                },
+            ]),
+            run,
+        );
+        b.finish().expect("cruise machine is valid")
+    };
+
+    // --- display (HW) ----------------------------------------------------------
+    let display = {
+        let mut b = Cfsm::builder("display");
+        let run = b.state("run");
+        let value = b.var("value", 0);
+        let digit = b.var("digit", 0);
+        let segs = b.var("segs", 0);
+        let n = b.var("n", 0);
+
+        // On SPEED: decode 3 digits (divide-free: repeated subtraction of
+        // powers of ten via a small loop per digit is hardware-hostile;
+        // instead decode by nibbles of a scaled value).
+        let mut cb = CfgBuilder::new();
+        cb.block(
+            vec![
+                Stmt::Assign {
+                    var: value,
+                    expr: Expr::bin(
+                        cfsm::BinOp::And,
+                        Expr::EventValue(speed),
+                        Expr::Const(0x3FF),
+                    ),
+                },
+                Stmt::Assign {
+                    var: n,
+                    expr: Expr::Const(3),
+                },
+            ],
+            Terminator::Goto(BlockId(1)),
+        );
+        cb.block(
+            vec![],
+            Terminator::Branch {
+                cond: Expr::gt(Expr::Var(n), Expr::Const(0)),
+                then_block: BlockId(2),
+                else_block: BlockId(3),
+            },
+        );
+        cb.block(
+            vec![
+                Stmt::Assign {
+                    var: digit,
+                    expr: Expr::bin(cfsm::BinOp::And, Expr::Var(value), Expr::Const(0xF)),
+                },
+                // A toy segment encoder: segs = (digit*0x49 + 0x12) & 0x7F.
+                Stmt::Assign {
+                    var: segs,
+                    expr: Expr::bin(
+                        cfsm::BinOp::And,
+                        Expr::add(
+                            Expr::bin(cfsm::BinOp::Mul, Expr::Var(digit), Expr::Const(0x49)),
+                            Expr::Const(0x12),
+                        ),
+                        Expr::Const(0x7F),
+                    ),
+                },
+                Stmt::Assign {
+                    var: value,
+                    expr: Expr::bin(cfsm::BinOp::Shr, Expr::Var(value), Expr::Const(4)),
+                },
+                Stmt::Assign {
+                    var: n,
+                    expr: Expr::sub(Expr::Var(n), Expr::Const(1)),
+                },
+            ],
+            Terminator::Goto(BlockId(1)),
+        );
+        cb.block(
+            vec![Stmt::Emit {
+                event: seg_done,
+                value: None,
+            }],
+            Terminator::Return,
+        );
+        b.transition(
+            run,
+            vec![speed],
+            None,
+            cb.finish().expect("display body is valid"),
+            run,
+        );
+        b.finish().expect("display machine is valid")
+    };
+
+    nb.process(speed_sensor, Implementation::Hw);
+    nb.process(odometer, Implementation::Sw);
+    nb.process(cruise, Implementation::Sw);
+    nb.process(display, Implementation::Hw);
+    let network = nb.finish().expect("network is valid");
+
+    // Stimulus: wheel pulses whose period slowly drifts (accelerating
+    // vehicle) plus periodic SAMPLEs.
+    let horizon = params.num_samples as u64 * params.sample_period;
+    let mut stimulus: Vec<(u64, EventOccurrence)> = Vec::new();
+    let mut t = params.pulse_period;
+    let mut period = params.pulse_period;
+    while t < horizon {
+        stimulus.push((t, EventOccurrence::pure(wheel)));
+        // Speed up gradually until the pulse period bottoms out.
+        if period > params.pulse_period / 2 && t.is_multiple_of(10 * params.sample_period) {
+            period -= 1;
+        }
+        t += period;
+    }
+    for s in 1..=params.num_samples as u64 {
+        stimulus.push((s * params.sample_period, EventOccurrence::pure(sample)));
+    }
+    stimulus.sort_by_key(|&(t, _)| t);
+
+    SocDescription {
+        name: "automotive-dashboard".into(),
+        network,
+        stimulus,
+        priorities: vec![4, 1, 3, 2],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_estimation::{capture_traces, CoSimConfig, CoSimulator};
+
+    fn tiny() -> AutomotiveParams {
+        AutomotiveParams {
+            num_samples: 5,
+            sample_period: 1_000,
+            pulse_period: 150,
+            target_speed: 30,
+        }
+    }
+
+    #[test]
+    fn builds_with_all_processes() {
+        let soc = build(&tiny());
+        assert_eq!(soc.network.process_count(), 4);
+        for name in ["speed_sensor", "odometer", "cruise", "display"] {
+            assert!(soc.network.process_by_name(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn sensor_counts_pulses_per_window() {
+        let soc = build(&tiny());
+        let trace = capture_traces(&soc);
+        let sensor = soc.network.process_by_name("speed_sensor").expect("exists");
+        // Every SAMPLE firing emits a SPEED value = 4 × pulses in window.
+        let speeds: Vec<i64> = trace
+            .of_process(sensor)
+            .flat_map(|f| f.execution.emitted.iter())
+            .filter_map(|&(e, v)| {
+                (soc.network.events()[e.0 as usize].name == "SPEED").then_some(v.expect("valued"))
+            })
+            .collect();
+        assert_eq!(speeds.len(), 5);
+        assert!(speeds.iter().all(|&s| s > 0 && s % 4 == 0));
+    }
+
+    #[test]
+    fn cruise_reacts_to_every_speed_sample() {
+        let soc = build(&tiny());
+        let trace = capture_traces(&soc);
+        let cruise = soc.network.process_by_name("cruise").expect("exists");
+        assert_eq!(trace.firing_count(cruise), 5);
+    }
+
+    #[test]
+    fn co_simulation_completes_with_energy() {
+        let soc = build(&tiny());
+        let mut sim = CoSimulator::new(soc, CoSimConfig::date2000_defaults()).expect("builds");
+        let report = sim.run();
+        assert!(report.total_energy_j() > 0.0);
+        for name in ["speed_sensor", "odometer", "cruise", "display"] {
+            assert!(
+                report.process_energy_j(name) > 0.0,
+                "{name} consumed energy"
+            );
+        }
+    }
+}

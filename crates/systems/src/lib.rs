@@ -1,0 +1,37 @@
+//! `systems` — the example systems-on-chip of the DATE 2000
+//! co-estimation paper, described as CFSM networks ready for
+//! co-estimation.
+//!
+//! * [`producer_consumer`] — the motivating example of Fig. 1
+//!   (producer SW / timer HW / consumer HW with timing-dependent loop
+//!   bounds);
+//! * [`tcpip`] — the TCP/IP network-interface-card checksum subsystem of
+//!   Fig. 5 (SPARC + two ASICs + shared memory behind an arbitrated
+//!   bus), the workload of Tables 1–2 and Figures 6–7;
+//! * [`automotive`] — the automotive dashboard / cruise controller
+//!   mentioned in the paper's abstract.
+//!
+//! # Examples
+//!
+//! ```
+//! use systems::tcpip;
+//! use co_estimation::{CoSimulator, CoSimConfig};
+//!
+//! let soc = tcpip::build(&tcpip::TcpIpParams {
+//!     num_packets: 2,
+//!     len_range: (8, 12),
+//!     pkt_period: 5_000,
+//!     seed: 1,
+//! });
+//! let mut sim = CoSimulator::new(soc, CoSimConfig::date2000_defaults())?;
+//! let report = sim.run();
+//! assert!(report.total_energy_j() > 0.0);
+//! # Ok::<(), co_estimation::BuildEstimatorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automotive;
+pub mod producer_consumer;
+pub mod tcpip;

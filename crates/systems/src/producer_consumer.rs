@@ -1,0 +1,391 @@
+//! The producer / timer / consumer system of Fig. 1.
+//!
+//! Three concurrent processes with event-based communication:
+//!
+//! * **producer** (SW on the embedded processor): on each `START` from
+//!   the environment, computes a checksum over a packet and emits
+//!   `END_COMP`; it stops after [`ProducerConsumerParams::num_pkts`]
+//!   packets.
+//! * **timer** (HW): on each `TIMER_TICK` emits the current tick count as
+//!   the valued event `TIME`.
+//! * **consumer** (HW): on `END_COMP ∧ TIME`, runs a computation loop
+//!   whose iteration count is `TIME - PREV_TIME` — the
+//!   timing-functionality inter-dependence that makes separate
+//!   estimation fail (§2).
+//!
+//! The parameters are chosen so that the producer's computation time
+//! exceeds the `START` period: in a timing-accurate co-simulation the
+//! producer saturates and `END_COMP`s space out at the *computation*
+//! period, while the timing-independent behavioral simulation spaces them
+//! at the *stimulus* period — so the consumer's loop bounds (and hence
+//! its energy) are under-estimated by the separate flow, exactly as in
+//! Fig. 1(b).
+
+use cfsm::{
+    BlockId, Cfg, CfgBuilder, Cfsm, EventDef, EventOccurrence, Expr, Implementation, Network,
+    Stmt, Terminator,
+};
+use co_estimation::SocDescription;
+
+/// Workload parameters for the Fig. 1 system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProducerConsumerParams {
+    /// Packets the producer processes before stopping.
+    pub num_pkts: u32,
+    /// Bytes per packet (drives the producer's checksum loop).
+    pub pkt_bytes: u32,
+    /// Environment `START` period, cycles.
+    pub start_period: u64,
+    /// Environment `TIMER_TICK` period, cycles.
+    pub tick_period: u64,
+    /// How many `START`s the environment offers (≥ `num_pkts`; extras are
+    /// dropped by the saturated producer's single-place buffer).
+    pub num_starts: u32,
+}
+
+impl ProducerConsumerParams {
+    /// The defaults used by the Fig. 1(b) experiment: 104-byte packets
+    /// make the producer's computation ≈ 2.6× the `START` period, so the
+    /// timing-independent behavioral trace under-estimates the consumer's
+    /// loop bounds by the same factor the paper reports (~62%).
+    pub fn fig1_defaults() -> Self {
+        ProducerConsumerParams {
+            num_pkts: 20,
+            pkt_bytes: 104,
+            start_period: 1_000,
+            tick_period: 250,
+            num_starts: 90,
+        }
+    }
+}
+
+impl Default for ProducerConsumerParams {
+    fn default() -> Self {
+        ProducerConsumerParams::fig1_defaults()
+    }
+}
+
+/// Builds the Fig. 1 system.
+///
+/// # Panics
+///
+/// Panics if the parameters are degenerate (zero packets/periods) or the
+/// machines fail validation (a bug).
+pub fn build(params: &ProducerConsumerParams) -> SocDescription {
+    assert!(params.num_pkts > 0 && params.pkt_bytes > 0, "empty workload");
+    assert!(
+        params.start_period > 0 && params.tick_period > 0,
+        "zero period"
+    );
+    assert!(params.num_starts >= params.num_pkts, "too few STARTs");
+
+    let mut nb = Network::builder();
+    let start = nb.event(EventDef::pure("START"));
+    let tick = nb.event(EventDef::pure("TIMER_TICK"));
+    let end_comp = nb.event(EventDef::pure("END_COMP"));
+    let time = nb.event(EventDef::valued("TIME"));
+    let byte_done = nb.event(EventDef::pure("BYTE_DONE"));
+
+    // --- producer (SW) --------------------------------------------------
+    let producer = {
+        let mut b = Cfsm::builder("producer");
+        let run = b.state("run");
+        let pkts = b.var("pkts", 0);
+        let i = b.var("i", 0);
+        let byte = b.var("byte", 0);
+        let sum = b.var("sum", 0);
+
+        // On START (while pkts < num_pkts):
+        //   sum = 0; for i in 0..pkt_bytes { byte = f(pkts, i); sum += … }
+        //   pkts += 1; emit END_COMP
+        let mut cb = CfgBuilder::new();
+        cb.block(
+            vec![
+                Stmt::Assign {
+                    var: sum,
+                    expr: Expr::Const(0),
+                },
+                Stmt::Assign {
+                    var: i,
+                    expr: Expr::Const(0),
+                },
+            ],
+            Terminator::Goto(BlockId(1)),
+        );
+        // loop head
+        cb.block(
+            vec![],
+            Terminator::Branch {
+                cond: Expr::lt(Expr::Var(i), Expr::Const(params.pkt_bytes as i64)),
+                then_block: BlockId(2),
+                else_block: BlockId(3),
+            },
+        );
+        // body: synthesize a pseudo-random byte and fold it into the
+        // checksum (ones-complement-ish 16-bit fold).
+        cb.block(
+            vec![
+                Stmt::Assign {
+                    var: byte,
+                    expr: Expr::bin(
+                        cfsm::BinOp::And,
+                        Expr::add(
+                            Expr::bin(
+                                cfsm::BinOp::Mul,
+                                Expr::Var(pkts),
+                                Expr::Const(31),
+                            ),
+                            Expr::bin(cfsm::BinOp::Mul, Expr::Var(i), Expr::Const(7)),
+                        ),
+                        Expr::Const(0xFF),
+                    ),
+                },
+                Stmt::Assign {
+                    var: sum,
+                    expr: Expr::bin(
+                        cfsm::BinOp::And,
+                        Expr::add(Expr::Var(sum), Expr::Var(byte)),
+                        Expr::Const(0x7FFF),
+                    ),
+                },
+                Stmt::Assign {
+                    var: i,
+                    expr: Expr::add(Expr::Var(i), Expr::Const(1)),
+                },
+            ],
+            Terminator::Goto(BlockId(1)),
+        );
+        // exit: count the packet and signal completion.
+        cb.block(
+            vec![
+                Stmt::Assign {
+                    var: pkts,
+                    expr: Expr::add(Expr::Var(pkts), Expr::Const(1)),
+                },
+                Stmt::Emit {
+                    event: end_comp,
+                    value: None,
+                },
+            ],
+            Terminator::Return,
+        );
+        b.transition(
+            run,
+            vec![start],
+            Some(Expr::lt(
+                Expr::Var(pkts),
+                Expr::Const(params.num_pkts as i64),
+            )),
+            cb.finish().expect("producer body is valid"),
+            run,
+        );
+        b.finish().expect("producer machine is valid")
+    };
+
+    // --- timer (HW) ------------------------------------------------------
+    let timer = {
+        let mut b = Cfsm::builder("timer");
+        let run = b.state("run");
+        let t = b.var("t", 0);
+        b.transition(
+            run,
+            vec![tick],
+            None,
+            Cfg::straight_line(vec![
+                Stmt::Assign {
+                    var: t,
+                    expr: Expr::add(Expr::Var(t), Expr::Const(1)),
+                },
+                Stmt::Emit {
+                    event: time,
+                    value: Some(Expr::Var(t)),
+                },
+            ]),
+            run,
+        );
+        b.finish().expect("timer machine is valid")
+    };
+
+    // --- consumer (HW) ---------------------------------------------------
+    let consumer = {
+        let mut b = Cfsm::builder("consumer");
+        let run = b.state("run");
+        let prev = b.var("prev_time", 0);
+        let n_it = b.var("n_it", 0);
+        let acc = b.var("acc", 0);
+
+        let mut cb = CfgBuilder::new();
+        cb.block(
+            vec![Stmt::Assign {
+                var: n_it,
+                expr: Expr::sub(Expr::EventValue(time), Expr::Var(prev)),
+            }],
+            Terminator::Goto(BlockId(1)),
+        );
+        cb.block(
+            vec![],
+            Terminator::Branch {
+                cond: Expr::gt(Expr::Var(n_it), Expr::Const(0)),
+                then_block: BlockId(2),
+                else_block: BlockId(3),
+            },
+        );
+        cb.block(
+            vec![
+                Stmt::Assign {
+                    var: acc,
+                    expr: Expr::bin(
+                        cfsm::BinOp::And,
+                        Expr::add(
+                            Expr::bin(cfsm::BinOp::Mul, Expr::Var(acc), Expr::Const(3)),
+                            Expr::Var(n_it),
+                        ),
+                        Expr::Const(0x7FFF),
+                    ),
+                },
+                Stmt::Assign {
+                    var: n_it,
+                    expr: Expr::sub(Expr::Var(n_it), Expr::Const(1)),
+                },
+                Stmt::Emit {
+                    event: byte_done,
+                    value: None,
+                },
+            ],
+            Terminator::Goto(BlockId(1)),
+        );
+        cb.block(
+            vec![Stmt::Assign {
+                var: prev,
+                expr: Expr::EventValue(time),
+            }],
+            Terminator::Return,
+        );
+        b.transition(
+            run,
+            vec![end_comp, time],
+            None,
+            cb.finish().expect("consumer body is valid"),
+            run,
+        );
+        b.finish().expect("consumer machine is valid")
+    };
+
+    nb.process(producer, Implementation::Sw);
+    nb.process(timer, Implementation::Hw);
+    nb.process(consumer, Implementation::Hw);
+    let network = nb.finish().expect("network is valid");
+
+    // Stimulus: periodic ticks covering the whole (saturated) run plus
+    // slack, and periodic STARTs.
+    let horizon = params.num_starts as u64 * params.start_period * 4;
+    let mut stimulus: Vec<(u64, EventOccurrence)> = Vec::new();
+    let mut t = params.tick_period;
+    while t < horizon {
+        stimulus.push((t, EventOccurrence::pure(tick)));
+        t += params.tick_period;
+    }
+    for s in 0..params.num_starts as u64 {
+        stimulus.push((
+            (s + 1) * params.start_period,
+            EventOccurrence::pure(start),
+        ));
+    }
+    stimulus.sort_by_key(|&(t, _)| t);
+
+    SocDescription {
+        name: "producer-timer-consumer".into(),
+        network,
+        stimulus,
+        priorities: vec![2, 3, 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_estimation::{capture_traces, CoSimConfig, CoSimulator};
+
+    fn small() -> ProducerConsumerParams {
+        ProducerConsumerParams {
+            num_pkts: 4,
+            pkt_bytes: 16,
+            start_period: 400,
+            tick_period: 100,
+            num_starts: 16,
+        }
+    }
+
+    #[test]
+    fn builds_and_names_resolve() {
+        let soc = build(&small());
+        assert_eq!(soc.network.process_count(), 3);
+        for name in ["producer", "timer", "consumer"] {
+            assert!(soc.network.process_by_name(name).is_some(), "{name}");
+        }
+        assert!(soc.network.event_by_name("TIME").is_some());
+    }
+
+    #[test]
+    fn behavioral_producer_fires_exactly_num_pkts() {
+        let soc = build(&small());
+        let trace = capture_traces(&soc);
+        let p = soc.network.process_by_name("producer").expect("exists");
+        assert_eq!(trace.firing_count(p), 4);
+    }
+
+    #[test]
+    fn co_simulation_runs_and_consumer_works() {
+        let soc = build(&small());
+        let consumer = soc.network.process_by_name("consumer").expect("exists");
+        let mut sim = CoSimulator::new(soc, CoSimConfig::date2000_defaults()).expect("builds");
+        let report = sim.run();
+        assert!(report.total_energy_j() > 0.0);
+        let cons = report
+            .processes
+            .iter()
+            .find(|p| p.name == "consumer")
+            .expect("consumer");
+        assert!(cons.firings > 0, "consumer fired");
+        assert!(cons.energy_j > 0.0);
+        let _ = consumer;
+    }
+
+    #[test]
+    fn producer_saturates_under_timing() {
+        // The producer's computation exceeds the START period, so under
+        // co-simulation consecutive END_COMPs are spaced by the
+        // computation time, not the stimulus period. We check the proxy:
+        // the consumer's total loop iterations (tick span) exceed the
+        // behavioral prediction.
+        let params = small();
+        let soc = build(&params);
+        let trace = capture_traces(&soc);
+        let consumer = soc.network.process_by_name("consumer").expect("exists");
+        let behavioral_iters: i64 = trace
+            .of_process(consumer)
+            .map(|f| {
+                f.execution
+                    .macro_ops
+                    .iter()
+                    .filter(|&&m| m == cfsm::MacroOp::TivarT)
+                    .count() as i64
+            })
+            .sum();
+        let mut sim =
+            CoSimulator::new(soc, CoSimConfig::date2000_defaults()).expect("builds");
+        let report = sim.run();
+        let cons = report
+            .processes
+            .iter()
+            .find(|p| p.name == "consumer")
+            .expect("consumer");
+        // Proxy for iterations: consumer busy cycles scale with loop
+        // bounds. The co-simulated consumer must do substantially more
+        // work than the behavioral trace predicts.
+        assert!(
+            cons.busy_cycles as i64 > behavioral_iters,
+            "co-simulated consumer work should exceed behavioral iteration count"
+        );
+    }
+}

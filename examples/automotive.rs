@@ -1,0 +1,54 @@
+//! Power co-estimation of the automotive dashboard / cruise-control
+//! subsystem, comparing the baseline against the acceleration
+//! techniques.
+//!
+//! ```sh
+//! cargo run --release --example automotive
+//! ```
+
+use co_estimation::{Acceleration, CachingConfig, CoSimConfig, CoSimulator};
+use std::time::Instant;
+use systems::automotive::{build, AutomotiveParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = AutomotiveParams::demo();
+    println!(
+        "simulating {} sampling windows of the dashboard controller\n",
+        params.num_samples
+    );
+
+    let config = CoSimConfig::date2000_defaults();
+    let mut results = Vec::new();
+    for (name, accel) in [
+        ("baseline", Acceleration::none()),
+        ("caching", Acceleration::caching(CachingConfig::new())),
+        ("macromodel", Acceleration::macromodel()),
+    ] {
+        let mut sim = CoSimulator::new(build(&params), config.with_accel(accel))?;
+        let t0 = Instant::now();
+        let report = sim.run();
+        let secs = t0.elapsed().as_secs_f64();
+        results.push((name, report, secs));
+    }
+
+    let base_energy = results[0].1.total_energy_j();
+    let base_secs = results[0].2;
+    println!(
+        "{:<12} {:>14} {:>9} {:>9} {:>8}",
+        "mode", "energy (J)", "err %", "CPU (s)", "speedup"
+    );
+    for (name, report, secs) in &results {
+        println!(
+            "{:<12} {:>14.4e} {:>8.1}% {:>9.3} {:>7.1}x",
+            name,
+            report.total_energy_j(),
+            100.0 * (report.total_energy_j() - base_energy) / base_energy,
+            secs,
+            base_secs / secs
+        );
+    }
+
+    println!("\nbaseline breakdown:");
+    println!("{}", results[0].1.account);
+    Ok(())
+}

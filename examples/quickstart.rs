@@ -1,0 +1,106 @@
+//! Quickstart: describe a tiny HW/SW system as a CFSM network, run power
+//! co-estimation, and read the per-component energy breakdown.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cfsm::{
+    Cfg, Cfsm, EventDef, EventOccurrence, Expr, Implementation, Network, Stmt,
+};
+use co_estimation::{CoSimConfig, CoSimulator, SocDescription};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Declare the events the processes exchange.
+    let mut nb = Network::builder();
+    let sample = nb.event(EventDef::pure("SAMPLE")); // from the environment
+    let reading = nb.event(EventDef::valued("READING")); // sensor -> filter
+    let alarm = nb.event(EventDef::pure("ALARM")); // filter -> environment
+
+    // 2. A hardware sensor: every SAMPLE, produce a reading.
+    let mut sensor = Cfsm::builder("sensor");
+    let s = sensor.state("run");
+    let seq = sensor.var("seq", 0);
+    sensor.transition(
+        s,
+        vec![sample],
+        None,
+        Cfg::straight_line(vec![
+            Stmt::Assign {
+                var: seq,
+                expr: Expr::add(Expr::Var(seq), Expr::Const(7)),
+            },
+            Stmt::Emit {
+                event: reading,
+                value: Some(Expr::bin(cfsm::BinOp::And, Expr::Var(seq), Expr::Const(0xFF))),
+            },
+        ]),
+        s,
+    );
+    let sensor = sensor.finish()?;
+
+    // 3. A software filter: exponential smoothing, alarm above threshold.
+    let mut filter = Cfsm::builder("filter");
+    let f = filter.state("run");
+    let avg = filter.var("avg", 0);
+    filter.transition(
+        f,
+        vec![reading],
+        None,
+        Cfg::straight_line(vec![
+            // avg = (3*avg + reading) / 4
+            Stmt::Assign {
+                var: avg,
+                expr: Expr::bin(
+                    cfsm::BinOp::Shr,
+                    Expr::add(
+                        Expr::bin(cfsm::BinOp::Mul, Expr::Var(avg), Expr::Const(3)),
+                        Expr::EventValue(reading),
+                    ),
+                    Expr::Const(2),
+                ),
+            },
+            Stmt::Emit {
+                event: alarm,
+                value: None,
+            },
+        ]),
+        f,
+    );
+    let filter = filter.finish()?;
+
+    // 4. Map processes to implementations and build the network.
+    nb.process(sensor, Implementation::Hw);
+    nb.process(filter, Implementation::Sw);
+    let network = nb.finish()?;
+
+    // 5. Describe the environment: 50 samples, one every 2000 cycles.
+    let soc = SocDescription {
+        name: "sensor-filter".into(),
+        network,
+        stimulus: (1..=50)
+            .map(|i| (i * 2_000, EventOccurrence::pure(sample)))
+            .collect(),
+        priorities: vec![2, 1],
+    };
+
+    // 6. Co-estimate.
+    let config = CoSimConfig::date2000_defaults();
+    let clock = config.clock_hz;
+    let mut sim = CoSimulator::new(soc, config)?;
+    let report = sim.run();
+
+    // 7. Read the results.
+    println!("system `{}`:", report.system);
+    println!("{}", report.account);
+    println!();
+    println!("firings            : {}", report.firings);
+    println!("simulated time     : {} cycles", report.total_cycles);
+    println!(
+        "average power      : {:.3} mW at {:.0} MHz",
+        1e3 * report.average_power_w(clock),
+        clock / 1e6
+    );
+    println!("icache             : {}", report.cache);
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! The paper's motivating experiment (§2, Fig. 1): why co-estimation?
+//!
+//! Runs the producer / timer / consumer system both ways — separate
+//! per-component estimation from behavioral traces, and synchronized
+//! co-estimation — and shows the separate flow under-estimating the
+//! consumer, whose loop bounds are inter-arrival-time differences.
+//!
+//! ```sh
+//! cargo run --release --example separate_vs_coestimation
+//! ```
+
+use co_estimation::{estimate_separately, CoSimConfig, CoSimulator};
+use systems::producer_consumer::{build, ProducerConsumerParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ProducerConsumerParams::fig1_defaults();
+    println!(
+        "producer computes a {}-byte checksum per packet; STARTs arrive every {} cycles",
+        params.pkt_bytes, params.start_period
+    );
+    println!(
+        "the computation takes ~2.6x the START period, so under real timing the\n\
+         producer saturates and packets space out at the computation period.\n"
+    );
+
+    let soc = build(&params);
+    let config = CoSimConfig::date2000_defaults();
+    let separate = estimate_separately(&soc, &config)?;
+    let mut sim = CoSimulator::new(soc, config)?;
+    let coest = sim.run();
+
+    println!(
+        "{:<10} {:>15} {:>15} {:>10}",
+        "process", "separate (J)", "co-est (J)", "error"
+    );
+    for p in &coest.processes {
+        let sep = separate.process_energy_j(&p.name);
+        println!(
+            "{:<10} {:>15.4e} {:>15.4e} {:>9.1}%",
+            p.name,
+            sep,
+            p.energy_j,
+            100.0 * (sep - p.energy_j) / p.energy_j
+        );
+    }
+    println!(
+        "\nThe consumer's input traces are timing-sensitive: estimating it in\n\
+         isolation from behavioral traces misses the larger TIME deltas that the\n\
+         saturated producer causes — the paper measures the same ~62% error."
+    );
+    Ok(())
+}
