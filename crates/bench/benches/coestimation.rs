@@ -1,13 +1,39 @@
-//! Criterion benchmarks of the co-estimation framework itself: the
-//! baseline vs. each acceleration technique (the machine-measured
-//! counterpart of Tables 1 and 2), plus the Fig. 7 exploration loop.
+//! Benchmarks of the co-estimation framework itself: the baseline vs.
+//! each acceleration technique (the machine-measured counterpart of
+//! Tables 1 and 2), plus the Fig. 7 exploration loop.
+//!
+//! Uses the crate's own timing harness (`harness = false`) so the bench
+//! suite builds without external dependencies: each benchmark runs a
+//! warmup pass, then reports the median, minimum, and mean wall-clock
+//! time over a fixed number of iterations.
 
 use co_estimation::{Acceleration, CoSimConfig, CoSimulator};
-use criterion::{criterion_group, criterion_main, Criterion};
 use soc_bench::table1_caching;
 use std::hint::black_box;
+use std::time::Instant;
 use systems::producer_consumer::{self, ProducerConsumerParams};
 use systems::tcpip::{self, TcpIpParams};
+
+fn bench<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    f(); // warmup
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<40} median {:>10.3} ms   min {:>10.3} ms   mean {:>10.3} ms",
+        median * 1e3,
+        min * 1e3,
+        mean * 1e3
+    );
+}
 
 fn bench_params() -> TcpIpParams {
     TcpIpParams {
@@ -22,32 +48,30 @@ fn run(accel: Acceleration, dma: u32) -> f64 {
     let config = CoSimConfig::date2000_defaults()
         .with_dma_block_size(dma)
         .with_accel(accel);
-    let mut sim = CoSimulator::new(tcpip::build(&bench_params()), config).expect("builds");
+    let soc = tcpip::build(&bench_params()).expect("valid params");
+    let mut sim = CoSimulator::new(soc, config).expect("builds");
     sim.run().total_energy_j()
 }
 
 /// Table 1/2 as a machine benchmark: the speedup ratios reported by the
 /// binaries correspond to the time ratios between these groups.
-fn accel_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tcpip_coestimation");
-    g.sample_size(10);
+fn accel_benches() {
     for dma in [2u32, 64] {
-        g.bench_function(format!("orig/dma{dma}"), |b| {
-            b.iter(|| black_box(run(Acceleration::none(), dma)))
+        bench(&format!("tcpip_coestimation/orig/dma{dma}"), 10, || {
+            black_box(run(Acceleration::none(), dma));
         });
-        g.bench_function(format!("caching/dma{dma}"), |b| {
-            b.iter(|| black_box(run(Acceleration::caching(table1_caching()), dma)))
+        bench(&format!("tcpip_coestimation/caching/dma{dma}"), 10, || {
+            black_box(run(Acceleration::caching(table1_caching()), dma));
         });
-        g.bench_function(format!("macromodel/dma{dma}"), |b| {
-            b.iter(|| black_box(run(Acceleration::macromodel(), dma)))
+        bench(&format!("tcpip_coestimation/macromodel/dma{dma}"), 10, || {
+            black_box(run(Acceleration::macromodel(), dma));
         });
     }
-    g.finish();
 }
 
 /// Fig. 1(b)'s co-simulation as a benchmark (the separate-estimation
 /// baseline is dominated by the same estimator costs).
-fn fig1b_bench(c: &mut Criterion) {
+fn fig1b_bench() {
     let params = ProducerConsumerParams {
         num_pkts: 6,
         pkt_bytes: 64,
@@ -55,36 +79,25 @@ fn fig1b_bench(c: &mut Criterion) {
         tick_period: 200,
         num_starts: 30,
     };
-    let mut g = c.benchmark_group("producer_consumer");
-    g.sample_size(10);
-    g.bench_function("coestimation", |b| {
-        b.iter(|| {
-            let mut sim = CoSimulator::new(
-                producer_consumer::build(&params),
-                CoSimConfig::date2000_defaults(),
-            )
-            .expect("builds");
-            black_box(sim.run().total_energy_j())
-        })
+    bench("producer_consumer/coestimation", 10, || {
+        let soc = producer_consumer::build(&params).expect("valid params");
+        let mut sim = CoSimulator::new(soc, CoSimConfig::date2000_defaults()).expect("builds");
+        black_box(sim.run().total_energy_j());
     });
-    g.finish();
 }
 
 /// One Fig. 7 exploration point (the sweep is 48 of these).
-fn fig7_point_bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tcpip_exploration");
-    g.sample_size(10);
-    g.bench_function("one_point", |b| {
-        b.iter(|| {
-            let config = CoSimConfig::date2000_defaults().with_dma_block_size(16);
-            let mut sim =
-                CoSimulator::new(tcpip::build(&TcpIpParams::fig7_defaults()), config)
-                    .expect("builds");
-            black_box(sim.run().total_energy_j())
-        })
+fn fig7_point_bench() {
+    bench("tcpip_exploration/one_point", 10, || {
+        let config = CoSimConfig::date2000_defaults().with_dma_block_size(16);
+        let soc = tcpip::build(&TcpIpParams::fig7_defaults()).expect("valid params");
+        let mut sim = CoSimulator::new(soc, config).expect("builds");
+        black_box(sim.run().total_energy_j());
     });
-    g.finish();
 }
 
-criterion_group!(benches, accel_benches, fig1b_bench, fig7_point_bench);
-criterion_main!(benches);
+fn main() {
+    accel_benches();
+    fig1b_bench();
+    fig7_point_bench();
+}

@@ -1,14 +1,42 @@
-//! Criterion benchmarks of the substrate simulators: where the
-//! co-estimation wall-clock time actually goes (gate-level simulation,
-//! ISS execution, cache and bus models, sequence compaction).
+//! Benchmarks of the substrate simulators: where the co-estimation
+//! wall-clock time actually goes (gate-level simulation, ISS execution,
+//! cache and bus models, sequence compaction).
+//!
+//! Uses the crate's own timing harness (`harness = false`) so the bench
+//! suite builds without external dependencies: each benchmark runs a
+//! warmup pass, then reports per-iteration wall-clock time over a fixed
+//! number of batched iterations.
 
 use cfsm::{BlockId, CfgBuilder, Cfsm, EventId, Expr, Stmt, Terminator, TransitionId, VarId};
 use co_estimation::KMemoryCompactor;
-use criterion::{criterion_group, criterion_main, Criterion};
 use gatesim::bus as gbus;
 use gatesim::{HwCfsm, Netlist, PowerConfig, Simulator, SynthConfig};
 use iss::{PowerModel, SwCfsm};
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Runs `f` in batches of `batch` calls and prints the best and mean
+/// per-call time over `rounds` batches.
+fn bench<F: FnMut()>(name: &str, rounds: u32, batch: u32, mut f: F) {
+    f(); // warmup
+    let mut per_call: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / batch as f64
+        })
+        .collect();
+    per_call.sort_by(f64::total_cmp);
+    let best = per_call[0];
+    let mean = per_call.iter().sum::<f64>() / per_call.len() as f64;
+    println!(
+        "{name:<44} best {:>10.3} us   mean {:>10.3} us",
+        best * 1e6,
+        mean * 1e6
+    );
+}
 
 /// A 16-bit accumulate loop machine shared by the HW and SW benches.
 fn loop_machine() -> Cfsm {
@@ -49,101 +77,85 @@ fn loop_machine() -> Cfsm {
     b.finish().expect("valid machine")
 }
 
-fn gate_sim_bench(c: &mut Criterion) {
+fn gate_sim_bench() {
     // A 16-bit multiplier array — a representative datapath block.
     let mut nl = Netlist::new();
     let a = gbus::input_bus(&mut nl, 16);
     let b_ = gbus::input_bus(&mut nl, 16);
     let _p = gbus::multiplier(&mut nl, &a, &b_);
     let mut sim = Simulator::new(&nl, PowerConfig::date2000_defaults()).expect("valid");
-    let mut g = c.benchmark_group("gatesim");
-    g.bench_function("mul16_cycle", |bch| {
-        let mut x = 1u64;
-        bch.iter(|| {
-            x = x.wrapping_mul(48271) % 0xFFFF;
-            sim.set_input_bus(a.nets(), x);
-            sim.set_input_bus(b_.nets(), x ^ 0x5A5A);
-            black_box(sim.step())
-        })
+    let mut x = 1u64;
+    bench("gatesim/mul16_cycle", 20, 100, || {
+        x = x.wrapping_mul(48271) % 0xFFFF;
+        sim.set_input_bus(a.nets(), x);
+        sim.set_input_bus(b_.nets(), x ^ 0x5A5A);
+        black_box(sim.step());
     });
-    g.bench_function("hw_transition_30_iters", |bch| {
-        let mut hw = HwCfsm::synthesize(
-            &loop_machine(),
-            &SynthConfig::new(),
-            &PowerConfig::date2000_defaults(),
-        )
-        .expect("synthesizable");
-        bch.iter(|| {
-            black_box(
-                hw.transition_mut(TransitionId(0))
-                    .run(&[30, 0], &|_| 0, &[])
-                    .energy_j,
-            )
-        })
-    });
-    g.finish();
-}
-
-fn iss_bench(c: &mut Criterion) {
-    let mut sw = SwCfsm::new(&loop_machine(), PowerModel::sparclite(), &|_| false)
-        .expect("compiles");
-    c.bench_function("iss/sw_transition_100_iters", |b| {
-        b.iter(|| {
-            black_box(
-                sw.run_transition(TransitionId(0), &[100, 0], &|_| 0, &[])
-                    .energy_j,
-            )
-        })
+    let mut hw = HwCfsm::synthesize(
+        &loop_machine(),
+        &SynthConfig::new(),
+        &PowerConfig::date2000_defaults(),
+    )
+    .expect("synthesizable");
+    bench("gatesim/hw_transition_30_iters", 20, 20, || {
+        black_box(
+            hw.transition_mut(TransitionId(0))
+                .run(&[30, 0], &|_| 0, &[])
+                .energy_j,
+        );
     });
 }
 
-fn cache_bench(c: &mut Criterion) {
+fn iss_bench() {
+    let mut sw =
+        SwCfsm::new(&loop_machine(), PowerModel::sparclite(), &|_| false).expect("compiles");
+    bench("iss/sw_transition_100_iters", 20, 50, || {
+        black_box(
+            sw.run_transition(TransitionId(0), &[100, 0], &|_| 0, &[])
+                .energy_j,
+        );
+    });
+}
+
+fn cache_bench() {
     let mut cache = cachesim::Cache::new(cachesim::CacheConfig::sparclite_icache());
-    c.bench_function("cachesim/access", |b| {
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr = addr.wrapping_add(68) % (64 * 1024);
-            black_box(cache.access(addr).hit)
-        })
+    let mut addr = 0u64;
+    bench("cachesim/access", 20, 10_000, || {
+        addr = addr.wrapping_add(68) % (64 * 1024);
+        black_box(cache.access(addr).hit);
     });
 }
 
-fn bus_bench(c: &mut Criterion) {
+fn bus_bench() {
     let mut bus = busmodel::Bus::new(busmodel::BusConfig::date2000_defaults());
     let m = bus.register_master("m", 1);
     let ops: Vec<(u64, i64, bool)> = (0..32).map(|i| (i * 8, i as i64 * 3, i % 2 == 0)).collect();
-    c.bench_function("busmodel/transfer_32_words", |b| {
-        let mut t = 0u64;
-        b.iter(|| {
-            let tr = bus.transfer(m, t, &ops);
-            t = tr.end;
-            black_box(tr.energy_j)
-        })
+    let mut t = 0u64;
+    bench("busmodel/transfer_32_words", 20, 200, || {
+        let tr = bus.transfer(m, t, &ops);
+        t = tr.end;
+        black_box(tr.energy_j);
     });
 }
 
-fn compaction_bench(c: &mut Criterion) {
+fn compaction_bench() {
     let stream: Vec<u32> = (0..10_000u32).map(|i| i * 2654435761 % 97).collect();
-    c.bench_function("sampling/compact_10k_window100_keep20", |b| {
-        b.iter(|| {
-            let mut comp = KMemoryCompactor::new(100, 20);
-            let mut kept = 0usize;
-            for &s in &stream {
-                if let Some(batch) = comp.push(s) {
-                    kept += batch.len();
-                }
+    bench("sampling/compact_10k_window100_keep20", 20, 5, || {
+        let mut comp = KMemoryCompactor::new(100, 20);
+        let mut kept = 0usize;
+        for &s in &stream {
+            if let Some(batch) = comp.push(s) {
+                kept += batch.len();
             }
-            black_box(kept)
-        })
+        }
+        black_box(kept);
     });
 }
 
-criterion_group!(
-    benches,
-    gate_sim_bench,
-    iss_bench,
-    cache_bench,
-    bus_bench,
-    compaction_bench
-);
-criterion_main!(benches);
+fn main() {
+    gate_sim_bench();
+    iss_bench();
+    cache_bench();
+    bus_bench();
+    compaction_bench();
+}

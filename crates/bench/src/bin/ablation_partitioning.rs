@@ -4,6 +4,11 @@
 //! check that the macro-model ranks the partitions like the detailed
 //! framework does.
 
+// Regeneration binary for the evaluation harness: aborting loudly on a
+// broken setup is correct here, matching the tests-and-benches carve-out
+// from the workspace-wide panic-free policy.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use co_estimation::{explore_partitions, Acceleration, CoSimConfig};
 use systems::tcpip::{build, TcpIpParams};
 
@@ -15,7 +20,7 @@ fn main() {
         pkt_period: 6_000,
         seed: 0xDA7E_2000,
     };
-    let soc = build(&params);
+    let soc = build(&params).expect("valid params");
     let movable: Vec<cfsm::ProcId> = ["create_pack", "checksum"]
         .iter()
         .map(|n| soc.network.process_by_name(n).expect("process exists"))

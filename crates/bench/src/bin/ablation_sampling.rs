@@ -7,11 +7,15 @@
 //! to a gate-level netlist: the compacted stream's average power vs. the
 //! full stream's, together with the preserved stream statistics.
 
+// Regeneration binary for the evaluation harness: aborting loudly on a
+// broken setup is correct here, matching the tests-and-benches carve-out
+// from the workspace-wide panic-free policy.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use co_estimation::{KMemoryCompactor, StreamStats};
 use gatesim::bus::{self};
+use detrand::Rng;
 use gatesim::{Netlist, PowerConfig, Simulator};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use soc_bench::sampling_ablation;
 use systems::tcpip::TcpIpParams;
 
@@ -33,14 +37,14 @@ fn main() {
     let (sum, _) = bus::adder(&mut nl, &a, &b, c0);
     let _mix = bus::bitwise(&mut nl, gatesim::GateKind::Xor, &sum, &a);
 
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Rng::seed_from_u64(42);
     // Bursty: quiet phases (small values) and busy phases (wide toggling).
     let stream: Vec<(u64, u64)> = (0..4000)
         .map(|i| {
             if (i / 100) % 2 == 0 {
-                (rng.gen_range(0..8), rng.gen_range(0..8))
+                (rng.u64_in(0, 8), rng.u64_in(0, 8))
             } else {
-                (rng.gen_range(0..65536), rng.gen_range(0..65536))
+                (rng.u64_in(0, 65536), rng.u64_in(0, 65536))
             }
         })
         .collect();

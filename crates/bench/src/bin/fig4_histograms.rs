@@ -3,6 +3,11 @@
 //! caching, one spread-out path that should keep using the detailed
 //! simulator.
 
+// Regeneration binary for the evaluation harness: aborting loudly on a
+// broken setup is correct here, matching the tests-and-benches carve-out
+// from the workspace-wide panic-free policy.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use soc_bench::{fig4_histograms, render_histogram};
 use systems::tcpip::TcpIpParams;
 

@@ -16,6 +16,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// This crate is the evaluation/benchmark harness: aborting loudly on a
+// broken setup is correct here, matching the tests-and-benches carve-out
+// from the workspace-wide panic-free policy.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use co_estimation::{
     estimate_separately, Acceleration, CachingConfig, CoSimConfig, CoSimReport, CoSimulator,
@@ -76,7 +80,7 @@ impl Fig1bRow {
 /// Reproduces Fig. 1(b): separate vs. co-estimated energies of the
 /// producer / timer / consumer system.
 pub fn fig1b(params: &ProducerConsumerParams) -> Vec<Fig1bRow> {
-    let soc = producer_consumer::build(params);
+    let soc = producer_consumer::build(params).expect("valid params");
     let config = CoSimConfig::date2000_defaults();
     let sep = estimate_separately(&soc, &config).expect("separate estimation");
     let (co, _) = timed_run(soc, config);
@@ -115,7 +119,7 @@ pub struct PathHistogram {
 /// returns the energy histograms of the most-executed low-variance and
 /// high-variance paths.
 pub fn fig4_histograms(params: &TcpIpParams, n_bins: usize) -> Vec<PathHistogram> {
-    let soc = tcpip::build(params);
+    let soc = tcpip::build(params).expect("valid params");
     let config = CoSimConfig::date2000_defaults()
         .with_accel(Acceleration::caching(CachingConfig::profiling()));
     let names: Vec<String> = soc
@@ -210,9 +214,9 @@ pub fn speedup_sweep(
         .iter()
         .map(|&dma| {
             let config = CoSimConfig::date2000_defaults().with_dma_block_size(dma);
-            let (orig, orig_secs) = timed_run(tcpip::build(params), config.clone());
+            let (orig, orig_secs) = timed_run(tcpip::build(params).expect("valid params"), config.clone());
             let (fast, accel_secs) =
-                timed_run(tcpip::build(params), config.with_accel(accel.clone()));
+                timed_run(tcpip::build(params).expect("valid params"), config.with_accel(accel.clone()));
             SpeedupRow {
                 dma,
                 orig_energy_j: orig.total_energy_j(),
@@ -287,7 +291,7 @@ pub fn ranks_agree(points: &[Fig6Point]) -> bool {
 /// Reproduces Fig. 7: the 6-permutation × 8-DMA-size exploration of the
 /// TCP/IP communication architecture (48 points).
 pub fn fig7(params: &TcpIpParams) -> Vec<ExplorationPoint> {
-    let soc = tcpip::build(params);
+    let soc = tcpip::build(params).expect("valid params");
     let procs: Vec<cfsm::ProcId> = ["create_pack", "ip_check", "checksum"]
         .iter()
         .map(|n| soc.network.process_by_name(n).expect("process exists"))
@@ -319,9 +323,9 @@ pub fn caching_dsp_ablation(params: &TcpIpParams) -> (f64, f64) {
     {
         let mut config = CoSimConfig::date2000_defaults();
         config.sw_power = kind;
-        let (orig, _) = timed_run(tcpip::build(params), config.clone());
+        let (orig, _) = timed_run(tcpip::build(params).expect("valid params"), config.clone());
         let (cached, _) = timed_run(
-            tcpip::build(params),
+            tcpip::build(params).expect("valid params"),
             config.with_accel(Acceleration::caching(table1_caching())),
         );
         errors[i] = 100.0
@@ -334,12 +338,12 @@ pub fn caching_dsp_ablation(params: &TcpIpParams) -> (f64, f64) {
 /// sampling period. Returns `(period, error_pct, detailed_fraction)`.
 pub fn sampling_ablation(params: &TcpIpParams, periods: &[u32]) -> Vec<(u32, f64, f64)> {
     let config = CoSimConfig::date2000_defaults();
-    let (orig, _) = timed_run(tcpip::build(params), config.clone());
+    let (orig, _) = timed_run(tcpip::build(params).expect("valid params"), config.clone());
     periods
         .iter()
         .map(|&period| {
             let (s, _) = timed_run(
-                tcpip::build(params),
+                tcpip::build(params).expect("valid params"),
                 config.with_accel(Acceleration::sampling(SamplingConfig { period })),
             );
             let err = 100.0

@@ -1,90 +1,112 @@
-//! Property-based tests for expressions and control-flow graphs.
+//! Randomized (seeded, deterministic) tests for expressions and
+//! control-flow graphs. Formerly property-based; now driven by the
+//! in-repo deterministic PRNG so the suite builds offline.
 
 use cfsm::{
     BinOp, BlockId, Cfg, CfgBuilder, EventId, Expr, MacroOp, NullEnv, Stmt, Terminator, UnOp,
     VarId,
 };
-use proptest::prelude::*;
+use detrand::Rng;
 
-/// Random expression trees over 4 variables.
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        any::<i32>().prop_map(|c| Expr::Const(c as i64)),
-        (0u32..4).prop_map(|v| Expr::Var(VarId(v))),
-    ];
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), arb_binop())
-                .prop_map(|(a, b, op)| Expr::bin(op, a, b)),
-            (inner, arb_unop()).prop_map(|(a, op)| Expr::un(op, a)),
-        ]
-    })
+const BINOPS: [BinOp; 16] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+];
+
+const UNOPS: [UnOp; 3] = [UnOp::Neg, UnOp::Not, UnOp::LNot];
+
+/// Random expression tree over 4 variables, depth-bounded.
+fn gen_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.bool_with(0.3) {
+        if rng.bool_with(0.5) {
+            Expr::Const(rng.i64_in(i32::MIN as i64, i32::MAX as i64 + 1))
+        } else {
+            Expr::Var(VarId(rng.u64_in(0, 4) as u32))
+        }
+    } else if rng.bool_with(0.7) {
+        let op = *rng.choose(&BINOPS);
+        let a = gen_expr(rng, depth - 1);
+        let b = gen_expr(rng, depth - 1);
+        Expr::bin(op, a, b)
+    } else {
+        let op = *rng.choose(&UNOPS);
+        let a = gen_expr(rng, depth - 1);
+        Expr::un(op, a)
+    }
 }
 
-fn arb_binop() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Div),
-        Just(BinOp::Rem),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-        Just(BinOp::Xor),
-        Just(BinOp::Shl),
-        Just(BinOp::Shr),
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Gt),
-        Just(BinOp::Ge),
-    ]
-}
-
-fn arb_unop() -> impl Strategy<Value = UnOp> {
-    prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::LNot)]
-}
-
-proptest! {
-    /// Evaluation is deterministic and total (never panics) for any tree.
-    #[test]
-    fn expr_eval_total_and_deterministic(e in arb_expr(), vars in prop::collection::vec(any::<i64>(), 4)) {
+/// Evaluation is deterministic and total (never panics) for any tree.
+#[test]
+fn expr_eval_total_and_deterministic() {
+    let mut rng = Rng::new(0xCF50_0001);
+    for _ in 0..256 {
+        let e = gen_expr(&mut rng, 4);
+        let vars: Vec<i64> = (0..4).map(|_| rng.next_u64() as i64).collect();
         let f = |_: EventId| 0i64;
         let a = e.eval(&vars, &f);
         let b = e.eval(&vars, &f);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// visit_ops reports exactly op_count() operators.
-    #[test]
-    fn expr_visit_matches_count(e in arb_expr()) {
+/// visit_ops reports exactly op_count() operators.
+#[test]
+fn expr_visit_matches_count() {
+    let mut rng = Rng::new(0xCF50_0002);
+    for _ in 0..256 {
+        let e = gen_expr(&mut rng, 4);
         let mut n = 0usize;
         e.visit_ops(&mut |_| n += 1);
-        prop_assert_eq!(n, e.op_count());
-        prop_assert!(e.depth() >= 1);
+        assert_eq!(n, e.op_count());
+        assert!(e.depth() >= 1);
     }
+}
 
-    /// Comparisons always yield 0 or 1.
-    #[test]
-    fn comparisons_are_boolean(a in any::<i64>(), b in any::<i64>()) {
+/// Comparisons always yield 0 or 1.
+#[test]
+fn comparisons_are_boolean() {
+    let mut rng = Rng::new(0xCF50_0003);
+    for _ in 0..256 {
+        let a = rng.next_u64() as i64;
+        let b = rng.next_u64() as i64;
         for op in [BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge] {
             let v = Expr::bin(op, Expr::Const(a), Expr::Const(b)).eval(&[], &|_| 0);
-            prop_assert!(v == 0 || v == 1);
+            assert!(v == 0 || v == 1);
         }
     }
+}
 
-    /// A counted loop executes exactly n bodies, its macro-op trace has
-    /// n TIVART + 1 TIVARF outcomes, and the path id depends on n.
-    #[test]
-    fn counted_loop_trace_shape(n in 0i64..200) {
+/// A counted loop executes exactly n bodies, its macro-op trace has
+/// n TIVART + 1 TIVARF outcomes, and the path id depends on n.
+#[test]
+fn counted_loop_trace_shape() {
+    let mut rng = Rng::new(0xCF50_0004);
+    for case in 0..64 {
+        let n = rng.i64_in(0, 200);
         let i = VarId(0);
         let mut b = CfgBuilder::new();
-        b.block(vec![], Terminator::Branch {
-            cond: Expr::gt(Expr::Var(i), Expr::Const(0)),
-            then_block: BlockId(1),
-            else_block: BlockId(2),
-        });
+        b.block(
+            vec![],
+            Terminator::Branch {
+                cond: Expr::gt(Expr::Var(i), Expr::Const(0)),
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+        );
         b.block(
             vec![Stmt::Assign { var: i, expr: Expr::sub(Expr::Var(i), Expr::Const(1)) }],
             Terminator::Goto(BlockId(0)),
@@ -93,22 +115,26 @@ proptest! {
         let cfg = b.finish().expect("valid");
         let mut vars = [n];
         let exec = cfg.execute(&mut vars, &mut NullEnv);
-        prop_assert_eq!(vars[0], 0);
+        assert_eq!(vars[0], 0, "case {case}");
         let taken = exec.macro_ops.iter().filter(|&&m| m == MacroOp::TivarT).count();
         let fallthrough = exec.macro_ops.iter().filter(|&&m| m == MacroOp::TivarF).count();
-        prop_assert_eq!(taken, n as usize);
-        prop_assert_eq!(fallthrough, 1);
+        assert_eq!(taken, n as usize, "case {case}");
+        assert_eq!(fallthrough, 1, "case {case}");
 
         // Different iteration counts give different path ids.
         let mut vars2 = [n + 1];
         let exec2 = cfg.execute(&mut vars2, &mut NullEnv);
-        prop_assert_ne!(exec.path, exec2.path);
+        assert_ne!(exec.path, exec2.path, "case {case}");
     }
+}
 
-    /// Executing the same CFG on the same inputs gives identical
-    /// executions (determinism of the behavioral model).
-    #[test]
-    fn execution_is_reproducible(seed in any::<i64>()) {
+/// Executing the same CFG on the same inputs gives identical
+/// executions (determinism of the behavioral model).
+#[test]
+fn execution_is_reproducible() {
+    let mut rng = Rng::new(0xCF50_0005);
+    for _ in 0..64 {
+        let seed = rng.next_u64() as i64;
         let v = VarId(0);
         let cfg = Cfg::straight_line(vec![
             Stmt::Assign { var: v, expr: Expr::bin(BinOp::Xor, Expr::Var(v), Expr::Const(seed)) },
@@ -118,7 +144,7 @@ proptest! {
         let mut b = [seed];
         let ea = cfg.execute(&mut a, &mut NullEnv);
         let eb = cfg.execute(&mut b, &mut NullEnv);
-        prop_assert_eq!(ea, eb);
-        prop_assert_eq!(a, b);
+        assert_eq!(ea, eb);
+        assert_eq!(a, b);
     }
 }

@@ -48,7 +48,7 @@ impl Waveform {
         self.energy_j
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN energies"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, &e)| (i, e))
     }
 
@@ -225,6 +225,164 @@ impl EnergyAccount {
     }
 }
 
+/// What went wrong (or was deliberately made to go wrong) at one instant
+/// of a co-simulation run.
+///
+/// Anomalies cover both *causes* — injected faults — and *effects* — the
+/// degradations the system model exhibits in response (an overwritten
+/// single-place buffer, a shed event, a clamped energy sample, a stalled
+/// arbiter, a watchdog trip). The master records them unconditionally, so
+/// a report always explains its own degradations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnomalyKind {
+    /// A fault from the configured `FaultPlan` was applied.
+    FaultInjected {
+        /// Human-readable description of the fault that fired.
+        description: String,
+    },
+    /// A delivery overwrote an unconsumed value in a process's
+    /// single-place event buffer (the POLIS loss semantics).
+    BufferOverwrite {
+        /// The process whose buffer lost a value.
+        process: String,
+        /// The event whose delivery caused the overwrite.
+        event: String,
+    },
+    /// An event occurrence was dropped before delivery.
+    EventShed {
+        /// The shed event's name.
+        event: String,
+    },
+    /// A corrupted energy sample was clamped to zero to keep the ledger
+    /// finite and non-negative.
+    EnergyClamped {
+        /// The process whose sample was clamped.
+        process: String,
+        /// The raw (rejected) sample value, joules.
+        raw_j: f64,
+    },
+    /// An instruction-fetch batch bypassed the i-cache (every fetch
+    /// priced as a miss, no cache-state update).
+    CacheBypassed {
+        /// Number of fetch addresses in the bypassed batch.
+        fetches: u64,
+    },
+    /// The bus arbiter was stalled: no grants until the given cycle.
+    BusStalled {
+        /// First cycle at which grants resume.
+        until_cycle: u64,
+    },
+    /// A watchdog budget tripped and the run terminated with a partial
+    /// (degraded) report.
+    WatchdogTrip {
+        /// The exhausted budget, rendered.
+        reason: String,
+    },
+    /// An internal inconsistency was recovered from instead of panicking.
+    RecoveredError {
+        /// What was inconsistent.
+        context: String,
+    },
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnomalyKind::FaultInjected { description } => {
+                write!(f, "fault injected: {description}")
+            }
+            AnomalyKind::BufferOverwrite { process, event } => {
+                write!(f, "buffer overwrite in `{process}` by event `{event}`")
+            }
+            AnomalyKind::EventShed { event } => write!(f, "event `{event}` shed"),
+            AnomalyKind::EnergyClamped { process, raw_j } => {
+                write!(f, "energy sample of `{process}` clamped (raw {raw_j:e} J)")
+            }
+            AnomalyKind::CacheBypassed { fetches } => {
+                write!(f, "i-cache bypassed for {fetches} fetches")
+            }
+            AnomalyKind::BusStalled { until_cycle } => {
+                write!(f, "bus arbiter stalled until cycle {until_cycle}")
+            }
+            AnomalyKind::WatchdogTrip { reason } => write!(f, "watchdog trip: {reason}"),
+            AnomalyKind::RecoveredError { context } => {
+                write!(f, "recovered error: {context}")
+            }
+        }
+    }
+}
+
+/// One recorded anomaly: what happened, and when.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// Simulated time of the anomaly, master clock cycles.
+    pub at_cycle: u64,
+    /// What happened.
+    pub kind: AnomalyKind,
+}
+
+/// The run-report ledger of injected faults and observed degradations,
+/// in simulation order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnomalyLedger {
+    entries: Vec<Anomaly>,
+}
+
+impl AnomalyLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an anomaly observed at `at_cycle`.
+    pub fn record(&mut self, at_cycle: u64, kind: AnomalyKind) {
+        self.entries.push(Anomaly { at_cycle, kind });
+    }
+
+    /// All entries, in simulation order.
+    pub fn entries(&self) -> &[Anomaly] {
+        &self.entries
+    }
+
+    /// Iterates the entries.
+    pub fn iter(&self) -> impl Iterator<Item = &Anomaly> {
+        self.entries.iter()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing anomalous was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of injected faults ([`AnomalyKind::FaultInjected`] entries).
+    pub fn faults_injected(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|a| matches!(a.kind, AnomalyKind::FaultInjected { .. }))
+            .count()
+    }
+}
+
+impl fmt::Display for AnomalyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return write!(f, "no anomalies");
+        }
+        for (i, a) in self.entries.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "cycle {:>10}: {}", a.at_cycle, a.kind)?;
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for EnergyAccount {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:<20} {:>14} {:>12} {:>8}", "component", "energy (J)", "cycles", "records")?;
@@ -342,6 +500,28 @@ mod tests {
             .map(|r| r.rsplit(',').next().expect("total").parse::<f64>().expect("num"))
             .sum();
         assert!((total - a.total_energy_j()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn anomaly_ledger_records_in_order() {
+        let mut ledger = AnomalyLedger::new();
+        assert!(ledger.is_empty());
+        ledger.record(10, AnomalyKind::FaultInjected { description: "froze `x`".into() });
+        ledger.record(25, AnomalyKind::BufferOverwrite { process: "q".into(), event: "E".into() });
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.faults_injected(), 1);
+        assert_eq!(ledger.entries()[1].at_cycle, 25);
+        let text = ledger.to_string();
+        assert!(text.contains("froze `x`") && text.contains("overwrite"), "{text}");
+    }
+
+    #[test]
+    fn peak_is_total_order_on_floats() {
+        let mut a = EnergyAccount::new(10);
+        let c = a.add_component("x");
+        a.record(c, 0, 10, f64::NAN); // must not panic
+        a.record(c, 20, 30, 1e-9);
+        assert!(a.waveform(c).peak().is_some());
     }
 
     #[test]

@@ -110,8 +110,15 @@ pub struct CoSimConfig {
     pub accel: Acceleration,
     /// Power-waveform bucket width, cycles.
     pub waveform_bucket_cycles: u64,
-    /// Safety bound on the number of transition firings.
+    /// Safety bound on the number of transition firings — one instance of
+    /// the general watchdog budget mechanism: exhausting it terminates the
+    /// run with a [`Degraded`](crate::RunOutcome::Degraded) report.
     pub max_firings: u64,
+    /// Scheduled fault injections (empty = zero-cost, bit-for-bit
+    /// identical to a run without the fault layer).
+    pub faults: crate::faults::FaultPlan,
+    /// Execution budgets guarding the run (all disabled by default).
+    pub watchdog: desim::WatchdogConfig,
 }
 
 impl CoSimConfig {
@@ -129,6 +136,8 @@ impl CoSimConfig {
             accel: Acceleration::none(),
             waveform_bucket_cycles: 1_000,
             max_firings: 50_000_000,
+            faults: crate::faults::FaultPlan::none(),
+            watchdog: desim::WatchdogConfig::unlimited(),
         }
     }
 
@@ -145,6 +154,22 @@ impl CoSimConfig {
     pub fn with_dma_block_size(&self, size: u32) -> Self {
         CoSimConfig {
             bus: self.bus.with_dma_block_size(size),
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with the given fault plan.
+    pub fn with_faults(&self, faults: crate::faults::FaultPlan) -> Self {
+        CoSimConfig {
+            faults,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with the given watchdog budgets.
+    pub fn with_watchdog(&self, watchdog: desim::WatchdogConfig) -> Self {
+        CoSimConfig {
+            watchdog,
             ..self.clone()
         }
     }

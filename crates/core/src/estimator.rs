@@ -16,13 +16,29 @@ use iss::codegen::CodegenError;
 use iss::{PowerModel, SwCfsm};
 use std::fmt;
 
-/// Errors from building estimators.
+/// Errors from constructing a co-simulation: building estimators,
+/// validating system parameters, or resolving a fault plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BuildEstimatorError {
     /// Hardware synthesis failed for a process.
     Synth(String, SynthError),
     /// Software compilation failed for a process.
     Codegen(String, CodegenError),
+    /// The SoC description's priority vector does not have one entry per
+    /// process.
+    PriorityCount {
+        /// Number of processes in the network.
+        expected: usize,
+        /// Number of priorities supplied.
+        got: usize,
+    },
+    /// The requested workload is empty (nothing would ever fire).
+    EmptyWorkload(String),
+    /// A parameter is outside its documented domain.
+    InvalidParams(String),
+    /// CFSM machine or network construction failed inside a system
+    /// builder (an internal bug, reported instead of panicking).
+    Construction(String),
 }
 
 impl fmt::Display for BuildEstimatorError {
@@ -30,6 +46,15 @@ impl fmt::Display for BuildEstimatorError {
         match self {
             BuildEstimatorError::Synth(p, e) => write!(f, "synthesizing `{p}`: {e}"),
             BuildEstimatorError::Codegen(p, e) => write!(f, "compiling `{p}`: {e}"),
+            BuildEstimatorError::PriorityCount { expected, got } => write!(
+                f,
+                "one priority per process required: {expected} processes, {got} priorities"
+            ),
+            BuildEstimatorError::EmptyWorkload(what) => write!(f, "empty workload: {what}"),
+            BuildEstimatorError::InvalidParams(what) => write!(f, "invalid parameters: {what}"),
+            BuildEstimatorError::Construction(what) => {
+                write!(f, "system construction failed: {what}")
+            }
         }
     }
 }

@@ -172,11 +172,7 @@ pub fn explore_partitions(
 
 /// The minimum-energy point of an exploration.
 pub fn minimum_energy(points: &[ExplorationPoint]) -> Option<&ExplorationPoint> {
-    points.iter().min_by(|a, b| {
-        a.energy_j()
-            .partial_cmp(&b.energy_j())
-            .expect("energies are not NaN")
-    })
+    points.iter().min_by(|a, b| a.energy_j().total_cmp(&b.energy_j()))
 }
 
 #[cfg(test)]

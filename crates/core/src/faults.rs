@@ -1,0 +1,378 @@
+//! Declarative fault injection for co-simulation runs.
+//!
+//! A [`FaultPlan`] is a schedule of faults the master applies at dispatch
+//! time: dropping, duplicating or delaying a CFSM event occurrence,
+//! freezing a process, corrupting an ISS energy sample, stalling the bus
+//! arbiter, or forcing instruction fetches to bypass the i-cache. Faults
+//! reference processes and events *by name*; the names are resolved (and
+//! validated) once, when the [`CoSimulator`](crate::CoSimulator) is built.
+//!
+//! Each fault arms at `at_cycle` and fires on the *next matching occasion*
+//! at or after that time — the next delivery of the named event, the next
+//! estimate of the named process, and so on. Every application is recorded
+//! in the run report's [`AnomalyLedger`](crate::AnomalyLedger), along with
+//! the degradations it provokes downstream (overwritten buffers, shed
+//! events, clamped samples, watchdog trips).
+//!
+//! An empty plan is guaranteed zero-cost: the master's hot paths check
+//! [`FaultPlan::is_empty`] once and a run with an empty plan is bit-for-bit
+//! identical to one with no fault layer at all.
+
+use crate::estimator::BuildEstimatorError;
+use cfsm::{EventId, Network, ProcId};
+use std::fmt;
+
+/// One injectable fault kind (see module docs). Processes and events are
+/// named; unknown names are rejected when the simulator is built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Drop the next occurrence of the named event before delivery.
+    DropEvent {
+        /// Event name.
+        event: String,
+    },
+    /// Deliver the next occurrence of the named event twice.
+    DuplicateEvent {
+        /// Event name.
+        event: String,
+    },
+    /// Postpone the next occurrence of the named event.
+    DelayEvent {
+        /// Event name.
+        event: String,
+        /// Delay, master clock cycles.
+        cycles: u64,
+    },
+    /// Prevent the named process from firing for a window of time.
+    FreezeProcess {
+        /// Process name.
+        process: String,
+        /// Freeze duration, master clock cycles (must be nonzero).
+        cycles: u64,
+    },
+    /// Multiply the next energy sample of the named process by `factor`.
+    /// Non-finite or negative results are clamped to zero and recorded.
+    CorruptEnergy {
+        /// Process name.
+        process: String,
+        /// Multiplier applied to the sample (must be finite).
+        factor: f64,
+    },
+    /// Stall the bus arbiter: no grants for a window of time.
+    StallBus {
+        /// Stall duration, master clock cycles (must be nonzero).
+        cycles: u64,
+    },
+    /// Make the next `batches` instruction-fetch batches bypass the
+    /// i-cache: every fetch is priced as a miss and no cache state is
+    /// updated.
+    ForceCacheMisses {
+        /// Number of fetch batches (≈ software firings) affected.
+        batches: u64,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::DropEvent { event } => write!(f, "drop next `{event}`"),
+            FaultKind::DuplicateEvent { event } => write!(f, "duplicate next `{event}`"),
+            FaultKind::DelayEvent { event, cycles } => {
+                write!(f, "delay next `{event}` by {cycles} cycles")
+            }
+            FaultKind::FreezeProcess { process, cycles } => {
+                write!(f, "freeze `{process}` for {cycles} cycles")
+            }
+            FaultKind::CorruptEnergy { process, factor } => {
+                write!(f, "corrupt next energy sample of `{process}` by ×{factor}")
+            }
+            FaultKind::StallBus { cycles } => write!(f, "stall bus for {cycles} cycles"),
+            FaultKind::ForceCacheMisses { batches } => {
+                write!(f, "bypass i-cache for {batches} fetch batches")
+            }
+        }
+    }
+}
+
+/// A scheduled fault: arms at `at_cycle`, fires on the next matching
+/// occasion at or after it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Simulated time at which the fault arms, master clock cycles.
+    pub at_cycle: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// A declarative schedule of faults (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use co_estimation::FaultPlan;
+///
+/// let plan = FaultPlan::new()
+///     .drop_event(1_000, "PKT_READY")
+///     .freeze_process(5_000, "checksum", 20_000)
+///     .stall_bus(8_000, 4_000);
+/// assert_eq!(plan.faults.len(), 3);
+/// assert!(!plan.is_empty());
+/// assert!(FaultPlan::none().is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled faults, applied independently of their order here.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty plan, reading as intent at call sites.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when no faults are scheduled — the master's zero-cost gate.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Adds an arbitrary fault.
+    pub fn with(mut self, at_cycle: u64, kind: FaultKind) -> Self {
+        self.faults.push(FaultSpec { at_cycle, kind });
+        self
+    }
+
+    /// Drops the next occurrence of `event` at or after `at_cycle`.
+    pub fn drop_event(self, at_cycle: u64, event: impl Into<String>) -> Self {
+        self.with(at_cycle, FaultKind::DropEvent { event: event.into() })
+    }
+
+    /// Duplicates the next occurrence of `event` at or after `at_cycle`.
+    pub fn duplicate_event(self, at_cycle: u64, event: impl Into<String>) -> Self {
+        self.with(at_cycle, FaultKind::DuplicateEvent { event: event.into() })
+    }
+
+    /// Delays the next occurrence of `event` by `cycles`.
+    pub fn delay_event(self, at_cycle: u64, event: impl Into<String>, cycles: u64) -> Self {
+        self.with(at_cycle, FaultKind::DelayEvent { event: event.into(), cycles })
+    }
+
+    /// Freezes `process` for `cycles` starting at or after `at_cycle`.
+    pub fn freeze_process(self, at_cycle: u64, process: impl Into<String>, cycles: u64) -> Self {
+        self.with(at_cycle, FaultKind::FreezeProcess { process: process.into(), cycles })
+    }
+
+    /// Corrupts the next energy sample of `process` by `factor`.
+    pub fn corrupt_energy(self, at_cycle: u64, process: impl Into<String>, factor: f64) -> Self {
+        self.with(at_cycle, FaultKind::CorruptEnergy { process: process.into(), factor })
+    }
+
+    /// Stalls the bus arbiter for `cycles` starting at or after `at_cycle`.
+    pub fn stall_bus(self, at_cycle: u64, cycles: u64) -> Self {
+        self.with(at_cycle, FaultKind::StallBus { cycles })
+    }
+
+    /// Bypasses the i-cache for the next `batches` fetch batches.
+    pub fn force_cache_misses(self, at_cycle: u64, batches: u64) -> Self {
+        self.with(at_cycle, FaultKind::ForceCacheMisses { batches })
+    }
+}
+
+/// [`FaultKind`] with names resolved to network ids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ResolvedFaultKind {
+    DropEvent(EventId),
+    DuplicateEvent(EventId),
+    DelayEvent(EventId, u64),
+    FreezeProcess(ProcId, u64),
+    CorruptEnergy(ProcId, f64),
+    StallBus(u64),
+    ForceCacheMisses(u64),
+}
+
+/// One armed fault inside the master. `armed` flips to `false` once the
+/// fault has been applied (every fault is one-shot).
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedFault {
+    pub at_cycle: u64,
+    pub kind: ResolvedFaultKind,
+    pub armed: bool,
+    /// Rendered source spec, used when recording the injection.
+    pub describe: String,
+}
+
+impl ResolvedFault {
+    /// Whether this fault may fire at simulated time `now`.
+    pub fn ready(&self, now: u64) -> bool {
+        self.armed && self.at_cycle <= now
+    }
+}
+
+/// Resolves a plan's names against `network`, validating parameters.
+pub(crate) fn resolve(
+    plan: &FaultPlan,
+    network: &Network,
+) -> Result<Vec<ResolvedFault>, BuildEstimatorError> {
+    let event = |name: &str| {
+        network.event_by_name(name).ok_or_else(|| {
+            BuildEstimatorError::InvalidParams(format!("fault plan names unknown event `{name}`"))
+        })
+    };
+    let process = |name: &str| {
+        network.process_by_name(name).ok_or_else(|| {
+            BuildEstimatorError::InvalidParams(format!(
+                "fault plan names unknown process `{name}`"
+            ))
+        })
+    };
+    let nonzero = |what: &str, cycles: u64| {
+        if cycles == 0 {
+            Err(BuildEstimatorError::InvalidParams(format!(
+                "fault plan: {what} duration must be nonzero"
+            )))
+        } else {
+            Ok(cycles)
+        }
+    };
+    plan.faults
+        .iter()
+        .map(|spec| {
+            let kind = match &spec.kind {
+                FaultKind::DropEvent { event: e } => ResolvedFaultKind::DropEvent(event(e)?),
+                FaultKind::DuplicateEvent { event: e } => {
+                    ResolvedFaultKind::DuplicateEvent(event(e)?)
+                }
+                FaultKind::DelayEvent { event: e, cycles } => {
+                    ResolvedFaultKind::DelayEvent(event(e)?, *cycles)
+                }
+                FaultKind::FreezeProcess { process: p, cycles } => {
+                    ResolvedFaultKind::FreezeProcess(process(p)?, nonzero("freeze", *cycles)?)
+                }
+                FaultKind::CorruptEnergy { process: p, factor } => {
+                    if !factor.is_finite() {
+                        return Err(BuildEstimatorError::InvalidParams(format!(
+                            "fault plan: corruption factor {factor} is not finite"
+                        )));
+                    }
+                    ResolvedFaultKind::CorruptEnergy(process(p)?, *factor)
+                }
+                FaultKind::StallBus { cycles } => {
+                    ResolvedFaultKind::StallBus(nonzero("bus stall", *cycles)?)
+                }
+                FaultKind::ForceCacheMisses { batches } => {
+                    ResolvedFaultKind::ForceCacheMisses(*batches)
+                }
+            };
+            Ok(ResolvedFault {
+                at_cycle: spec.at_cycle,
+                kind,
+                armed: true,
+                describe: format!("{} (armed at cycle {})", spec.kind, spec.at_cycle),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfsm::{Cfg, Cfsm, EventDef, Implementation};
+
+    fn two_proc_network() -> Network {
+        let mut nb = Network::builder();
+        let go = nb.event(EventDef::pure("GO"));
+        for name in ["alpha", "beta"] {
+            let mut mb = Cfsm::builder(name);
+            let s = mb.state("s");
+            mb.transition(s, vec![go], None, Cfg::straight_line(vec![]), s);
+            nb.process(mb.finish().expect("valid machine"), Implementation::Hw);
+        }
+        nb.finish().expect("valid network")
+    }
+
+    #[test]
+    fn builder_accumulates_specs() {
+        let plan = FaultPlan::new()
+            .drop_event(10, "GO")
+            .duplicate_event(20, "GO")
+            .delay_event(30, "GO", 7)
+            .freeze_process(40, "alpha", 100)
+            .corrupt_energy(50, "beta", -2.0)
+            .stall_bus(60, 5)
+            .force_cache_misses(70, 3);
+        assert_eq!(plan.faults.len(), 7);
+        assert_eq!(plan.faults[0].at_cycle, 10);
+        assert_eq!(plan.faults[3].kind, FaultKind::FreezeProcess {
+            process: "alpha".into(),
+            cycles: 100,
+        });
+    }
+
+    #[test]
+    fn resolve_maps_names_to_ids() {
+        let net = two_proc_network();
+        let plan = FaultPlan::new().drop_event(1, "GO").freeze_process(2, "beta", 9);
+        let resolved = resolve(&plan, &net).expect("resolves");
+        assert_eq!(resolved.len(), 2);
+        assert!(resolved.iter().all(|f| f.armed));
+        assert!(matches!(resolved[0].kind, ResolvedFaultKind::DropEvent(_)));
+        assert!(matches!(resolved[1].kind, ResolvedFaultKind::FreezeProcess(p, 9)
+            if net.cfsm(p).name() == "beta"));
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_names() {
+        let net = two_proc_network();
+        let bad_event = FaultPlan::new().drop_event(0, "NO_SUCH");
+        assert!(matches!(
+            resolve(&bad_event, &net),
+            Err(BuildEstimatorError::InvalidParams(msg)) if msg.contains("NO_SUCH")
+        ));
+        let bad_proc = FaultPlan::new().freeze_process(0, "gamma", 5);
+        assert!(matches!(
+            resolve(&bad_proc, &net),
+            Err(BuildEstimatorError::InvalidParams(msg)) if msg.contains("gamma")
+        ));
+    }
+
+    #[test]
+    fn resolve_rejects_degenerate_parameters() {
+        let net = two_proc_network();
+        for plan in [
+            FaultPlan::new().freeze_process(0, "alpha", 0),
+            FaultPlan::new().stall_bus(0, 0),
+            FaultPlan::new().corrupt_energy(0, "alpha", f64::NAN),
+            FaultPlan::new().corrupt_energy(0, "alpha", f64::INFINITY),
+        ] {
+            assert!(
+                matches!(resolve(&plan, &net), Err(BuildEstimatorError::InvalidParams(_))),
+                "{plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ready_gates_on_time_and_armed_state() {
+        let net = two_proc_network();
+        let plan = FaultPlan::new().drop_event(100, "GO");
+        let mut resolved = resolve(&plan, &net).expect("resolves");
+        assert!(!resolved[0].ready(99));
+        assert!(resolved[0].ready(100));
+        resolved[0].armed = false;
+        assert!(!resolved[0].ready(100));
+    }
+
+    #[test]
+    fn descriptions_render_the_spec() {
+        let net = two_proc_network();
+        let plan = FaultPlan::new().freeze_process(42, "alpha", 7);
+        let resolved = resolve(&plan, &net).expect("resolves");
+        assert!(resolved[0].describe.contains("alpha"), "{}", resolved[0].describe);
+        assert!(resolved[0].describe.contains("42"), "{}", resolved[0].describe);
+    }
+}

@@ -23,6 +23,14 @@
 //! [`explore_bus_architecture`] drives the iterative design-space
 //! exploration of §5.3.
 //!
+//! The framework is fault-aware: a [`FaultPlan`] schedules declarative
+//! fault injections (dropped/duplicated/delayed events, frozen processes,
+//! corrupted energy samples, bus stalls, cache bypasses) that the master
+//! applies at dispatch time, watchdog budgets
+//! ([`desim::WatchdogConfig`]) bound runaway or livelocked runs, and the
+//! report records every injection and degradation in an
+//! [`AnomalyLedger`], tagging the run with a [`RunOutcome`].
+//!
 //! # Examples
 //!
 //! Building a tiny SOC and co-estimating its power:
@@ -64,6 +72,7 @@ mod caching;
 mod config;
 mod estimator;
 mod explore;
+mod faults;
 mod macromodel;
 mod master;
 mod sampling;
@@ -71,10 +80,13 @@ mod separate;
 pub mod spec;
 mod stats;
 
-pub use account::{ComponentId, ComponentTotals, EnergyAccount, Waveform};
+pub use account::{
+    Anomaly, AnomalyKind, AnomalyLedger, ComponentId, ComponentTotals, EnergyAccount, Waveform,
+};
 pub use caching::{CachedCost, CachingConfig, EnergyCache, PathStats};
 pub use config::{Acceleration, CoSimConfig, RtosPolicy, SocDescription};
 pub use estimator::{BuildEstimatorError, ComponentEstimator, DetailedCost};
+pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use explore::{
     explore_bus_architecture, explore_partitions, minimum_energy, permutations,
     ExplorationPoint, PartitionPoint,
@@ -82,7 +94,7 @@ pub use explore::{
 pub use macromodel::{
     characterize_hw, characterize_sw, MacroCost, ParameterFile, ParseParameterError,
 };
-pub use master::{CoSimReport, CoSimulator, CostSource, ProcessReport};
+pub use master::{CoSimReport, CoSimulator, CostSource, ProcessReport, RunOutcome};
 pub use sampling::{compact_static, KMemoryCompactor, SamplingConfig, StreamStats};
 pub use separate::{
     capture_traces, estimate_separately, BehavioralTrace, FiringRecord, SeparateReport,

@@ -16,17 +16,18 @@
 //! completes — making downstream execution traces timing-sensitive,
 //! which is exactly why co-estimation is needed (§2).
 
-use crate::account::{ComponentId, EnergyAccount};
+use crate::account::{AnomalyKind, AnomalyLedger, ComponentId, EnergyAccount};
 use crate::caching::EnergyCache;
 use crate::config::{CoSimConfig, SocDescription};
 use crate::estimator::{BuildEstimatorError, ComponentEstimator, DetailedCost};
+use crate::faults::{self, ResolvedFault, ResolvedFaultKind};
 use crate::macromodel::{characterize_hw, characterize_sw, ParameterFile};
 use busmodel::{Bus, MasterId};
 use cachesim::Cache;
 use cfsm::{
     EventId, EventOccurrence, Implementation, NetworkState, PathId, ProcId,
 };
-use desim::{EventQueue, SimTime};
+use desim::{EventQueue, SimTime, Watchdog};
 use iss::PowerModel;
 use std::collections::HashMap;
 
@@ -41,6 +42,16 @@ enum Ev {
     SwDone(ProcId),
     /// The bus arbiter may be able to grant a DMA block.
     BusKick,
+    /// An injected freeze on the process expires; re-examine readiness.
+    Unfreeze(ProcId),
+}
+
+/// What delivery action a fault interception selected.
+enum Delivery {
+    Pass,
+    Drop,
+    Duplicate,
+    Delay(u64),
 }
 
 /// A firing waiting for its shared-memory phase to finish on the bus.
@@ -82,6 +93,26 @@ pub struct ProcessReport {
     pub firings: u64,
 }
 
+/// How a co-estimation run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained: the system quiesced normally.
+    Completed,
+    /// A watchdog budget (or the firing bound) tripped; the report covers
+    /// the simulated time up to the trip and is *partial* but consistent.
+    Degraded {
+        /// Why the run was cut short.
+        reason: String,
+    },
+}
+
+impl RunOutcome {
+    /// `true` when the run was cut short.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RunOutcome::Degraded { .. })
+    }
+}
+
 /// The complete result of one co-estimation run.
 #[derive(Debug, Clone)]
 pub struct CoSimReport {
@@ -107,6 +138,10 @@ pub struct CoSimReport {
     pub accelerated_calls: u64,
     /// The full energy ledger (waveforms, per-component breakdown).
     pub account: EnergyAccount,
+    /// Whether the run quiesced or was cut short by a budget.
+    pub outcome: RunOutcome,
+    /// Injected faults and observed degradations, in simulation order.
+    pub anomalies: AnomalyLedger,
 }
 
 impl CoSimReport {
@@ -185,6 +220,22 @@ pub struct CoSimulator {
     firings_per_proc: Vec<u64>,
     detailed_calls: u64,
     accelerated_calls: u64,
+    /// Resolved one-shot faults from the configured plan (empty = no
+    /// fault layer; the hot paths gate on this).
+    faults: Vec<ResolvedFault>,
+    /// Per-process injected-freeze horizon; a process may not fire while
+    /// `now < frozen_until[p]`. All zeros without faults.
+    frozen_until: Vec<u64>,
+    /// Injected arbiter stall: no bus grants while `now < bus_stall_until`.
+    bus_stall_until: u64,
+    /// Remaining fetch batches that bypass the i-cache.
+    force_miss_batches: u64,
+    /// Per-process buffer-overwrite counts already recorded as anomalies.
+    lost_seen: Vec<u64>,
+    anomalies: AnomalyLedger,
+    watchdog: Watchdog,
+    /// Set when a budget trips; `step` refuses further work once set.
+    degraded: Option<String>,
 }
 
 impl CoSimulator {
@@ -193,13 +244,18 @@ impl CoSimulator {
     ///
     /// # Errors
     ///
-    /// Returns a [`BuildEstimatorError`] if any component fails to build.
+    /// Returns a [`BuildEstimatorError`] if any component fails to build,
+    /// if the priority vector does not have one entry per process, or if
+    /// the fault plan names an unknown process/event or has degenerate
+    /// parameters.
     pub fn new(soc: SocDescription, config: CoSimConfig) -> Result<Self, BuildEstimatorError> {
-        assert_eq!(
-            soc.priorities.len(),
-            soc.network.process_count(),
-            "one priority per process required"
-        );
+        if soc.priorities.len() != soc.network.process_count() {
+            return Err(BuildEstimatorError::PriorityCount {
+                expected: soc.network.process_count(),
+                got: soc.priorities.len(),
+            });
+        }
+        let faults = faults::resolve(&config.faults, &soc.network)?;
         let n = soc.network.process_count();
         let mut estimators = Vec::with_capacity(n);
         for p in soc.network.process_ids() {
@@ -260,49 +316,215 @@ impl CoSimulator {
             firings_per_proc: vec![0; n],
             detailed_calls: 0,
             accelerated_calls: 0,
+            faults,
+            frozen_until: vec![0; n],
+            bus_stall_until: 0,
+            force_miss_batches: 0,
+            lost_seen: vec![0; n],
+            anomalies: AnomalyLedger::new(),
+            watchdog: Watchdog::new(config.watchdog.clone()),
+            degraded: None,
             soc,
             config,
         })
     }
 
-    /// Runs to quiescence (or the firing bound) and reports.
+    /// Runs to quiescence — or until a watchdog budget or the firing
+    /// bound trips, in which case the report's
+    /// [`outcome`](CoSimReport::outcome) is [`RunOutcome::Degraded`] and
+    /// its figures cover the simulated time up to the trip.
     pub fn run(&mut self) -> CoSimReport {
         while self.step() {}
         self.report()
     }
 
     /// Processes one master event; returns `false` when the queue is
-    /// exhausted or the firing bound is reached.
+    /// exhausted or a budget (watchdog or firing bound) trips.
     pub fn step(&mut self) -> bool {
+        if self.degraded.is_some() {
+            return false;
+        }
         if self.firings >= self.config.max_firings {
+            // The firing bound is one instance of the watchdog budget
+            // mechanism: report Degraded only when work actually remains.
+            if !self.queue.is_empty() {
+                self.degrade(format!(
+                    "firing budget of {} exhausted with events pending",
+                    self.config.max_firings
+                ));
+            }
             return false;
         }
         let Some((t, ev)) = self.queue.pop() else {
             return false;
         };
         self.now = t.cycles();
+        if let Some(trip) = self.watchdog.observe(t) {
+            // The popped event is intentionally not handled: budgets cut
+            // the run *before* the offending dispatch.
+            self.degrade(trip.to_string());
+            return false;
+        }
+        if !self.faults.is_empty() {
+            self.apply_timed_faults();
+        }
         match ev {
-            Ev::Deliver(occ) => self.soc.network.broadcast(&mut self.state, occ),
+            Ev::Deliver(occ) => self.deliver(occ),
             Ev::HwDone(p) | Ev::SwDone(p) => self.busy[p.0 as usize] = false,
             Ev::BusKick => self.bus_kick(t.cycles()),
+            Ev::Unfreeze(p) => {
+                // The freeze horizon has passed; dispatch_ready below
+                // re-examines the process's readiness.
+                debug_assert!(self.frozen_until[p.0 as usize] <= self.now);
+            }
         }
         self.dispatch_ready();
         true
+    }
+
+    /// Records a watchdog trip and marks the run degraded.
+    fn degrade(&mut self, reason: String) {
+        self.anomalies
+            .record(self.now, AnomalyKind::WatchdogTrip { reason: reason.clone() });
+        self.degraded = Some(reason);
+    }
+
+    /// Applies armed time-triggered faults (freeze, bus stall, cache
+    /// bypass). Delivery- and estimate-triggered kinds are handled at
+    /// their interception points.
+    fn apply_timed_faults(&mut self) {
+        let now = self.now;
+        for i in 0..self.faults.len() {
+            if !self.faults[i].ready(now) {
+                continue;
+            }
+            match self.faults[i].kind {
+                ResolvedFaultKind::FreezeProcess(p, cycles) => {
+                    let until = now.saturating_add(cycles);
+                    self.frozen_until[p.0 as usize] =
+                        self.frozen_until[p.0 as usize].max(until);
+                    self.queue.push(SimTime::from_cycles(until), Ev::Unfreeze(p));
+                }
+                ResolvedFaultKind::StallBus(cycles) => {
+                    let until = now.saturating_add(cycles);
+                    self.bus_stall_until = self.bus_stall_until.max(until);
+                    // Grants resume here; swallowed kicks are re-issued.
+                    self.queue.push(SimTime::from_cycles(until), Ev::BusKick);
+                    self.anomalies
+                        .record(now, AnomalyKind::BusStalled { until_cycle: until });
+                }
+                ResolvedFaultKind::ForceCacheMisses(batches) => {
+                    self.force_miss_batches = self.force_miss_batches.saturating_add(batches);
+                }
+                _ => continue,
+            }
+            self.faults[i].armed = false;
+            let description = self.faults[i].describe.clone();
+            self.anomalies.record(now, AnomalyKind::FaultInjected { description });
+        }
+    }
+
+    /// Delivers one event occurrence, routing it through any armed
+    /// delivery fault first.
+    fn deliver(&mut self, occ: EventOccurrence) {
+        if !self.faults.is_empty() {
+            match self.intercept_delivery(&occ) {
+                Delivery::Pass => {}
+                Delivery::Drop => return,
+                Delivery::Duplicate => {
+                    self.broadcast_tracked(occ);
+                    self.broadcast_tracked(occ);
+                    return;
+                }
+                Delivery::Delay(cycles) => {
+                    self.queue.push(
+                        SimTime::from_cycles(self.now.saturating_add(cycles)),
+                        Ev::Deliver(occ),
+                    );
+                    return;
+                }
+            }
+        }
+        self.broadcast_tracked(occ);
+    }
+
+    /// Broadcasts `occ` and records any single-place-buffer overwrites it
+    /// caused (the POLIS event-loss semantics) in the anomaly ledger.
+    fn broadcast_tracked(&mut self, occ: EventOccurrence) {
+        self.soc.network.broadcast(&mut self.state, occ);
+        for p in self.soc.network.process_ids() {
+            let lost = self.state.runtime(p).buffer().lost_count();
+            if lost > self.lost_seen[p.0 as usize] {
+                self.lost_seen[p.0 as usize] = lost;
+                self.anomalies.record(
+                    self.now,
+                    AnomalyKind::BufferOverwrite {
+                        process: self.soc.network.cfsm(p).name().to_string(),
+                        event: self.soc.network.events()[occ.event.0 as usize].name.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Checks armed delivery faults against `occ`; the first match is
+    /// consumed and its action returned.
+    fn intercept_delivery(&mut self, occ: &EventOccurrence) -> Delivery {
+        let now = self.now;
+        let hit = self.faults.iter().position(|f| {
+            f.ready(now)
+                && matches!(f.kind,
+                    ResolvedFaultKind::DropEvent(e)
+                    | ResolvedFaultKind::DuplicateEvent(e)
+                    | ResolvedFaultKind::DelayEvent(e, _) if e == occ.event)
+        });
+        let Some(i) = hit else {
+            return Delivery::Pass;
+        };
+        self.faults[i].armed = false;
+        let description = self.faults[i].describe.clone();
+        self.anomalies.record(now, AnomalyKind::FaultInjected { description });
+        match self.faults[i].kind {
+            ResolvedFaultKind::DropEvent(e) => {
+                let event = self.soc.network.events()[e.0 as usize].name.clone();
+                self.anomalies.record(now, AnomalyKind::EventShed { event });
+                Delivery::Drop
+            }
+            ResolvedFaultKind::DuplicateEvent(_) => Delivery::Duplicate,
+            ResolvedFaultKind::DelayEvent(_, cycles) => Delivery::Delay(cycles),
+            _ => Delivery::Pass,
+        }
     }
 
     /// Tries to grant one DMA block at time `t`; a successful grant
     /// schedules the next kick at its end, and a finished request
     /// completes the owning firing.
     fn bus_kick(&mut self, t: u64) {
+        if t < self.bus_stall_until {
+            // Injected arbiter stall: grants resume at the stall horizon,
+            // where a kick is already queued.
+            return;
+        }
         match self.bus.grant_block(t) {
             Some(g) => {
                 self.account.record(self.bus_comp, g.start, g.end, g.energy_j);
                 self.queue.push(SimTime::from_cycles(g.end), Ev::BusKick);
                 if g.request_done {
-                    let wait = self
-                        .bus_pending
-                        .remove(&g.request)
-                        .expect("every bus request has a pending firing");
+                    let Some(wait) = self.bus_pending.remove(&g.request) else {
+                        // Every bus request should map to a pending firing;
+                        // if not, record the inconsistency and keep going
+                        // instead of poisoning the whole run.
+                        self.anomalies.record(
+                            t,
+                            AnomalyKind::RecoveredError {
+                                context: format!(
+                                    "bus request {:?} completed with no pending firing",
+                                    g.request
+                                ),
+                            },
+                        );
+                        return;
+                    };
                     let end = g.end.max(wait.exec_end);
                     self.complete_firing(wait, end);
                 }
@@ -378,6 +600,7 @@ impl CoSimulator {
             .filter(|&p| {
                 self.soc.network.mapping(p) == Implementation::Hw
                     && !self.busy[p.0 as usize]
+                    && self.frozen_until[p.0 as usize] <= t
                     && self.soc.network.cfsm(p).enabled(self.state.runtime(p)).is_some()
             })
             .collect();
@@ -401,6 +624,7 @@ impl CoSimulator {
                 .filter(|&p| {
                     self.soc.network.mapping(p) == Implementation::Sw
                         && !self.busy[p.0 as usize]
+                        && self.frozen_until[p.0 as usize] <= t
                         && self
                             .soc
                             .network
@@ -436,16 +660,30 @@ impl CoSimulator {
                 .map(|e| (e, buf.value(e).unwrap_or(0)))
                 .collect()
         };
-        let fr = self
-            .soc
-            .network
-            .fire(&mut self.state, p)
-            .expect("dispatch_ready only fires enabled processes");
+        let Some(fr) = self.soc.network.fire(&mut self.state, p) else {
+            // dispatch_ready only fires enabled processes, so this is an
+            // internal inconsistency — record it and release the slot
+            // instead of panicking mid-run.
+            self.busy[p.0 as usize] = false;
+            self.anomalies.record(
+                t,
+                AnomalyKind::RecoveredError {
+                    context: format!(
+                        "process `{}` dispatched while not enabled",
+                        self.soc.network.cfsm(p).name()
+                    ),
+                },
+            );
+            return;
+        };
         self.firings += 1;
         self.firings_per_proc[p.0 as usize] += 1;
 
         // Component cost, through the acceleration pipeline.
-        let (cost, source) = self.estimate(p, &fr, &vars_in, &ev_snapshot);
+        let (mut cost, source) = self.estimate(p, &fr, &vars_in, &ev_snapshot);
+        if !self.faults.is_empty() {
+            cost = self.corrupt_cost(p, cost);
+        }
 
         // Instruction-cache references come from the *behavioral* model
         // (block trace), independent of which estimator priced the
@@ -454,12 +692,25 @@ impl CoSimulator {
         if let Some(icache) = &mut self.icache {
             if let Some(addrs) = self.estimators[p.0 as usize].ifetch_addrs(fr.transition, &fr.execution)
             {
-                let e0 = icache.energy_j();
-                let s0 = icache.stall_cycles();
-                icache.access_all(addrs);
-                let de = icache.energy_j() - e0;
-                stall_cycles = icache.stall_cycles() - s0;
-                self.account.record(self.cache_comp, t, t + stall_cycles.max(1), de);
+                if self.force_miss_batches > 0 {
+                    // Injected bypass: every fetch goes to the next level
+                    // at miss cost; the cache itself is neither consulted
+                    // nor updated.
+                    self.force_miss_batches -= 1;
+                    let cfg = icache.config();
+                    let fetches = addrs.len() as u64;
+                    let de = fetches as f64 * (cfg.access_energy_j + cfg.miss_energy_j);
+                    stall_cycles = fetches * cfg.miss_penalty_cycles;
+                    self.account.record(self.cache_comp, t, t + stall_cycles.max(1), de);
+                    self.anomalies.record(t, AnomalyKind::CacheBypassed { fetches });
+                } else {
+                    let e0 = icache.energy_j();
+                    let s0 = icache.stall_cycles();
+                    icache.access_all(addrs);
+                    let de = icache.energy_j() - e0;
+                    stall_cycles = icache.stall_cycles() - s0;
+                    self.account.record(self.cache_comp, t, t + stall_cycles.max(1), de);
+                }
             }
         }
 
@@ -522,6 +773,39 @@ impl CoSimulator {
         }
     }
 
+    /// Applies an armed energy-corruption fault to `p`'s sample, clamping
+    /// non-finite or negative results to zero (recorded as an anomaly) so
+    /// the ledger stays finite and non-negative.
+    fn corrupt_cost(&mut self, p: ProcId, mut cost: DetailedCost) -> DetailedCost {
+        let now = self.now;
+        let hit = self.faults.iter().position(|f| {
+            f.ready(now) && matches!(f.kind, ResolvedFaultKind::CorruptEnergy(fp, _) if fp == p)
+        });
+        let Some(i) = hit else {
+            return cost;
+        };
+        let ResolvedFaultKind::CorruptEnergy(_, factor) = self.faults[i].kind else {
+            return cost;
+        };
+        self.faults[i].armed = false;
+        let description = self.faults[i].describe.clone();
+        self.anomalies.record(now, AnomalyKind::FaultInjected { description });
+        let raw = cost.energy_j * factor;
+        if raw.is_finite() && raw >= 0.0 {
+            cost.energy_j = raw;
+        } else {
+            self.anomalies.record(
+                now,
+                AnomalyKind::EnergyClamped {
+                    process: self.soc.network.cfsm(p).name().to_string(),
+                    raw_j: raw,
+                },
+            );
+            cost.energy_j = 0.0;
+        }
+        cost
+    }
+
     /// Routes one firing through the active acceleration technique.
     fn estimate(
         &mut self,
@@ -530,22 +814,27 @@ impl CoSimulator {
         vars_in: &[i64],
         ev_snapshot: &HashMap<EventId, i64>,
     ) -> (DetailedCost, CostSource) {
-        // Macro-modeling replaces the detailed estimators entirely.
+        // Macro-modeling replaces the detailed estimators entirely. The
+        // parameter files are characterized in `new` whenever the
+        // technique is enabled; if one is somehow missing, fall through
+        // to detailed simulation rather than panicking.
         if self.config.accel.macromodel {
             let params = if self.estimators[p.0 as usize].is_hw() {
-                self.hw_params.as_ref().expect("hw params characterized")
+                self.hw_params.as_ref()
             } else {
-                self.sw_params.as_ref().expect("sw params characterized")
+                self.sw_params.as_ref()
             };
-            let (cycles, energy_j) = params.estimate(&fr.execution.macro_ops);
-            self.accelerated_calls += 1;
-            return (
-                DetailedCost {
-                    cycles: cycles.max(1),
-                    energy_j,
-                },
-                CostSource::MacroModel,
-            );
+            if let Some(params) = params {
+                let (cycles, energy_j) = params.estimate(&fr.execution.macro_ops);
+                self.accelerated_calls += 1;
+                return (
+                    DetailedCost {
+                        cycles: cycles.max(1),
+                        energy_j,
+                    },
+                    CostSource::MacroModel,
+                );
+            }
         }
         let key = (p, fr.execution.path);
         // Energy cache.
@@ -586,10 +875,11 @@ impl CoSimulator {
             cache.record(key, cost.energy_j, cost.cycles);
         }
         if let Some(s) = &self.config.accel.sampling {
-            self.sample_state
+            let entry = self
+                .sample_state
                 .entry(key)
                 .or_insert((s.period.saturating_sub(1), cost));
-            self.sample_state.get_mut(&key).expect("just inserted").1 = cost;
+            entry.1 = cost;
         }
         (cost, CostSource::Detailed)
     }
@@ -627,6 +917,11 @@ impl CoSimulator {
             detailed_calls: self.detailed_calls,
             accelerated_calls: self.accelerated_calls,
             account: self.account.clone(),
+            outcome: match &self.degraded {
+                Some(reason) => RunOutcome::Degraded { reason: reason.clone() },
+                None => RunOutcome::Completed,
+            },
+            anomalies: self.anomalies.clone(),
         }
     }
 }
@@ -850,5 +1145,64 @@ mod tests {
         let mut sim = CoSimulator::new(two_proc_soc(100), cfg).expect("builds");
         let r = sim.run();
         assert!(r.firings <= 5, "bounded by max_firings");
+        assert!(r.outcome.is_degraded(), "cut short with work pending");
+    }
+
+    #[test]
+    fn quiescent_run_completes_with_empty_ledger_overhead() {
+        let r = run_with(Acceleration::none(), 5);
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert_eq!(r.anomalies.faults_injected(), 0);
+    }
+
+    #[test]
+    fn wrong_priority_count_is_a_typed_error() {
+        let mut soc = two_proc_soc(1);
+        soc.priorities = vec![1, 2, 3];
+        let err = CoSimulator::new(soc, CoSimConfig::date2000_defaults());
+        assert!(matches!(
+            err,
+            Err(BuildEstimatorError::PriorityCount { expected: 2, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn unknown_fault_target_is_a_typed_error() {
+        let cfg = CoSimConfig::date2000_defaults()
+            .with_faults(crate::FaultPlan::new().freeze_process(0, "no_such_process", 10));
+        let err = CoSimulator::new(two_proc_soc(1), cfg);
+        assert!(matches!(err, Err(BuildEstimatorError::InvalidParams(_))));
+    }
+
+    #[test]
+    fn watchdog_cycle_budget_degrades_run() {
+        // Stimulus reaches cycle 990_000; cap simulated time well before.
+        let cfg = CoSimConfig::date2000_defaults().with_watchdog(desim::WatchdogConfig {
+            max_cycles: Some(50_000),
+            ..desim::WatchdogConfig::default()
+        });
+        let mut sim = CoSimulator::new(two_proc_soc(100), cfg).expect("builds");
+        let r = sim.run();
+        assert!(r.outcome.is_degraded(), "{:?}", r.outcome);
+        assert!(r.total_cycles <= 60_000, "partial report stops near the budget");
+        assert!(r.total_energy_j() > 0.0, "partial energy is still accounted");
+        assert!(
+            r.anomalies.iter().any(|a| matches!(a.kind, AnomalyKind::WatchdogTrip { .. })),
+            "trip recorded in the ledger"
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_for_bit_free() {
+        let base = run_with(Acceleration::none(), 8);
+        let cfg = CoSimConfig::date2000_defaults()
+            .with_faults(crate::FaultPlan::none())
+            .with_watchdog(desim::WatchdogConfig::unlimited());
+        let mut sim = CoSimulator::new(two_proc_soc(8), cfg).expect("builds");
+        let r = sim.run();
+        assert_eq!(r.total_energy_j().to_bits(), base.total_energy_j().to_bits());
+        assert_eq!(r.total_cycles, base.total_cycles);
+        assert_eq!(r.firings, base.firings);
+        assert_eq!(r.outcome, base.outcome);
     }
 }

@@ -260,7 +260,7 @@ fn compact_window<S: Clone>(window: &[S], keep: usize, key: fn(&S) -> u64) -> Ve
             best = Some((d1, d2, offset));
         }
     }
-    let (_, _, offset) = best.expect("at least one offset");
+    let offset = best.map_or(0, |(_, _, o)| o);
     window[offset..offset + keep].to_vec()
 }
 
@@ -318,7 +318,7 @@ pub fn compact_static<S: Clone>(
                 best = Some((d, off));
             }
         }
-        let (_, off) = best.expect("span is nonempty");
+        let off = best.map_or(0, |(_, o)| o);
         out.extend_from_slice(&window[off..off + keep]);
         start = end;
     }

@@ -89,10 +89,12 @@ pub fn capture_traces(soc: &SocDescription) -> BehavioralTrace {
                     .map(|e| (e, buf.value(e).unwrap_or(0)))
                     .collect()
             };
-            let fr = soc
-                .network
-                .fire(&mut state, p)
-                .expect("any_enabled returned an enabled process");
+            // `any_enabled` returned `p`, so the fire must succeed; if
+            // the runtime disagrees, stop the delta loop rather than
+            // spin or panic.
+            let Some(fr) = soc.network.fire(&mut state, p) else {
+                break;
+            };
             for &(e, v) in &fr.execution.emitted {
                 let occ = match v {
                     Some(v) => EventOccurrence::valued(e, v),

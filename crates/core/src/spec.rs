@@ -165,7 +165,8 @@ pub fn parse_system(text: &str) -> Result<SocDescription, SpecError> {
 
     while let Some((ln, line)) = lines.next() {
         let mut w = line.split_whitespace();
-        match w.next().expect("nonempty line") {
+        let Some(head) = w.next() else { continue };
+        match head {
             "system" => {
                 name = w
                     .next()
@@ -220,7 +221,7 @@ pub fn parse_system(text: &str) -> Result<SocDescription, SpecError> {
                 // Body: var/state/transition until the next top-level
                 // keyword.
                 while let Some((ln2, l2)) = lines.peek().cloned() {
-                    let head = l2.split_whitespace().next().expect("nonempty");
+                    let head = l2.split_whitespace().next().unwrap_or("");
                     match head {
                         "var" => {
                             lines.next();
@@ -385,10 +386,7 @@ type TransHeader = (String, String, Vec<String>, Option<SExpr>);
 
 fn parse_transition_header(ln: usize, line: &str) -> Result<TransHeader, SpecError> {
     // transition FROM -> TO on EV [EV…] [when EXPR]
-    let rest = line
-        .strip_prefix("transition")
-        .expect("caller checked keyword")
-        .trim();
+    let rest = line.strip_prefix("transition").unwrap_or(line).trim();
     let (from_to, tail) = rest
         .split_once(" on ")
         .ok_or_else(|| SpecError::new(ln, "expected `on EV` in transition"))?;
@@ -431,7 +429,7 @@ fn parse_stmts(
         let Some((ln, line)) = lines.next() else {
             return Err(SpecError::new(open_ln, "unterminated block (missing `end`)"));
         };
-        let head = line.split_whitespace().next().expect("nonempty");
+        let head = line.split_whitespace().next().unwrap_or("");
         match head {
             "end" => return Ok(out),
             "else" => {
@@ -442,7 +440,7 @@ fn parse_stmts(
             }
             "while" => {
                 let cond = parse_expr(
-                    &mut Tokens::new(line.strip_prefix("while").expect("head").trim()),
+                    &mut Tokens::new(line.strip_prefix("while").unwrap_or(&line).trim()),
                     ln,
                 )?;
                 let body = parse_stmts(lines, ln)?;
@@ -450,7 +448,7 @@ fn parse_stmts(
             }
             "if" => {
                 let cond = parse_expr(
-                    &mut Tokens::new(line.strip_prefix("if").expect("head").trim()),
+                    &mut Tokens::new(line.strip_prefix("if").unwrap_or(&line).trim()),
                     ln,
                 )?;
                 let (then_body, has_else) = parse_if_arm(lines, ln)?;
@@ -512,13 +510,13 @@ fn parse_if_arm(
         let Some((ln, line)) = lines.next() else {
             return Err(SpecError::new(open_ln, "unterminated if (missing `end`)"));
         };
-        let head = line.split_whitespace().next().expect("nonempty");
+        let head = line.split_whitespace().next().unwrap_or("");
         match head {
             "end" => return Ok((out, false)),
             "else" => return Ok((out, true)),
             "while" => {
                 let cond = parse_expr(
-                    &mut Tokens::new(line.strip_prefix("while").expect("head").trim()),
+                    &mut Tokens::new(line.strip_prefix("while").unwrap_or(&line).trim()),
                     ln,
                 )?;
                 let body = parse_stmts(lines, ln)?;
@@ -526,7 +524,7 @@ fn parse_if_arm(
             }
             "if" => {
                 let cond = parse_expr(
-                    &mut Tokens::new(line.strip_prefix("if").expect("head").trim()),
+                    &mut Tokens::new(line.strip_prefix("if").unwrap_or(&line).trim()),
                     ln,
                 )?;
                 let (then_body, has_else) = parse_if_arm(lines, ln)?;

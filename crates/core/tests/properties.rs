@@ -1,18 +1,24 @@
-//! Property-based tests for the co-estimation framework's data
-//! structures: the energy cache, the streaming statistics, the energy
-//! ledger, and both sequence compactors.
+//! Randomized (seeded, deterministic) tests for the co-estimation
+//! framework's data structures: the energy cache, the streaming
+//! statistics, the energy ledger, and both sequence compactors.
+//! Formerly property-based; now driven by the in-repo deterministic
+//! PRNG so the suite builds offline.
 
 use cfsm::{PathId, ProcId};
 use co_estimation::{
     compact_static, CachingConfig, EnergyAccount, EnergyCache, KMemoryCompactor, RunningStats,
     StreamStats,
 };
-use proptest::prelude::*;
+use detrand::Rng;
 
-proptest! {
-    /// Welford statistics match the two-pass formulas for any stream.
-    #[test]
-    fn running_stats_match_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+/// Welford statistics match the two-pass formulas for any stream.
+#[test]
+fn running_stats_match_two_pass() {
+    let mut rng = Rng::new(0xC03E_0001);
+    for case in 0..64 {
+        let xs: Vec<f64> = (0..rng.usize_in(1, 200))
+            .map(|_| rng.f64_in(-1e6, 1e6))
+            .collect();
         let mut s = RunningStats::new();
         for &x in &xs {
             s.push(x);
@@ -20,18 +26,25 @@ proptest! {
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
-        prop_assert!((s.population_variance() - var).abs() <= 1e-4 * var.abs().max(1.0));
-        prop_assert!(s.min() <= s.mean() + 1e-9 && s.mean() <= s.max() + 1e-9);
+        assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0), "case {case}");
+        assert!(
+            (s.population_variance() - var).abs() <= 1e-4 * var.abs().max(1.0),
+            "case {case}"
+        );
+        assert!(s.min() <= s.mean() + 1e-9 && s.mean() <= s.max() + 1e-9, "case {case}");
     }
+}
 
-    /// The cache never serves a path until it has seen `thresh_iss_calls`
-    /// observations, and what it serves is the running mean.
-    #[test]
-    fn cache_respects_call_threshold(
-        energies in prop::collection::vec(1e-9f64..2e-9, 1..30),
-        thresh in 1u32..10,
-    ) {
+/// The cache never serves a path until it has seen `thresh_iss_calls`
+/// observations, and what it serves is the running mean.
+#[test]
+fn cache_respects_call_threshold() {
+    let mut rng = Rng::new(0xC03E_0002);
+    for case in 0..64 {
+        let energies: Vec<f64> = (0..rng.usize_in(1, 30))
+            .map(|_| rng.f64_in(1e-9, 2e-9))
+            .collect();
+        let thresh = rng.u64_in(1, 10) as u32;
         let mut cache = EnergyCache::new(CachingConfig {
             thresh_variance: f64::INFINITY,
             thresh_iss_calls: thresh,
@@ -41,20 +54,25 @@ proptest! {
         for (i, &e) in energies.iter().enumerate() {
             let served = cache.lookup(key);
             if (i as u32) < thresh {
-                prop_assert!(served.is_none(), "served before threshold at {i}");
+                assert!(served.is_none(), "case {case}: served before threshold at {i}");
             } else {
                 let hit = served.expect("served after threshold");
                 let mean = energies[..i].iter().sum::<f64>() / i as f64;
-                prop_assert!((hit.energy_j - mean).abs() < 1e-12 * mean);
+                assert!((hit.energy_j - mean).abs() < 1e-12 * mean, "case {case}");
             }
             cache.record(key, e, 10);
         }
     }
+}
 
-    /// Zero-variance paths are always served once past the call
-    /// threshold, regardless of how tight the variance threshold is.
-    #[test]
-    fn constant_paths_always_cacheable(e in 1e-12f64..1e-3, count in 2u64..50) {
+/// Zero-variance paths are always served once past the call
+/// threshold, regardless of how tight the variance threshold is.
+#[test]
+fn constant_paths_always_cacheable() {
+    let mut rng = Rng::new(0xC03E_0003);
+    for case in 0..64 {
+        let e = rng.f64_in(1e-12, 1e-3);
+        let count = rng.u64_in(2, 50);
         let mut cache = EnergyCache::new(CachingConfig {
             thresh_variance: 0.0,
             thresh_iss_calls: 2,
@@ -65,17 +83,21 @@ proptest! {
             cache.record(key, e, 5);
         }
         let hit = cache.lookup(key).expect("constant path must be served");
-        prop_assert!((hit.energy_j - e).abs() < 1e-9 * e);
-        prop_assert_eq!(hit.cycles, 5);
+        assert!((hit.energy_j - e).abs() < 1e-9 * e, "case {case}");
+        assert_eq!(hit.cycles, 5, "case {case}");
     }
+}
 
-    /// The ledger's waveform conserves energy exactly for any record
-    /// pattern.
-    #[test]
-    fn account_waveform_conserves_energy(
-        records in prop::collection::vec((0u64..5_000, 1u64..800, 1e-12f64..1e-6), 1..60),
-        bucket in 1u64..500,
-    ) {
+/// The ledger's waveform conserves energy exactly for any record
+/// pattern.
+#[test]
+fn account_waveform_conserves_energy() {
+    let mut rng = Rng::new(0xC03E_0004);
+    for case in 0..64 {
+        let bucket = rng.u64_in(1, 500);
+        let records: Vec<(u64, u64, f64)> = (0..rng.usize_in(1, 60))
+            .map(|_| (rng.u64_in(0, 5_000), rng.u64_in(1, 800), rng.f64_in(1e-12, 1e-6)))
+            .collect();
         let mut acct = EnergyAccount::new(bucket);
         let c = acct.add_component("c");
         let mut total = 0.0;
@@ -84,70 +106,82 @@ proptest! {
             total += e;
         }
         let waveform_sum: f64 = acct.waveform(c).energy_per_bucket_j().iter().sum();
-        prop_assert!((waveform_sum - total).abs() <= 1e-9 * total,
-            "waveform {waveform_sum} vs ledger {total}");
-        prop_assert!((acct.total_energy_j() - total).abs() <= 1e-12 * total.max(1e-30));
+        assert!(
+            (waveform_sum - total).abs() <= 1e-9 * total,
+            "case {case}: waveform {waveform_sum} vs ledger {total}"
+        );
+        assert!((acct.total_energy_j() - total).abs() <= 1e-12 * total.max(1e-30), "case {case}");
     }
+}
 
-    /// Dynamic compaction: output length is exactly keep per full window,
-    /// the ratio accounting is consistent, and every emitted symbol
-    /// occurs in the input.
-    #[test]
-    fn dynamic_compactor_accounting(
-        stream in prop::collection::vec(0u8..6, 1..300),
-        k in 2usize..40,
-    ) {
+/// Dynamic compaction: output length is exactly keep per full window,
+/// the ratio accounting is consistent, and every emitted symbol
+/// occurs in the input.
+#[test]
+fn dynamic_compactor_accounting() {
+    let mut rng = Rng::new(0xC03E_0005);
+    for case in 0..64 {
+        let stream: Vec<u8> = (0..rng.usize_in(1, 300))
+            .map(|_| rng.u64_in(0, 6) as u8)
+            .collect();
+        let k = rng.usize_in(2, 40);
         let keep = (k / 2).max(1);
         let mut c = KMemoryCompactor::new(k, keep);
         let mut out = Vec::new();
         for &s in &stream {
             if let Some(b) = c.push(s) {
-                prop_assert_eq!(b.len(), keep);
+                assert_eq!(b.len(), keep, "case {case}");
                 out.extend(b);
             }
         }
         if let Some(b) = c.flush() {
             out.extend(b);
         }
-        prop_assert_eq!(c.seen(), stream.len() as u64);
-        prop_assert_eq!(c.dispatched(), out.len() as u64);
-        prop_assert!(c.ratio() >= 1.0);
+        assert_eq!(c.seen(), stream.len() as u64, "case {case}");
+        assert_eq!(c.dispatched(), out.len() as u64, "case {case}");
+        assert!(c.ratio() >= 1.0, "case {case}");
         for s in &out {
-            prop_assert!(stream.contains(s));
+            assert!(stream.contains(s), "case {case}");
         }
     }
+}
 
-    /// Static compaction emits a subsequence of contiguous runs whose
-    /// length is within one run of the requested ratio.
-    #[test]
-    fn static_compactor_respects_ratio(
-        stream in prop::collection::vec(0u8..4, 50..400),
-        ratio in 2usize..6,
-    ) {
+/// Static compaction emits a subsequence of contiguous runs whose
+/// length is within one run of the requested ratio.
+#[test]
+fn static_compactor_respects_ratio() {
+    let mut rng = Rng::new(0xC03E_0006);
+    for case in 0..64 {
+        let stream: Vec<u8> = (0..rng.usize_in(50, 400))
+            .map(|_| rng.u64_in(0, 4) as u8)
+            .collect();
+        let ratio = rng.usize_in(2, 6);
         let k = 10usize;
         let out = compact_static(&stream, ratio, k, |&s| s as u64);
         let expect = stream.len() / ratio;
-        prop_assert!(
+        assert!(
             out.len() <= expect + k && out.len() + k >= expect,
-            "len {} vs expected ~{expect}",
+            "case {case}: len {} vs expected ~{expect}",
             out.len()
         );
     }
+}
 
-    /// Total-variation distances are symmetric, bounded by [0, 1], and
-    /// zero on identical streams.
-    #[test]
-    fn stream_distance_is_a_premetric(
-        a in prop::collection::vec(0u8..5, 1..100),
-        b in prop::collection::vec(0u8..5, 1..100),
-    ) {
+/// Total-variation distances are symmetric, bounded by [0, 1], and
+/// zero on identical streams.
+#[test]
+fn stream_distance_is_a_premetric() {
+    let mut rng = Rng::new(0xC03E_0007);
+    for case in 0..64 {
+        let a: Vec<u8> = (0..rng.usize_in(1, 100)).map(|_| rng.u64_in(0, 5) as u8).collect();
+        let b: Vec<u8> = (0..rng.usize_in(1, 100)).map(|_| rng.u64_in(0, 5) as u8).collect();
         let sa = StreamStats::measure(&a);
         let sb = StreamStats::measure(&b);
         let dab = sa.freq_distance(&sb);
         let dba = sb.freq_distance(&sa);
-        prop_assert!((dab - dba).abs() < 1e-12, "symmetry");
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&dab), "bounded: {dab}");
-        prop_assert!(sa.freq_distance(&sa) < 1e-12, "identity");
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&sa.pair_distance(&sb)));
+        assert!((dab - dba).abs() < 1e-12, "case {case}: symmetry");
+        assert!((0.0..=1.0 + 1e-12).contains(&dab), "case {case}: bounded: {dab}");
+        assert!(sa.freq_distance(&sa) < 1e-12, "case {case}: identity");
+        assert!((0.0..=1.0 + 1e-12).contains(&sa.pair_distance(&sb)), "case {case}");
     }
 }

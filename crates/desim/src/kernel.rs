@@ -9,6 +9,7 @@
 
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
+use crate::watchdog::{Watchdog, WatchdogConfig, WatchdogTrip};
 use std::fmt;
 
 /// Identifier of a process registered with a [`Kernel`].
@@ -185,6 +186,28 @@ impl<E> Kernel<E> {
         }
     }
 
+    /// Runs until the queue is exhausted or a [`Watchdog`] budget trips.
+    ///
+    /// Each pending event is observed by the watchdog *before* delivery, so
+    /// an event scheduled past a deadline is left in the queue and the
+    /// kernel state remains inspectable (a partial but consistent result).
+    /// With the default (unlimited) configuration this behaves exactly like
+    /// [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WatchdogTrip`] describing the exhausted budget.
+    pub fn run_guarded(&mut self, config: &WatchdogConfig) -> Result<(), WatchdogTrip> {
+        let mut dog = Watchdog::new(config.clone());
+        while let Some(t) = self.queue.peek_time() {
+            if let Some(trip) = dog.observe(t) {
+                return Err(trip);
+            }
+            self.step();
+        }
+        Ok(())
+    }
+
     /// Mutable access to a registered process (for inspection in tests).
     ///
     /// Returns `None` for unknown ids. Downcasting is the caller's
@@ -278,6 +301,62 @@ mod tests {
     fn posting_to_unknown_process_panics() {
         let mut k: Kernel<u32> = Kernel::new();
         k.post(SimTime::ZERO, ProcessId(7), 0);
+    }
+
+    #[test]
+    fn run_guarded_unlimited_matches_run() {
+        let mut k = Kernel::new();
+        let p = k.add_process(Chain);
+        k.post(SimTime::ZERO, p, 4);
+        assert_eq!(k.run_guarded(&WatchdogConfig::unlimited()), Ok(()));
+        assert_eq!(k.now(), SimTime::from_cycles(8));
+        assert_eq!(k.delivered(), 5);
+    }
+
+    #[test]
+    fn run_guarded_trips_on_cycle_budget_and_leaves_queue_intact() {
+        let mut k = Kernel::new();
+        let p = k.add_process(Chain);
+        k.post(SimTime::ZERO, p, 100);
+        let cfg = WatchdogConfig { max_cycles: Some(9), ..WatchdogConfig::default() };
+        let trip = k.run_guarded(&cfg).unwrap_err();
+        assert!(matches!(trip, WatchdogTrip::SimCycles { limit: 9, .. }), "{trip}");
+        // Events at 0, 2, 4, 6, 8 were delivered; the event at 10 was not.
+        assert_eq!(k.delivered(), 5);
+        // The undelivered event survives: the run can be resumed or inspected.
+        assert_eq!(k.run_guarded(&WatchdogConfig::unlimited()), Ok(()));
+        assert_eq!(k.delivered(), 101);
+    }
+
+    /// A process that reschedules itself at the *same* instant forever —
+    /// the canonical livelock the no-progress detector exists for.
+    struct Spinner;
+    impl Process<u32> for Spinner {
+        fn handle(&mut self, _ev: &u32, ctx: &mut Context<'_, u32>) {
+            ctx.send_self(SimDuration::from_cycles(0), 0);
+        }
+    }
+
+    #[test]
+    fn run_guarded_detects_livelock() {
+        let mut k = Kernel::new();
+        let p = k.add_process(Spinner);
+        k.post(SimTime::from_cycles(3), p, 0);
+        let cfg =
+            WatchdogConfig { max_stagnant_events: Some(50), ..WatchdogConfig::default() };
+        let trip = k.run_guarded(&cfg).unwrap_err();
+        assert_eq!(trip, WatchdogTrip::Livelock { limit: 50, at_cycle: 3 });
+    }
+
+    #[test]
+    fn run_guarded_trips_on_event_budget() {
+        let mut k = Kernel::new();
+        let p = k.add_process(Chain);
+        k.post(SimTime::ZERO, p, 1_000);
+        let cfg = WatchdogConfig { max_events: Some(10), ..WatchdogConfig::default() };
+        let trip = k.run_guarded(&cfg).unwrap_err();
+        assert_eq!(trip, WatchdogTrip::EventBudget { limit: 10 });
+        assert_eq!(k.delivered(), 10);
     }
 
     struct PingPong {

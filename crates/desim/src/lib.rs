@@ -13,6 +13,9 @@
 //! * [`EventQueue`] — a timestamp-ordered pending-event set with FIFO
 //!   tie-breaking (bit-for-bit reproducible schedules);
 //! * [`Kernel`] / [`Process`] — a generic event-dispatch loop;
+//! * [`Watchdog`] / [`WatchdogConfig`] — execution budgets (wall clock,
+//!   simulated cycles, event count, livelock detection) that let a guarded
+//!   run terminate with a partial result instead of hanging;
 //! * [`RtosScheduler`] — a behavioral model of the RTOS that serializes
 //!   software tasks on the shared embedded processor.
 //!
@@ -34,8 +37,10 @@ mod kernel;
 mod queue;
 mod rtos;
 mod time;
+mod watchdog;
 
 pub use kernel::{Context, Kernel, Process, ProcessId};
 pub use queue::EventQueue;
 pub use rtos::{Grant, Policy, Priority, RtosScheduler, TaskId};
 pub use time::{SimDuration, SimTime};
+pub use watchdog::{Watchdog, WatchdogConfig, WatchdogTrip};

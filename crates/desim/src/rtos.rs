@@ -208,20 +208,12 @@ impl RtosScheduler {
     /// request is pending. Driving this to `None` after each batch of
     /// `submit`s yields the complete, deterministic CPU schedule.
     pub fn next_grant(&mut self) -> Option<Grant> {
-        if self.pending.is_empty() {
-            return None;
-        }
         // The CPU can start work at max(cpu_free, earliest ready time).
-        let earliest_ready = self
-            .pending
-            .iter()
-            .map(|r| r.ready)
-            .min()
-            .expect("pending nonempty");
+        let earliest_ready = self.pending.iter().map(|r| r.ready).min()?;
         let now = self.cpu_free.max(earliest_ready);
 
         // Requests that are ready at `now` compete according to policy.
-        let idx = self.select(now);
+        let idx = self.select(now)?;
         let quantum = match self.policy {
             Policy::RoundRobin(q) => Some(q),
             _ => None,
@@ -268,39 +260,28 @@ impl RtosScheduler {
         out
     }
 
-    /// Index into `pending` of the request to run next at time `now`.
-    fn select(&self, now: SimTime) -> usize {
+    /// Index into `pending` of the request to run next at time `now`;
+    /// `None` when nothing is ready (only possible on an inconsistent
+    /// internal state — callers treat it as "no grant").
+    fn select(&self, now: SimTime) -> Option<usize> {
         let ready: Vec<usize> = (0..self.pending.len())
             .filter(|&i| self.pending[i].ready <= now)
             .collect();
         debug_assert!(!ready.is_empty(), "select called with no ready request");
         match self.policy {
-            Policy::Fifo => ready
-                .into_iter()
-                .min_by_key(|&i| self.pending[i].seq)
-                .expect("nonempty"),
-            Policy::FixedPriority => ready
-                .into_iter()
-                .min_by_key(|&i| {
-                    let r = &self.pending[i];
-                    let pri = self.tasks[r.task.0 as usize].priority;
-                    (std::cmp::Reverse(pri), r.seq)
-                })
-                .expect("nonempty"),
+            Policy::Fifo => ready.into_iter().min_by_key(|&i| self.pending[i].seq),
+            Policy::FixedPriority => ready.into_iter().min_by_key(|&i| {
+                let r = &self.pending[i];
+                let pri = self.tasks[r.task.0 as usize].priority;
+                (std::cmp::Reverse(pri), r.seq)
+            }),
             Policy::RoundRobin(_) => {
                 // The ring holds every live request in queue order
                 // (arrival order, preempted requests moved to the back);
                 // run the first ready one.
-                for &rid in &self.rr_ring {
-                    if let Some(i) = ready
-                        .iter()
-                        .copied()
-                        .find(|&i| self.pending[i].id == rid)
-                    {
-                        return i;
-                    }
-                }
-                unreachable!("every pending request is in the round-robin ring")
+                self.rr_ring
+                    .iter()
+                    .find_map(|&rid| ready.iter().copied().find(|&i| self.pending[i].id == rid))
             }
         }
     }

@@ -120,12 +120,10 @@ impl fmt::Display for SimDuration {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    /// Saturates at [`SimTime::MAX`] (an unreachable instant some 10¹⁹
+    /// cycles out) instead of overflowing.
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("simulation time overflow"),
-        )
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
@@ -137,19 +135,18 @@ impl AddAssign<SimDuration> for SimTime {
 
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
+    /// Saturates at zero when `rhs` is later than `self`.
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("time subtraction underflow: rhs is later than self"),
-        )
+        SimDuration(self.0.saturating_sub(rhs.0))
     }
 }
 
 impl Add for SimDuration {
     type Output = SimDuration;
+    /// Saturates at the maximum representable duration instead of
+    /// overflowing.
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("duration overflow"))
+        SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
@@ -198,9 +195,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "underflow")]
-    fn sub_underflow_panics() {
-        let _ = SimTime::from_cycles(1) - SimTime::from_cycles(2);
+    fn sub_saturates_at_zero() {
+        assert_eq!(
+            SimTime::from_cycles(1) - SimTime::from_cycles(2),
+            SimDuration::from_cycles(0)
+        );
     }
 
     #[test]

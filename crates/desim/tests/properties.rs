@@ -1,13 +1,20 @@
-//! Property-based tests for the discrete-event kernel.
+//! Randomized (seeded, deterministic) tests for the discrete-event kernel.
+//!
+//! These were property-based tests; they now drive the same invariants
+//! from a deterministic in-repo PRNG so the suite builds offline and
+//! every failure reproduces exactly.
 
 use desim::{EventQueue, Policy, Priority, RtosScheduler, SimDuration, SimTime};
-use proptest::prelude::*;
+use detrand::Rng;
 
-proptest! {
-    /// Popping the queue yields a non-decreasing sequence of timestamps,
-    /// and every pushed payload comes back exactly once.
-    #[test]
-    fn queue_pops_sorted_and_complete(times in prop::collection::vec(0u64..1000, 0..200)) {
+/// Popping the queue yields a non-decreasing sequence of timestamps,
+/// and every pushed payload comes back exactly once.
+#[test]
+fn queue_pops_sorted_and_complete() {
+    let mut rng = Rng::new(0x0DE5_0001);
+    for case in 0..64 {
+        let n = rng.usize_in(0, 200);
+        let times: Vec<u64> = (0..n).map(|_| rng.u64_in(0, 1000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_cycles(t), i);
@@ -15,18 +22,24 @@ proptest! {
         let mut last = SimTime::ZERO;
         let mut seen = vec![false; times.len()];
         while let Some((t, i)) = q.pop() {
-            prop_assert!(t >= last);
-            prop_assert_eq!(t.cycles(), times[i]);
-            prop_assert!(!seen[i]);
+            assert!(t >= last, "case {case}: unsorted pop");
+            assert_eq!(t.cycles(), times[i]);
+            assert!(!seen[i], "case {case}: duplicate payload {i}");
             seen[i] = true;
             last = t;
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s), "case {case}: payload lost");
     }
+}
 
-    /// Equal-timestamp events preserve insertion order (stability).
-    #[test]
-    fn queue_is_fifo_stable(groups in prop::collection::vec((0u64..10, 1usize..8), 1..20)) {
+/// Equal-timestamp events preserve insertion order (stability).
+#[test]
+fn queue_is_fifo_stable() {
+    let mut rng = Rng::new(0x0DE5_0002);
+    for case in 0..64 {
+        let groups: Vec<(u64, usize)> = (0..rng.usize_in(1, 20))
+            .map(|_| (rng.u64_in(0, 10), rng.usize_in(1, 8)))
+            .collect();
         let mut q = EventQueue::new();
         let mut order: Vec<(u64, usize)> = Vec::new();
         let mut n = 0usize;
@@ -42,27 +55,36 @@ proptest! {
         while let Some((t, i)) = q.pop() {
             popped.push((t.cycles(), i));
         }
-        prop_assert_eq!(popped, order);
+        assert_eq!(popped, order, "case {case}");
     }
+}
 
-    /// RTOS grants never overlap, cover exactly the requested durations,
-    /// and never start before a request is ready — for every policy.
-    #[test]
-    fn rtos_schedule_is_feasible(
-        reqs in prop::collection::vec((0u32..4, 0u64..100, 1u64..50), 1..40),
-        policy_sel in 0u8..3,
-    ) {
-        let policy = match policy_sel {
+/// RTOS grants never overlap, cover exactly the requested durations,
+/// and never start before a request is ready — for every policy.
+#[test]
+fn rtos_schedule_is_feasible() {
+    let mut rng = Rng::new(0x0DE5_0003);
+    for case in 0..96 {
+        let policy = match case % 3 {
             0 => Policy::Fifo,
             1 => Policy::FixedPriority,
             _ => Policy::RoundRobin(SimDuration::from_cycles(5)),
         };
+        let reqs: Vec<(u32, u64, u64)> = (0..rng.usize_in(1, 40))
+            .map(|_| (rng.u64_in(0, 4) as u32, rng.u64_in(0, 100), rng.u64_in(1, 50)))
+            .collect();
         let mut r = RtosScheduler::new(policy);
-        let tasks: Vec<_> = (0..4).map(|i| r.register_task(format!("t{i}"), Priority(i as u8))).collect();
+        let tasks: Vec<_> = (0..4)
+            .map(|i| r.register_task(format!("t{i}"), Priority(i as u8)))
+            .collect();
         let mut ready_of = std::collections::HashMap::new();
         let mut want: u64 = 0;
         for &(t, ready, dur) in &reqs {
-            let id = r.submit(tasks[t as usize], SimTime::from_cycles(ready), SimDuration::from_cycles(dur));
+            let id = r.submit(
+                tasks[t as usize],
+                SimTime::from_cycles(ready),
+                SimDuration::from_cycles(dur),
+            );
             ready_of.insert(id, ready);
             want += dur;
         }
@@ -70,22 +92,27 @@ proptest! {
         let mut served: u64 = 0;
         let mut last_end = SimTime::ZERO;
         for g in &grants {
-            prop_assert!(g.start >= last_end, "grants overlap");
-            prop_assert!(g.start.cycles() >= ready_of[&g.request], "ran before ready");
+            assert!(g.start >= last_end, "case {case}: grants overlap");
+            assert!(
+                g.start.cycles() >= ready_of[&g.request],
+                "case {case}: ran before ready"
+            );
             served += g.duration().cycles();
             last_end = g.end;
         }
-        prop_assert_eq!(served, want);
-        prop_assert_eq!(r.busy_time().cycles(), want);
-        prop_assert!(!r.has_pending());
+        assert_eq!(served, want, "case {case}");
+        assert_eq!(r.busy_time().cycles(), want, "case {case}");
+        assert!(!r.has_pending(), "case {case}");
     }
+}
 
-    /// Each request's grants are temporally ordered and exactly one grant
-    /// completes it.
-    #[test]
-    fn rtos_requests_complete_exactly_once(
-        durs in prop::collection::vec(1u64..30, 1..20),
-    ) {
+/// Each request's grants are temporally ordered and exactly one grant
+/// completes it.
+#[test]
+fn rtos_requests_complete_exactly_once() {
+    let mut rng = Rng::new(0x0DE5_0004);
+    for case in 0..64 {
+        let durs: Vec<u64> = (0..rng.usize_in(1, 20)).map(|_| rng.u64_in(1, 30)).collect();
         let mut r = RtosScheduler::new(Policy::RoundRobin(SimDuration::from_cycles(3)));
         let t = r.register_task("t", Priority(0));
         for &d in &durs {
@@ -94,11 +121,11 @@ proptest! {
         let grants = r.drain();
         for (rid, _) in durs.iter().enumerate() {
             let mine: Vec<_> = grants.iter().filter(|g| g.request == rid as u64).collect();
-            prop_assert!(!mine.is_empty());
-            prop_assert_eq!(mine.iter().filter(|g| g.completes).count(), 1);
-            prop_assert!(mine.last().expect("nonempty").completes);
+            assert!(!mine.is_empty(), "case {case}: request {rid} unserved");
+            assert_eq!(mine.iter().filter(|g| g.completes).count(), 1, "case {case}");
+            assert!(mine.last().expect("nonempty").completes, "case {case}");
             let total: u64 = mine.iter().map(|g| g.duration().cycles()).sum();
-            prop_assert_eq!(total, durs[rid]);
+            assert_eq!(total, durs[rid], "case {case}");
         }
     }
 }

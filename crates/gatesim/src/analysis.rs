@@ -224,10 +224,10 @@ pub fn propagate_constants(netlist: &Netlist) -> (Netlist, usize) {
                 }
             }
             GateKind::Xor if every_known => Some(Repl::Const(
-                ins.iter().fold(false, |a, x| a ^ x.expect("known")),
+                ins.iter().fold(false, |a, x| a ^ x.unwrap_or(false)),
             )),
             GateKind::Xnor if every_known => Some(Repl::Const(
-                !ins.iter().fold(false, |a, x| a ^ x.expect("known")),
+                !ins.iter().fold(false, |a, x| a ^ x.unwrap_or(false)),
             )),
             GateKind::Mux => match ins[0] {
                 Some(sel) => {

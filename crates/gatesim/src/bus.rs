@@ -31,7 +31,10 @@ impl Bus {
     ///
     /// Panics on an empty bus.
     pub fn msb(&self) -> NetId {
-        *self.0.last().expect("bus must be nonempty")
+        match self.0.last() {
+            Some(&n) => n,
+            None => panic!("bus must be nonempty"),
+        }
     }
 }
 

@@ -393,7 +393,7 @@ impl Netlist {
                     let k = self.gates[i as usize].kind;
                     !(k.is_sequential() || k.is_source()) && indeg[i as usize] > 0
                 })
-                .expect("a cyclic gate exists");
+                .unwrap_or(0);
             return Err(ValidateNetlistError::CombinationalCycle(NetId(cyclic)));
         }
         Ok(order)

@@ -78,6 +78,9 @@ pub enum SynthError {
     UnsupportedOp(&'static str),
     /// The generated netlist failed validation (internal error).
     Netlist(ValidateNetlistError),
+    /// An internal synthesis invariant was violated (a bug, reported as
+    /// an error instead of a panic).
+    Internal(String),
 }
 
 impl fmt::Display for SynthError {
@@ -87,6 +90,9 @@ impl fmt::Display for SynthError {
                 write!(f, "operator {op} has no hardware implementation")
             }
             SynthError::Netlist(e) => write!(f, "generated netlist invalid: {e}"),
+            SynthError::Internal(what) => {
+                write!(f, "internal synthesis invariant violated: {what}")
+            }
         }
     }
 }
@@ -469,11 +475,13 @@ fn synth_expr(
         Expr::Const(c) => const_bus(nl, width, mask_to_width(*c, width)),
         Expr::Var(v) => current
             .get(v)
-            .unwrap_or_else(|| panic!("variable {v} not in datapath"))
+            .ok_or_else(|| SynthError::Internal(format!("variable {v} not in datapath")))?
             .clone(),
         Expr::EventValue(e) => ev_in
             .get(e)
-            .expect("event input bus exists for every read event")
+            .ok_or_else(|| {
+                SynthError::Internal(format!("no input bus for read event {}", e.0))
+            })?
             .clone(),
         Expr::Unary(op, a) => {
             let ba = synth_expr(nl, a, current, ev_in, width)?;
@@ -734,7 +742,9 @@ fn synthesize_transition(
             SegNext::Branch {
                 then_seg, else_seg, ..
             } => {
-                let c = out.cond.expect("branch segments have a condition");
+                let c = out.cond.ok_or_else(|| {
+                    SynthError::Internal("branch segment has no condition net".into())
+                })?;
                 let nc = nl.gate(GateKind::Not, vec![c]);
                 let et = nl.gate(GateKind::And, vec![active, c]);
                 let ee = nl.gate(GateKind::And, vec![active, nc]);
@@ -801,8 +811,8 @@ fn synthesize_transition(
                 let sq = seg_q[k];
                 out.emits
                     .iter()
-                    .filter(|(oe, v)| *oe == e && v.is_some())
-                    .map(move |(_, v)| (sq, v.clone().expect("checked some")))
+                    .filter(|(oe, _)| *oe == e)
+                    .filter_map(move |(_, v)| v.clone().map(|bus| (sq, bus)))
                     .collect::<Vec<_>>()
             })
             .collect();

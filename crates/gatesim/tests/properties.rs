@@ -1,14 +1,16 @@
-//! Property tests: the synthesized hardware must agree with the
-//! behavioral interpreter (gate-level vs. discrete-event cross-validation),
-//! and the datapath library must match two's-complement arithmetic.
+//! Randomized (seeded, deterministic) tests: the synthesized hardware
+//! must agree with the behavioral interpreter (gate-level vs.
+//! discrete-event cross-validation), and the datapath library must match
+//! two's-complement arithmetic. Formerly property-based; now driven by
+//! the in-repo deterministic PRNG so the suite builds offline.
 
 use cfsm::{
     BinOp, BlockId, Cfg, CfgBuilder, Cfsm, EventId, Expr, NullEnv, Stmt, Terminator, TransitionId,
     VarId,
 };
+use detrand::Rng;
 use gatesim::bus::{self, Bus};
 use gatesim::{HwCfsm, Netlist, PowerConfig, Simulator, SynthConfig};
-use proptest::prelude::*;
 
 const W: usize = 16;
 
@@ -24,39 +26,59 @@ fn eval_datapath(f: impl Fn(&mut Netlist, &Bus, &Bus) -> Bus, a: i64, b: i64) ->
     bus::sign_extend(sim.value_bus(out.nets()), W)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Ripple-carry adder == wrapping add (mod 2^16, sign-extended).
-    #[test]
-    fn adder_is_wrapping_add(a in -32768i64..32768, b in -32768i64..32768) {
-        let got = eval_datapath(|nl, x, y| {
-            let c0 = nl.constant(false);
-            bus::adder(nl, x, y, c0).0
-        }, a, b);
+/// Ripple-carry adder == wrapping add (mod 2^16, sign-extended).
+#[test]
+fn adder_is_wrapping_add() {
+    let mut rng = Rng::new(0x6A7E_0001);
+    for _ in 0..64 {
+        let a = rng.i64_in(-32768, 32768);
+        let b = rng.i64_in(-32768, 32768);
+        let got = eval_datapath(
+            |nl, x, y| {
+                let c0 = nl.constant(false);
+                bus::adder(nl, x, y, c0).0
+            },
+            a,
+            b,
+        );
         let want = bus::sign_extend(bus::mask_to_width(a.wrapping_add(b), W), W);
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "a={a} b={b}");
     }
+}
 
-    /// Subtractor == wrapping sub.
-    #[test]
-    fn subtractor_is_wrapping_sub(a in -32768i64..32768, b in -32768i64..32768) {
+/// Subtractor == wrapping sub.
+#[test]
+fn subtractor_is_wrapping_sub() {
+    let mut rng = Rng::new(0x6A7E_0002);
+    for _ in 0..64 {
+        let a = rng.i64_in(-32768, 32768);
+        let b = rng.i64_in(-32768, 32768);
         let got = eval_datapath(|nl, x, y| bus::subtractor(nl, x, y).0, a, b);
         let want = bus::sign_extend(bus::mask_to_width(a.wrapping_sub(b), W), W);
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "a={a} b={b}");
     }
+}
 
-    /// Multiplier == low 16 bits of the product.
-    #[test]
-    fn multiplier_is_wrapping_mul(a in -256i64..256, b in -256i64..256) {
+/// Multiplier == low 16 bits of the product.
+#[test]
+fn multiplier_is_wrapping_mul() {
+    let mut rng = Rng::new(0x6A7E_0003);
+    for _ in 0..64 {
+        let a = rng.i64_in(-256, 256);
+        let b = rng.i64_in(-256, 256);
         let got = eval_datapath(bus::multiplier, a, b);
         let want = bus::sign_extend(bus::mask_to_width(a.wrapping_mul(b), W), W);
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "a={a} b={b}");
     }
+}
 
-    /// Signed comparator agrees with i64 comparison for in-range values.
-    #[test]
-    fn comparator_is_signed_lt(a in -32768i64..32768, b in -32768i64..32768) {
+/// Signed comparator agrees with i64 comparison for in-range values.
+#[test]
+fn comparator_is_signed_lt() {
+    let mut rng = Rng::new(0x6A7E_0004);
+    for _ in 0..64 {
+        let a = rng.i64_in(-32768, 32768);
+        let b = rng.i64_in(-32768, 32768);
         let mut nl = Netlist::new();
         let ba = bus::input_bus(&mut nl, W);
         let bb = bus::input_bus(&mut nl, W);
@@ -65,28 +87,42 @@ proptest! {
         sim.set_input_bus(ba.nets(), bus::mask_to_width(a, W));
         sim.set_input_bus(bb.nets(), bus::mask_to_width(b, W));
         sim.step();
-        prop_assert_eq!(sim.value(lt), a < b);
+        assert_eq!(sim.value(lt), a < b, "a={a} b={b}");
     }
+}
 
-    /// Synthesized hardware agrees with the behavioral interpreter on a
-    /// data-dependent loop: same final variables, and the HW cycle count
-    /// equals overhead + path length.
-    #[test]
-    fn hw_matches_interpreter_on_loops(n in 0i64..40, step in 1i64..5) {
+/// Synthesized hardware agrees with the behavioral interpreter on a
+/// data-dependent loop: same final variables, and the HW cycle count
+/// equals overhead + path length.
+#[test]
+fn hw_matches_interpreter_on_loops() {
+    let mut rng = Rng::new(0x6A7E_0005);
+    for _ in 0..32 {
+        let n = rng.i64_in(0, 40);
+        let step = rng.i64_in(1, 5);
         // while v0 > 0 { v1 = v1 + v0; v0 = v0 - step }
         let v0 = VarId(0);
         let v1 = VarId(1);
         let mut cb = CfgBuilder::new();
-        cb.block(vec![], Terminator::Branch {
-            cond: Expr::gt(Expr::Var(v0), Expr::Const(0)),
-            then_block: BlockId(1),
-            else_block: BlockId(2),
-        });
-        cb.block(vec![
-            Stmt::Assign { var: v1, expr: Expr::add(Expr::Var(v1), Expr::Var(v0)) },
-            Stmt::Assign { var: v0, expr: Expr::sub(Expr::Var(v0), Expr::Const(step)) },
-        ], Terminator::Goto(BlockId(0)));
-        cb.block(vec![Stmt::Emit { event: EventId(1), value: Some(Expr::Var(v1)) }], Terminator::Return);
+        cb.block(
+            vec![],
+            Terminator::Branch {
+                cond: Expr::gt(Expr::Var(v0), Expr::Const(0)),
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+        );
+        cb.block(
+            vec![
+                Stmt::Assign { var: v1, expr: Expr::add(Expr::Var(v1), Expr::Var(v0)) },
+                Stmt::Assign { var: v0, expr: Expr::sub(Expr::Var(v0), Expr::Const(step)) },
+            ],
+            Terminator::Goto(BlockId(0)),
+        );
+        cb.block(
+            vec![Stmt::Emit { event: EventId(1), value: Some(Expr::Var(v1)) }],
+            Terminator::Return,
+        );
         let body = cb.finish().expect("valid cfg");
 
         // Behavioral execution.
@@ -100,27 +136,42 @@ proptest! {
         mb.var("v1", 0);
         mb.transition(s, vec![EventId(0)], None, body, s);
         let machine = mb.finish().expect("valid machine");
-        let mut hw = HwCfsm::synthesize(&machine, &SynthConfig::with_width(16), &PowerConfig::date2000_defaults())
-            .expect("synthesizable");
+        let mut hw = HwCfsm::synthesize(
+            &machine,
+            &SynthConfig::with_width(16),
+            &PowerConfig::date2000_defaults(),
+        )
+        .expect("synthesizable");
         let run = hw.transition_mut(TransitionId(0)).run(&[n, 0], &|_| 0, &[]);
 
-        prop_assert_eq!(&run.vars_out, &vars.to_vec());
-        prop_assert_eq!(&run.emitted, &exec.emitted);
+        assert_eq!(&run.vars_out, &vars.to_vec(), "n={n} step={step}");
+        assert_eq!(&run.emitted, &exec.emitted, "n={n} step={step}");
         // 2 overhead cycles + one cycle per block visited (no mem ops).
-        prop_assert_eq!(run.cycles, 2 + exec.trace.len() as u64);
-        prop_assert!(run.energy_j > 0.0);
+        assert_eq!(run.cycles, 2 + exec.trace.len() as u64, "n={n} step={step}");
+        assert!(run.energy_j > 0.0, "n={n} step={step}");
     }
+}
 
-    /// Straight-line arithmetic agrees between HW and interpreter for
-    /// arbitrary in-range inputs.
-    #[test]
-    fn hw_matches_interpreter_on_arith(a in -1000i64..1000, b in -1000i64..1000) {
+/// Straight-line arithmetic agrees between HW and interpreter for
+/// arbitrary in-range inputs.
+#[test]
+fn hw_matches_interpreter_on_arith() {
+    let mut rng = Rng::new(0x6A7E_0006);
+    for _ in 0..64 {
+        let a = rng.i64_in(-1000, 1000);
+        let b = rng.i64_in(-1000, 1000);
         let v0 = VarId(0);
         let v1 = VarId(1);
         let v2 = VarId(2);
         let body = Cfg::straight_line(vec![
             Stmt::Assign { var: v2, expr: Expr::bin(BinOp::Xor, Expr::Var(v0), Expr::Var(v1)) },
-            Stmt::Assign { var: v2, expr: Expr::add(Expr::Var(v2), Expr::bin(BinOp::And, Expr::Var(v0), Expr::Var(v1))) },
+            Stmt::Assign {
+                var: v2,
+                expr: Expr::add(
+                    Expr::Var(v2),
+                    Expr::bin(BinOp::And, Expr::Var(v0), Expr::Var(v1)),
+                ),
+            },
             Stmt::Assign { var: v0, expr: Expr::eq(Expr::Var(v2), Expr::Var(v1)) },
         ]);
         let mut vars = [a, b, 0i64];
@@ -128,12 +179,18 @@ proptest! {
 
         let mut mb = Cfsm::builder("m");
         let s = mb.state("s");
-        for name in ["a", "b", "c"] { mb.var(name, 0); }
+        for name in ["a", "b", "c"] {
+            mb.var(name, 0);
+        }
         mb.transition(s, vec![EventId(0)], None, body, s);
         let machine = mb.finish().expect("valid machine");
-        let mut hw = HwCfsm::synthesize(&machine, &SynthConfig::with_width(16), &PowerConfig::date2000_defaults())
-            .expect("synthesizable");
+        let mut hw = HwCfsm::synthesize(
+            &machine,
+            &SynthConfig::with_width(16),
+            &PowerConfig::date2000_defaults(),
+        )
+        .expect("synthesizable");
         let run = hw.transition_mut(TransitionId(0)).run(&[a, b, 0], &|_| 0, &[]);
-        prop_assert_eq!(run.vars_out, vars.to_vec());
+        assert_eq!(run.vars_out, vars.to_vec(), "a={a} b={b}");
     }
 }

@@ -192,7 +192,8 @@ impl Asm {
 
     fn finish(mut self) -> Vec<Instr> {
         for (idx, l) in self.patches {
-            let target = self.labels[l].expect("label never bound");
+            debug_assert!(self.labels[l].is_some(), "label never bound");
+            let Some(target) = self.labels[l] else { continue };
             if let Instr::Branch { target: t, .. } = &mut self.code[idx] {
                 *t = target;
             } else {

@@ -1,13 +1,15 @@
-//! Property tests: generated software must agree with the behavioral
-//! CFSM interpreter on final state and emissions, and per-(path, data)
-//! energy must be exactly repeatable under the SPARClite model.
+//! Randomized (seeded, deterministic) tests: generated software must
+//! agree with the behavioral CFSM interpreter on final state and
+//! emissions, and per-(path, data) energy must be exactly repeatable
+//! under the SPARClite model. Formerly property-based; now driven by
+//! the in-repo deterministic PRNG so the suite builds offline.
 
 use cfsm::{
     BinOp, BlockId, Cfg, CfgBuilder, Cfsm, EventId, Expr, NullEnv, Stmt, Terminator, TransitionId,
     VarId,
 };
+use detrand::Rng;
 use iss::{PowerModel, SwCfsm};
-use proptest::prelude::*;
 
 fn machine_with(body: Cfg, n_vars: usize) -> Cfsm {
     let mut b = Cfsm::builder("m");
@@ -19,34 +21,44 @@ fn machine_with(body: Cfg, n_vars: usize) -> Cfsm {
     b.finish().expect("valid machine")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Compiled code and interpreter agree on a loop whose bound and body
-    /// arithmetic come from random data.
-    #[test]
-    fn sw_matches_interpreter_on_loops(n in 0i64..60, k in 1i64..9, c in -50i64..50) {
+/// Compiled code and interpreter agree on a loop whose bound and body
+/// arithmetic come from random data.
+#[test]
+fn sw_matches_interpreter_on_loops() {
+    let mut rng = Rng::new(0x1550_0001);
+    for _ in 0..48 {
+        let n = rng.i64_in(0, 60);
+        let k = rng.i64_in(1, 9);
+        let c = rng.i64_in(-50, 50);
         // while v0 > 0 { v1 = v1 * k + c; v0 = v0 - 1 }  then emit v1
         let v0 = VarId(0);
         let v1 = VarId(1);
         let mut cb = CfgBuilder::new();
-        cb.block(vec![], Terminator::Branch {
-            cond: Expr::gt(Expr::Var(v0), Expr::Const(0)),
-            then_block: BlockId(1),
-            else_block: BlockId(2),
-        });
-        cb.block(vec![
-            Stmt::Assign {
-                var: v1,
-                expr: Expr::add(
-                    Expr::bin(BinOp::Mul, Expr::Var(v1), Expr::Const(k)),
-                    Expr::Const(c),
-                ),
+        cb.block(
+            vec![],
+            Terminator::Branch {
+                cond: Expr::gt(Expr::Var(v0), Expr::Const(0)),
+                then_block: BlockId(1),
+                else_block: BlockId(2),
             },
-            Stmt::Assign { var: v0, expr: Expr::sub(Expr::Var(v0), Expr::Const(1)) },
-        ], Terminator::Goto(BlockId(0)));
-        cb.block(vec![Stmt::Emit { event: EventId(1), value: Some(Expr::Var(v1)) }],
-                 Terminator::Return);
+        );
+        cb.block(
+            vec![
+                Stmt::Assign {
+                    var: v1,
+                    expr: Expr::add(
+                        Expr::bin(BinOp::Mul, Expr::Var(v1), Expr::Const(k)),
+                        Expr::Const(c),
+                    ),
+                },
+                Stmt::Assign { var: v0, expr: Expr::sub(Expr::Var(v0), Expr::Const(1)) },
+            ],
+            Terminator::Goto(BlockId(0)),
+        );
+        cb.block(
+            vec![Stmt::Emit { event: EventId(1), value: Some(Expr::Var(v1)) }],
+            Terminator::Return,
+        );
         let body = cb.finish().expect("valid cfg");
 
         let mut vars = [n, 1i64];
@@ -55,13 +67,18 @@ proptest! {
         let m = machine_with(body, 2);
         let mut sw = SwCfsm::new(&m, PowerModel::sparclite(), &|_| true).expect("compiles");
         let run = sw.run_transition(TransitionId(0), &[n, 1], &|_| 0, &[]);
-        prop_assert_eq!(&run.vars_out, &vars.to_vec());
-        prop_assert_eq!(&run.emitted, &exec.emitted);
+        assert_eq!(&run.vars_out, &vars.to_vec(), "n={n} k={k} c={c}");
+        assert_eq!(&run.emitted, &exec.emitted, "n={n} k={k} c={c}");
     }
+}
 
-    /// Comparison and bitwise expressions agree with the interpreter.
-    #[test]
-    fn sw_matches_interpreter_on_expressions(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+/// Comparison and bitwise expressions agree with the interpreter.
+#[test]
+fn sw_matches_interpreter_on_expressions() {
+    let mut rng = Rng::new(0x1550_0002);
+    for _ in 0..48 {
+        let a = rng.i64_in(-10_000, 10_000);
+        let b = rng.i64_in(-10_000, 10_000);
         let v0 = VarId(0);
         let v1 = VarId(1);
         let v2 = VarId(2);
@@ -71,7 +88,11 @@ proptest! {
                 var: v2,
                 expr: Expr::add(
                     Expr::Var(v2),
-                    Expr::bin(BinOp::Xor, Expr::Var(v0), Expr::bin(BinOp::And, Expr::Var(v1), Expr::Const(0xFF))),
+                    Expr::bin(
+                        BinOp::Xor,
+                        Expr::Var(v0),
+                        Expr::bin(BinOp::And, Expr::Var(v1), Expr::Const(0xFF)),
+                    ),
                 ),
             },
             Stmt::Assign { var: v0, expr: Expr::bin(BinOp::Ge, Expr::Var(v2), Expr::Const(0)) },
@@ -81,13 +102,17 @@ proptest! {
         let m = machine_with(body, 3);
         let mut sw = SwCfsm::new(&m, PowerModel::sparclite(), &|_| true).expect("compiles");
         let run = sw.run_transition(TransitionId(0), &[a, b, 0], &|_| 0, &[]);
-        prop_assert_eq!(run.vars_out, vars.to_vec());
+        assert_eq!(run.vars_out, vars.to_vec(), "a={a} b={b}");
     }
+}
 
-    /// SPARClite energy for the same (path, data) is exactly repeatable
-    /// across activations — the invariant that makes caching lossless.
-    #[test]
-    fn sparclite_energy_repeatable(x in -1000i64..1000) {
+/// SPARClite energy for the same (path, data) is exactly repeatable
+/// across activations — the invariant that makes caching lossless.
+#[test]
+fn sparclite_energy_repeatable() {
+    let mut rng = Rng::new(0x1550_0003);
+    for _ in 0..48 {
+        let x = rng.i64_in(-1000, 1000);
         let v0 = VarId(0);
         let body = Cfg::straight_line(vec![Stmt::Assign {
             var: v0,
@@ -98,16 +123,20 @@ proptest! {
         let r1 = sw.run_transition(TransitionId(0), &[x], &|_| 0, &[]);
         let r2 = sw.run_transition(TransitionId(0), &[x + 7], &|_| 0, &[]);
         let r3 = sw.run_transition(TransitionId(0), &[x], &|_| 0, &[]);
-        prop_assert_eq!(r1.energy_j, r2.energy_j, "data independence");
-        prop_assert_eq!(r1.energy_j, r3.energy_j, "repeatability");
-        prop_assert_eq!(r1.cycles, r3.cycles);
+        assert_eq!(r1.energy_j, r2.energy_j, "data independence (x={x})");
+        assert_eq!(r1.energy_j, r3.energy_j, "repeatability (x={x})");
+        assert_eq!(r1.cycles, r3.cycles, "x={x}");
     }
+}
 
-    /// Balanced save/restore nesting always returns to window 0, keeps
-    /// globals intact, and deep nesting costs strictly more (spill traps).
-    #[test]
-    fn register_window_nesting(depth in 1usize..14) {
-        use iss::isa::{AluOp, Instr, Operand, Reg};
+/// Balanced save/restore nesting always returns to window 0, keeps
+/// globals intact, and deep nesting costs strictly more (spill traps).
+#[test]
+fn register_window_nesting() {
+    use iss::isa::{AluOp, Instr, Operand, Reg};
+    let mut rng = Rng::new(0x1550_0004);
+    for _ in 0..24 {
+        let depth = rng.usize_in(1, 14);
         let mut code = vec![Instr::Set { rd: Reg(1), imm: 77 }];
         for _ in 0..depth {
             code.push(Instr::Save);
@@ -125,23 +154,34 @@ proptest! {
         code.push(Instr::Halt);
         let mut cpu = iss::Cpu::new(PowerModel::sparclite());
         let out = cpu.run(&code, 0, 0, &[]);
-        prop_assert_eq!(cpu.cwp(), 0, "balanced nesting returns home");
-        prop_assert_eq!(cpu.reg(Reg(1)), 77, "globals survive");
-        prop_assert!(out.cycles >= 1 + 3 * depth as u64);
+        assert_eq!(cpu.cwp(), 0, "balanced nesting returns home (depth={depth})");
+        assert_eq!(cpu.reg(Reg(1)), 77, "globals survive (depth={depth})");
+        assert!(out.cycles >= 1 + 3 * depth as u64, "depth={depth}");
     }
+}
 
-    /// Division and remainder by zero match the behavioral convention.
-    #[test]
-    fn sw_division_semantics(a in -100i64..100, b in -5i64..5) {
+/// Division and remainder by zero match the behavioral convention.
+#[test]
+fn sw_division_semantics() {
+    let mut rng = Rng::new(0x1550_0005);
+    for _ in 0..48 {
+        let a = rng.i64_in(-100, 100);
+        let b = rng.i64_in(-5, 5);
         let body = Cfg::straight_line(vec![
-            Stmt::Assign { var: VarId(2), expr: Expr::bin(BinOp::Div, Expr::Var(VarId(0)), Expr::Var(VarId(1))) },
-            Stmt::Assign { var: VarId(0), expr: Expr::bin(BinOp::Rem, Expr::Var(VarId(0)), Expr::Var(VarId(1))) },
+            Stmt::Assign {
+                var: VarId(2),
+                expr: Expr::bin(BinOp::Div, Expr::Var(VarId(0)), Expr::Var(VarId(1))),
+            },
+            Stmt::Assign {
+                var: VarId(0),
+                expr: Expr::bin(BinOp::Rem, Expr::Var(VarId(0)), Expr::Var(VarId(1))),
+            },
         ]);
         let mut vars = [a, b, 0i64];
         body.execute(&mut vars, &mut NullEnv);
         let m = machine_with(body, 3);
         let mut sw = SwCfsm::new(&m, PowerModel::sparclite(), &|_| true).expect("compiles");
         let run = sw.run_transition(TransitionId(0), &[a, b, 0], &|_| 0, &[]);
-        prop_assert_eq!(run.vars_out, vars.to_vec());
+        assert_eq!(run.vars_out, vars.to_vec(), "a={a} b={b}");
     }
 }

@@ -22,7 +22,7 @@ use cfsm::{
     BlockId, Cfg, CfgBuilder, Cfsm, EventDef, EventOccurrence, Expr, Implementation, Network,
     Stmt, Terminator,
 };
-use co_estimation::SocDescription;
+use co_estimation::{BuildEstimatorError, SocDescription};
 
 /// Workload parameters for the automotive controller.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,15 +57,22 @@ impl Default for AutomotiveParams {
 
 /// Builds the automotive controller system.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on degenerate parameters or internal machine-construction bugs.
-pub fn build(params: &AutomotiveParams) -> SocDescription {
-    assert!(params.num_samples > 0, "need at least one sample");
-    assert!(
-        params.sample_period > 0 && params.pulse_period > 0,
-        "zero period"
-    );
+/// Returns [`BuildEstimatorError::EmptyWorkload`] when no sampling
+/// windows are requested and [`BuildEstimatorError::InvalidParams`] for
+/// zero periods. Internal machine-construction bugs surface as [`BuildEstimatorError::Construction`].
+pub fn build(params: &AutomotiveParams) -> Result<SocDescription, BuildEstimatorError> {
+    if params.num_samples == 0 {
+        return Err(BuildEstimatorError::EmptyWorkload(
+            "automotive: num_samples must be at least 1".into(),
+        ));
+    }
+    if params.sample_period == 0 || params.pulse_period == 0 {
+        return Err(BuildEstimatorError::InvalidParams(
+            "automotive: sample_period and pulse_period must be non-zero".into(),
+        ));
+    }
 
     let mut nb = Network::builder();
     let wheel = nb.event(EventDef::pure("WHEEL_PULSE"));
@@ -110,7 +117,7 @@ pub fn build(params: &AutomotiveParams) -> SocDescription {
             ]),
             run,
         );
-        b.finish().expect("speed_sensor machine is valid")
+        b.finish().map_err(|e| crate::internal("speed_sensor machine", e))?
     };
 
     // --- odometer (SW) -----------------------------------------------------
@@ -152,7 +159,7 @@ pub fn build(params: &AutomotiveParams) -> SocDescription {
             ]),
             run,
         );
-        b.finish().expect("odometer machine is valid")
+        b.finish().map_err(|e| crate::internal("odometer machine", e))?
     };
 
     // --- cruise (SW) ---------------------------------------------------------
@@ -218,7 +225,7 @@ pub fn build(params: &AutomotiveParams) -> SocDescription {
             ]),
             run,
         );
-        b.finish().expect("cruise machine is valid")
+        b.finish().map_err(|e| crate::internal("cruise machine", e))?
     };
 
     // --- display (HW) ----------------------------------------------------------
@@ -299,17 +306,17 @@ pub fn build(params: &AutomotiveParams) -> SocDescription {
             run,
             vec![speed],
             None,
-            cb.finish().expect("display body is valid"),
+            cb.finish().map_err(|e| crate::internal("display body", e))?,
             run,
         );
-        b.finish().expect("display machine is valid")
+        b.finish().map_err(|e| crate::internal("display machine", e))?
     };
 
     nb.process(speed_sensor, Implementation::Hw);
     nb.process(odometer, Implementation::Sw);
     nb.process(cruise, Implementation::Sw);
     nb.process(display, Implementation::Hw);
-    let network = nb.finish().expect("network is valid");
+    let network = nb.finish().map_err(|e| crate::internal("network", e))?;
 
     // Stimulus: wheel pulses whose period slowly drifts (accelerating
     // vehicle) plus periodic SAMPLEs.
@@ -330,12 +337,12 @@ pub fn build(params: &AutomotiveParams) -> SocDescription {
     }
     stimulus.sort_by_key(|&(t, _)| t);
 
-    SocDescription {
+    Ok(SocDescription {
         name: "automotive-dashboard".into(),
         network,
         stimulus,
         priorities: vec![4, 1, 3, 2],
-    }
+    })
 }
 
 #[cfg(test)]
@@ -353,8 +360,29 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_params_are_typed_errors() {
+        use co_estimation::BuildEstimatorError;
+        let empty = AutomotiveParams {
+            num_samples: 0,
+            ..tiny()
+        };
+        assert!(matches!(
+            build(&empty),
+            Err(BuildEstimatorError::EmptyWorkload(_))
+        ));
+        let no_period = AutomotiveParams {
+            pulse_period: 0,
+            ..tiny()
+        };
+        assert!(matches!(
+            build(&no_period),
+            Err(BuildEstimatorError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
     fn builds_with_all_processes() {
-        let soc = build(&tiny());
+        let soc = build(&tiny()).expect("valid params");
         assert_eq!(soc.network.process_count(), 4);
         for name in ["speed_sensor", "odometer", "cruise", "display"] {
             assert!(soc.network.process_by_name(name).is_some(), "{name}");
@@ -363,7 +391,7 @@ mod tests {
 
     #[test]
     fn sensor_counts_pulses_per_window() {
-        let soc = build(&tiny());
+        let soc = build(&tiny()).expect("valid params");
         let trace = capture_traces(&soc);
         let sensor = soc.network.process_by_name("speed_sensor").expect("exists");
         // Every SAMPLE firing emits a SPEED value = 4 × pulses in window.
@@ -380,7 +408,7 @@ mod tests {
 
     #[test]
     fn cruise_reacts_to_every_speed_sample() {
-        let soc = build(&tiny());
+        let soc = build(&tiny()).expect("valid params");
         let trace = capture_traces(&soc);
         let cruise = soc.network.process_by_name("cruise").expect("exists");
         assert_eq!(trace.firing_count(cruise), 5);
@@ -388,7 +416,7 @@ mod tests {
 
     #[test]
     fn co_simulation_completes_with_energy() {
-        let soc = build(&tiny());
+        let soc = build(&tiny()).expect("valid params");
         let mut sim = CoSimulator::new(soc, CoSimConfig::date2000_defaults()).expect("builds");
         let report = sim.run();
         assert!(report.total_energy_j() > 0.0);

@@ -22,7 +22,7 @@
 //!     len_range: (8, 12),
 //!     pkt_period: 5_000,
 //!     seed: 1,
-//! });
+//! })?;
 //! let mut sim = CoSimulator::new(soc, CoSimConfig::date2000_defaults())?;
 //! let report = sim.run();
 //! assert!(report.total_energy_j() > 0.0);
@@ -35,3 +35,12 @@
 pub mod automotive;
 pub mod producer_consumer;
 pub mod tcpip;
+
+/// Wraps an internal machine/network-construction failure (a builder
+/// bug, not a user error) as a typed error instead of a panic.
+pub(crate) fn internal(
+    what: &str,
+    e: impl std::fmt::Display,
+) -> co_estimation::BuildEstimatorError {
+    co_estimation::BuildEstimatorError::Construction(format!("{what}: {e}"))
+}

@@ -25,7 +25,7 @@ use cfsm::{
     BlockId, Cfg, CfgBuilder, Cfsm, EventDef, EventOccurrence, Expr, Implementation, Network,
     Stmt, Terminator,
 };
-use co_estimation::SocDescription;
+use co_estimation::{BuildEstimatorError, SocDescription};
 
 /// Workload parameters for the Fig. 1 system.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,17 +67,29 @@ impl Default for ProducerConsumerParams {
 
 /// Builds the Fig. 1 system.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the parameters are degenerate (zero packets/periods) or the
-/// machines fail validation (a bug).
-pub fn build(params: &ProducerConsumerParams) -> SocDescription {
-    assert!(params.num_pkts > 0 && params.pkt_bytes > 0, "empty workload");
-    assert!(
-        params.start_period > 0 && params.tick_period > 0,
-        "zero period"
-    );
-    assert!(params.num_starts >= params.num_pkts, "too few STARTs");
+/// Returns [`BuildEstimatorError::EmptyWorkload`] when the workload has
+/// zero packets or zero bytes per packet, and
+/// [`BuildEstimatorError::InvalidParams`] for zero periods or too few
+/// `START`s. Machine-validation failures (a bug) surface as [`BuildEstimatorError::Construction`].
+pub fn build(params: &ProducerConsumerParams) -> Result<SocDescription, BuildEstimatorError> {
+    if params.num_pkts == 0 || params.pkt_bytes == 0 {
+        return Err(BuildEstimatorError::EmptyWorkload(
+            "producer_consumer: num_pkts and pkt_bytes must be non-zero".into(),
+        ));
+    }
+    if params.start_period == 0 || params.tick_period == 0 {
+        return Err(BuildEstimatorError::InvalidParams(
+            "producer_consumer: start_period and tick_period must be non-zero".into(),
+        ));
+    }
+    if params.num_starts < params.num_pkts {
+        return Err(BuildEstimatorError::InvalidParams(format!(
+            "producer_consumer: num_starts ({}) must cover num_pkts ({})",
+            params.num_starts, params.num_pkts
+        )));
+    }
 
     let mut nb = Network::builder();
     let start = nb.event(EventDef::pure("START"));
@@ -176,10 +188,10 @@ pub fn build(params: &ProducerConsumerParams) -> SocDescription {
                 Expr::Var(pkts),
                 Expr::Const(params.num_pkts as i64),
             )),
-            cb.finish().expect("producer body is valid"),
+            cb.finish().map_err(|e| crate::internal("producer body", e))?,
             run,
         );
-        b.finish().expect("producer machine is valid")
+        b.finish().map_err(|e| crate::internal("producer machine", e))?
     };
 
     // --- timer (HW) ------------------------------------------------------
@@ -203,7 +215,7 @@ pub fn build(params: &ProducerConsumerParams) -> SocDescription {
             ]),
             run,
         );
-        b.finish().expect("timer machine is valid")
+        b.finish().map_err(|e| crate::internal("timer machine", e))?
     };
 
     // --- consumer (HW) ---------------------------------------------------
@@ -265,16 +277,16 @@ pub fn build(params: &ProducerConsumerParams) -> SocDescription {
             run,
             vec![end_comp, time],
             None,
-            cb.finish().expect("consumer body is valid"),
+            cb.finish().map_err(|e| crate::internal("consumer body", e))?,
             run,
         );
-        b.finish().expect("consumer machine is valid")
+        b.finish().map_err(|e| crate::internal("consumer machine", e))?
     };
 
     nb.process(producer, Implementation::Sw);
     nb.process(timer, Implementation::Hw);
     nb.process(consumer, Implementation::Hw);
-    let network = nb.finish().expect("network is valid");
+    let network = nb.finish().map_err(|e| crate::internal("network", e))?;
 
     // Stimulus: periodic ticks covering the whole (saturated) run plus
     // slack, and periodic STARTs.
@@ -293,12 +305,12 @@ pub fn build(params: &ProducerConsumerParams) -> SocDescription {
     }
     stimulus.sort_by_key(|&(t, _)| t);
 
-    SocDescription {
+    Ok(SocDescription {
         name: "producer-timer-consumer".into(),
         network,
         stimulus,
         priorities: vec![2, 3, 1],
-    }
+    })
 }
 
 #[cfg(test)]
@@ -317,8 +329,37 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_params_are_typed_errors() {
+        use co_estimation::BuildEstimatorError;
+        let empty = ProducerConsumerParams {
+            num_pkts: 0,
+            ..small()
+        };
+        assert!(matches!(
+            build(&empty),
+            Err(BuildEstimatorError::EmptyWorkload(_))
+        ));
+        let no_period = ProducerConsumerParams {
+            tick_period: 0,
+            ..small()
+        };
+        assert!(matches!(
+            build(&no_period),
+            Err(BuildEstimatorError::InvalidParams(_))
+        ));
+        let starved = ProducerConsumerParams {
+            num_starts: 1,
+            ..small()
+        };
+        assert!(matches!(
+            build(&starved),
+            Err(BuildEstimatorError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
     fn builds_and_names_resolve() {
-        let soc = build(&small());
+        let soc = build(&small()).expect("valid params");
         assert_eq!(soc.network.process_count(), 3);
         for name in ["producer", "timer", "consumer"] {
             assert!(soc.network.process_by_name(name).is_some(), "{name}");
@@ -328,7 +369,7 @@ mod tests {
 
     #[test]
     fn behavioral_producer_fires_exactly_num_pkts() {
-        let soc = build(&small());
+        let soc = build(&small()).expect("valid params");
         let trace = capture_traces(&soc);
         let p = soc.network.process_by_name("producer").expect("exists");
         assert_eq!(trace.firing_count(p), 4);
@@ -336,7 +377,7 @@ mod tests {
 
     #[test]
     fn co_simulation_runs_and_consumer_works() {
-        let soc = build(&small());
+        let soc = build(&small()).expect("valid params");
         let consumer = soc.network.process_by_name("consumer").expect("exists");
         let mut sim = CoSimulator::new(soc, CoSimConfig::date2000_defaults()).expect("builds");
         let report = sim.run();
@@ -359,7 +400,7 @@ mod tests {
         // the consumer's total loop iterations (tick span) exceed the
         // behavioral prediction.
         let params = small();
-        let soc = build(&params);
+        let soc = build(&params).expect("valid params");
         let trace = capture_traces(&soc);
         let consumer = soc.network.process_by_name("consumer").expect("exists");
         let behavioral_iters: i64 = trace

@@ -25,9 +25,8 @@ use cfsm::{
     BlockId, CfgBuilder, Cfsm, EventDef, EventOccurrence, Expr, Implementation, Network, Stmt,
     Terminator, VarId,
 };
-use co_estimation::SocDescription;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use co_estimation::{BuildEstimatorError, SocDescription};
+use detrand::Rng;
 
 /// Shared-memory bytes per packet slot.
 const SLOT_STRIDE: i64 = 0x400;
@@ -137,13 +136,29 @@ fn four_way_dispatch(
 
 /// Builds the TCP/IP NIC subsystem.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on degenerate parameters or internal machine-construction bugs.
-pub fn build(params: &TcpIpParams) -> SocDescription {
-    assert!(params.num_packets > 0, "need at least one packet");
+/// Returns [`BuildEstimatorError::EmptyWorkload`] when the workload
+/// offers no packets, and [`BuildEstimatorError::InvalidParams`] when
+/// the length range falls outside `[4, 64]` or the inter-arrival
+/// period is zero. Internal machine-construction bugs surface as [`BuildEstimatorError::Construction`].
+pub fn build(params: &TcpIpParams) -> Result<SocDescription, BuildEstimatorError> {
+    if params.num_packets == 0 {
+        return Err(BuildEstimatorError::EmptyWorkload(
+            "tcpip: num_packets must be at least 1".into(),
+        ));
+    }
     let (lo, hi) = params.len_range;
-    assert!(lo >= 4 && hi >= lo && hi <= 64, "length range in [4, 64]");
+    if !(lo >= 4 && hi >= lo && hi <= 64) {
+        return Err(BuildEstimatorError::InvalidParams(format!(
+            "tcpip: packet length range [{lo}, {hi}] must lie within [4, 64]"
+        )));
+    }
+    if params.pkt_period == 0 {
+        return Err(BuildEstimatorError::InvalidParams(
+            "tcpip: pkt_period must be non-zero".into(),
+        ));
+    }
 
     let mut nb = Network::builder();
     let pkt_in = nb.event(EventDef::valued("PKT_IN"));
@@ -291,10 +306,10 @@ pub fn build(params: &TcpIpParams) -> SocDescription {
             run,
             vec![pkt_in],
             None,
-            cb.finish().expect("create_pack body is valid"),
+            cb.finish().map_err(|e| crate::internal("create_pack body", e))?,
             run,
         );
-        b.finish().expect("create_pack machine is valid")
+        b.finish().map_err(|e| crate::internal("create_pack machine", e))?
     };
 
     // --- packet_queue (HW) -------------------------------------------------
@@ -341,7 +356,7 @@ pub fn build(params: &TcpIpParams) -> SocDescription {
                 Terminator::Return,
             );
             assert_eq!(j, join, "enqueue join block layout");
-            cb.finish().expect("enqueue body is valid")
+            cb.finish().map_err(|e| crate::internal("enqueue body", e))?
         };
         b.transition(
             run,
@@ -388,7 +403,7 @@ pub fn build(params: &TcpIpParams) -> SocDescription {
                 Terminator::Return,
             );
             assert_eq!(j, join, "dequeue join block layout");
-            cb.finish().expect("dequeue body is valid")
+            cb.finish().map_err(|e| crate::internal("dequeue body", e))?
         };
         b.transition(
             run,
@@ -397,7 +412,7 @@ pub fn build(params: &TcpIpParams) -> SocDescription {
             dequeue,
             run,
         );
-        b.finish().expect("packet_queue machine is valid")
+        b.finish().map_err(|e| crate::internal("packet_queue machine", e))?
     };
 
     // --- ip_check (HW) -----------------------------------------------------
@@ -505,11 +520,11 @@ pub fn build(params: &TcpIpParams) -> SocDescription {
                 wait,
                 vec![chk_sum],
                 None,
-                cb.finish().expect("ip_check wait body is valid"),
+                cb.finish().map_err(|e| crate::internal("ip_check wait body", e))?,
                 run,
             );
         }
-        b.finish().expect("ip_check machine is valid")
+        b.finish().map_err(|e| crate::internal("ip_check machine", e))?
     };
 
     // --- checksum (HW) -------------------------------------------------------
@@ -595,17 +610,17 @@ pub fn build(params: &TcpIpParams) -> SocDescription {
             run,
             vec![chk_go],
             None,
-            cb.finish().expect("checksum body is valid"),
+            cb.finish().map_err(|e| crate::internal("checksum body", e))?,
             run,
         );
-        b.finish().expect("checksum machine is valid")
+        b.finish().map_err(|e| crate::internal("checksum machine", e))?
     };
 
     nb.process(create_pack, Implementation::Sw);
     nb.process(packet_queue, Implementation::Hw);
     nb.process(ip_check, Implementation::Hw);
     nb.process(checksum, Implementation::Hw);
-    let network = nb.finish().expect("network is valid");
+    let network = nb.finish().map_err(|e| crate::internal("network", e))?;
 
     // Stimulus: packets with reproducible pseudo-random lengths drawn
     // from a handful of size classes (protocol traffic is highly modal).
@@ -613,22 +628,22 @@ pub fn build(params: &TcpIpParams) -> SocDescription {
         let span = hi - lo;
         vec![lo, lo + span / 2, hi]
     };
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let stimulus: Vec<(u64, EventOccurrence)> = (0..params.num_packets as u64)
         .map(|k| {
-            let len = classes[rng.gen_range(0..classes.len())] as i64;
+            let len = *rng.choose(&classes) as i64;
             ((k + 1) * params.pkt_period, EventOccurrence::valued(pkt_in, len))
         })
         .collect();
 
-    SocDescription {
+    Ok(SocDescription {
         name: "tcpip-nic".into(),
         network,
         stimulus,
         // Paper's best ordering: Create_Pack > IP_Check > Checksum; the
         // queue shares ASIC1 with ip_check.
         priorities: vec![3, 2, 2, 1],
-    }
+    })
 }
 
 #[cfg(test)]
@@ -647,7 +662,7 @@ mod tests {
 
     #[test]
     fn builds_with_all_processes() {
-        let soc = build(&tiny());
+        let soc = build(&tiny()).expect("valid params");
         assert_eq!(soc.network.process_count(), 4);
         for name in ["create_pack", "packet_queue", "ip_check", "checksum"] {
             assert!(soc.network.process_by_name(name).is_some(), "{name}");
@@ -656,7 +671,7 @@ mod tests {
 
     #[test]
     fn behavioral_pipeline_processes_every_packet() {
-        let soc = build(&tiny());
+        let soc = build(&tiny()).expect("valid params");
         let trace = capture_traces(&soc);
         let chk = soc.network.process_by_name("checksum").expect("exists");
         let ipc = soc.network.process_by_name("ip_check").expect("exists");
@@ -670,7 +685,7 @@ mod tests {
         // create_pack computes the same checksum over bytes ≥ 2 that the
         // engine computes after ip_check zeroes bytes 0 and 1, so every
         // packet must flag PKT_OK (errors counter stays 0).
-        let soc = build(&tiny());
+        let soc = build(&tiny()).expect("valid params");
         let trace = capture_traces(&soc);
         let ipc = soc.network.process_by_name("ip_check").expect("exists");
         let errors: i64 = trace
@@ -689,7 +704,7 @@ mod tests {
 
     #[test]
     fn co_simulation_moves_packet_bytes_over_the_bus() {
-        let soc = build(&tiny());
+        let soc = build(&tiny()).expect("valid params");
         let mut sim = CoSimulator::new(soc, CoSimConfig::date2000_defaults()).expect("builds");
         let report = sim.run();
         assert!(report.bus.words > 0, "packet bytes crossed the bus");
@@ -702,11 +717,11 @@ mod tests {
     #[test]
     fn larger_dma_reduces_system_energy() {
         let cfg = CoSimConfig::date2000_defaults();
-        let e2 = CoSimulator::new(build(&tiny()), cfg.with_dma_block_size(2))
+        let e2 = CoSimulator::new(build(&tiny()).expect("valid params"), cfg.with_dma_block_size(2))
             .expect("builds")
             .run()
             .total_energy_j();
-        let e64 = CoSimulator::new(build(&tiny()), cfg.with_dma_block_size(64))
+        let e64 = CoSimulator::new(build(&tiny()).expect("valid params"), cfg.with_dma_block_size(64))
             .expect("builds")
             .run()
             .total_energy_j();
@@ -717,9 +732,38 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_params_are_typed_errors() {
+        use co_estimation::BuildEstimatorError;
+        let zero = TcpIpParams {
+            num_packets: 0,
+            ..tiny()
+        };
+        assert!(matches!(
+            build(&zero),
+            Err(BuildEstimatorError::EmptyWorkload(_))
+        ));
+        let bad_range = TcpIpParams {
+            len_range: (2, 128),
+            ..tiny()
+        };
+        assert!(matches!(
+            build(&bad_range),
+            Err(BuildEstimatorError::InvalidParams(_))
+        ));
+        let no_period = TcpIpParams {
+            pkt_period: 0,
+            ..tiny()
+        };
+        assert!(matches!(
+            build(&no_period),
+            Err(BuildEstimatorError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
     fn workload_is_reproducible() {
-        let a = build(&tiny());
-        let b = build(&tiny());
+        let a = build(&tiny()).expect("valid params");
+        let b = build(&tiny()).expect("valid params");
         assert_eq!(a.stimulus, b.stimulus);
     }
 }

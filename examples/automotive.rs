@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("caching", Acceleration::caching(CachingConfig::new())),
         ("macromodel", Acceleration::macromodel()),
     ] {
-        let mut sim = CoSimulator::new(build(&params), config.with_accel(accel))?;
+        let mut sim = CoSimulator::new(build(&params)?, config.with_accel(accel))?;
         let t0 = Instant::now();
         let report = sim.run();
         let secs = t0.elapsed().as_secs_f64();

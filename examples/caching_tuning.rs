@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = CoSimConfig::date2000_defaults().with_dma_block_size(4);
 
     let t0 = Instant::now();
-    let mut sim = CoSimulator::new(build(&params), config.clone())?;
+    let mut sim = CoSimulator::new(build(&params)?, config.clone())?;
     let base = sim.run();
     let base_secs = t0.elapsed().as_secs_f64();
     println!(
@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             thresh_iss_calls,
             keep_samples: false,
         });
-        let mut sim = CoSimulator::new(build(&params), config.with_accel(accel))?;
+        let mut sim = CoSimulator::new(build(&params)?, config.with_accel(accel))?;
         let t0 = Instant::now();
         let r = sim.run();
         let secs = t0.elapsed().as_secs_f64();

@@ -19,14 +19,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         len_range: (8, 16),
         pkt_period: 5_000,
         seed: 1,
-    });
+    })?;
     let net = &soc.network;
 
     println!("== network topology (Graphviz) ==\n");
     println!("{}", cfsm::dot::network_to_dot(net));
 
     // --- hardware side: synthesize the checksum engine -------------------
-    let checksum = net.process_by_name("checksum").expect("exists");
+    let checksum = net
+        .process_by_name("checksum")
+        .ok_or("checksum process not found")?;
     let machine = net.cfsm(checksum);
     let hw = HwCfsm::synthesize(
         machine,
@@ -59,7 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- software side: compile create_pack -------------------------------
-    let create_pack = net.process_by_name("create_pack").expect("exists");
+    let create_pack = net
+        .process_by_name("create_pack")
+        .ok_or("create_pack process not found")?;
     let program = codegen::compile(net.cfsm(create_pack), 0x0010_0000)?;
     println!(
         "\n== create_pack: {} instructions, {} bytes ==",

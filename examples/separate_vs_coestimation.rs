@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          producer saturates and packets space out at the computation period.\n"
     );
 
-    let soc = build(&params);
+    let soc = build(&params)?;
     let config = CoSimConfig::date2000_defaults();
     let separate = estimate_separately(&soc, &config)?;
     let mut sim = CoSimulator::new(soc, config)?;

@@ -12,11 +12,15 @@ use co_estimation::{
 use systems::tcpip::{build, TcpIpParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let soc = build(&TcpIpParams::fig7_defaults());
+    let soc = build(&TcpIpParams::fig7_defaults())?;
     let procs: Vec<cfsm::ProcId> = ["create_pack", "ip_check", "checksum"]
         .iter()
-        .map(|n| soc.network.process_by_name(n).expect("process exists"))
-        .collect();
+        .map(|n| {
+            soc.network
+                .process_by_name(n)
+                .ok_or_else(|| format!("process {n} not found"))
+        })
+        .collect::<Result<_, _>>()?;
 
     let points = explore_bus_architecture(
         &soc,
@@ -26,11 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("explored {} configurations\n", points.len());
 
-    let min = minimum_energy(&points).expect("nonempty sweep");
+    let min = minimum_energy(&points).ok_or("empty sweep")?;
     let max = points
         .iter()
-        .max_by(|a, b| a.energy_j().partial_cmp(&b.energy_j()).expect("no NaN"))
-        .expect("nonempty sweep");
+        .max_by(|a, b| a.energy_j().total_cmp(&b.energy_j()))
+        .ok_or("empty sweep")?;
 
     for (tag, point) in [("BEST", min), ("WORST", max)] {
         let r = &point.report;

@@ -16,6 +16,7 @@ fn small_pc() -> SocDescription {
         tick_period: 150,
         num_starts: 25,
     })
+    .expect("valid params")
 }
 
 fn small_tcpip() -> SocDescription {
@@ -25,6 +26,7 @@ fn small_tcpip() -> SocDescription {
         pkt_period: 4_000,
         seed: 11,
     })
+    .expect("valid params")
 }
 
 fn small_auto() -> SocDescription {
@@ -34,6 +36,7 @@ fn small_auto() -> SocDescription {
         pulse_period: 200,
         target_speed: 25,
     })
+    .expect("valid params")
 }
 
 fn run(soc: SocDescription, accel: Acceleration) -> CoSimReport {

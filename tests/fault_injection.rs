@@ -1,0 +1,180 @@
+//! Fault-matrix integration tests: every [`FaultPlan`] fault kind is
+//! swept over the TCP/IP system under watchdog budgets. Whatever the
+//! injection, a run must either quiesce ([`RunOutcome::Completed`]) or
+//! trip a watchdog budget ([`RunOutcome::Degraded`]) — never deadlock
+//! or panic — and its total energy must stay finite and non-negative.
+
+use co_estimation::{
+    AnomalyKind, CoSimConfig, CoSimReport, CoSimulator, FaultPlan, RunOutcome,
+};
+use desim::WatchdogConfig;
+use systems::tcpip::{self, TcpIpParams};
+
+fn tiny() -> TcpIpParams {
+    TcpIpParams {
+        num_packets: 4,
+        len_range: (8, 16),
+        pkt_period: 5_000,
+        seed: 7,
+    }
+}
+
+/// A watchdog tight enough to bound any pathological schedule the fault
+/// matrix can produce, but far above the nominal run length.
+fn guard() -> WatchdogConfig {
+    WatchdogConfig {
+        max_cycles: Some(2_000_000),
+        max_events: Some(200_000),
+        max_stagnant_events: Some(50_000),
+        ..WatchdogConfig::unlimited()
+    }
+}
+
+fn run_with(faults: FaultPlan) -> CoSimReport {
+    let soc = tcpip::build(&tiny()).expect("valid params");
+    let config = CoSimConfig::date2000_defaults()
+        .with_faults(faults)
+        .with_watchdog(guard());
+    CoSimulator::new(soc, config).expect("builds").run()
+}
+
+#[test]
+fn every_fault_kind_quiesces_or_trips_the_watchdog() {
+    let matrix: Vec<(&str, FaultPlan)> = vec![
+        ("drop", FaultPlan::new().drop_event(1, "CHK_GO")),
+        ("duplicate", FaultPlan::new().duplicate_event(1, "PKT_READY")),
+        ("delay", FaultPlan::new().delay_event(1, "CHK_SUM", 700)),
+        (
+            "freeze",
+            FaultPlan::new().freeze_process(6_000, "checksum", 1_000_000_000),
+        ),
+        ("corrupt", FaultPlan::new().corrupt_energy(1, "create_pack", 100.0)),
+        ("corrupt-nan", FaultPlan::new().corrupt_energy(1, "checksum", -1.0)),
+        ("stall", FaultPlan::new().stall_bus(5_500, 3_000)),
+        ("cache-miss", FaultPlan::new().force_cache_misses(1, 50)),
+        (
+            "combined",
+            FaultPlan::new()
+                .drop_event(1, "Q_POP")
+                .duplicate_event(5_500, "PKT_READY")
+                .stall_bus(10_000, 2_000)
+                .corrupt_energy(1, "ip_check", 3.0)
+                .force_cache_misses(1, 10),
+        ),
+    ];
+    for (name, plan) in matrix {
+        let r = run_with(plan);
+        assert!(
+            matches!(r.outcome, RunOutcome::Completed | RunOutcome::Degraded { .. }),
+            "{name}: unexpected outcome {:?}",
+            r.outcome
+        );
+        let e = r.total_energy_j();
+        assert!(e.is_finite() && e >= 0.0, "{name}: energy {e}");
+        assert!(
+            r.anomalies.faults_injected() >= 1,
+            "{name}: injection must be recorded, ledger: {}",
+            r.anomalies
+        );
+    }
+}
+
+#[test]
+fn freezing_the_checksum_process_degrades_via_the_watchdog() {
+    // ISSUE acceptance scenario: freeze `checksum` mid-stream for an
+    // absurd interval. ip_check is stuck in its wait state, so later
+    // PKT_READY deliveries overwrite its single-place buffer, and the
+    // unfreeze event lands far beyond the cycle budget — the watchdog
+    // must end the run with a partial (Degraded) report.
+    let r = run_with(FaultPlan::new().freeze_process(6_000, "checksum", 1_000_000_000));
+    let RunOutcome::Degraded { reason } = &r.outcome else {
+        panic!("expected a degraded run, got {:?}", r.outcome);
+    };
+    assert!(
+        reason.contains("cycle"),
+        "trip reason should mention the cycle budget: {reason}"
+    );
+    // The ledger names the injected fault...
+    assert!(r.anomalies.iter().any(|a| matches!(
+        &a.kind,
+        AnomalyKind::FaultInjected { description } if description.contains("checksum")
+    )));
+    // ...and at least one resulting degradation beyond the injection
+    // itself (lost events at the stalled pipeline stage, then the trip).
+    assert!(
+        r.anomalies.len() >= 2,
+        "expected downstream anomalies, ledger: {}",
+        r.anomalies
+    );
+    assert!(r
+        .anomalies
+        .iter()
+        .any(|a| matches!(a.kind, AnomalyKind::WatchdogTrip { .. })));
+    // Partial results are still accounted.
+    let e = r.total_energy_j();
+    assert!(e.is_finite() && e > 0.0);
+}
+
+#[test]
+fn dropping_the_checksum_kick_sheds_work_but_completes() {
+    let baseline = run_with(FaultPlan::none());
+    assert_eq!(baseline.outcome, RunOutcome::Completed);
+    let r = run_with(FaultPlan::new().drop_event(1, "CHK_GO"));
+    assert_eq!(r.outcome, RunOutcome::Completed, "queue must still drain");
+    assert!(r
+        .anomalies
+        .iter()
+        .any(|a| matches!(&a.kind, AnomalyKind::EventShed { event } if event == "CHK_GO")));
+    let fired = |rep: &CoSimReport| {
+        rep.processes
+            .iter()
+            .find(|p| p.name == "checksum")
+            .expect("checksum")
+            .firings
+    };
+    assert!(
+        fired(&r) < fired(&baseline),
+        "dropping CHK_GO must cost checksum firings ({} vs {})",
+        fired(&r),
+        fired(&baseline)
+    );
+}
+
+#[test]
+fn empty_fault_plan_reproduces_the_seed_report_bitwise() {
+    let soc = tcpip::build(&tiny()).expect("valid params");
+    let seed = CoSimulator::new(soc, CoSimConfig::date2000_defaults())
+        .expect("builds")
+        .run();
+    let instrumented = run_with(FaultPlan::none());
+    assert_eq!(seed.outcome, RunOutcome::Completed);
+    assert_eq!(instrumented.outcome, RunOutcome::Completed);
+    assert_eq!(
+        seed.total_energy_j().to_bits(),
+        instrumented.total_energy_j().to_bits(),
+        "empty fault plan must be bit-for-bit free"
+    );
+    assert_eq!(seed.total_cycles, instrumented.total_cycles);
+    assert_eq!(seed.firings, instrumented.firings);
+    assert_eq!(seed.bus.toggles, instrumented.bus.toggles);
+    assert_eq!(seed.cache.misses, instrumented.cache.misses);
+}
+
+#[test]
+fn unknown_fault_targets_are_typed_build_errors() {
+    use co_estimation::BuildEstimatorError;
+    let soc = tcpip::build(&tiny()).expect("valid params");
+    let config = CoSimConfig::date2000_defaults()
+        .with_faults(FaultPlan::new().freeze_process(1, "no_such_process", 10));
+    assert!(matches!(
+        CoSimulator::new(soc, config),
+        Err(BuildEstimatorError::InvalidParams(_))
+    ));
+    let soc = tcpip::build(&tiny()).expect("valid params");
+    let config = CoSimConfig::date2000_defaults()
+        .with_faults(FaultPlan::new().drop_event(1, "NO_SUCH_EVENT"));
+    assert!(matches!(
+        CoSimulator::new(soc, config),
+        Err(BuildEstimatorError::InvalidParams(_))
+    ));
+}

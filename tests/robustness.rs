@@ -51,7 +51,6 @@ fn division_in_hw_is_a_build_error_not_a_panic() {
 }
 
 #[test]
-#[should_panic(expected = "one priority per process")]
 fn wrong_priority_count_is_rejected() {
     let (network, tick) = counter_network(Implementation::Hw, Cfg::empty());
     let soc = SocDescription {
@@ -60,7 +59,14 @@ fn wrong_priority_count_is_rejected() {
         stimulus: vec![(10, EventOccurrence::pure(tick))],
         priorities: vec![1, 2, 3],
     };
-    let _ = CoSimulator::new(soc, CoSimConfig::date2000_defaults());
+    let err = CoSimulator::new(soc, CoSimConfig::date2000_defaults());
+    assert!(matches!(
+        err,
+        Err(BuildEstimatorError::PriorityCount {
+            expected: 1,
+            got: 3
+        })
+    ));
 }
 
 #[test]
@@ -125,7 +131,8 @@ fn tcpip_queue_overflow_drops_packets_without_deadlock() {
         len_range: (32, 48),
         pkt_period: 200, // far below the per-packet service time
         seed: 5,
-    });
+    })
+    .expect("valid params");
     let report = CoSimulator::new(soc, CoSimConfig::date2000_defaults())
         .expect("builds")
         .run();
@@ -159,15 +166,16 @@ fn max_firings_is_a_hard_stop() {
 
 #[test]
 fn zero_length_packet_class_is_rejected_by_the_system_builder() {
-    let result = std::panic::catch_unwind(|| {
-        tcpip::build(&tcpip::TcpIpParams {
-            num_packets: 0,
-            len_range: (8, 16),
-            pkt_period: 100,
-            seed: 0,
-        })
+    let result = tcpip::build(&tcpip::TcpIpParams {
+        num_packets: 0,
+        len_range: (8, 16),
+        pkt_period: 100,
+        seed: 0,
     });
-    assert!(result.is_err(), "zero packets must be rejected");
+    assert!(
+        matches!(result, Err(BuildEstimatorError::EmptyWorkload(_))),
+        "zero packets must be rejected with a typed error"
+    );
 }
 
 #[test]
@@ -179,7 +187,8 @@ fn cache_disabled_runs_still_work() {
         len_range: (8, 16),
         pkt_period: 5_000,
         seed: 2,
-    });
+    })
+    .expect("valid params");
     let report = CoSimulator::new(soc, cfg).expect("builds").run();
     assert_eq!(report.cache.accesses, 0);
     assert_eq!(report.cache_energy_j, 0.0);
