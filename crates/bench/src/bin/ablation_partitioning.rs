@@ -9,7 +9,10 @@
 // from the workspace-wide panic-free policy.
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 
-use co_estimation::{explore_partitions, Acceleration, CoSimConfig};
+use co_estimation::{
+    explore_partitions_parallel, Acceleration, CoSimConfig, ExploreOptions,
+};
+use soc_bench::render_sweep_stats;
 use systems::tcpip::{build, TcpIpParams};
 
 fn main() {
@@ -27,13 +30,19 @@ fn main() {
         .collect();
 
     let base_cfg = CoSimConfig::date2000_defaults();
-    let detailed = explore_partitions(&soc, &base_cfg, &movable).expect("sweep");
-    let mm = explore_partitions(
+    let options = ExploreOptions::default();
+    let detailed_sweep =
+        explore_partitions_parallel(&soc, &base_cfg, &movable, &options).expect("sweep");
+    let mm_sweep = explore_partitions_parallel(
         &soc,
         &base_cfg.with_accel(Acceleration::macromodel()),
         &movable,
+        &options,
     )
     .expect("sweep");
+    println!("detailed sweep: {}", render_sweep_stats(&detailed_sweep.stats));
+    println!("macromodel sweep: {}\n", render_sweep_stats(&mm_sweep.stats));
+    let (detailed, mm) = (detailed_sweep.points, mm_sweep.points);
 
     println!(
         "{:<44} {:>14} {:>16}",

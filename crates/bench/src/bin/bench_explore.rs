@@ -1,0 +1,88 @@
+//! Sweep-throughput benchmark: the Fig. 7 exploration (48 points),
+//! measured serial and at several worker counts, written as
+//! `BENCH_explore.json` so the bench trajectory tracks design-space
+//! sweep throughput across PRs.
+//!
+//! Every parallel result is cross-checked bit-for-bit against the serial
+//! sweep before its timing is recorded — a benchmark entry only exists
+//! if the determinism contract held.
+//!
+//! Usage: `cargo run --release -p soc-bench --bin bench_explore [out.json]`
+
+// Regeneration binary for the evaluation harness: aborting loudly on a
+// broken setup is correct here, matching the tests-and-benches carve-out
+// from the workspace-wide panic-free policy.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use co_estimation::{ExplorationPoint, ExploreOptions};
+use soc_bench::{fig7_parallel, fig7_serial};
+use std::time::Instant;
+use systems::tcpip::TcpIpParams;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bitwise_equal(a: &[ExplorationPoint], b: &[ExplorationPoint]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.dma_block_size == y.dma_block_size
+                && x.priorities == y.priorities
+                && x.label == y.label
+                && x.report.golden_snapshot() == y.report.golden_snapshot()
+        })
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_explore.json".to_string());
+    let params = TcpIpParams::fig7_defaults();
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("== bench_explore: Fig. 7 sweep throughput (host cpus: {host_cpus}) ==\n");
+
+    // Warm-up run so first-touch costs (page faults, lazy init) do not
+    // pollute the serial baseline.
+    let _ = fig7_serial(&params);
+
+    let t0 = Instant::now();
+    let serial = fig7_serial(&params);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let points = serial.len();
+    println!("serial: {points} points in {serial_s:.3} s ({:.1} points/s)", points as f64 / serial_s);
+
+    let mut rows = String::new();
+    for (k, &workers) in WORKER_COUNTS.iter().enumerate() {
+        let sweep = fig7_parallel(&params, &ExploreOptions::with_workers(workers));
+        let wall_s = sweep.stats.wall_ms / 1e3;
+        let identical = bitwise_equal(&serial, &sweep.points);
+        assert!(
+            identical,
+            "determinism contract violated at workers = {workers}"
+        );
+        let speedup = serial_s / wall_s;
+        println!(
+            "workers = {workers}: {:.3} s ({:.1} points/s, speedup {speedup:.2}x, bitwise identical: {identical})",
+            wall_s, sweep.stats.points_per_sec
+        );
+        if k > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"workers\": {workers}, \"wall_s\": {wall_s:.6}, \
+             \"points_per_sec\": {:.3}, \"speedup_vs_serial\": {speedup:.3}, \
+             \"degraded\": {}, \"bitwise_identical\": {identical}}}",
+            sweep.stats.points_per_sec, sweep.stats.degraded
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"explore_fig7_sweep\",\n  \"system\": \"tcpip\",\n  \
+         \"points\": {points},\n  \"host_cpus\": {host_cpus},\n  \
+         \"serial\": {{\"wall_s\": {serial_s:.6}, \"points_per_sec\": {:.3}}},\n  \
+         \"parallel\": [\n{rows}\n  ]\n}}\n",
+        points as f64 / serial_s
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("\nwrote {out_path}");
+}

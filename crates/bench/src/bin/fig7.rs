@@ -7,9 +7,8 @@
 // from the workspace-wide panic-free policy.
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 
-use co_estimation::minimum_energy;
-use soc_bench::{fig7, FIG7_DMA_SIZES};
-use std::time::Instant;
+use co_estimation::{minimum_energy, ExploreOptions};
+use soc_bench::{fig7_parallel, render_sweep_stats, FIG7_DMA_SIZES};
 use systems::tcpip::TcpIpParams;
 
 fn main() {
@@ -17,9 +16,10 @@ fn main() {
     println!("(paper: 48 points; minimum at DMA = 128 with priorities");
     println!(" Create_Pack > IP_Check > Checksum; whole sweep ≈ 180 min on an");
     println!(" Ultra Enterprise 450 — measure how long it takes here)\n");
-    let t0 = Instant::now();
-    let points = fig7(&TcpIpParams::fig7_defaults());
-    let elapsed = t0.elapsed().as_secs_f64();
+    let options = ExploreOptions::default();
+    println!("sweeping on {} worker thread(s)\n", options.workers);
+    let sweep = fig7_parallel(&TcpIpParams::fig7_defaults(), &options);
+    let points = sweep.points;
 
     // Group rows by priority label.
     let mut labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
@@ -47,5 +47,5 @@ fn main() {
         min.dma_block_size,
         min.label
     );
-    println!("exploration of {} points took {elapsed:.2} s", points.len());
+    println!("sweep: {}", render_sweep_stats(&sweep.stats));
 }

@@ -23,7 +23,7 @@
 
 use co_estimation::{
     estimate_separately, Acceleration, CachingConfig, CoSimConfig, CoSimReport, CoSimulator,
-    ExplorationPoint, SamplingConfig,
+    ExplorationPoint, ExploreOptions, SamplingConfig, SweepReport, SweepStats,
 };
 use std::time::Instant;
 use systems::producer_consumer::{self, ProducerConsumerParams};
@@ -289,8 +289,37 @@ pub fn ranks_agree(points: &[Fig6Point]) -> bool {
 // ---------------------------------------------------------------------
 
 /// Reproduces Fig. 7: the 6-permutation × 8-DMA-size exploration of the
-/// TCP/IP communication architecture (48 points).
+/// TCP/IP communication architecture (48 points), evaluated on the
+/// parallel sweep engine with the given options. The returned points are
+/// bit-for-bit identical to the serial sweep's at any worker count.
+pub fn fig7_parallel(
+    params: &TcpIpParams,
+    options: &ExploreOptions,
+) -> SweepReport<ExplorationPoint> {
+    let soc = tcpip::build(params).expect("valid params");
+    let procs: Vec<cfsm::ProcId> = ["create_pack", "ip_check", "checksum"]
+        .iter()
+        .map(|n| soc.network.process_by_name(n).expect("process exists"))
+        .collect();
+    co_estimation::explore_bus_architecture_parallel(
+        &soc,
+        &CoSimConfig::date2000_defaults(),
+        &procs,
+        &FIG7_DMA_SIZES,
+        options,
+    )
+    .expect("exploration builds")
+}
+
+/// Reproduces Fig. 7 with all the parallelism the host offers, returning
+/// just the 48 points (identical to the serial sweep's).
 pub fn fig7(params: &TcpIpParams) -> Vec<ExplorationPoint> {
+    fig7_parallel(params, &ExploreOptions::default()).points
+}
+
+/// The serial-reference Fig. 7 sweep (kept for differential testing and
+/// the throughput baseline of `bench_explore`).
+pub fn fig7_serial(params: &TcpIpParams) -> Vec<ExplorationPoint> {
     let soc = tcpip::build(params).expect("valid params");
     let procs: Vec<cfsm::ProcId> = ["create_pack", "ip_check", "checksum"]
         .iter()
@@ -303,6 +332,14 @@ pub fn fig7(params: &TcpIpParams) -> Vec<ExplorationPoint> {
         &FIG7_DMA_SIZES,
     )
     .expect("exploration builds")
+}
+
+/// Renders sweep metrics as a one-line summary for the bench binaries.
+pub fn render_sweep_stats(stats: &SweepStats) -> String {
+    format!(
+        "{} points in {:.1} ms ({:.1} points/s, {} workers, {} degraded)",
+        stats.points, stats.wall_ms, stats.points_per_sec, stats.workers, stats.degraded
+    )
 }
 
 // ---------------------------------------------------------------------

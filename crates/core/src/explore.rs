@@ -4,6 +4,12 @@
 //! sweeps all meaningful assignments of bus/RTOS priorities and DMA
 //! block sizes for the TCP/IP subsystem (6 × 8 = 48 points) and picks the
 //! minimum-energy configuration. This module provides that sweep.
+//!
+//! The serial entry points here and the worker-pool entry points in
+//! [`crate::explore_parallel`] share the per-point evaluators
+//! [`eval_bus_point`] / [`eval_partition_point`], so both paths evaluate
+//! *exactly* the same configurations in the same enumeration order — the
+//! foundation of the parallel engine's determinism contract.
 
 use crate::config::{CoSimConfig, SocDescription};
 use crate::estimator::BuildEstimatorError;
@@ -31,8 +37,14 @@ impl ExplorationPoint {
 }
 
 /// All permutations of the given items (Heap's algorithm, deterministic
-/// order).
+/// order). The degenerate inputs have exactly one permutation each:
+/// `permutations(&[])` is `[[]]` (0! = 1) and a single element yields
+/// itself — handled explicitly rather than through the recursion's
+/// fall-through.
 pub fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
     fn heap<T: Clone>(arr: &mut Vec<T>, k: usize, out: &mut Vec<Vec<T>>) {
         if k <= 1 {
             out.push(arr.clone());
@@ -54,6 +66,37 @@ pub fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
     out
 }
 
+/// Evaluates one point of the communication-architecture sweep: the
+/// given priority permutation (descending priorities along `perm`) at
+/// the given DMA block size. Shared by the serial and parallel sweeps.
+pub(crate) fn eval_bus_point(
+    soc: &SocDescription,
+    base: &CoSimConfig,
+    perm: &[ProcId],
+    dma: u32,
+) -> Result<ExplorationPoint, BuildEstimatorError> {
+    let mut soc_variant = soc.clone();
+    let n = perm.len() as u8;
+    let mut priorities = Vec::with_capacity(perm.len());
+    let mut label_parts = Vec::with_capacity(perm.len());
+    for (rank, &p) in perm.iter().enumerate() {
+        let pri = n - rank as u8; // descending
+        soc_variant.set_priority(p, pri);
+        priorities.push((p, pri));
+        label_parts.push(soc.network.cfsm(p).name().to_string());
+    }
+    let label = label_parts.join(" > ");
+    let config = base.with_dma_block_size(dma);
+    let mut sim = CoSimulator::new(soc_variant, config)?;
+    let report = sim.run();
+    Ok(ExplorationPoint {
+        dma_block_size: dma,
+        priorities,
+        label,
+        report,
+    })
+}
+
 /// Sweeps the communication-architecture design space: every priority
 /// permutation of `prioritized_procs` × every DMA size in `dma_sizes`.
 ///
@@ -72,27 +115,8 @@ pub fn explore_bus_architecture(
     let perms = permutations(prioritized_procs);
     let mut points = Vec::with_capacity(perms.len() * dma_sizes.len());
     for perm in &perms {
-        let mut soc_variant = soc.clone();
-        let n = perm.len() as u8;
-        let mut priorities = Vec::with_capacity(perm.len());
-        let mut label_parts = Vec::with_capacity(perm.len());
-        for (rank, &p) in perm.iter().enumerate() {
-            let pri = n - rank as u8; // descending
-            soc_variant.set_priority(p, pri);
-            priorities.push((p, pri));
-            label_parts.push(soc.network.cfsm(p).name().to_string());
-        }
-        let label = label_parts.join(" > ");
         for &dma in dma_sizes {
-            let config = base.with_dma_block_size(dma);
-            let mut sim = CoSimulator::new(soc_variant.clone(), config)?;
-            let report = sim.run();
-            points.push(ExplorationPoint {
-                dma_block_size: dma,
-                priorities: priorities.clone(),
-                label: label.clone(),
-                report,
-            });
+            points.push(eval_bus_point(soc, base, perm, dma)?);
         }
     }
     Ok(points)
@@ -116,6 +140,58 @@ impl PartitionPoint {
     }
 }
 
+/// Evaluates the partition selected by `bits` (bit `k` set maps
+/// `movable[k]` to hardware). Returns `Ok(None)` when the hardware
+/// mapping is infeasible (synthesis failure), mirroring a real flow's
+/// infeasible designs. Shared by the serial and parallel sweeps.
+pub(crate) fn eval_partition_point(
+    soc: &SocDescription,
+    config: &CoSimConfig,
+    movable: &[ProcId],
+    bits: u32,
+) -> Result<Option<PartitionPoint>, BuildEstimatorError> {
+    use cfsm::Implementation;
+    let mut soc_variant = soc.clone();
+    let mut label_parts = Vec::with_capacity(movable.len());
+    for (k, &p) in movable.iter().enumerate() {
+        let m = if bits >> k & 1 == 1 {
+            Implementation::Hw
+        } else {
+            Implementation::Sw
+        };
+        soc_variant.network.set_mapping(p, m);
+        label_parts.push(format!("{}={}", soc.network.cfsm(p).name(), m));
+    }
+    let label = label_parts.join(" ");
+    match CoSimulator::new(soc_variant.clone(), config.clone()) {
+        Ok(mut sim) => {
+            let report = sim.run();
+            Ok(Some(PartitionPoint {
+                mapping: soc_variant
+                    .network
+                    .process_ids()
+                    .map(|p| soc_variant.network.mapping(p))
+                    .collect(),
+                label,
+                report,
+            }))
+        }
+        Err(BuildEstimatorError::Synth(_, _)) => Ok(None), // infeasible in HW
+        Err(e) => Err(e),
+    }
+}
+
+/// Guards the exhaustive-partition sweep's exponent.
+pub(crate) fn check_partition_count(movable: &[ProcId]) -> Result<(), BuildEstimatorError> {
+    if movable.len() > 16 {
+        return Err(BuildEstimatorError::InvalidParams(format!(
+            "{} movable processes is too many for an exhaustive 2^n partition sweep (max 16)",
+            movable.len()
+        )));
+    }
+    Ok(())
+}
+
 /// Evaluates every 2^n HW/SW partition of the given processes (§5.2
 /// mentions using the tool "to rank several different HW/SW
 /// partitions"). Processes not listed keep their original mapping.
@@ -127,44 +203,19 @@ impl PartitionPoint {
 /// # Errors
 ///
 /// Propagates estimator-build failures that are not synthesis
-/// infeasibilities.
+/// infeasibilities, and rejects more than 16 movable processes with
+/// [`BuildEstimatorError::InvalidParams`].
 pub fn explore_partitions(
     soc: &SocDescription,
     config: &CoSimConfig,
     movable: &[ProcId],
 ) -> Result<Vec<PartitionPoint>, BuildEstimatorError> {
-    use cfsm::Implementation;
+    check_partition_count(movable)?;
     let n = movable.len();
-    assert!(n <= 16, "too many movable processes for exhaustive sweep");
     let mut points = Vec::with_capacity(1 << n);
     for bits in 0..(1u32 << n) {
-        let mut soc_variant = soc.clone();
-        let mut label_parts = Vec::with_capacity(n);
-        for (k, &p) in movable.iter().enumerate() {
-            let m = if bits >> k & 1 == 1 {
-                Implementation::Hw
-            } else {
-                Implementation::Sw
-            };
-            soc_variant.network.set_mapping(p, m);
-            label_parts.push(format!("{}={}", soc.network.cfsm(p).name(), m));
-        }
-        let label = label_parts.join(" ");
-        match CoSimulator::new(soc_variant.clone(), config.clone()) {
-            Ok(mut sim) => {
-                let report = sim.run();
-                points.push(PartitionPoint {
-                    mapping: soc_variant
-                        .network
-                        .process_ids()
-                        .map(|p| soc_variant.network.mapping(p))
-                        .collect(),
-                    label,
-                    report,
-                });
-            }
-            Err(BuildEstimatorError::Synth(_, _)) => continue, // infeasible in HW
-            Err(e) => return Err(e),
+        if let Some(point) = eval_partition_point(soc, config, movable, bits)? {
+            points.push(point);
         }
     }
     Ok(points)
@@ -178,30 +229,119 @@ pub fn minimum_energy(points: &[ExplorationPoint]) -> Option<&ExplorationPoint> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cfsm::{BinOp, Cfg, Cfsm, EventDef, EventOccurrence, Expr, Implementation, Network, Stmt};
 
     #[test]
-    fn permutation_counts() {
-        assert_eq!(permutations(&[1]).len(), 1);
-        assert_eq!(permutations(&[1, 2]).len(), 2);
-        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
-        assert_eq!(permutations(&[1, 2, 3, 4]).len(), 24);
-    }
-
-    #[test]
-    fn permutations_are_distinct_and_complete() {
-        let mut ps = permutations(&[1, 2, 3]);
-        ps.sort();
-        ps.dedup();
-        assert_eq!(ps.len(), 6);
-        for p in &ps {
-            let mut q = p.clone();
-            q.sort_unstable();
-            assert_eq!(q, vec![1, 2, 3]);
+    fn permutation_counts_match_factorials() {
+        fn factorial(n: usize) -> usize {
+            (1..=n).product()
+        }
+        for n in 0..=5usize {
+            let items: Vec<usize> = (0..n).collect();
+            let ps = permutations(&items);
+            assert_eq!(ps.len(), factorial(n), "n = {n}");
+            let mut sorted = ps.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), factorial(n), "n = {n} has duplicates");
+            for p in &ps {
+                let mut q = p.clone();
+                q.sort_unstable();
+                assert_eq!(q, items, "n = {n} permutation {p:?} is not a permutation");
+            }
         }
     }
 
     #[test]
+    fn permutations_of_empty_slice_is_single_empty() {
+        let ps = permutations::<u32>(&[]);
+        assert_eq!(ps, vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn permutations_of_single_element() {
+        assert_eq!(permutations(&[7]), vec![vec![7]]);
+    }
+
+    #[test]
     fn permutations_deterministic() {
-        assert_eq!(permutations(&['a', 'b', 'c']), permutations(&['a', 'b', 'c']));
+        for items in [vec![], vec!['a'], vec!['a', 'b', 'c'], vec!['a', 'b', 'c', 'd']] {
+            assert_eq!(permutations(&items), permutations(&items));
+        }
+    }
+
+    /// A two-process SOC whose `divider` process uses division — which
+    /// has no hardware implementation — plus a synthesizable `adder`.
+    fn divider_soc() -> SocDescription {
+        let mut nb = Network::builder();
+        let go = nb.event(EventDef::pure("GO"));
+        let mut div = Cfsm::builder("divider");
+        let s = div.state("s");
+        let v = div.var("v", 100);
+        div.transition(
+            s,
+            vec![go],
+            None,
+            Cfg::straight_line(vec![Stmt::Assign {
+                var: v,
+                expr: Expr::bin(BinOp::Div, Expr::Var(v), Expr::Const(2)),
+            }]),
+            s,
+        );
+        nb.process(div.finish().expect("valid machine"), Implementation::Sw);
+        let mut add = Cfsm::builder("adder");
+        let t = add.state("t");
+        let w = add.var("w", 0);
+        add.transition(
+            t,
+            vec![go],
+            None,
+            Cfg::straight_line(vec![Stmt::Assign {
+                var: w,
+                expr: Expr::add(Expr::Var(w), Expr::Const(1)),
+            }]),
+            t,
+        );
+        nb.process(add.finish().expect("valid machine"), Implementation::Sw);
+        SocDescription {
+            name: "divider".into(),
+            network: nb.finish().expect("valid network"),
+            stimulus: (0..3).map(|i| (i * 5_000, EventOccurrence::pure(go))).collect(),
+            priorities: vec![1, 1],
+        }
+    }
+
+    #[test]
+    fn partition_sweep_skips_infeasible_hw_mappings() {
+        let soc = divider_soc();
+        let divider = soc.network.process_by_name("divider").expect("exists");
+        let config = CoSimConfig::date2000_defaults();
+        // Only the divider movable: HW mapping is infeasible, so exactly
+        // 2^1 - 1 = 1 point survives — an absent point, not an error.
+        let points = explore_partitions(&soc, &config, &[divider]).expect("sweep succeeds");
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].label, "divider=SW");
+    }
+
+    #[test]
+    fn partition_sweep_point_count_is_power_of_two_minus_skipped() {
+        let soc = divider_soc();
+        let divider = soc.network.process_by_name("divider").expect("exists");
+        let adder = soc.network.process_by_name("adder").expect("exists");
+        let config = CoSimConfig::date2000_defaults();
+        // Both movable: the 2 partitions mapping the divider to HW are
+        // skipped, so 2^2 - 2 = 2 points remain.
+        let points = explore_partitions(&soc, &config, &[divider, adder]).expect("sweep succeeds");
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.label.contains("divider=SW")));
+    }
+
+    #[test]
+    fn too_many_movable_processes_is_a_typed_error() {
+        let soc = divider_soc();
+        let p = soc.network.process_by_name("adder").expect("exists");
+        let movable = vec![p; 17];
+        let err = explore_partitions(&soc, &CoSimConfig::date2000_defaults(), &movable);
+        assert!(matches!(err, Err(BuildEstimatorError::InvalidParams(_))));
     }
 }

@@ -1,0 +1,457 @@
+//! Parallel design-space exploration: the serial sweeps of
+//! [`crate::explore`], fanned out across a scoped worker pool.
+//!
+//! The paper's whole point of fast co-estimation is *iterative*
+//! architecture exploration (§5.3): a 48-point sweep is only as useful as
+//! its latency. Every point of a sweep is an independent co-simulation,
+//! so the engine enumerates the whole work list up front, hands indices
+//! to `std::thread::scope` workers through an atomic cursor, collects
+//! `(index, result)` pairs over an `mpsc` channel, and reassembles the
+//! output in index order.
+//!
+//! # Determinism contract
+//!
+//! The reassembled `Vec` is **bit-for-bit identical** to the serial
+//! sweep's at every worker count:
+//!
+//! * both paths share the per-point evaluators of [`crate::explore`], so
+//!   each index denotes exactly the same `(configuration, simulation)`;
+//! * each co-simulation is single-threaded and deterministic, so a point
+//!   computes the same report regardless of which worker runs it or when;
+//! * reassembly is by work-list index, so scheduling order never leaks
+//!   into the output.
+//!
+//! Errors keep the serial semantics too: workers record the lowest
+//! work-list index that failed, stop claiming indices *above* it (indices
+//! below still run, since one of them could fail earlier in enumeration
+//! order), and the engine returns the lowest-indexed error — exactly the
+//! error the serial sweep would have returned, since every point before
+//! it evaluated cleanly.
+
+use crate::config::{CoSimConfig, SocDescription};
+use crate::estimator::BuildEstimatorError;
+use crate::explore::{
+    check_partition_count, eval_bus_point, eval_partition_point, permutations, ExplorationPoint,
+    PartitionPoint,
+};
+use crate::master::CoSimReport;
+use cfsm::ProcId;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+/// How a parallel sweep should run.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Worker threads evaluating points. The engine clamps this to the
+    /// number of points, so over-provisioning is harmless.
+    pub workers: NonZeroUsize,
+    /// When set, overrides the base configuration's watchdog for every
+    /// point, so one degraded (livelocked / runaway) design point cannot
+    /// hang the whole sweep. `None` keeps the base config's budgets.
+    pub watchdog: Option<desim::WatchdogConfig>,
+}
+
+impl ExploreOptions {
+    /// One worker, base watchdog: the parallel engine degenerates to a
+    /// serial sweep (still channel-collected, still index-ordered).
+    pub fn serial() -> Self {
+        ExploreOptions {
+            workers: NonZeroUsize::MIN,
+            watchdog: None,
+        }
+    }
+
+    /// A fixed worker count (clamped up to at least 1).
+    pub fn with_workers(workers: usize) -> Self {
+        ExploreOptions {
+            workers: NonZeroUsize::new(workers).unwrap_or(NonZeroUsize::MIN),
+            watchdog: None,
+        }
+    }
+
+    /// Returns a copy with the given per-point watchdog budgets.
+    pub fn guarded(mut self, watchdog: desim::WatchdogConfig) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+}
+
+impl Default for ExploreOptions {
+    /// All the parallelism the host offers (1 when it cannot tell).
+    fn default() -> Self {
+        ExploreOptions {
+            workers: thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
+            watchdog: None,
+        }
+    }
+}
+
+/// Aggregate metrics of one sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepStats {
+    /// Points in the returned result (skipped/infeasible points excluded).
+    pub points: usize,
+    /// Wall-clock time of the whole sweep, milliseconds.
+    pub wall_ms: f64,
+    /// Sweep throughput, points per second.
+    pub points_per_sec: f64,
+    /// How many returned points carry a degraded (budget-tripped) report.
+    pub degraded: usize,
+    /// Worker threads actually used (after clamping to the point count).
+    pub workers: usize,
+    /// Per-point evaluation wall-clock, milliseconds, aligned with the
+    /// returned points.
+    pub point_wall_ms: Vec<f64>,
+}
+
+/// A parallel sweep's result: the points (bit-identical to the serial
+/// sweep) plus the throughput metrics.
+#[derive(Debug, Clone)]
+pub struct SweepReport<T> {
+    /// The evaluated points, in work-list (serial enumeration) order.
+    pub points: Vec<T>,
+    /// Sweep metrics.
+    pub stats: SweepStats,
+}
+
+/// Evaluates `total` independent work items on a scoped worker pool and
+/// returns `(point, eval_ms)` pairs in index order. `eval` returning
+/// `Ok(None)` marks an absent (skipped) point; an `Err` cancels indices
+/// above it and the lowest-indexed error is propagated (see module docs).
+fn run_indexed<T, F>(
+    total: usize,
+    workers: NonZeroUsize,
+    eval: F,
+) -> Result<(Vec<(T, f64)>, usize), BuildEstimatorError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<Option<T>, BuildEstimatorError> + Sync,
+{
+    type Slot<T> = Option<Result<Option<(T, f64)>, BuildEstimatorError>>;
+    let workers = workers.get().min(total.max(1));
+    let next = AtomicUsize::new(0);
+    let min_err = AtomicUsize::new(usize::MAX);
+    let (tx, rx) = mpsc::channel();
+    thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (next, min_err, eval) = (&next, &min_err, &eval);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                // Indices are claimed in increasing order, so once one is
+                // past the end or above a known failure, all later claims
+                // would be too: stop this worker.
+                if i >= total || i > min_err.load(Ordering::Acquire) {
+                    break;
+                }
+                let t0 = Instant::now();
+                let out = match eval(i) {
+                    Ok(point) => Ok(point.map(|p| (p, t0.elapsed().as_secs_f64() * 1e3))),
+                    Err(e) => {
+                        min_err.fetch_min(i, Ordering::AcqRel);
+                        Err(e)
+                    }
+                };
+                if tx.send((i, out)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Slot<T>> = std::iter::repeat_with(|| None).take(total).collect();
+    for (i, result) in rx {
+        slots[i] = Some(result);
+    }
+    let mut items = Vec::with_capacity(total);
+    for slot in slots {
+        match slot {
+            Some(Ok(Some(item))) => items.push(item),
+            Some(Ok(None)) | None => {} // skipped, or cancelled past an error
+            Some(Err(e)) => return Err(e),
+        }
+    }
+    Ok((items, workers))
+}
+
+/// Wraps collected items and timings into a [`SweepReport`].
+fn finish<T>(
+    items: Vec<(T, f64)>,
+    t0: Instant,
+    workers: usize,
+    report_of: impl Fn(&T) -> &CoSimReport,
+) -> SweepReport<T> {
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (points, point_wall_ms): (Vec<T>, Vec<f64>) = items.into_iter().unzip();
+    let degraded = points
+        .iter()
+        .filter(|p| report_of(p).outcome.is_degraded())
+        .count();
+    let points_per_sec = if wall_ms > 0.0 {
+        points.len() as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    SweepReport {
+        stats: SweepStats {
+            points: points.len(),
+            wall_ms,
+            points_per_sec,
+            degraded,
+            workers,
+            point_wall_ms,
+        },
+        points,
+    }
+}
+
+/// The parallel counterpart of
+/// [`explore_bus_architecture`](crate::explore_bus_architecture): same
+/// enumeration (every priority permutation × every DMA size), same
+/// bit-for-bit results, fanned out over `options.workers` threads.
+///
+/// # Errors
+///
+/// Returns the lowest-enumeration-order [`BuildEstimatorError`] — the
+/// same error the serial sweep returns.
+pub fn explore_bus_architecture_parallel(
+    soc: &SocDescription,
+    base: &CoSimConfig,
+    prioritized_procs: &[ProcId],
+    dma_sizes: &[u32],
+    options: &ExploreOptions,
+) -> Result<SweepReport<ExplorationPoint>, BuildEstimatorError> {
+    let config = match &options.watchdog {
+        Some(w) => base.with_watchdog(w.clone()),
+        None => base.clone(),
+    };
+    let perms = permutations(prioritized_procs);
+    let total = perms.len() * dma_sizes.len();
+    let t0 = Instant::now();
+    let (items, workers) = run_indexed(total, options.workers, |i| {
+        let perm = &perms[i / dma_sizes.len()];
+        let dma = dma_sizes[i % dma_sizes.len()];
+        eval_bus_point(soc, &config, perm, dma).map(Some)
+    })?;
+    Ok(finish(items, t0, workers, |p| &p.report))
+}
+
+/// The parallel counterpart of
+/// [`explore_partitions`](crate::explore_partitions): every 2^n HW/SW
+/// partition of `movable`, infeasible (unsynthesizable) points absent,
+/// results bit-for-bit identical to the serial sweep.
+///
+/// # Errors
+///
+/// Rejects more than 16 movable processes, and propagates the
+/// lowest-enumeration-order build failure that is not a synthesis
+/// infeasibility.
+pub fn explore_partitions_parallel(
+    soc: &SocDescription,
+    base: &CoSimConfig,
+    movable: &[ProcId],
+    options: &ExploreOptions,
+) -> Result<SweepReport<PartitionPoint>, BuildEstimatorError> {
+    check_partition_count(movable)?;
+    let config = match &options.watchdog {
+        Some(w) => base.with_watchdog(w.clone()),
+        None => base.clone(),
+    };
+    let total = 1usize << movable.len();
+    let t0 = Instant::now();
+    let (items, workers) = run_indexed(total, options.workers, |i| {
+        eval_partition_point(soc, &config, movable, i as u32)
+    })?;
+    Ok(finish(items, t0, workers, |p| &p.report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore_bus_architecture, explore_partitions};
+    use cfsm::{Cfg, Cfsm, EventDef, EventOccurrence, Expr, Implementation, Network, Stmt};
+
+    /// A three-process SOC with shared-memory traffic so priorities and
+    /// DMA sizes have real energy consequences.
+    fn sweep_soc() -> SocDescription {
+        let mut nb = Network::builder();
+        let go = nb.event(EventDef::pure("GO"));
+        let ack = nb.event(EventDef::valued("ACK"));
+        for (name, mapping) in [
+            ("alpha", Implementation::Sw),
+            ("beta", Implementation::Hw),
+            ("gamma", Implementation::Hw),
+        ] {
+            let mut mb = Cfsm::builder(name);
+            let s = mb.state("s");
+            let v = mb.var("v", 0);
+            mb.transition(
+                s,
+                vec![go],
+                None,
+                Cfg::straight_line(vec![
+                    Stmt::Assign {
+                        var: v,
+                        expr: Expr::add(Expr::Var(v), Expr::Const(2)),
+                    },
+                    Stmt::MemWrite {
+                        addr: Expr::Const(16),
+                        value: Expr::Var(v),
+                    },
+                    Stmt::Emit {
+                        event: ack,
+                        value: Some(Expr::Var(v)),
+                    },
+                ]),
+                s,
+            );
+            nb.process(mb.finish().expect("valid machine"), mapping);
+        }
+        SocDescription {
+            name: "sweep".into(),
+            network: nb.finish().expect("valid network"),
+            stimulus: (0..4).map(|i| (i * 8_000, EventOccurrence::pure(go))).collect(),
+            priorities: vec![1, 2, 3],
+        }
+    }
+
+    fn points_bitwise_equal(a: &[ExplorationPoint], b: &[ExplorationPoint]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.dma_block_size == y.dma_block_size
+                    && x.priorities == y.priorities
+                    && x.label == y.label
+                    && x.report.golden_snapshot() == y.report.golden_snapshot()
+            })
+    }
+
+    #[test]
+    fn parallel_bus_sweep_matches_serial_bitwise() {
+        let soc = sweep_soc();
+        let config = CoSimConfig::date2000_defaults();
+        let procs: Vec<ProcId> = soc.network.process_ids().collect();
+        let dmas = [2u32, 8, 32];
+        let serial = explore_bus_architecture(&soc, &config, &procs, &dmas).expect("serial");
+        for workers in [1usize, 2, 5] {
+            let par = explore_bus_architecture_parallel(
+                &soc,
+                &config,
+                &procs,
+                &dmas,
+                &ExploreOptions::with_workers(workers),
+            )
+            .expect("parallel");
+            assert!(
+                points_bitwise_equal(&serial, &par.points),
+                "divergence at workers = {workers}"
+            );
+            assert_eq!(par.stats.points, serial.len());
+            assert_eq!(par.stats.degraded, 0);
+            assert_eq!(par.stats.point_wall_ms.len(), serial.len());
+            assert!(par.stats.wall_ms > 0.0 && par.stats.points_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_partition_sweep_matches_serial() {
+        let soc = sweep_soc();
+        let config = CoSimConfig::date2000_defaults();
+        let movable: Vec<ProcId> = soc.network.process_ids().take(2).collect();
+        let serial = explore_partitions(&soc, &config, &movable).expect("serial");
+        for workers in [1usize, 4] {
+            let par = explore_partitions_parallel(
+                &soc,
+                &config,
+                &movable,
+                &ExploreOptions::with_workers(workers),
+            )
+            .expect("parallel");
+            assert_eq!(par.points.len(), serial.len());
+            for (s, p) in serial.iter().zip(&par.points) {
+                assert_eq!(s.label, p.label);
+                assert_eq!(s.mapping, p.mapping);
+                assert_eq!(
+                    s.report.golden_snapshot(),
+                    p.report.golden_snapshot(),
+                    "partition `{}` diverged at workers = {workers}",
+                    s.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_option_bounds_degraded_points_without_hanging() {
+        let soc = sweep_soc();
+        let config = CoSimConfig::date2000_defaults();
+        let procs: Vec<ProcId> = soc.network.process_ids().collect();
+        let opts = ExploreOptions::with_workers(2).guarded(desim::WatchdogConfig {
+            max_cycles: Some(10_000),
+            ..desim::WatchdogConfig::unlimited()
+        });
+        let par = explore_bus_architecture_parallel(&soc, &config, &procs, &[4], &opts)
+            .expect("sweep completes");
+        assert_eq!(par.stats.points, par.points.len());
+        assert_eq!(
+            par.stats.degraded,
+            par.points.iter().filter(|p| p.report.outcome.is_degraded()).count()
+        );
+        // The stimulus runs to cycle 24_000, so a 10_000-cycle budget
+        // must degrade every point rather than hang any of them.
+        assert_eq!(par.stats.degraded, par.stats.points);
+    }
+
+    #[test]
+    fn worker_errors_propagate_as_the_serial_error() {
+        let soc = sweep_soc();
+        // A fault plan naming an unknown event fails CoSimulator::new
+        // with a typed error at every point of the sweep.
+        let config = CoSimConfig::date2000_defaults()
+            .with_faults(crate::faults::FaultPlan::new().drop_event(1, "NO_SUCH_EVENT"));
+        let procs: Vec<ProcId> = soc.network.process_ids().collect();
+        let serial_err = explore_bus_architecture(&soc, &config, &procs, &[2, 8])
+            .expect_err("serial fails");
+        let par_err = explore_bus_architecture_parallel(
+            &soc,
+            &config,
+            &procs,
+            &[2, 8],
+            &ExploreOptions::with_workers(3),
+        )
+        .expect_err("parallel fails");
+        assert_eq!(format!("{serial_err}"), format!("{par_err}"));
+    }
+
+    #[test]
+    fn empty_work_list_yields_empty_sweep() {
+        let soc = sweep_soc();
+        let config = CoSimConfig::date2000_defaults();
+        let procs: Vec<ProcId> = soc.network.process_ids().collect();
+        let par = explore_bus_architecture_parallel(
+            &soc,
+            &config,
+            &procs,
+            &[],
+            &ExploreOptions::default(),
+        )
+        .expect("empty sweep");
+        assert!(par.points.is_empty());
+        assert_eq!(par.stats.points, 0);
+    }
+
+    #[test]
+    fn options_constructors() {
+        assert_eq!(ExploreOptions::serial().workers.get(), 1);
+        assert_eq!(ExploreOptions::with_workers(0).workers.get(), 1);
+        assert_eq!(ExploreOptions::with_workers(6).workers.get(), 6);
+        assert!(ExploreOptions::default().workers.get() >= 1);
+        let guarded = ExploreOptions::serial().guarded(desim::WatchdogConfig {
+            max_events: Some(10),
+            ..desim::WatchdogConfig::unlimited()
+        });
+        assert!(guarded.watchdog.is_some());
+    }
+}

@@ -21,7 +21,10 @@
 //!   ([`SamplingConfig`], [`KMemoryCompactor`], §4.3).
 //!
 //! [`explore_bus_architecture`] drives the iterative design-space
-//! exploration of §5.3.
+//! exploration of §5.3; [`explore_bus_architecture_parallel`] and
+//! [`explore_partitions_parallel`] fan the same sweeps out over a scoped
+//! worker pool ([`ExploreOptions`]) with **bit-for-bit identical**
+//! results and throughput metrics ([`SweepStats`]).
 //!
 //! The framework is fault-aware: a [`FaultPlan`] schedules declarative
 //! fault injections (dropped/duplicated/delayed events, frozen processes,
@@ -72,11 +75,13 @@ mod caching;
 mod config;
 mod estimator;
 mod explore;
+mod explore_parallel;
 mod faults;
 mod macromodel;
 mod master;
 mod sampling;
 mod separate;
+mod snapshot;
 pub mod spec;
 mod stats;
 
@@ -91,6 +96,11 @@ pub use explore::{
     explore_bus_architecture, explore_partitions, minimum_energy, permutations,
     ExplorationPoint, PartitionPoint,
 };
+pub use explore_parallel::{
+    explore_bus_architecture_parallel, explore_partitions_parallel, ExploreOptions,
+    SweepReport, SweepStats,
+};
+pub use snapshot::snapshot_diff;
 pub use macromodel::{
     characterize_hw, characterize_sw, MacroCost, ParameterFile, ParseParameterError,
 };

@@ -1,0 +1,197 @@
+//! Stable textual serialization of [`CoSimReport`] for golden-file
+//! testing.
+//!
+//! The snapshot is designed for *drift detection*, not pretty-printing:
+//! every section lists its keys in a fixed (alphabetical) order, every
+//! float is rendered both human-readably (`{:.9e}`) and bit-exactly (the
+//! IEEE-754 bit pattern in hex), and collection entries appear in their
+//! deterministic simulation order. Two reports produce the same snapshot
+//! **iff** they are observably identical — including float results down
+//! to the last ULP, which is exactly the equality the parallel sweep's
+//! determinism contract promises.
+//!
+//! Raw power waveforms are summarized (bucket count, bit-exact energy
+//! sum, peak) instead of dumped bucket-by-bucket, keeping goldens small
+//! while still catching any redistribution of energy over time.
+
+use crate::master::{CoSimReport, RunOutcome};
+
+/// Renders a float as `mantissa-exponent / bit-pattern` — readable and
+/// bit-exact at once.
+fn fmt_f64(x: f64) -> String {
+    format!("{x:.9e} (bits 0x{:016x})", x.to_bits())
+}
+
+impl CoSimReport {
+    /// The stable textual snapshot of this report (see module docs of
+    /// [`crate::snapshot`]). Byte-identical snapshots ⇔ observably
+    /// identical reports.
+    pub fn golden_snapshot(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("[report]\n");
+        s.push_str(&format!("accelerated_calls = {}\n", self.accelerated_calls));
+        s.push_str(&format!("detailed_calls = {}\n", self.detailed_calls));
+        s.push_str(&format!("firings = {}\n", self.firings));
+        let outcome = match &self.outcome {
+            RunOutcome::Completed => "completed".to_string(),
+            RunOutcome::Degraded { reason } => format!("degraded: {reason}"),
+        };
+        s.push_str(&format!("outcome = {outcome}\n"));
+        s.push_str(&format!("system = {}\n", self.system));
+        s.push_str(&format!("total_cycles = {}\n", self.total_cycles));
+        s.push_str(&format!("total_energy_j = {}\n", fmt_f64(self.total_energy_j())));
+
+        s.push_str("\n[bus]\n");
+        s.push_str(&format!("blocks = {}\n", self.bus.blocks));
+        s.push_str(&format!("busy_cycles = {}\n", self.bus.busy_cycles));
+        s.push_str(&format!("energy_j = {}\n", fmt_f64(self.bus_energy_j)));
+        s.push_str(&format!("toggles = {}\n", self.bus.toggles));
+        s.push_str(&format!("wait_cycles = {}\n", self.bus.wait_cycles));
+        s.push_str(&format!("words = {}\n", self.bus.words));
+
+        s.push_str("\n[cache]\n");
+        s.push_str(&format!("accesses = {}\n", self.cache.accesses));
+        s.push_str(&format!("energy_j = {}\n", fmt_f64(self.cache_energy_j)));
+        s.push_str(&format!("hits = {}\n", self.cache.hits));
+        s.push_str(&format!("misses = {}\n", self.cache.misses));
+
+        for (i, p) in self.processes.iter().enumerate() {
+            s.push_str(&format!("\n[process {i} {}]\n", p.name));
+            s.push_str(&format!("busy_cycles = {}\n", p.busy_cycles));
+            s.push_str(&format!("energy_j = {}\n", fmt_f64(p.energy_j)));
+            s.push_str(&format!("firings = {}\n", p.firings));
+            s.push_str(&format!("mapping = {}\n", p.mapping));
+        }
+
+        s.push_str("\n[account]\n");
+        for (id, name, totals) in self.account.iter() {
+            let w = self.account.waveform(id);
+            let buckets = w.energy_per_bucket_j().len();
+            let sum: f64 = w.energy_per_bucket_j().iter().sum();
+            let peak = match w.peak() {
+                Some((idx, e)) => format!("bucket {idx} at {}", fmt_f64(e)),
+                None => "none".to_string(),
+            };
+            s.push_str(&format!(
+                "component {} {name}: energy_j = {}, busy_cycles = {}, records = {}, \
+                 waveform = {{buckets = {buckets}, sum_j = {}, peak = {peak}}}\n",
+                id.0,
+                fmt_f64(totals.energy_j),
+                totals.busy_cycles,
+                totals.records,
+                fmt_f64(sum),
+            ));
+        }
+
+        s.push_str("\n[anomalies]\n");
+        s.push_str(&format!("count = {}\n", self.anomalies.len()));
+        for a in self.anomalies.iter() {
+            s.push_str(&format!("cycle {} = {}\n", a.at_cycle, a.kind));
+        }
+        s
+    }
+}
+
+/// Compares two snapshots line by line; `None` when identical, otherwise
+/// a readable report of the first divergence (with a little context) and
+/// the total number of differing lines.
+pub fn snapshot_diff(expected: &str, actual: &str) -> Option<String> {
+    if expected == actual {
+        return None;
+    }
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut differing = 0usize;
+    let mut first: Option<usize> = None;
+    for i in 0..exp.len().max(act.len()) {
+        if exp.get(i) != act.get(i) {
+            differing += 1;
+            if first.is_none() {
+                first = Some(i);
+            }
+        }
+    }
+    let i = first.unwrap_or(0);
+    let mut out = format!(
+        "{differing} line(s) differ; first divergence at line {}:\n",
+        i + 1
+    );
+    let ctx_start = i.saturating_sub(2);
+    for j in ctx_start..i {
+        if let Some(line) = exp.get(j) {
+            out.push_str(&format!("    {line}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "  - expected: {}\n  + actual:   {}\n",
+        exp.get(i).unwrap_or(&"<missing line>"),
+        act.get(i).unwrap_or(&"<missing line>"),
+    ));
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoSimConfig, SocDescription};
+    use crate::master::CoSimulator;
+    use cfsm::{Cfg, Cfsm, EventDef, EventOccurrence, Expr, Implementation, Network, Stmt};
+
+    fn tiny_soc() -> SocDescription {
+        let mut nb = Network::builder();
+        let tick = nb.event(EventDef::pure("TICK"));
+        let mut mb = Cfsm::builder("counter");
+        let st = mb.state("s");
+        let v = mb.var("v", 0);
+        mb.transition(
+            st,
+            vec![tick],
+            None,
+            Cfg::straight_line(vec![Stmt::Assign {
+                var: v,
+                expr: Expr::add(Expr::Var(v), Expr::Const(1)),
+            }]),
+            st,
+        );
+        nb.process(mb.finish().expect("valid machine"), Implementation::Hw);
+        SocDescription {
+            name: "tiny".into(),
+            network: nb.finish().expect("valid network"),
+            stimulus: (0..3).map(|i| (i * 100, EventOccurrence::pure(tick))).collect(),
+            priorities: vec![1],
+        }
+    }
+
+    fn snapshot() -> String {
+        let mut sim = CoSimulator::new(tiny_soc(), CoSimConfig::date2000_defaults())
+            .expect("builds");
+        sim.run().golden_snapshot()
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_sectioned() {
+        let a = snapshot();
+        let b = snapshot();
+        assert_eq!(a, b);
+        for section in ["[report]", "[bus]", "[cache]", "[process 0 counter]", "[account]", "[anomalies]"] {
+            assert!(a.contains(section), "missing {section} in:\n{a}");
+        }
+        assert!(a.contains("bits 0x"), "floats carry bit patterns");
+    }
+
+    #[test]
+    fn diff_reports_first_divergence() {
+        let a = "x = 1\ny = 2\nz = 3\n";
+        let b = "x = 1\ny = 9\nz = 3\n";
+        assert!(snapshot_diff(a, a).is_none());
+        let d = snapshot_diff(a, b).expect("differs");
+        assert!(d.contains("line 2"), "{d}");
+        assert!(d.contains("y = 2") && d.contains("y = 9"), "{d}");
+    }
+
+    #[test]
+    fn diff_handles_length_mismatch() {
+        let d = snapshot_diff("a\nb\n", "a\n").expect("differs");
+        assert!(d.contains("<missing line>"), "{d}");
+    }
+}

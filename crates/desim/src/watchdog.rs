@@ -35,6 +35,17 @@ impl WatchdogConfig {
         Self::default()
     }
 
+    /// A configuration bounding only simulated time — the natural guard
+    /// for a design-space sweep, where one pathological point must not
+    /// hang the whole exploration but wall-clock budgets would make runs
+    /// machine-dependent (and hence non-reproducible).
+    pub fn sim_cycles(limit: u64) -> Self {
+        WatchdogConfig {
+            max_cycles: Some(limit),
+            ..WatchdogConfig::default()
+        }
+    }
+
     /// `true` when no budget is set.
     pub fn is_unlimited(&self) -> bool {
         self.wall_clock.is_none()
@@ -179,6 +190,15 @@ mod tests {
             assert_eq!(dog.observe(SimTime::from_cycles(t / 3)), None);
         }
         assert_eq!(dog.events(), 10_000);
+    }
+
+    #[test]
+    fn sim_cycles_constructor_sets_only_the_cycle_budget() {
+        let cfg = WatchdogConfig::sim_cycles(500);
+        assert_eq!(cfg.max_cycles, Some(500));
+        assert!(cfg.wall_clock.is_none() && cfg.max_events.is_none());
+        assert!(cfg.max_stagnant_events.is_none());
+        assert!(!cfg.is_unlimited());
     }
 
     #[test]

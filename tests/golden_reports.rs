@@ -1,0 +1,104 @@
+//! Golden snapshot tests: the three seed systems' co-estimation reports
+//! against committed golden files.
+//!
+//! Each golden is the stable textual serialization of a `CoSimReport`
+//! (`CoSimReport::golden_snapshot`): fixed key order, bit-exact float
+//! rendering. Any behavioral drift — a scheduling change, an energy model
+//! tweak, a float reassociation — fails these tests with a readable diff
+//! of the first diverging line.
+//!
+//! To regenerate after an *intentional* change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test golden_reports
+//! ```
+//!
+//! then review the golden diff like any other code change.
+
+use co_estimation::{snapshot_diff, CoSimConfig, CoSimulator, SocDescription};
+use std::path::PathBuf;
+use systems::{automotive, producer_consumer, tcpip};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.txt"))
+}
+
+fn check_golden(name: &str, soc: SocDescription) {
+    let mut sim =
+        CoSimulator::new(soc, CoSimConfig::date2000_defaults()).expect("system builds");
+    let actual = sim.run().golden_snapshot();
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, &actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {}: {e}\n\
+             (regenerate with: UPDATE_GOLDENS=1 cargo test --test golden_reports)",
+            path.display()
+        )
+    });
+    if let Some(diff) = snapshot_diff(&expected, &actual) {
+        panic!(
+            "golden report drift for `{name}`:\n{diff}\n\
+             If this change is intentional, regenerate with:\n\
+             UPDATE_GOLDENS=1 cargo test --test golden_reports\n\
+             and review the golden diff."
+        );
+    }
+}
+
+#[test]
+fn tcpip_golden_report() {
+    check_golden(
+        "tcpip",
+        tcpip::build(&tcpip::TcpIpParams {
+            num_packets: 8,
+            len_range: (8, 24),
+            pkt_period: 4_000,
+            seed: 11,
+        })
+        .expect("valid params"),
+    );
+}
+
+#[test]
+fn producer_consumer_golden_report() {
+    check_golden(
+        "producer_consumer",
+        producer_consumer::build(&producer_consumer::ProducerConsumerParams {
+            num_pkts: 5,
+            pkt_bytes: 24,
+            start_period: 600,
+            tick_period: 150,
+            num_starts: 25,
+        })
+        .expect("valid params"),
+    );
+}
+
+#[test]
+fn automotive_golden_report() {
+    check_golden(
+        "automotive",
+        automotive::build(&automotive::AutomotiveParams {
+            num_samples: 6,
+            sample_period: 1_500,
+            pulse_period: 200,
+            target_speed: 25,
+        })
+        .expect("valid params"),
+    );
+}
+
+#[test]
+fn float_accumulation_debug_release_sentinel() {
+    // A pure-float sentinel: if debug and release builds ever disagree on
+    // float evaluation (e.g. through a future fast-math flag), this very
+    // cheap test pinpoints it without a full system diff.
+    let x: f64 = (0..100).map(|i| (i as f64) * 1.0e-7).sum();
+    assert_eq!(x.to_bits(), 0x3f40385c67dfe32a);
+}
