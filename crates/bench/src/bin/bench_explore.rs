@@ -14,10 +14,12 @@
 // from the workspace-wide panic-free policy.
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 
-use co_estimation::{ExplorationPoint, ExploreOptions};
-use soc_bench::{fig7_parallel, fig7_serial};
+use co_estimation::{
+    Acceleration, CoSimConfig, ExplorationPoint, ExploreOptions, SamplingConfig,
+};
+use soc_bench::{fig7_parallel, fig7_serial, run_with_metrics, table1_caching};
 use std::time::Instant;
-use systems::tcpip::TcpIpParams;
+use systems::tcpip::{self, TcpIpParams};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -76,11 +78,44 @@ fn main() {
         ));
     }
 
+    // Trace-metrics cross-check: one representative run per acceleration
+    // mode with a MetricsSink attached, reporting detailed vs.
+    // accelerated calls per layer alongside the sweep timings.
+    let mut metric_rows = String::new();
+    let modes: [(&str, Acceleration); 4] = [
+        ("baseline", Acceleration::none()),
+        ("caching", Acceleration::caching(table1_caching())),
+        ("macromodel", Acceleration::macromodel()),
+        ("sampling", Acceleration::sampling(SamplingConfig { period: 4 })),
+    ];
+    println!();
+    for (k, (mode, accel)) in modes.iter().enumerate() {
+        let soc = tcpip::build(&params).expect("valid params");
+        let config = CoSimConfig::date2000_defaults().with_accel(accel.clone());
+        let (report, metrics) = run_with_metrics(soc, config);
+        assert_eq!(metrics.firings, report.firings, "trace/report firing drift");
+        assert_eq!(
+            metrics.detailed_calls, report.detailed_calls,
+            "trace/report detailed-call drift"
+        );
+        println!(
+            "trace metrics [{mode}]: {} firings, {} detailed, {} accelerated",
+            metrics.firings,
+            metrics.detailed_calls,
+            metrics.accelerated_calls()
+        );
+        if k > 0 {
+            metric_rows.push_str(",\n");
+        }
+        metric_rows.push_str(&format!("    {{\"mode\": \"{mode}\", \"metrics\": {}}}", metrics.to_json()));
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"explore_fig7_sweep\",\n  \"system\": \"tcpip\",\n  \
          \"points\": {points},\n  \"host_cpus\": {host_cpus},\n  \
          \"serial\": {{\"wall_s\": {serial_s:.6}, \"points_per_sec\": {:.3}}},\n  \
-         \"parallel\": [\n{rows}\n  ]\n}}\n",
+         \"parallel\": [\n{rows}\n  ],\n  \
+         \"trace_metrics\": [\n{metric_rows}\n  ]\n}}\n",
         points as f64 / serial_s
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");

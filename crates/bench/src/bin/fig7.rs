@@ -7,9 +7,9 @@
 // from the workspace-wide panic-free policy.
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 
-use co_estimation::{minimum_energy, ExploreOptions};
-use soc_bench::{fig7_parallel, render_sweep_stats, FIG7_DMA_SIZES};
-use systems::tcpip::TcpIpParams;
+use co_estimation::{minimum_energy, CoSimConfig, ExploreOptions};
+use soc_bench::{fig7_parallel, render_sweep_stats, run_with_metrics, FIG7_DMA_SIZES};
+use systems::tcpip::{self, TcpIpParams};
 
 fn main() {
     println!("== Fig. 7: communication-architecture design-space exploration ==");
@@ -48,4 +48,22 @@ fn main() {
         min.label
     );
     println!("sweep: {}", render_sweep_stats(&sweep.stats));
+
+    // Observability cross-check at the minimum-energy configuration: a
+    // single traced run whose MetricsSink aggregates must agree with the
+    // report's own counters.
+    let params = TcpIpParams::fig7_defaults();
+    let soc = tcpip::build(&params).expect("valid params");
+    let (report, metrics) = run_with_metrics(soc, CoSimConfig::date2000_defaults());
+    assert_eq!(metrics.firings, report.firings, "trace/report firing drift");
+    println!(
+        "\ntrace metrics (default config): {} firings, {} detailed calls, \
+         {} accelerated, {} bus grants ({} words), {} icache fetches",
+        metrics.firings,
+        metrics.detailed_calls,
+        metrics.accelerated_calls(),
+        metrics.bus_grants,
+        metrics.bus_words,
+        metrics.icache_fetches,
+    );
 }

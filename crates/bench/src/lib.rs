@@ -55,6 +55,23 @@ pub fn timed_run(soc: co_estimation::SocDescription, config: CoSimConfig) -> (Co
     (report, t0.elapsed().as_secs_f64())
 }
 
+/// Runs one co-estimation with a [`MetricsSink`](soctrace::MetricsSink)
+/// attached and returns the report plus the aggregated trace counters
+/// (detailed vs. accelerated calls per layer, cache hit rate, bus and
+/// i-cache traffic) — the observability cross-check the benchmark
+/// reports alongside its timings.
+pub fn run_with_metrics(
+    soc: co_estimation::SocDescription,
+    config: CoSimConfig,
+) -> (CoSimReport, soctrace::MetricsSink) {
+    let mut sim = CoSimulator::new(soc, config).expect("system builds");
+    let shared = soctrace::SharedSink::new(soctrace::MetricsSink::new());
+    sim.attach_trace(Box::new(shared.clone()));
+    let report = sim.run();
+    drop(sim);
+    (report, shared.into_inner())
+}
+
 // ---------------------------------------------------------------------
 // Fig. 1(b)
 // ---------------------------------------------------------------------

@@ -168,6 +168,8 @@ pub struct BlockGrant {
     pub start: u64,
     /// One past the last cycle.
     pub end: u64,
+    /// Words transferred in this block.
+    pub words: u64,
     /// Energy of the handshake plus the block's word transfers, joules.
     pub energy_j: f64,
     /// Whether this was the request's final block.
@@ -441,6 +443,7 @@ impl Bus {
             master,
             start: now,
             end,
+            words: chunk.len() as u64,
             energy_j,
             request_done,
         })
@@ -650,6 +653,7 @@ mod tests {
         let g2 = b.grant_block(g1.end).expect("second grant");
         assert_eq!(g2.request, r_hi, "newcomer wins the next block");
         assert!(g2.request_done);
+        assert_eq!(g2.words, 2, "full DMA block transferred");
         let g3 = b.grant_block(g2.end).expect("third grant");
         assert_eq!(g3.request, r_lo, "low priority resumes");
     }

@@ -1,16 +1,19 @@
 //! Component power estimators — the pluggable lower-level simulators.
 //!
 //! Each process of the network gets one estimator according to its
-//! mapping: a gate-level [`HwCfsm`](gatesim::HwCfsm) for hardware, an
-//! enhanced ISS [`SwCfsm`](iss::SwCfsm) for software. The co-simulation
-//! master drives them through the single [`ComponentEstimator::run`]
-//! interface and, in debug builds, cross-checks their functional results
-//! against the behavioral execution — the two engines must agree on the
-//! path taken.
+//! mapping and the configured [`EstimatorBackend`]: a gate-level
+//! [`HwCfsm`](gatesim::HwCfsm) wrapped in [`HwEstimator`] for hardware,
+//! an enhanced ISS [`SwCfsm`](iss::SwCfsm) wrapped in [`SwEstimator`]
+//! for software, or the table-driven [`LinearModelEstimator`] for
+//! either. The co-simulation master drives them through the object-safe
+//! [`PowerEstimator`] trait — the seam third-party backends plug into —
+//! and, in debug builds, the detailed backends cross-check their
+//! functional results against the behavioral execution: the two engines
+//! must agree on the path taken.
 
-use crate::config::CoSimConfig;
+use crate::config::{CoSimConfig, EstimatorBackend};
+use crate::macromodel::{characterize_hw, characterize_sw, ParameterFile};
 use cfsm::{EventId, Execution, Implementation, Network, ProcId, TransitionId};
-use gatesim::bus::mask_to_width;
 use gatesim::{HwCfsm, SynthError};
 use iss::codegen::CodegenError;
 use iss::{PowerModel, SwCfsm};
@@ -71,157 +74,322 @@ pub struct DetailedCost {
     pub energy_j: f64,
 }
 
-/// A component's detailed power estimator.
-#[derive(Debug)]
-pub enum ComponentEstimator {
-    /// Gate-level simulation of the synthesized FSMD.
-    Hw(Box<HwCfsm>),
-    /// Enhanced instruction-set simulation of the compiled program.
-    Sw(Box<SwCfsm>),
+/// Everything a backend needs to price one firing.
+///
+/// `vars_in` / `event_value` are the pre-firing behavioral state; `exec`
+/// is the behavioral execution whose path the estimator must reproduce
+/// (its recorded read values feed the replay).
+pub struct FiringInputs<'a> {
+    /// Which transition fired.
+    pub transition: TransitionId,
+    /// Variable values before the firing.
+    pub vars_in: &'a [i64],
+    /// Input-event values visible at the firing.
+    pub event_value: &'a dyn Fn(EventId) -> i64,
+    /// The behavioral execution to replay.
+    pub exec: &'a Execution,
 }
 
-impl ComponentEstimator {
-    /// Builds the estimator matching the process's mapping.
+impl fmt::Debug for FiringInputs<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FiringInputs")
+            .field("transition", &self.transition)
+            .field("vars_in", &self.vars_in)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A component's power estimator — the pluggable backend seam.
+///
+/// The master owns one `Box<dyn PowerEstimator>` per process and knows
+/// nothing about how costs are produced: gate-level simulation
+/// ([`HwEstimator`]), instruction-set simulation ([`SwEstimator`]), a
+/// characterized linear model ([`LinearModelEstimator`]), or anything a
+/// downstream crate implements.
+pub trait PowerEstimator: fmt::Debug {
+    /// The backend's short identifying name (e.g. `"gate-level"`).
+    fn backend_name(&self) -> &'static str;
+
+    /// Whether this estimator models a hardware-mapped component.
+    fn is_hw(&self) -> bool;
+
+    /// Prices one firing: `(cycles, energy)` of the transition's
+    /// execution phase.
+    fn run_firing(&mut self, inputs: &FiringInputs<'_>) -> DetailedCost;
+
+    /// Energy of `cycles` of bus-wait idling, joules.
+    ///
+    /// In `detailed` mode a backend may actually step its model through
+    /// the wait (the gate-level backend charges the clock tree); when an
+    /// acceleration technique served the firing, an analytically
+    /// equivalent charge is used instead.
+    fn wait_energy(&mut self, transition: TransitionId, cycles: u64, detailed: bool) -> f64;
+
+    /// For backends with a program layout: the instruction-fetch
+    /// addresses of one behavioral execution, used by the master to
+    /// drive the cache simulator. Defaults to `None` (no fetch stream).
+    fn ifetch_addrs(&self, transition: TransitionId, exec: &Execution) -> Option<Vec<u64>> {
+        let _ = (transition, exec);
+        None
+    }
+
+    /// Functional cross-check helper: whether `got` variables match the
+    /// behavioral `want`, modulo the backend's value representation.
+    /// Defaults to exact equality.
+    fn vars_agree(&self, got: &[i64], want: &[i64]) -> bool {
+        got == want
+    }
+}
+
+/// Gate-level simulation of the synthesized FSMD.
+#[derive(Debug)]
+pub struct HwEstimator {
+    hw: Box<HwCfsm>,
+}
+
+impl HwEstimator {
+    /// Synthesizes the process's CFSM into a gate-level estimator.
     ///
     /// # Errors
     ///
-    /// Returns a [`BuildEstimatorError`] naming the process on failure.
+    /// Returns [`BuildEstimatorError::Synth`] when an operator has no
+    /// structural implementation.
     pub fn build(
         network: &Network,
         proc: ProcId,
         config: &CoSimConfig,
     ) -> Result<Self, BuildEstimatorError> {
         let machine = network.cfsm(proc);
-        match network.mapping(proc) {
-            Implementation::Hw => {
-                let hw = HwCfsm::synthesize(machine, &config.synth, &config.hw_power)
-                    .map_err(|e| BuildEstimatorError::Synth(machine.name().to_string(), e))?;
-                Ok(ComponentEstimator::Hw(Box::new(hw)))
-            }
-            Implementation::Sw => {
-                let power = PowerModel::of_kind(config.sw_power);
-                let sw = SwCfsm::new(machine, power, &|e| {
-                    network
-                        .events()
-                        .get(e.0 as usize)
-                        .map(|d| d.carries_value)
-                        .unwrap_or(false)
-                })
-                .map_err(|e| BuildEstimatorError::Codegen(machine.name().to_string(), e))?;
-                Ok(ComponentEstimator::Sw(Box::new(sw)))
-            }
+        let hw = HwCfsm::synthesize(machine, &config.synth, &config.hw_power)
+            .map_err(|e| BuildEstimatorError::Synth(machine.name().to_string(), e))?;
+        Ok(HwEstimator { hw: Box::new(hw) })
+    }
+}
+
+impl PowerEstimator for HwEstimator {
+    fn backend_name(&self) -> &'static str {
+        "gate-level"
+    }
+
+    fn is_hw(&self) -> bool {
+        true
+    }
+
+    fn run_firing(&mut self, inputs: &FiringInputs<'_>) -> DetailedCost {
+        let reads = inputs.exec.read_values();
+        let run = self
+            .hw
+            .transition_mut(inputs.transition)
+            .run(inputs.vars_in, inputs.event_value, &reads);
+        debug_assert_eq!(
+            run.emitted.len(),
+            inputs.exec.emitted.len(),
+            "gate-level and behavioral emission counts diverged"
+        );
+        debug_assert_eq!(
+            run.mem_ops.len(),
+            inputs.exec.mem_accesses.len(),
+            "gate-level and behavioral memory traffic diverged"
+        );
+        DetailedCost {
+            cycles: run.cycles,
+            energy_j: run.energy_j,
         }
     }
 
-    /// Whether this is the hardware estimator.
-    pub fn is_hw(&self) -> bool {
-        matches!(self, ComponentEstimator::Hw(_))
-    }
-
-    /// Runs the detailed simulator for one firing.
-    ///
-    /// `vars_in` / `event_value` are the pre-firing behavioral state;
-    /// `exec` is the behavioral execution whose path the estimator must
-    /// reproduce (its recorded read values feed the replay). In debug
-    /// builds the functional results are cross-checked.
-    pub fn run(
-        &mut self,
-        transition: TransitionId,
-        vars_in: &[i64],
-        event_value: &dyn Fn(EventId) -> i64,
-        exec: &Execution,
-        datapath_width: usize,
-    ) -> DetailedCost {
-        let reads = exec.read_values();
-        match self {
-            ComponentEstimator::Hw(hw) => {
-                let run = hw.transition_mut(transition).run(vars_in, event_value, &reads);
-                debug_assert_eq!(
-                    run.emitted.len(),
-                    exec.emitted.len(),
-                    "gate-level and behavioral emission counts diverged"
-                );
-                debug_assert_eq!(
-                    run.mem_ops.len(),
-                    exec.mem_accesses.len(),
-                    "gate-level and behavioral memory traffic diverged"
-                );
-                let _ = datapath_width;
-                DetailedCost {
-                    cycles: run.cycles,
-                    energy_j: run.energy_j,
-                }
-            }
-            ComponentEstimator::Sw(sw) => {
-                let run = sw.run_transition(transition, vars_in, event_value, &reads);
-                debug_assert_eq!(
-                    run.emitted, exec.emitted,
-                    "ISS and behavioral emissions diverged"
-                );
-                DetailedCost {
-                    cycles: run.cycles + run.stalls,
-                    energy_j: run.energy_j,
-                }
-            }
-        }
-    }
-
-    /// Energy of `cycles` of bus-wait idling, joules.
-    ///
-    /// In `detailed` mode the hardware estimator actually steps the
-    /// gate-level netlist through the wait (charging the clock tree);
-    /// when an acceleration technique is serving the firing, the
-    /// analytically equivalent clock charge is used instead — the two
-    /// agree exactly because nothing toggles while idling. Software
-    /// waits charge the processor's stall energy per cycle.
-    pub fn wait_energy(&mut self, transition: TransitionId, cycles: u64, detailed: bool) -> f64 {
+    fn wait_energy(&mut self, transition: TransitionId, cycles: u64, detailed: bool) -> f64 {
         if cycles == 0 {
             return 0.0;
         }
-        match self {
-            ComponentEstimator::Hw(hw) => {
-                let t = hw.transition_mut(transition);
-                if detailed {
-                    t.idle_step(cycles)
-                } else {
-                    t.idle_energy_per_cycle_j() * cycles as f64
-                }
-            }
-            ComponentEstimator::Sw(sw) => {
-                sw.cpu_mut().power_model().stall_energy_j() * cycles as f64
-            }
+        let t = self.hw.transition_mut(transition);
+        if detailed {
+            // Step the netlist through the wait (charging the clock
+            // tree); nothing toggles while idling, so this agrees
+            // exactly with the analytic form below.
+            t.idle_step(cycles)
+        } else {
+            t.idle_energy_per_cycle_j() * cycles as f64
         }
     }
 
-    /// For SW components: the fetch addresses of one behavioral
-    /// execution (prologue + taken blocks + epilogue), used by the master
-    /// to drive the cache simulator. Returns `None` for HW components.
-    pub fn ifetch_addrs(&self, transition: TransitionId, exec: &Execution) -> Option<Vec<u64>> {
-        match self {
-            ComponentEstimator::Hw(_) => None,
-            ComponentEstimator::Sw(sw) => {
-                let p = sw.program();
-                let tc = &p.transitions[transition.0 as usize];
-                let mut addrs: Vec<u64> = p.slot_addrs(tc.prologue_slots).collect();
-                for b in &exec.trace {
-                    addrs.extend(p.slot_addrs(tc.block_slots[b.0 as usize]));
-                }
-                addrs.extend(p.slot_addrs(tc.epilogue_slots));
-                Some(addrs)
-            }
+    fn vars_agree(&self, got: &[i64], want: &[i64]) -> bool {
+        got.iter()
+            .zip(want)
+            .all(|(&g, &w)| self.hw.mask_value(g) == self.hw.mask_value(w))
+    }
+}
+
+/// Enhanced instruction-set simulation of the compiled program.
+#[derive(Debug)]
+pub struct SwEstimator {
+    sw: Box<SwCfsm>,
+}
+
+impl SwEstimator {
+    /// Compiles the process's CFSM for the instruction-set simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildEstimatorError::Codegen`] when compilation fails.
+    pub fn build(
+        network: &Network,
+        proc: ProcId,
+        config: &CoSimConfig,
+    ) -> Result<Self, BuildEstimatorError> {
+        let machine = network.cfsm(proc);
+        let power = PowerModel::of_kind(config.sw_power);
+        let sw = SwCfsm::new(machine, power, &|e| {
+            network
+                .events()
+                .get(e.0 as usize)
+                .map(|d| d.carries_value)
+                .unwrap_or(false)
+        })
+        .map_err(|e| BuildEstimatorError::Codegen(machine.name().to_string(), e))?;
+        Ok(SwEstimator { sw: Box::new(sw) })
+    }
+}
+
+impl PowerEstimator for SwEstimator {
+    fn backend_name(&self) -> &'static str {
+        "iss"
+    }
+
+    fn is_hw(&self) -> bool {
+        false
+    }
+
+    fn run_firing(&mut self, inputs: &FiringInputs<'_>) -> DetailedCost {
+        let reads = inputs.exec.read_values();
+        let run =
+            self.sw
+                .run_transition(inputs.transition, inputs.vars_in, inputs.event_value, &reads);
+        debug_assert_eq!(
+            run.emitted, inputs.exec.emitted,
+            "ISS and behavioral emissions diverged"
+        );
+        DetailedCost {
+            cycles: run.cycles + run.stalls,
+            energy_j: run.energy_j,
         }
     }
 
-    /// Functional cross-check helper: whether `got` variables match the
-    /// behavioral `want`, modulo the hardware datapath width.
-    pub fn vars_agree(&self, got: &[i64], want: &[i64], width: usize) -> bool {
-        match self {
-            ComponentEstimator::Hw(_) => got
-                .iter()
-                .zip(want)
-                .all(|(&g, &w)| mask_to_width(g, width) == mask_to_width(w, width)),
-            ComponentEstimator::Sw(_) => got == want,
+    fn wait_energy(&mut self, _transition: TransitionId, cycles: u64, _detailed: bool) -> f64 {
+        if cycles == 0 {
+            return 0.0;
         }
+        self.sw.cpu_mut().power_model().stall_energy_j() * cycles as f64
+    }
+
+    fn ifetch_addrs(&self, transition: TransitionId, exec: &Execution) -> Option<Vec<u64>> {
+        let p = self.sw.program();
+        let tc = &p.transitions[transition.0 as usize];
+        let mut addrs: Vec<u64> = p.slot_addrs(tc.prologue_slots).collect();
+        for b in &exec.trace {
+            addrs.extend(p.slot_addrs(tc.block_slots[b.0 as usize]));
+        }
+        addrs.extend(p.slot_addrs(tc.epilogue_slots));
+        Some(addrs)
+    }
+}
+
+/// A table-driven linear (counter-based) power model: each firing is
+/// priced by summing a characterized per-macro-op cost table over the
+/// behavioral execution's macro-op trace — no gate-level or
+/// instruction-level simulation at all.
+///
+/// This is the third backend behind the [`PowerEstimator`] seam,
+/// selected with [`EstimatorBackend::Linear`]. It reuses the §4.1
+/// characterization machinery ([`characterize_sw`] /
+/// [`characterize_hw`]) but lives *below* the acceleration pipeline, so
+/// caching/sampling still compose on top of it. Trade-offs versus the
+/// detailed backends: no instruction-fetch stream (the cache simulator
+/// sees no traffic), and bus waits are charged at a flat per-cycle rate
+/// (the processor's stall energy for SW; zero for HW, whose idle clock
+/// charge is a netlist property the table does not capture).
+#[derive(Debug)]
+pub struct LinearModelEstimator {
+    params: ParameterFile,
+    is_hw: bool,
+    wait_energy_per_cycle_j: f64,
+}
+
+impl LinearModelEstimator {
+    /// Characterizes a cost table for the process's mapping.
+    pub fn characterize(network: &Network, proc: ProcId, config: &CoSimConfig) -> Self {
+        match network.mapping(proc) {
+            Implementation::Hw => LinearModelEstimator {
+                params: characterize_hw(&config.synth, &config.hw_power),
+                is_hw: true,
+                wait_energy_per_cycle_j: 0.0,
+            },
+            Implementation::Sw => LinearModelEstimator {
+                params: characterize_sw(&PowerModel::of_kind(config.sw_power)),
+                is_hw: false,
+                wait_energy_per_cycle_j: PowerModel::of_kind(config.sw_power).stall_energy_j(),
+            },
+        }
+    }
+
+    /// Builds from an explicit cost table (e.g. loaded from a parameter
+    /// file) instead of characterizing one.
+    pub fn from_table(params: ParameterFile, is_hw: bool, wait_energy_per_cycle_j: f64) -> Self {
+        LinearModelEstimator {
+            params,
+            is_hw,
+            wait_energy_per_cycle_j,
+        }
+    }
+
+    /// The cost table this backend prices firings with.
+    pub fn table(&self) -> &ParameterFile {
+        &self.params
+    }
+}
+
+impl PowerEstimator for LinearModelEstimator {
+    fn backend_name(&self) -> &'static str {
+        "linear-model"
+    }
+
+    fn is_hw(&self) -> bool {
+        self.is_hw
+    }
+
+    fn run_firing(&mut self, inputs: &FiringInputs<'_>) -> DetailedCost {
+        let (cycles, energy_j) = self.params.estimate(&inputs.exec.macro_ops);
+        DetailedCost {
+            // Every firing takes at least one cycle, as in the detailed
+            // backends (an empty macro-op trace still latches state).
+            cycles: cycles.max(1),
+            energy_j,
+        }
+    }
+
+    fn wait_energy(&mut self, _transition: TransitionId, cycles: u64, _detailed: bool) -> f64 {
+        self.wait_energy_per_cycle_j * cycles as f64
+    }
+}
+
+/// Builds the estimator matching the process's mapping and the
+/// configured [`EstimatorBackend`].
+///
+/// # Errors
+///
+/// Returns a [`BuildEstimatorError`] naming the process on failure.
+pub fn build_estimator(
+    network: &Network,
+    proc: ProcId,
+    config: &CoSimConfig,
+) -> Result<Box<dyn PowerEstimator>, BuildEstimatorError> {
+    match config.backend {
+        EstimatorBackend::Detailed => match network.mapping(proc) {
+            Implementation::Hw => Ok(Box::new(HwEstimator::build(network, proc, config)?)),
+            Implementation::Sw => Ok(Box::new(SwEstimator::build(network, proc, config)?)),
+        },
+        EstimatorBackend::Linear => Ok(Box::new(LinearModelEstimator::characterize(
+            network, proc, config,
+        ))),
     }
 }
 
@@ -272,53 +440,104 @@ mod tests {
     fn builds_hw_and_sw() {
         let cfg = CoSimConfig::date2000_defaults();
         let (net, p) = simple_network(Implementation::Hw);
-        assert!(ComponentEstimator::build(&net, p, &cfg)
-            .expect("hw builds")
-            .is_hw());
+        assert!(build_estimator(&net, p, &cfg).expect("hw builds").is_hw());
         let (net, p) = simple_network(Implementation::Sw);
-        assert!(!ComponentEstimator::build(&net, p, &cfg)
-            .expect("sw builds")
-            .is_hw());
+        assert!(!build_estimator(&net, p, &cfg).expect("sw builds").is_hw());
     }
 
     #[test]
-    fn hw_and_sw_report_positive_costs() {
+    fn detailed_backends_report_positive_costs() {
         let cfg = CoSimConfig::date2000_defaults();
         for mapping in [Implementation::Hw, Implementation::Sw] {
             let (net, p) = simple_network(mapping);
-            let mut est = ComponentEstimator::build(&net, p, &cfg).expect("builds");
+            let mut est = build_estimator(&net, p, &cfg).expect("builds");
             let (vars_in, exec) = fire_once(&net, p);
-            let cost = est.run(TransitionId(0), &vars_in, &|_| 0, &exec, cfg.synth.width);
+            let cost = est.run_firing(&FiringInputs {
+                transition: TransitionId(0),
+                vars_in: &vars_in,
+                event_value: &|_| 0,
+                exec: &exec,
+            });
             assert!(cost.cycles > 0, "{mapping} cycles");
             assert!(cost.energy_j > 0.0, "{mapping} energy");
         }
     }
 
     #[test]
+    fn linear_backend_builds_and_runs() {
+        let cfg = CoSimConfig {
+            backend: EstimatorBackend::Linear,
+            ..CoSimConfig::date2000_defaults()
+        };
+        for mapping in [Implementation::Hw, Implementation::Sw] {
+            let (net, p) = simple_network(mapping);
+            let mut est = build_estimator(&net, p, &cfg).expect("builds");
+            assert_eq!(est.backend_name(), "linear-model");
+            assert_eq!(est.is_hw(), mapping == Implementation::Hw);
+            let (vars_in, exec) = fire_once(&net, p);
+            let cost = est.run_firing(&FiringInputs {
+                transition: TransitionId(0),
+                vars_in: &vars_in,
+                event_value: &|_| 0,
+                exec: &exec,
+            });
+            assert!(cost.cycles > 0, "{mapping} cycles");
+            assert!(cost.energy_j > 0.0, "{mapping} energy");
+            // No program layout → no fetch stream.
+            assert!(est.ifetch_addrs(TransitionId(0), &exec).is_none());
+        }
+    }
+
+    #[test]
+    fn linear_backend_matches_macromodel_table() {
+        // The Linear backend's per-firing answer must equal the §4.1
+        // macro-model applied to the same macro-op trace (plus the
+        // ≥1-cycle floor) — it is the same table, moved below the seam.
+        let cfg = CoSimConfig {
+            backend: EstimatorBackend::Linear,
+            ..CoSimConfig::date2000_defaults()
+        };
+        let (net, p) = simple_network(Implementation::Sw);
+        let mut est = build_estimator(&net, p, &cfg).expect("builds");
+        let (vars_in, exec) = fire_once(&net, p);
+        let cost = est.run_firing(&FiringInputs {
+            transition: TransitionId(0),
+            vars_in: &vars_in,
+            event_value: &|_| 0,
+            exec: &exec,
+        });
+        let table = characterize_sw(&PowerModel::of_kind(cfg.sw_power));
+        let (cycles, energy_j) = table.estimate(&exec.macro_ops);
+        assert_eq!(cost.cycles, cycles.max(1));
+        assert_eq!(cost.energy_j.to_bits(), energy_j.to_bits());
+    }
+
+    #[test]
     fn sw_exposes_ifetch_trace_hw_does_not() {
         let cfg = CoSimConfig::date2000_defaults();
         let (net, p) = simple_network(Implementation::Sw);
-        let est = ComponentEstimator::build(&net, p, &cfg).expect("builds");
+        let est = build_estimator(&net, p, &cfg).expect("builds");
         let (_, exec) = fire_once(&net, p);
         let addrs = est.ifetch_addrs(TransitionId(0), &exec).expect("SW trace");
         assert!(!addrs.is_empty());
         assert!(addrs.windows(2).all(|w| w[0] < w[1]), "monotone layout");
 
         let (net, p) = simple_network(Implementation::Hw);
-        let est = ComponentEstimator::build(&net, p, &cfg).expect("builds");
+        let est = build_estimator(&net, p, &cfg).expect("builds");
         assert!(est.ifetch_addrs(TransitionId(0), &exec).is_none());
     }
 
     #[test]
     fn vars_agree_masks_hw_width() {
         let cfg = CoSimConfig::date2000_defaults();
+        assert_eq!(cfg.synth.width, 16, "default datapath width");
         let (net, p) = simple_network(Implementation::Hw);
-        let est = ComponentEstimator::build(&net, p, &cfg).expect("builds");
+        let est = build_estimator(&net, p, &cfg).expect("builds");
         // 0x1_0005 masked to 16 bits equals 0x0005.
-        assert!(est.vars_agree(&[0x0005], &[0x1_0005], 16));
+        assert!(est.vars_agree(&[0x0005], &[0x1_0005]));
         let (net, p) = simple_network(Implementation::Sw);
-        let est = ComponentEstimator::build(&net, p, &cfg).expect("builds");
-        assert!(!est.vars_agree(&[0x0005], &[0x1_0005], 16));
+        let est = build_estimator(&net, p, &cfg).expect("builds");
+        assert!(!est.vars_agree(&[0x0005], &[0x1_0005]));
     }
 
     #[test]
@@ -340,7 +559,7 @@ mod tests {
         );
         let p = nb.process(mb.finish().expect("valid machine"), Implementation::Hw);
         let net = nb.finish().expect("valid network");
-        let err = ComponentEstimator::build(&net, p, &CoSimConfig::date2000_defaults());
+        let err = build_estimator(&net, p, &CoSimConfig::date2000_defaults());
         assert!(matches!(err, Err(BuildEstimatorError::Synth(_, _))));
     }
 }

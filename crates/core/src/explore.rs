@@ -13,7 +13,8 @@
 
 use crate::config::{CoSimConfig, SocDescription};
 use crate::estimator::BuildEstimatorError;
-use crate::master::{CoSimReport, CoSimulator};
+use crate::master::CoSimulator;
+use crate::report::CoSimReport;
 use cfsm::ProcId;
 
 /// One evaluated configuration.

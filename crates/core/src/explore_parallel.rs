@@ -34,7 +34,7 @@ use crate::explore::{
     check_partition_count, eval_bus_point, eval_partition_point, permutations, ExplorationPoint,
     PartitionPoint,
 };
-use crate::master::CoSimReport;
+use crate::report::CoSimReport;
 use cfsm::ProcId;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -5,20 +5,36 @@
 //! A system is described as a CFSM network with a HW/SW mapping
 //! ([`SocDescription`]); the [`CoSimulator`] simulates its discrete-event
 //! behavioral model while concurrently and synchronously driving the
-//! per-component power estimators (gate-level simulation for hardware,
-//! an enhanced ISS for software, a behavioral bus model for the
-//! integration architecture, and a cache simulator attached to the
-//! master) — *power co-estimation*. The baseline the paper argues
+//! per-component power estimators — *power co-estimation*. The
+//! estimators sit behind the object-safe [`PowerEstimator`] trait
+//! ([`build_estimator`] picks one per process from the configured
+//! [`EstimatorBackend`]): gate-level simulation for hardware
+//! ([`HwEstimator`]), an enhanced ISS for software ([`SwEstimator`]), or
+//! a characterized table-driven model ([`LinearModelEstimator`]); the
+//! behavioral bus model prices the integration architecture and a cache
+//! simulator is attached to the master. The baseline the paper argues
 //! against, independent per-component estimation from behavioral traces,
 //! is provided by [`estimate_separately`].
 //!
 //! Three acceleration techniques (§4) can be switched on through
-//! [`Acceleration`]:
+//! [`Acceleration`]; the master assembles them into an [`AccelPipeline`]
+//! of composable [`AccelLayer`]s, each of which either answers a firing
+//! from its own state or delegates down to the detailed backend:
 //!
-//! * **energy & delay caching** ([`EnergyCache`], §4.2),
-//! * **software/hardware power macro-modeling** ([`ParameterFile`], §4.1),
-//! * **statistical sampling / sequence compaction**
-//!   ([`SamplingConfig`], [`KMemoryCompactor`], §4.3).
+//! * **energy & delay caching** ([`CacheLayer`] over [`EnergyCache`],
+//!   §4.2),
+//! * **software/hardware power macro-modeling** ([`MacroModelLayer`]
+//!   over [`ParameterFile`], §4.1),
+//! * **statistical sampling / sequence compaction** ([`SamplingLayer`],
+//!   [`KMemoryCompactor`], §4.3).
+//!
+//! The whole stack is observable through the `soctrace` crate:
+//! [`CoSimulator::attach_trace`] threads a zero-cost-when-disabled
+//! [`soctrace::TraceSink`] through the desim kernel, the master, the
+//! acceleration layers and the bus/cache models, emitting structured
+//! [`soctrace::TraceRecord`]s (firings, layer decisions, ledger charges,
+//! bus grants, cache batches, fault injections, watchdog trips) without
+//! perturbing the simulated schedule.
 //!
 //! [`explore_bus_architecture`] drives the iterative design-space
 //! exploration of §5.3; [`explore_bus_architecture_parallel`] and
@@ -70,6 +86,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accel;
 mod account;
 mod caching;
 mod config;
@@ -79,6 +96,7 @@ mod explore_parallel;
 mod faults;
 mod macromodel;
 mod master;
+mod report;
 mod sampling;
 mod separate;
 mod snapshot;
@@ -88,9 +106,15 @@ mod stats;
 pub use account::{
     Anomaly, AnomalyKind, AnomalyLedger, ComponentId, ComponentTotals, EnergyAccount, Waveform,
 };
+pub use accel::{
+    AccelLayer, AccelPipeline, CacheLayer, CostSource, FiringCtx, MacroModelLayer, SamplingLayer,
+};
 pub use caching::{CachedCost, CachingConfig, EnergyCache, PathStats};
-pub use config::{Acceleration, CoSimConfig, RtosPolicy, SocDescription};
-pub use estimator::{BuildEstimatorError, ComponentEstimator, DetailedCost};
+pub use config::{Acceleration, CoSimConfig, EstimatorBackend, RtosPolicy, SocDescription};
+pub use estimator::{
+    build_estimator, BuildEstimatorError, DetailedCost, FiringInputs, HwEstimator,
+    LinearModelEstimator, PowerEstimator, SwEstimator,
+};
 pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use explore::{
     explore_bus_architecture, explore_partitions, minimum_energy, permutations,
@@ -104,7 +128,8 @@ pub use snapshot::snapshot_diff;
 pub use macromodel::{
     characterize_hw, characterize_sw, MacroCost, ParameterFile, ParseParameterError,
 };
-pub use master::{CoSimReport, CoSimulator, CostSource, ProcessReport, RunOutcome};
+pub use master::CoSimulator;
+pub use report::{CoSimReport, ProcessReport, RunOutcome};
 pub use sampling::{compact_static, KMemoryCompactor, SamplingConfig, StreamStats};
 pub use separate::{
     capture_traces, estimate_separately, BehavioralTrace, FiringRecord, SeparateReport,

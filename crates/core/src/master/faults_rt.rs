@@ -1,0 +1,174 @@
+//! Fault-injection routing for the master: delivery interception,
+//! timed fault application, and energy-sample corruption.
+//!
+//! Split out of the scheduler proper so the hot path in
+//! [`mod.rs`](super) stays readable; everything here is gated on a
+//! non-empty fault plan and costs nothing otherwise.
+
+use super::{CoSimulator, Ev};
+use crate::account::AnomalyKind;
+use crate::estimator::DetailedCost;
+use crate::faults::ResolvedFaultKind;
+use cfsm::{EventOccurrence, ProcId};
+use desim::SimTime;
+use soctrace::TraceRecord;
+
+/// What delivery action a fault interception selected.
+pub(super) enum Delivery {
+    Pass,
+    Drop,
+    Duplicate,
+    Delay(u64),
+}
+
+impl CoSimulator {
+    /// Records a consumed fault in both the anomaly ledger and the trace.
+    fn note_fault_injected(&mut self, at: u64, description: String) {
+        self.tracer.emit(|| TraceRecord::FaultInjected {
+            at,
+            description: description.clone(),
+        });
+        self.anomalies
+            .record(at, AnomalyKind::FaultInjected { description });
+    }
+
+    /// Applies armed time-triggered faults (freeze, bus stall, cache
+    /// bypass). Delivery- and estimate-triggered kinds are handled at
+    /// their interception points.
+    pub(super) fn apply_timed_faults(&mut self) {
+        let now = self.now;
+        for i in 0..self.faults.len() {
+            if !self.faults[i].ready(now) {
+                continue;
+            }
+            match self.faults[i].kind {
+                ResolvedFaultKind::FreezeProcess(p, cycles) => {
+                    let until = now.saturating_add(cycles);
+                    self.frozen_until[p.0 as usize] =
+                        self.frozen_until[p.0 as usize].max(until);
+                    self.queue.push(SimTime::from_cycles(until), Ev::Unfreeze(p));
+                }
+                ResolvedFaultKind::StallBus(cycles) => {
+                    let until = now.saturating_add(cycles);
+                    self.bus_stall_until = self.bus_stall_until.max(until);
+                    // Grants resume here; swallowed kicks are re-issued.
+                    self.queue.push(SimTime::from_cycles(until), Ev::BusKick);
+                    self.anomalies
+                        .record(now, AnomalyKind::BusStalled { until_cycle: until });
+                }
+                ResolvedFaultKind::ForceCacheMisses(batches) => {
+                    self.force_miss_batches = self.force_miss_batches.saturating_add(batches);
+                }
+                _ => continue,
+            }
+            self.faults[i].armed = false;
+            let description = self.faults[i].describe.clone();
+            self.note_fault_injected(now, description);
+        }
+    }
+
+    /// Delivers one event occurrence, routing it through any armed
+    /// delivery fault first.
+    pub(super) fn deliver(&mut self, occ: EventOccurrence) {
+        if !self.faults.is_empty() {
+            match self.intercept_delivery(&occ) {
+                Delivery::Pass => {}
+                Delivery::Drop => return,
+                Delivery::Duplicate => {
+                    self.broadcast_tracked(occ);
+                    self.broadcast_tracked(occ);
+                    return;
+                }
+                Delivery::Delay(cycles) => {
+                    self.queue.push(
+                        SimTime::from_cycles(self.now.saturating_add(cycles)),
+                        Ev::Deliver(occ),
+                    );
+                    return;
+                }
+            }
+        }
+        self.broadcast_tracked(occ);
+    }
+
+    /// Broadcasts `occ` and records any single-place-buffer overwrites it
+    /// caused (the POLIS event-loss semantics) in the anomaly ledger.
+    fn broadcast_tracked(&mut self, occ: EventOccurrence) {
+        self.soc.network.broadcast(&mut self.state, occ);
+        for p in self.soc.network.process_ids() {
+            let lost = self.state.runtime(p).buffer().lost_count();
+            if lost > self.lost_seen[p.0 as usize] {
+                self.lost_seen[p.0 as usize] = lost;
+                self.anomalies.record(
+                    self.now,
+                    AnomalyKind::BufferOverwrite {
+                        process: self.soc.network.cfsm(p).name().to_string(),
+                        event: self.soc.network.events()[occ.event.0 as usize].name.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Checks armed delivery faults against `occ`; the first match is
+    /// consumed and its action returned.
+    fn intercept_delivery(&mut self, occ: &EventOccurrence) -> Delivery {
+        let now = self.now;
+        let hit = self.faults.iter().position(|f| {
+            f.ready(now)
+                && matches!(f.kind,
+                    ResolvedFaultKind::DropEvent(e)
+                    | ResolvedFaultKind::DuplicateEvent(e)
+                    | ResolvedFaultKind::DelayEvent(e, _) if e == occ.event)
+        });
+        let Some(i) = hit else {
+            return Delivery::Pass;
+        };
+        self.faults[i].armed = false;
+        let description = self.faults[i].describe.clone();
+        self.note_fault_injected(now, description);
+        match self.faults[i].kind {
+            ResolvedFaultKind::DropEvent(e) => {
+                let event = self.soc.network.events()[e.0 as usize].name.clone();
+                self.anomalies.record(now, AnomalyKind::EventShed { event });
+                Delivery::Drop
+            }
+            ResolvedFaultKind::DuplicateEvent(_) => Delivery::Duplicate,
+            ResolvedFaultKind::DelayEvent(_, cycles) => Delivery::Delay(cycles),
+            _ => Delivery::Pass,
+        }
+    }
+
+    /// Applies an armed energy-corruption fault to `p`'s sample, clamping
+    /// non-finite or negative results to zero (recorded as an anomaly) so
+    /// the ledger stays finite and non-negative.
+    pub(super) fn corrupt_cost(&mut self, p: ProcId, mut cost: DetailedCost) -> DetailedCost {
+        let now = self.now;
+        let hit = self.faults.iter().position(|f| {
+            f.ready(now) && matches!(f.kind, ResolvedFaultKind::CorruptEnergy(fp, _) if fp == p)
+        });
+        let Some(i) = hit else {
+            return cost;
+        };
+        let ResolvedFaultKind::CorruptEnergy(_, factor) = self.faults[i].kind else {
+            return cost;
+        };
+        self.faults[i].armed = false;
+        let description = self.faults[i].describe.clone();
+        self.note_fault_injected(now, description);
+        let raw = cost.energy_j * factor;
+        if raw.is_finite() && raw >= 0.0 {
+            cost.energy_j = raw;
+        } else {
+            self.anomalies.record(
+                now,
+                AnomalyKind::EnergyClamped {
+                    process: self.soc.network.cfsm(p).name().to_string(),
+                    raw_j: raw,
+                },
+            );
+            cost.energy_j = 0.0;
+        }
+        cost
+    }
+}

@@ -1,0 +1,102 @@
+//! Co-estimation run results: per-process figures, the run outcome, and
+//! the complete [`CoSimReport`] the master hands back.
+
+use crate::account::{AnomalyLedger, EnergyAccount};
+use cfsm::Implementation;
+
+/// Per-process results of a co-estimation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessReport {
+    /// Process name.
+    pub name: String,
+    /// HW or SW mapping.
+    pub mapping: Implementation,
+    /// Energy attributed to the component's own execution, joules.
+    pub energy_j: f64,
+    /// Cycles the component was busy.
+    pub busy_cycles: u64,
+    /// Number of transition firings.
+    pub firings: u64,
+}
+
+/// How a co-estimation run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained: the system quiesced normally.
+    Completed,
+    /// A watchdog budget (or the firing bound) tripped; the report covers
+    /// the simulated time up to the trip and is *partial* but consistent.
+    Degraded {
+        /// Why the run was cut short.
+        reason: String,
+    },
+}
+
+impl RunOutcome {
+    /// `true` when the run was cut short.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RunOutcome::Degraded { .. })
+    }
+}
+
+/// The complete result of one co-estimation run.
+#[derive(Debug, Clone)]
+pub struct CoSimReport {
+    /// System name.
+    pub system: String,
+    /// Per-process results, indexed by [`ProcId`](cfsm::ProcId).
+    pub processes: Vec<ProcessReport>,
+    /// Bus (integration architecture) energy, joules.
+    pub bus_energy_j: f64,
+    /// Bus statistics.
+    pub bus: busmodel::BusStats,
+    /// Cache energy, joules.
+    pub cache_energy_j: f64,
+    /// Cache statistics (zeros when cache modeling is disabled).
+    pub cache: cachesim::CacheStats,
+    /// Simulated end time, master cycles.
+    pub total_cycles: u64,
+    /// Total transition firings.
+    pub firings: u64,
+    /// Calls answered by the detailed simulators.
+    pub detailed_calls: u64,
+    /// Calls served by an acceleration technique instead.
+    pub accelerated_calls: u64,
+    /// The full energy ledger (waveforms, per-component breakdown).
+    pub account: EnergyAccount,
+    /// Whether the run quiesced or was cut short by a budget.
+    pub outcome: RunOutcome,
+    /// Injected faults and observed degradations, in simulation order.
+    pub anomalies: AnomalyLedger,
+}
+
+impl CoSimReport {
+    /// Total system energy (components + bus + cache), joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.processes.iter().map(|p| p.energy_j).sum::<f64>()
+            + self.bus_energy_j
+            + self.cache_energy_j
+    }
+
+    /// Energy of the named process, joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process has that name.
+    pub fn process_energy_j(&self, name: &str) -> f64 {
+        self.processes
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("no process named `{name}`"))
+            .energy_j
+    }
+
+    /// Average system power at the configured clock, watts.
+    pub fn average_power_w(&self, clock_hz: f64) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.total_energy_j() / (self.total_cycles as f64 / clock_hz)
+        }
+    }
+}

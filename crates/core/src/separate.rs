@@ -14,7 +14,7 @@
 //! be wrong by large factors (the paper measures a 62% under-estimation).
 
 use crate::config::{CoSimConfig, SocDescription};
-use crate::estimator::{BuildEstimatorError, ComponentEstimator};
+use crate::estimator::{build_estimator, BuildEstimatorError, FiringInputs};
 use busmodel::Bus;
 use cfsm::{EventId, EventOccurrence, Execution, NetworkState, ProcId, TransitionId};
 use std::collections::HashMap;
@@ -163,16 +163,15 @@ pub fn estimate_separately(
     let mut names = Vec::with_capacity(soc.network.process_count());
     for p in soc.network.process_ids() {
         names.push(soc.network.cfsm(p).name().to_string());
-        let mut est = ComponentEstimator::build(&soc.network, p, config)?;
+        let mut est = build_estimator(&soc.network, p, config)?;
         for rec in trace.of_process(p) {
             let ev = rec.event_values.clone();
-            let cost = est.run(
-                rec.transition,
-                &rec.vars_in,
-                &|e| ev.get(&e).copied().unwrap_or(0),
-                &rec.execution,
-                config.synth.width,
-            );
+            let cost = est.run_firing(&FiringInputs {
+                transition: rec.transition,
+                vars_in: &rec.vars_in,
+                event_value: &|e| ev.get(&e).copied().unwrap_or(0),
+                exec: &rec.execution,
+            });
             process_energy[p.0 as usize] += cost.energy_j;
         }
     }

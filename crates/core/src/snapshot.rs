@@ -14,7 +14,7 @@
 //! sum, peak) instead of dumped bucket-by-bucket, keeping goldens small
 //! while still catching any redistribution of energy over time.
 
-use crate::master::{CoSimReport, RunOutcome};
+use crate::report::{CoSimReport, RunOutcome};
 
 /// Renders a float as `mantissa-exponent / bit-pattern` — readable and
 /// bit-exact at once.
@@ -23,9 +23,9 @@ fn fmt_f64(x: f64) -> String {
 }
 
 impl CoSimReport {
-    /// The stable textual snapshot of this report (see module docs of
-    /// [`crate::snapshot`]). Byte-identical snapshots ⇔ observably
-    /// identical reports.
+    /// The stable textual snapshot of this report: fixed key order,
+    /// floats rendered with their IEEE-754 bit patterns. Byte-identical
+    /// snapshots ⇔ observably identical reports.
     pub fn golden_snapshot(&self) -> String {
         let mut s = String::with_capacity(4096);
         s.push_str("[report]\n");

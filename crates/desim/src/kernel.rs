@@ -10,6 +10,7 @@
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 use crate::watchdog::{Watchdog, WatchdogConfig, WatchdogTrip};
+use soctrace::{TraceRecord, Tracer};
 use std::fmt;
 
 /// Identifier of a process registered with a [`Kernel`].
@@ -92,6 +93,7 @@ pub struct Kernel<E> {
     queue: EventQueue<(ProcessId, E)>,
     now: SimTime,
     delivered: u64,
+    tracer: Tracer,
 }
 
 impl<E> fmt::Debug for Kernel<E> {
@@ -101,6 +103,7 @@ impl<E> fmt::Debug for Kernel<E> {
             .field("pending", &self.queue.len())
             .field("now", &self.now)
             .field("delivered", &self.delivered)
+            .field("tracer", &self.tracer)
             .finish()
     }
 }
@@ -113,7 +116,20 @@ impl<E> Kernel<E> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             delivered: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a trace sink; every delivery emits a
+    /// [`TraceRecord::KernelEvent`]. Tracing is observational — an
+    /// attached sink never changes the schedule.
+    pub fn attach_trace(&mut self, sink: Box<dyn soctrace::TraceSink>) {
+        self.tracer.attach(sink);
+    }
+
+    /// Detaches and returns the trace sink, if one was attached.
+    pub fn detach_trace(&mut self) -> Option<Box<dyn soctrace::TraceSink>> {
+        self.tracer.detach()
     }
 
     /// Registers a process, returning its id.
@@ -155,6 +171,10 @@ impl<E> Kernel<E> {
         };
         self.now = time;
         self.delivered += 1;
+        self.tracer.emit(|| TraceRecord::KernelEvent {
+            at: time.cycles(),
+            process: target.0,
+        });
         let mut outbox = Vec::new();
         {
             let mut ctx = Context {
@@ -370,6 +390,35 @@ mod tests {
                 ctx.send(peer, SimDuration::from_cycles(1), ev - 1);
             }
         }
+    }
+
+    #[test]
+    fn attached_trace_observes_deliveries_without_changing_schedule() {
+        use soctrace::{MemorySink, SharedSink};
+        let run = |trace: bool| {
+            let mut k = Kernel::new();
+            let p = k.add_process(Chain);
+            k.post(SimTime::ZERO, p, 4);
+            let shared = SharedSink::new(MemorySink::new());
+            if trace {
+                k.attach_trace(Box::new(shared.clone()));
+            }
+            k.run();
+            (k.now(), k.delivered(), shared.with(|m| m.records.len()))
+        };
+        let (t_plain, n_plain, r_plain) = run(false);
+        let (t_traced, n_traced, r_traced) = run(true);
+        assert_eq!((t_plain, n_plain), (t_traced, n_traced));
+        assert_eq!(r_plain, 0);
+        assert_eq!(r_traced, 5, "one KernelEvent per delivery");
+
+        // Detach returns the sink and disables further emission.
+        let mut k = Kernel::new();
+        let p = k.add_process(Chain);
+        k.attach_trace(Box::new(SharedSink::new(MemorySink::new())));
+        assert!(k.detach_trace().is_some());
+        k.post(SimTime::ZERO, p, 0);
+        k.run();
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!   rotating among ready tasks.
 
 use crate::time::{SimDuration, SimTime};
+use soctrace::{TraceRecord, Tracer};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -79,7 +80,6 @@ struct Request {
 
 #[derive(Debug, Clone)]
 struct TaskInfo {
-    #[allow(dead_code)]
     name: String,
     priority: Priority,
     busy: SimDuration,
@@ -202,6 +202,30 @@ impl RtosScheduler {
     /// Per-task CPU busy time accumulated so far.
     pub fn task_busy_time(&self, task: TaskId) -> SimDuration {
         self.tasks[task.0 as usize].busy
+    }
+
+    /// The name `task` was registered with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` was not registered.
+    pub fn task_name(&self, task: TaskId) -> &str {
+        &self.tasks[task.0 as usize].name
+    }
+
+    /// Like [`next_grant`](Self::next_grant), additionally emitting a
+    /// [`TraceRecord::RtosGrant`] (carrying the task's registered name)
+    /// into `tracer` for each grant produced.
+    pub fn next_grant_traced(&mut self, tracer: &mut Tracer) -> Option<Grant> {
+        let g = self.next_grant()?;
+        tracer.emit(|| TraceRecord::RtosGrant {
+            at: g.start.cycles(),
+            task: g.task.0,
+            name: self.tasks[g.task.0 as usize].name.clone(),
+            end: g.end.cycles(),
+            completes: g.completes,
+        });
+        Some(g)
     }
 
     /// Produces the next [`Grant`] in execution order, or `None` when no
@@ -418,6 +442,33 @@ mod tests {
     #[should_panic(expected = "quantum")]
     fn zero_quantum_rejected() {
         let _ = RtosScheduler::new(Policy::RoundRobin(cy(0)));
+    }
+
+    #[test]
+    fn task_names_are_kept_and_traced() {
+        use soctrace::{MemorySink, SharedSink};
+        let mut r = RtosScheduler::new(Policy::Fifo);
+        let a = r.register_task("sensor", Priority(0));
+        let b = r.register_task("logger", Priority(0));
+        assert_eq!(r.task_name(a), "sensor");
+        assert_eq!(r.task_name(b), "logger");
+        r.submit(a, at(0), cy(4));
+        r.submit(b, at(0), cy(2));
+        let shared = SharedSink::new(MemorySink::new());
+        let mut tracer = Tracer::new(Box::new(shared.clone()));
+        let mut names = Vec::new();
+        while let Some(g) = r.next_grant_traced(&mut tracer) {
+            names.push(r.task_name(g.task).to_string());
+        }
+        assert_eq!(names, vec!["sensor", "logger"]);
+        shared.with(|sink| {
+            let grants = sink.of_kind("rtos_grant");
+            assert_eq!(grants.len(), 2);
+            assert!(matches!(
+                grants[0],
+                TraceRecord::RtosGrant { name, completes: true, .. } if name == "sensor"
+            ));
+        });
     }
 
     #[test]

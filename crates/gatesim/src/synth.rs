@@ -401,6 +401,7 @@ impl HwTransition {
 #[derive(Debug)]
 pub struct HwCfsm {
     name: String,
+    width: usize,
     transitions: Vec<HwTransition>,
 }
 
@@ -423,6 +424,7 @@ impl HwCfsm {
         }
         Ok(HwCfsm {
             name: machine.name().to_string(),
+            width: config.width,
             transitions,
         })
     }
@@ -430,6 +432,18 @@ impl HwCfsm {
     /// The machine name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The datapath width the machine was synthesized at, bits.
+    pub fn datapath_width(&self) -> usize {
+        self.width
+    }
+
+    /// Truncates a behavioral value to this machine's datapath width —
+    /// the functional equivalence relation between behavioral (i64)
+    /// results and the synthesized datapath's registers.
+    pub fn mask_value(&self, v: i64) -> u64 {
+        mask_to_width(v, self.width)
     }
 
     /// Mutable access to one synthesized transition.

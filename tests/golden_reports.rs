@@ -14,8 +14,16 @@
 //! ```
 //!
 //! then review the golden diff like any other code change.
+//!
+//! Setting `TRACE=ndjson` runs every golden with an NDJSON trace sink
+//! attached (written under the target directory). The goldens must still
+//! match bit-for-bit — tracing is pure observability — so CI runs the
+//! suite once in this mode to pin that contract.
 
-use co_estimation::{snapshot_diff, CoSimConfig, CoSimulator, SocDescription};
+use co_estimation::{
+    snapshot_diff, Acceleration, CachingConfig, CoSimConfig, CoSimulator, SamplingConfig,
+    SocDescription,
+};
 use std::path::PathBuf;
 use systems::{automotive, producer_consumer, tcpip};
 
@@ -26,9 +34,29 @@ fn golden_path(name: &str) -> PathBuf {
 }
 
 fn check_golden(name: &str, soc: SocDescription) {
-    let mut sim =
-        CoSimulator::new(soc, CoSimConfig::date2000_defaults()).expect("system builds");
+    check_golden_with(name, soc, CoSimConfig::date2000_defaults());
+}
+
+fn check_golden_with(name: &str, soc: SocDescription, config: CoSimConfig) {
+    let mut sim = CoSimulator::new(soc, config).expect("system builds");
+    let trace_path = if std::env::var("TRACE").as_deref() == Ok("ndjson") {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/traces");
+        std::fs::create_dir_all(&dir).expect("create trace dir");
+        let path = dir.join(format!("{name}.ndjson"));
+        let file = std::fs::File::create(&path).expect("create trace file");
+        sim.attach_trace(Box::new(soctrace::NdjsonSink::new(std::io::BufWriter::new(
+            file,
+        ))));
+        Some(path)
+    } else {
+        None
+    };
     let actual = sim.run().golden_snapshot();
+    drop(sim.detach_trace()); // flush the NDJSON writer
+    if let Some(path) = trace_path {
+        let meta = std::fs::metadata(&path).expect("trace file exists");
+        assert!(meta.len() > 0, "attached trace produced no records");
+    }
     let path = golden_path(name);
     if std::env::var_os("UPDATE_GOLDENS").is_some() {
         std::fs::write(&path, &actual).expect("write golden file");
@@ -91,6 +119,48 @@ fn automotive_golden_report() {
             target_speed: 25,
         })
         .expect("valid params"),
+    );
+}
+
+fn small_tcpip() -> SocDescription {
+    tcpip::build(&tcpip::TcpIpParams {
+        num_packets: 8,
+        len_range: (8, 24),
+        pkt_period: 4_000,
+        seed: 11,
+    })
+    .expect("valid params")
+}
+
+#[test]
+fn tcpip_caching_golden_report() {
+    check_golden_with(
+        "tcpip_caching",
+        small_tcpip(),
+        CoSimConfig::date2000_defaults().with_accel(Acceleration::caching(CachingConfig {
+            thresh_variance: 0.20,
+            thresh_iss_calls: 2,
+            keep_samples: false,
+        })),
+    );
+}
+
+#[test]
+fn tcpip_macromodel_golden_report() {
+    check_golden_with(
+        "tcpip_macromodel",
+        small_tcpip(),
+        CoSimConfig::date2000_defaults().with_accel(Acceleration::macromodel()),
+    );
+}
+
+#[test]
+fn tcpip_sampling_golden_report() {
+    check_golden_with(
+        "tcpip_sampling",
+        small_tcpip(),
+        CoSimConfig::date2000_defaults()
+            .with_accel(Acceleration::sampling(SamplingConfig { period: 4 })),
     );
 }
 
