@@ -1,0 +1,202 @@
+//! Gate-simulation kernel benchmark: the event-driven levelized kernel
+//! against the oblivious reference path, on the synthesized TCP/IP
+//! checksum netlist, written as `BENCH_gatesim.json` so the perf
+//! trajectory tracks the hot inner loop across PRs.
+//!
+//! A timing entry only exists if the two kernels agreed bit for bit
+//! (per-cycle energy bit patterns and all output values) over the same
+//! stimulus first. The full run also times the end-to-end Fig. 7 sweep
+//! under each kernel.
+//!
+//! Usage:
+//!   cargo run --release -p soc-bench --bin bench_gatesim [out.json]
+//!   cargo run --release -p soc-bench --bin bench_gatesim -- --smoke
+
+// Regeneration binary for the evaluation harness: aborting loudly on a
+// broken setup is correct here, matching the tests-and-benches carve-out
+// from the workspace-wide panic-free policy.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use cfsm::TransitionId;
+use co_estimation::CoSimConfig;
+use detrand::Rng;
+use gatesim::{HwCfsm, NetId, Netlist, PowerConfig, SimKernel, Simulator};
+use soc_bench::fig7_serial;
+use std::sync::Arc;
+use std::time::Instant;
+use systems::tcpip::{self, TcpIpParams};
+
+/// Per-input probability of changing value each cycle. Low, matching
+/// the firing protocol's mostly-held ports (load/start pulses, stable
+/// operand buses).
+const P_TOGGLE: f64 = 0.1;
+
+/// The synthesized checksum netlist of the TCP/IP system — the largest
+/// transition, simulated on every detailed firing of the sweep's
+/// hottest hardware process.
+fn checksum_netlist() -> Arc<Netlist> {
+    let soc = tcpip::build(&TcpIpParams::fig7_defaults()).expect("valid params");
+    let config = CoSimConfig::date2000_defaults();
+    let p = soc
+        .network
+        .process_by_name("checksum")
+        .expect("tcpip has a checksum process");
+    let hw = HwCfsm::synthesize(soc.network.cfsm(p), &config.synth, &config.hw_power)
+        .expect("checksum synthesizes");
+    let largest = (0..hw.transition_count())
+        .max_by_key(|&k| hw.transition(TransitionId(k as u32)).gate_count())
+        .expect("at least one transition");
+    Arc::clone(hw.transition(TransitionId(largest as u32)).netlist())
+}
+
+/// Pre-rolled stimulus: the same input assignments drive every kernel.
+fn stimulus(netlist: &Netlist, cycles: usize, seed: u64) -> Vec<Vec<(NetId, bool)>> {
+    let primary = netlist.primary_inputs();
+    let mut rng = Rng::new(seed);
+    (0..cycles)
+        .map(|_| {
+            let mut changes = Vec::new();
+            for &p in &primary {
+                if rng.bool_with(P_TOGGLE) {
+                    changes.push((p, rng.bool_with(0.5)));
+                }
+            }
+            changes
+        })
+        .collect()
+}
+
+/// Drives one kernel over the stimulus, observing per-cycle energy bit
+/// patterns and output values (the bitwise-equivalence evidence).
+fn observe(
+    netlist: &Arc<Netlist>,
+    kernel: SimKernel,
+    stim: &[Vec<(NetId, bool)>],
+) -> (Vec<(u64, u64)>, u64, u64) {
+    let mut sim = Simulator::with_kernel(
+        Arc::clone(netlist),
+        PowerConfig::date2000_defaults(),
+        kernel,
+    )
+    .expect("valid netlist");
+    let outputs: Vec<NetId> = netlist.outputs().iter().map(|(_, n)| *n).collect();
+    let mut trace = Vec::with_capacity(stim.len());
+    for inputs in stim {
+        for &(net, v) in inputs {
+            sim.set_input(net, v);
+        }
+        let e = sim.step();
+        trace.push((e.to_bits(), sim.value_bus(&outputs)));
+    }
+    (trace, sim.gate_evals(), sim.gate_events())
+}
+
+/// Times one kernel over the stimulus with no per-cycle observation.
+fn timed(netlist: &Arc<Netlist>, kernel: SimKernel, stim: &[Vec<(NetId, bool)>]) -> (f64, u64) {
+    let mut sim = Simulator::with_kernel(
+        Arc::clone(netlist),
+        PowerConfig::date2000_defaults(),
+        kernel,
+    )
+    .expect("valid netlist");
+    let t0 = Instant::now();
+    for inputs in stim {
+        for &(net, v) in inputs {
+            sim.set_input(net, v);
+        }
+        sim.step();
+    }
+    (t0.elapsed().as_secs_f64(), sim.gate_evals())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_gatesim.json".to_string());
+
+    let netlist = checksum_netlist();
+    let gates = netlist.gate_count();
+    println!("== bench_gatesim: tcpip checksum netlist ({gates} gates) ==\n");
+
+    // Bitwise cross-check first: no timing without equivalence.
+    let check_cycles = if smoke { 2_000 } else { 5_000 };
+    let check_stim = stimulus(&netlist, check_cycles, 0xBE9C);
+    let (ev_trace, ev_evals, ev_events) = observe(&netlist, SimKernel::EventDriven, &check_stim);
+    let (ob_trace, ob_evals, ob_events) = observe(&netlist, SimKernel::Oblivious, &check_stim);
+    let bitwise_identical = ev_trace == ob_trace && ev_events == ob_events;
+    assert!(bitwise_identical, "kernels diverged on the checksum netlist");
+    assert!(
+        ev_evals < ob_evals,
+        "event-driven must evaluate strictly fewer gates ({ev_evals} vs {ob_evals})"
+    );
+    let ev_epc = ev_evals as f64 / check_cycles as f64;
+    let ob_epc = ob_evals as f64 / check_cycles as f64;
+    println!("bitwise identical over {check_cycles} cycles: {bitwise_identical}");
+    println!(
+        "gate evals/cycle: oblivious {ob_epc:.1}, event-driven {ev_epc:.1} \
+         ({:.1}x reduction)\n",
+        ob_epc / ev_epc.max(1e-12)
+    );
+
+    if smoke {
+        println!("smoke mode: equivalence and eval-reduction assertions passed");
+        return;
+    }
+
+    // Kernel timing: warm-up pass, then a measured pass each.
+    let bench_cycles = 50_000;
+    let bench_stim = stimulus(&netlist, bench_cycles, 0x51D3);
+    let _ = timed(&netlist, SimKernel::EventDriven, &bench_stim);
+    let (ob_s, _) = timed(&netlist, SimKernel::Oblivious, &bench_stim);
+    let (ev_s, _) = timed(&netlist, SimKernel::EventDriven, &bench_stim);
+    let ob_cps = bench_cycles as f64 / ob_s;
+    let ev_cps = bench_cycles as f64 / ev_s;
+    let speedup = ev_cps / ob_cps;
+    println!("oblivious:    {ob_s:.3} s ({ob_cps:.0} cycles/s)");
+    println!("event-driven: {ev_s:.3} s ({ev_cps:.0} cycles/s)");
+    println!("kernel speedup: {speedup:.2}x\n");
+
+    // End-to-end: the Fig. 7 sweep (48 points) under each kernel, via
+    // the same escape hatch CI's differential runs use.
+    let params = TcpIpParams::fig7_defaults();
+    let _ = fig7_serial(&params); // warm-up (page faults, synth memo)
+    std::env::set_var("GATESIM_OBLIVIOUS", "1");
+    let t0 = Instant::now();
+    let oblivious_sweep = fig7_serial(&params);
+    let fig7_ob_s = t0.elapsed().as_secs_f64();
+    std::env::remove_var("GATESIM_OBLIVIOUS");
+    let t0 = Instant::now();
+    let event_sweep = fig7_serial(&params);
+    let fig7_ev_s = t0.elapsed().as_secs_f64();
+    let fig7_identical = oblivious_sweep.len() == event_sweep.len()
+        && oblivious_sweep
+            .iter()
+            .zip(&event_sweep)
+            .all(|(a, b)| a.report.golden_snapshot() == b.report.golden_snapshot());
+    assert!(fig7_identical, "fig7 sweeps diverged between kernels");
+    let fig7_speedup = fig7_ob_s / fig7_ev_s;
+    println!("fig7 sweep (48 points): oblivious {fig7_ob_s:.3} s, event-driven {fig7_ev_s:.3} s");
+    println!("end-to-end speedup: {fig7_speedup:.2}x (bitwise identical: {fig7_identical})");
+
+    let json = format!(
+        "{{\n  \"bench\": \"gatesim_kernels\",\n  \"netlist\": \"tcpip_checksum\",\n  \
+         \"gates\": {gates},\n  \"bench_cycles\": {bench_cycles},\n  \
+         \"input_toggle_probability\": {P_TOGGLE},\n  \
+         \"oblivious\": {{\"wall_s\": {ob_s:.6}, \"cycles_per_sec\": {ob_cps:.1}, \
+         \"gate_evals_per_cycle\": {ob_epc:.2}}},\n  \
+         \"event_driven\": {{\"wall_s\": {ev_s:.6}, \"cycles_per_sec\": {ev_cps:.1}, \
+         \"gate_evals_per_cycle\": {ev_epc:.2}}},\n  \
+         \"speedup\": {speedup:.3},\n  \"eval_reduction\": {:.3},\n  \
+         \"bitwise_identical\": {bitwise_identical},\n  \
+         \"fig7_sweep\": {{\"oblivious_wall_s\": {fig7_ob_s:.6}, \
+         \"event_driven_wall_s\": {fig7_ev_s:.6}, \"speedup\": {fig7_speedup:.3}, \
+         \"bitwise_identical\": {fig7_identical}}}\n}}\n",
+        ob_epc / ev_epc.max(1e-12)
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("\nwrote {out_path}");
+}

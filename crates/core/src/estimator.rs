@@ -139,6 +139,15 @@ pub trait PowerEstimator: fmt::Debug {
     fn vars_agree(&self, got: &[i64], want: &[i64]) -> bool {
         got == want
     }
+
+    /// Cumulative gate-level activity counters
+    /// `(gate_evals, gate_events)` of the backend's simulator, when it
+    /// has one. The master diffs this around each detailed firing to
+    /// surface the event-driven kernel's eval reduction through the
+    /// trace layer. Defaults to `None` (no gate-level model).
+    fn gate_stats(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// Gate-level simulation of the synthesized FSMD.
@@ -216,6 +225,10 @@ impl PowerEstimator for HwEstimator {
         got.iter()
             .zip(want)
             .all(|(&g, &w)| self.hw.mask_value(g) == self.hw.mask_value(w))
+    }
+
+    fn gate_stats(&self) -> Option<(u64, u64)> {
+        Some(self.hw.gate_stats())
     }
 }
 

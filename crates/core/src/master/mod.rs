@@ -547,22 +547,17 @@ impl CoSimulator {
                     });
                     self.anomalies.record(t, AnomalyKind::CacheBypassed { fetches });
                 } else {
-                    let e0 = icache.energy_j();
-                    let s0 = icache.stall_cycles();
-                    let st0 = icache.stats();
-                    icache.access_all(addrs);
-                    let de = icache.energy_j() - e0;
-                    stall_cycles = icache.stall_cycles() - s0;
-                    let st = icache.stats();
-                    self.charge(self.cache_comp, t, t + stall_cycles.max(1), de);
+                    let batch = icache.access_batch(addrs);
+                    stall_cycles = batch.stall_cycles;
+                    self.charge(self.cache_comp, t, t + stall_cycles.max(1), batch.energy_j);
                     self.tracer.emit(|| TraceRecord::IcacheBatch {
                         at: t,
                         process: p.0,
-                        fetches: st.accesses - st0.accesses,
-                        hits: st.hits - st0.hits,
-                        misses: st.misses - st0.misses,
+                        fetches: batch.fetches,
+                        hits: batch.hits,
+                        misses: batch.misses,
                         stall_cycles,
-                        energy_j: de,
+                        energy_j: batch.energy_j,
                     });
                 }
             }
@@ -642,6 +637,7 @@ impl CoSimulator {
             macro_ops: &fr.execution.macro_ops,
             now: t,
         };
+        let stats_before = self.estimators[idx].gate_stats();
         let est = &mut self.estimators[idx];
         let inputs = FiringInputs {
             transition: fr.transition,
@@ -655,6 +651,22 @@ impl CoSimulator {
         match source {
             CostSource::Detailed => self.detailed_calls += 1,
             _ => self.accelerated_calls += 1,
+        }
+        // Gate-level activity behind this firing (zero when a layer
+        // answered without touching the simulator).
+        if let (Some(before), Some(after)) =
+            (stats_before, self.estimators[idx].gate_stats())
+        {
+            let evals = after.0.saturating_sub(before.0);
+            let events = after.1.saturating_sub(before.1);
+            if evals > 0 || events > 0 {
+                self.tracer.emit(|| TraceRecord::GateActivity {
+                    at: t,
+                    process: p.0,
+                    evals,
+                    events,
+                });
+            }
         }
         (cost, source)
     }

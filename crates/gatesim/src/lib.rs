@@ -49,5 +49,7 @@ mod synth;
 
 pub use netlist::{Gate, GateKind, NetId, Netlist, ValidateNetlistError};
 pub use power::{CapacitanceMap, EnergyReport, PowerConfig};
-pub use sim::Simulator;
-pub use synth::{HwCfsm, HwRun, HwTransition, SynthConfig, SynthError};
+pub use sim::{SimKernel, Simulator};
+pub use synth::{
+    clear_synth_cache, synth_cache_stats, HwCfsm, HwRun, HwTransition, SynthConfig, SynthError,
+};

@@ -39,6 +39,7 @@ use crate::sim::Simulator;
 use cfsm::{BinOp, Cfsm, EventId, Expr, Stmt, Terminator, TransitionId, UnOp, VarId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Synthesis parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -218,19 +219,79 @@ struct Ports {
     mem_wdata: Bus,
 }
 
+/// The immutable product of synthesizing one transition: the netlist and
+/// its port map. Shared via the global synthesis memo, so every
+/// exploration point (and every simulator instance) evaluating the same
+/// behavioral spec at the same synthesis parameters holds one copy.
+#[derive(Debug)]
+struct SynthesizedTransition {
+    netlist: Arc<Netlist>,
+    ports: Ports,
+    gate_count: usize,
+    segment_count: usize,
+}
+
+/// The global synthesis memo plus its hit/miss counters.
+struct SynthCache {
+    map: HashMap<String, Arc<SynthesizedTransition>>,
+    hits: u64,
+    misses: u64,
+}
+
+static SYNTH_CACHE: OnceLock<Mutex<SynthCache>> = OnceLock::new();
+
+fn lock_synth_cache() -> std::sync::MutexGuard<'static, SynthCache> {
+    let cache = SYNTH_CACHE.get_or_init(|| {
+        Mutex::new(SynthCache {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        })
+    });
+    match cache.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The memo key: a structural serialization of everything netlist
+/// construction depends on — the transition body, the variable count,
+/// and the datapath width. Power parameters are deliberately absent:
+/// they shape the per-instance capacitance map, never the netlist.
+fn synth_memo_key(t: &cfsm::Transition, n_vars: usize, config: &SynthConfig) -> String {
+    format!("{:?}|v{}|w{}", t.body, n_vars, config.width)
+}
+
+/// `(hits, misses)` of the global synthesis memo since process start (or
+/// the last [`clear_synth_cache`]).
+pub fn synth_cache_stats() -> (u64, u64) {
+    let cache = lock_synth_cache();
+    (cache.hits, cache.misses)
+}
+
+/// Empties the global synthesis memo and zeroes its counters. Only
+/// benchmarks isolating cold-vs-warm synthesis need this; correctness
+/// never depends on the cache's contents.
+pub fn clear_synth_cache() {
+    let mut cache = lock_synth_cache();
+    cache.map.clear();
+    cache.hits = 0;
+    cache.misses = 0;
+}
+
 /// One synthesized, simulatable transition.
 ///
 /// The gate-level simulator state persists across runs (hardware is not
 /// reset between firings), so the energy of a firing depends on the
 /// previous datapath contents — the source of the per-path energy
 /// variance that motivates the paper's caching thresholds (Fig. 4).
+/// The netlist itself lives behind an [`Arc`] in the synthesis memo;
+/// only the simulator state (values, toggles, energy) is per-instance.
 #[derive(Debug)]
 pub struct HwTransition {
+    shared: Arc<SynthesizedTransition>,
     sim: Simulator,
-    ports: Ports,
     width: usize,
-    gate_count: usize,
-    segment_count: usize,
 }
 
 /// The result of running one transition on the gate-level simulator.
@@ -269,22 +330,22 @@ impl HwTransition {
         let w = self.width;
         let sim = &mut self.sim;
         // Load cycle.
-        sim.set_input(self.ports.start, false);
-        sim.set_input(self.ports.load, true);
-        for (v, bus) in self.ports.var_in.iter().enumerate() {
+        sim.set_input(self.shared.ports.start, false);
+        sim.set_input(self.shared.ports.load, true);
+        for (v, bus) in self.shared.ports.var_in.iter().enumerate() {
             sim.set_input_bus(bus.nets(), mask_to_width(vars_in[v], w));
         }
-        for (&e, bus) in &self.ports.ev_in {
+        for (&e, bus) in &self.shared.ports.ev_in {
             sim.set_input_bus(bus.nets(), mask_to_width(event_value(e), w));
         }
         let mut energy = sim.step();
         let mut cycles = 1u64;
         // Start handshake cycle.
-        sim.set_input(self.ports.load, false);
-        sim.set_input(self.ports.start, true);
+        sim.set_input(self.shared.ports.load, false);
+        sim.set_input(self.shared.ports.start, true);
         energy += sim.step();
         cycles += 1;
-        sim.set_input(self.ports.start, false);
+        sim.set_input(self.shared.ports.start, false);
         // Execution cycles.
         let mut emitted = Vec::new();
         let mut mem_ops = Vec::new();
@@ -296,9 +357,10 @@ impl HwTransition {
                 cycles < MAX_RUN_CYCLES,
                 "hardware transition exceeded cycle budget; runaway controller?"
             );
-            for (&e, &pulse) in &self.ports.emit_pulse {
+            for (&e, &pulse) in &self.shared.ports.emit_pulse {
                 if sim.value(pulse) {
                     let val = self
+                        .shared
                         .ports
                         .emit_value
                         .get(&e)
@@ -306,29 +368,30 @@ impl HwTransition {
                     emitted.push((e, val));
                 }
             }
-            if sim.value(self.ports.mem_re) {
-                let addr = sim.value_bus(self.ports.mem_addr.nets());
+            if sim.value(self.shared.ports.mem_re) {
+                let addr = sim.value_bus(self.shared.ports.mem_addr.nets());
                 mem_ops.push((addr, false, 0));
                 assert!(
                     next_read < mem_reads.len(),
                     "hardware issued more reads than the behavioral execution supplied"
                 );
                 sim.set_input_bus(
-                    self.ports.mem_data_in.nets(),
+                    self.shared.ports.mem_data_in.nets(),
                     mask_to_width(mem_reads[next_read], w),
                 );
                 next_read += 1;
             }
-            if sim.value(self.ports.mem_we) {
-                let addr = sim.value_bus(self.ports.mem_addr.nets());
-                let data = sign_extend(sim.value_bus(self.ports.mem_wdata.nets()), w);
+            if sim.value(self.shared.ports.mem_we) {
+                let addr = sim.value_bus(self.shared.ports.mem_addr.nets());
+                let data = sign_extend(sim.value_bus(self.shared.ports.mem_wdata.nets()), w);
                 mem_ops.push((addr, true, data));
             }
-            if sim.value(self.ports.done) {
+            if sim.value(self.shared.ports.done) {
                 break;
             }
         }
         let vars_out = self
+            .shared
             .ports
             .var_q
             .iter()
@@ -361,12 +424,22 @@ impl HwTransition {
 
     /// Gates in this transition's netlist.
     pub fn gate_count(&self) -> usize {
-        self.gate_count
+        self.shared.gate_count
     }
 
     /// Number of controller segments.
     pub fn segment_count(&self) -> usize {
-        self.segment_count
+        self.shared.segment_count
+    }
+
+    /// The shared synthesized netlist this instance simulates.
+    pub fn netlist(&self) -> &Arc<Netlist> {
+        &self.shared.netlist
+    }
+
+    /// `(gate_evals, gate_events)` of this instance's simulator so far.
+    pub fn gate_stats(&self) -> (u64, u64) {
+        (self.sim.gate_evals(), self.sim.gate_events())
     }
 }
 
@@ -449,6 +522,20 @@ impl HwCfsm {
     /// Mutable access to one synthesized transition.
     pub fn transition_mut(&mut self, id: TransitionId) -> &mut HwTransition {
         &mut self.transitions[id.0 as usize]
+    }
+
+    /// Immutable access to one synthesized transition.
+    pub fn transition(&self, id: TransitionId) -> &HwTransition {
+        &self.transitions[id.0 as usize]
+    }
+
+    /// Total `(gate_evals, gate_events)` across all transitions'
+    /// simulators.
+    pub fn gate_stats(&self) -> (u64, u64) {
+        self.transitions.iter().fold((0, 0), |(evals, events), t| {
+            let (e, v) = t.gate_stats();
+            (evals + e, events + v)
+        })
     }
 
     /// Total gates across all transitions.
@@ -615,12 +702,57 @@ fn or_all(nl: &mut Netlist, nets: Vec<NetId>) -> NetId {
     }
 }
 
+/// Memoizing front end: looks the transition up in the global synthesis
+/// cache and only runs structural synthesis on a miss. Every instance —
+/// across repeated `synthesize` calls and across parallel exploration
+/// workers — shares one `Arc<Netlist>`; the simulator (and with it all
+/// mutable state) is built fresh per instance.
 fn synthesize_transition(
     t: &cfsm::Transition,
     n_vars: usize,
     config: &SynthConfig,
     power: &PowerConfig,
 ) -> Result<HwTransition, SynthError> {
+    let key = synth_memo_key(t, n_vars, config);
+    let cached = {
+        let mut cache = lock_synth_cache();
+        let found = cache.map.get(&key).map(Arc::clone);
+        match found {
+            Some(shared) => {
+                cache.hits += 1;
+                Some(shared)
+            }
+            None => {
+                cache.misses += 1;
+                None
+            }
+        }
+    };
+    let shared = match cached {
+        Some(shared) => shared,
+        None => {
+            let built = Arc::new(build_transition(t, n_vars, config)?);
+            let mut cache = lock_synth_cache();
+            // A parallel worker may have raced us to the build; the first
+            // insert wins so all instances share a single netlist.
+            Arc::clone(cache.map.entry(key).or_insert(built))
+        }
+    };
+    let sim = Simulator::with_shared(Arc::clone(&shared.netlist), power.clone())?;
+    Ok(HwTransition {
+        shared,
+        sim,
+        width: config.width,
+    })
+}
+
+/// Structural synthesis proper: builds the netlist and port map for one
+/// transition (no simulator state; the result is immutable and shared).
+fn build_transition(
+    t: &cfsm::Transition,
+    n_vars: usize,
+    config: &SynthConfig,
+) -> Result<SynthesizedTransition, SynthError> {
     let w = config.width;
     let segments = segment_cfg(&t.body);
     let n_segs = segments.len();
@@ -868,9 +1000,8 @@ fn synthesize_transition(
     nl.mark_output("mem_we", mem_we);
 
     let gate_count = nl.gate_count();
-    let sim = Simulator::new(&nl, power.clone())?;
-    Ok(HwTransition {
-        sim,
+    Ok(SynthesizedTransition {
+        netlist: Arc::new(nl),
         ports: Ports {
             start,
             load,
@@ -886,7 +1017,6 @@ fn synthesize_transition(
             mem_addr,
             mem_wdata,
         },
-        width: w,
         gate_count,
         segment_count: n_segs,
     })
@@ -1133,5 +1263,69 @@ mod tests {
         let mut hw = synth_single(body, 1);
         let run = hw.transition_mut(TransitionId(0)).run(&[1], &|_| 0, &[]);
         assert_eq!(run.vars_out, vec![1]); // dead block never executed
+    }
+
+    #[test]
+    fn resynthesis_shares_one_netlist() {
+        let body = Cfg::straight_line(vec![Stmt::Assign {
+            var: VarId(0),
+            expr: Expr::add(Expr::Var(VarId(0)), Expr::Const(7)),
+        }]);
+        let a = synth_single(body.clone(), 1);
+        let b = synth_single(body, 1);
+        let ta = a.transition(TransitionId(0));
+        let tb = b.transition(TransitionId(0));
+        assert!(Arc::ptr_eq(ta.netlist(), tb.netlist()));
+        // And the shared netlist also backs each instance's simulator.
+        assert_eq!(ta.gate_count(), tb.gate_count());
+    }
+
+    #[test]
+    fn memoized_instances_have_independent_state() {
+        let body = Cfg::straight_line(vec![Stmt::Assign {
+            var: VarId(0),
+            expr: Expr::bin(BinOp::Xor, Expr::Var(VarId(0)), Expr::Const(0x55)),
+        }]);
+        let mut a = synth_single(body.clone(), 1);
+        let mut b = synth_single(body, 1);
+        // Drive only `a`; `b`'s simulator state must be untouched.
+        let ra = a.transition_mut(TransitionId(0)).run(&[0x7FFF], &|_| 0, &[]);
+        let rb = b.transition_mut(TransitionId(0)).run(&[0x7FFF], &|_| 0, &[]);
+        assert_eq!(ra.vars_out, rb.vars_out);
+        // The driven instance has accumulated gate activity; both report
+        // it independently.
+        assert!(a.gate_stats().1 > 0);
+        assert!(b.gate_stats().1 > 0);
+    }
+
+    #[test]
+    fn different_specs_get_different_netlists() {
+        let body_a = Cfg::straight_line(vec![Stmt::Assign {
+            var: VarId(0),
+            expr: Expr::add(Expr::Var(VarId(0)), Expr::Const(1)),
+        }]);
+        let body_b = Cfg::straight_line(vec![Stmt::Assign {
+            var: VarId(0),
+            expr: Expr::add(Expr::Var(VarId(0)), Expr::Const(2)),
+        }]);
+        let a = synth_single(body_a, 1);
+        let b = synth_single(body_b, 1);
+        assert!(!Arc::ptr_eq(
+            a.transition(TransitionId(0)).netlist(),
+            b.transition(TransitionId(0)).netlist()
+        ));
+    }
+
+    #[test]
+    fn cache_stats_observe_hits() {
+        let body = Cfg::straight_line(vec![Stmt::Assign {
+            var: VarId(0),
+            expr: Expr::add(Expr::Var(VarId(0)), Expr::Const(12345)),
+        }]);
+        let _first = synth_single(body.clone(), 1);
+        let (hits_before, _) = synth_cache_stats();
+        let _second = synth_single(body, 1);
+        let (hits_after, _) = synth_cache_stats();
+        assert!(hits_after > hits_before);
     }
 }

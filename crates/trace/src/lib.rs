@@ -166,6 +166,19 @@ pub enum TraceRecord {
         /// Target process index.
         process: u32,
     },
+    /// Gate-level simulation activity behind one detailed firing: how
+    /// many combinational gates the power simulator evaluated and how
+    /// many net-value events it observed.
+    GateActivity {
+        /// Simulation time, cycles.
+        at: u64,
+        /// Process index.
+        process: u32,
+        /// Combinational gate evaluations performed.
+        evals: u64,
+        /// Net value changes observed.
+        events: u64,
+    },
     /// The RTOS scheduler granted CPU time to a task.
     RtosGrant {
         /// Grant start, cycles.
@@ -212,6 +225,7 @@ impl TraceRecord {
             TraceRecord::FaultInjected { .. } => "fault_injected",
             TraceRecord::WatchdogTrip { .. } => "watchdog_trip",
             TraceRecord::KernelEvent { .. } => "kernel_event",
+            TraceRecord::GateActivity { .. } => "gate_activity",
             TraceRecord::RtosGrant { .. } => "rtos_grant",
         }
     }
@@ -263,6 +277,10 @@ impl TraceRecord {
             TraceRecord::KernelEvent { at, process } => {
                 format!("{{\"kind\":\"{kind}\",\"at\":{at},\"process\":{process}}}")
             }
+            TraceRecord::GateActivity { at, process, evals, events } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"process\":{process},\"evals\":{evals},\
+                 \"events\":{events}}}"
+            ),
             TraceRecord::RtosGrant { at, task, name, end, completes } => format!(
                 "{{\"kind\":\"{kind}\",\"at\":{at},\"task\":{task},\"name\":\"{}\",\"end\":{end},\
                  \"completes\":{completes}}}",
@@ -371,6 +389,10 @@ pub struct MetricsSink {
     pub kernel_events: u64,
     /// RTOS grants.
     pub rtos_grants: u64,
+    /// Combinational gate evaluations behind observed detailed firings.
+    pub gate_evals: u64,
+    /// Gate-level net value changes behind observed detailed firings.
+    pub gate_events: u64,
 }
 
 impl MetricsSink {
@@ -409,7 +431,7 @@ impl MetricsSink {
              \"cache_hits\": {}, \"cache_misses\": {}, \"energy_samples\": {}, \
              \"sampled_energy_j\": {:e}, \"bus_grants\": {}, \"bus_words\": {}, \
              \"icache_batches\": {}, \"icache_fetches\": {}, \"faults_injected\": {}, \
-             \"watchdog_trips\": {}}}",
+             \"watchdog_trips\": {}, \"gate_evals\": {}, \"gate_events\": {}}}",
             self.records,
             self.firings,
             self.detailed_calls,
@@ -424,6 +446,8 @@ impl MetricsSink {
             self.icache_fetches,
             self.faults_injected,
             self.watchdog_trips,
+            self.gate_evals,
+            self.gate_events,
         )
     }
 }
@@ -463,6 +487,10 @@ impl TraceSink for MetricsSink {
             TraceRecord::FaultInjected { .. } => self.faults_injected += 1,
             TraceRecord::WatchdogTrip { .. } => self.watchdog_trips += 1,
             TraceRecord::KernelEvent { .. } => self.kernel_events += 1,
+            TraceRecord::GateActivity { evals, events, .. } => {
+                self.gate_evals += evals;
+                self.gate_events += events;
+            }
             TraceRecord::RtosGrant { .. } => self.rtos_grants += 1,
         }
     }
@@ -636,6 +664,7 @@ mod tests {
             },
             TraceRecord::FaultInjected { at: 6, description: "freeze \"p\"".into() },
             TraceRecord::WatchdogTrip { at: 9, reason: "cycle budget".into() },
+            TraceRecord::GateActivity { at: 2, process: 1, evals: 120, events: 45 },
         ]
     }
 
@@ -666,10 +695,13 @@ mod tests {
         assert_eq!(m.bus_words, 4);
         assert_eq!(m.faults_injected, 1);
         assert_eq!(m.watchdog_trips, 1);
+        assert_eq!(m.gate_evals, 120);
+        assert_eq!(m.gate_events, 45);
         assert!((m.sampled_energy_j - 2e-9).abs() < 1e-20);
         let json = m.to_json();
         assert!(json.contains("\"detailed_calls\": 1"), "{json}");
         assert!(json.contains("\"cache\": 1"), "{json}");
+        assert!(json.contains("\"gate_evals\": 120"), "{json}");
     }
 
     #[test]
@@ -678,10 +710,10 @@ mod tests {
         for r in sample_records() {
             sink.record(&r);
         }
-        assert_eq!(sink.written(), 10);
+        assert_eq!(sink.written(), 11);
         assert!(sink.error().is_none());
         let text = String::from_utf8(sink.into_inner()).expect("utf8");
-        assert_eq!(text.lines().count(), 10);
+        assert_eq!(text.lines().count(), 11);
         for line in text.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
             assert!(line.contains("\"kind\":\""), "{line}");
@@ -699,7 +731,7 @@ mod tests {
         }
         assert_eq!(m.of_kind("firing_start").len(), 2);
         assert_eq!(m.of_kind("bus_grant").len(), 1);
-        assert_eq!(m.records.len(), 10);
+        assert_eq!(m.records.len(), 11);
     }
 
     #[test]

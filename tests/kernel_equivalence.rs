@@ -1,0 +1,36 @@
+//! End-to-end kernel equivalence: the `GATESIM_OBLIVIOUS=1` escape
+//! hatch must reproduce the default (event-driven) co-simulation report
+//! bit for bit — same golden snapshot, down to float bit patterns.
+//!
+//! This is the system-level counterpart of the gatesim differential
+//! fuzz suite: it runs the whole TCP/IP co-estimation (master, bus,
+//! cache, synthesized hardware) under both gate-simulation kernels.
+//! The test owns its process (integration tests link separately), so
+//! flipping the environment variable here cannot race other suites.
+
+use co_estimation::{CoSimConfig, CoSimulator};
+use systems::tcpip::{self, TcpIpParams};
+
+fn run_snapshot() -> String {
+    let params = TcpIpParams {
+        num_packets: 10,
+        len_range: (8, 24),
+        pkt_period: 5_000,
+        seed: 11,
+    };
+    let soc = tcpip::build(&params).expect("valid params");
+    let mut sim = CoSimulator::new(soc, CoSimConfig::date2000_defaults()).expect("system builds");
+    sim.run().golden_snapshot()
+}
+
+#[test]
+fn oblivious_escape_hatch_reproduces_the_default_report_bitwise() {
+    let event_driven = run_snapshot();
+    std::env::set_var("GATESIM_OBLIVIOUS", "1");
+    let oblivious = run_snapshot();
+    std::env::remove_var("GATESIM_OBLIVIOUS");
+    assert_eq!(
+        event_driven, oblivious,
+        "gate-simulation kernels diverged at system level"
+    );
+}
