@@ -17,7 +17,7 @@
 use co_estimation::{
     Acceleration, CoSimConfig, ExplorationPoint, ExploreOptions, SamplingConfig,
 };
-use soc_bench::{fig7_parallel, fig7_serial, run_with_metrics, table1_caching};
+use soc_bench::{fig7_parallel, fig7_profile_overhead, fig7_serial, run_with_metrics, table1_caching};
 use std::time::Instant;
 use systems::tcpip::{self, TcpIpParams};
 
@@ -110,12 +110,26 @@ fn main() {
         metric_rows.push_str(&format!("    {{\"mode\": \"{mode}\", \"metrics\": {}}}", metrics.to_json()));
     }
 
+    // Span-profiler cost on the same sweep: the observability layer must
+    // stay invisible when detached and cheap when attached, and the
+    // attached run must remain bit-identical (asserted inside the helper).
+    let (detached_s, attached_s, _profile) = fig7_profile_overhead(&params);
+    let profiler_overhead_pct = 100.0 * (attached_s - detached_s) / detached_s;
+    println!(
+        "\nprofiler: detached {detached_s:.3} s, attached {attached_s:.3} s \
+         ({profiler_overhead_pct:+.2}%)"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"explore_fig7_sweep\",\n  \"system\": \"tcpip\",\n  \
          \"points\": {points},\n  \"host_cpus\": {host_cpus},\n  \
          \"serial\": {{\"wall_s\": {serial_s:.6}, \"points_per_sec\": {:.3}}},\n  \
          \"parallel\": [\n{rows}\n  ],\n  \
-         \"trace_metrics\": [\n{metric_rows}\n  ]\n}}\n",
+         \"trace_metrics\": [\n{metric_rows}\n  ],\n  \
+         \"profiler_overhead\": {{\"detached_wall_s\": {detached_s:.6}, \
+         \"attached_wall_s\": {attached_s:.6}, \
+         \"attached_overhead_pct\": {profiler_overhead_pct:.3}, \
+         \"bitwise_identical\": true}}\n}}\n",
         points as f64 / serial_s
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");

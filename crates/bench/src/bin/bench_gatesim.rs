@@ -21,7 +21,7 @@ use cfsm::TransitionId;
 use co_estimation::CoSimConfig;
 use detrand::Rng;
 use gatesim::{HwCfsm, NetId, Netlist, PowerConfig, SimKernel, Simulator};
-use soc_bench::fig7_serial;
+use soc_bench::{fig7_profile_overhead, fig7_serial};
 use std::sync::Arc;
 use std::time::Instant;
 use systems::tcpip::{self, TcpIpParams};
@@ -182,6 +182,17 @@ fn main() {
     println!("fig7 sweep (48 points): oblivious {fig7_ob_s:.3} s, event-driven {fig7_ev_s:.3} s");
     println!("end-to-end speedup: {fig7_speedup:.2}x (bitwise identical: {fig7_identical})");
 
+    // Span-profiler cost on the same sweep (event-driven kernel): the
+    // gate-sim spans must not perturb results (asserted inside the
+    // helper) and the attached cost is recorded alongside the kernel
+    // timings so both trajectories track together.
+    let (detached_s, attached_s, _profile) = fig7_profile_overhead(&params);
+    let profiler_overhead_pct = 100.0 * (attached_s - detached_s) / detached_s;
+    println!(
+        "profiler: detached {detached_s:.3} s, attached {attached_s:.3} s \
+         ({profiler_overhead_pct:+.2}%)"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"gatesim_kernels\",\n  \"netlist\": \"tcpip_checksum\",\n  \
          \"gates\": {gates},\n  \"bench_cycles\": {bench_cycles},\n  \
@@ -194,7 +205,11 @@ fn main() {
          \"bitwise_identical\": {bitwise_identical},\n  \
          \"fig7_sweep\": {{\"oblivious_wall_s\": {fig7_ob_s:.6}, \
          \"event_driven_wall_s\": {fig7_ev_s:.6}, \"speedup\": {fig7_speedup:.3}, \
-         \"bitwise_identical\": {fig7_identical}}}\n}}\n",
+         \"bitwise_identical\": {fig7_identical}}},\n  \
+         \"profiler_overhead\": {{\"detached_wall_s\": {detached_s:.6}, \
+         \"attached_wall_s\": {attached_s:.6}, \
+         \"attached_overhead_pct\": {profiler_overhead_pct:.3}, \
+         \"bitwise_identical\": true}}\n}}\n",
         ob_epc / ev_epc.max(1e-12)
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");

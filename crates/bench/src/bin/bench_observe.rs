@@ -1,0 +1,218 @@
+//! Observability benchmark: the paper-style accuracy-vs-speedup table
+//! with full energy-provenance attribution, per-technique effectiveness
+//! counters, and the span profiler's own overhead, written as
+//! `BENCH_observe.json` (plus an NDJSON row stream) so the
+//! attribution/overhead trajectory tracks across PRs.
+//!
+//! Every row is double-checked before it is reported: the observed run
+//! (profiler + metrics sink + provenance attached) must be bit-identical
+//! to the detached run, and the provenance breakdown must sum bit-exactly
+//! to the report totals.
+//!
+//! Usage:
+//!   cargo run --release -p soc-bench --bin bench_observe [out.json]
+//!   cargo run --release -p soc-bench --bin bench_observe -- --smoke
+
+// Regeneration binary for the evaluation harness: aborting loudly on a
+// broken setup is correct here, matching the tests-and-benches carve-out
+// from the workspace-wide panic-free policy.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use co_estimation::{AccelEffectiveness, CoSimConfig, Provenance, SocDescription};
+use soc_bench::{
+    fig7_profile_overhead, observe_modes, observe_rows, render_observe_table, run_observed,
+    timed_run,
+};
+use systems::automotive::{self, AutomotiveParams};
+use systems::producer_consumer::{self, ProducerConsumerParams};
+use systems::tcpip::{self, TcpIpParams};
+
+/// The documented budget for the observability layer's cost when every
+/// sink is detached: under 2% of the Fig. 7 sweep.
+const DETACHED_BUDGET_PCT: f64 = 2.0;
+
+/// Hand-rolled JSON for the effectiveness counters (the workspace is
+/// dependency-free; all benchmark artifacts are formatted by hand).
+fn effectiveness_json(e: &AccelEffectiveness) -> String {
+    let layers: Vec<String> = e
+        .answered_by_layer
+        .iter()
+        .map(|(name, n)| format!("\"{name}\": {n}"))
+        .collect();
+    let cache = match &e.cache {
+        Some(c) => format!(
+            "{{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \
+             \"distinct_paths\": {}, \"eligible_paths\": {}, \
+             \"max_eligible_cv\": {:.6}, \"cv_bound\": {}}}",
+            c.hits,
+            c.misses,
+            c.hit_rate(),
+            c.distinct_paths,
+            c.eligible_paths,
+            c.max_eligible_cv,
+            c.cv_bound
+        ),
+        None => "null".to_string(),
+    };
+    let sampling = match &e.sampling {
+        Some(s) => format!(
+            "{{\"period\": {}, \"served\": {}, \"samples\": {}, \
+             \"compaction_ratio\": {:.3}}}",
+            s.period,
+            s.served,
+            s.samples,
+            s.compaction_ratio()
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"iss_calls_avoided\": {}, \"answered_by_layer\": {{{}}}, \
+         \"cache\": {cache}, \"sampling\": {sampling}}}",
+        e.iss_calls_avoided(),
+        layers.join(", ")
+    )
+}
+
+/// Checks one system under one acceleration mode: the observed run
+/// (provenance + profiler + metrics attached) must match the plain run
+/// bit for bit, and the attribution must sum bit-exactly.
+fn check_system(name: &str, soc: SocDescription, config: CoSimConfig, mode: &str) {
+    let (plain, _) = timed_run(soc.clone(), config.clone());
+    let (observed, profile, _metrics) = run_observed(soc, config);
+    assert_eq!(
+        plain.golden_snapshot(),
+        observed.golden_snapshot(),
+        "{name}/{mode}: observability perturbed the report"
+    );
+    observed
+        .verify_provenance()
+        .unwrap_or_else(|e| panic!("{name}/{mode}: provenance mismatch: {e}"));
+    assert!(
+        profile.total_spans() > 0,
+        "{name}/{mode}: profiler attached but recorded nothing"
+    );
+}
+
+/// The three reference systems at small parameter settings.
+fn systems_under_test() -> Vec<(&'static str, SocDescription)> {
+    vec![
+        (
+            "tcpip",
+            tcpip::build(&TcpIpParams {
+                num_packets: 8,
+                len_range: (8, 24),
+                pkt_period: 5_000,
+                seed: 3,
+            })
+            .expect("valid params"),
+        ),
+        (
+            "producer_consumer",
+            producer_consumer::build(&ProducerConsumerParams::default()).expect("valid params"),
+        ),
+        (
+            "automotive",
+            automotive::build(&AutomotiveParams::default()).expect("valid params"),
+        ),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_observe.json".to_string());
+
+    // Bit-identity sweep first (both modes): every system × every
+    // acceleration mode must verify before anything is reported.
+    let config = CoSimConfig::date2000_defaults();
+    for (name, soc) in systems_under_test() {
+        for (mode, accel) in observe_modes() {
+            check_system(name, soc.clone(), config.clone().with_accel(accel), mode);
+        }
+    }
+    println!(
+        "provenance bit-identity: {} systems x {} accel modes verified\n",
+        systems_under_test().len(),
+        observe_modes().len()
+    );
+
+    if smoke {
+        println!("smoke mode: provenance + bit-identity assertions passed");
+        return;
+    }
+
+    // The accuracy-vs-speedup table on the TCP/IP system.
+    let params = TcpIpParams::fig7_defaults();
+    let rows = observe_rows(&params);
+    println!("== bench_observe: tcpip accuracy vs. speedup ==\n");
+    print!("{}", render_observe_table(&rows));
+
+    // Profiler overhead on the Fig. 7 sweep (48 points, serial engine so
+    // the measurement is not scheduler noise).
+    let (detached_s, attached_s, sweep_profile) = fig7_profile_overhead(&params);
+    let overhead_pct = 100.0 * (attached_s - detached_s) / detached_s;
+    println!("\nfig7 sweep: detached {detached_s:.3} s, attached {attached_s:.3} s");
+    println!(
+        "profiler overhead when attached: {overhead_pct:.2}% \
+         (detached budget: <{DETACHED_BUDGET_PCT}% vs. PR 4's bench_gatesim fig7 wall)"
+    );
+    print!("\n{}", sweep_profile.render());
+
+    let mode_objs: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!
+            (
+                "    {{\"technique\": \"{}\", \"energy_j\": {:e}, \"error_pct\": {:.4}, \
+                 \"speedup\": {:.3}, \"wall_s\": {:.6}, \"iss_reduction_pct\": {:.2},\n     \
+                 \"provenance\": {},\n     \"effectiveness\": {}}}",
+                r.technique,
+                r.energy_j,
+                r.error_pct,
+                r.speedup,
+                r.wall_s,
+                r.iss_reduction_pct,
+                r.report.provenance.to_json(),
+                effectiveness_json(&r.report.effectiveness)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"observe\",\n  \"system\": \"tcpip\",\n  \
+         \"modes\": [\n{}\n  ],\n  \
+         \"fig7_profiler\": {{\"detached_wall_s\": {detached_s:.6}, \
+         \"attached_wall_s\": {attached_s:.6}, \"attached_overhead_pct\": {overhead_pct:.3}, \
+         \"detached_budget_pct\": {DETACHED_BUDGET_PCT}, \"bitwise_identical\": true,\n    \
+         \"profile\": {}}}\n}}\n",
+        mode_objs.join(",\n"),
+        sweep_profile.to_json()
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("\nwrote {out_path}");
+
+    // NDJSON row stream: one self-contained line per technique, easy to
+    // append across PRs and to load into external tooling.
+    let nd_path = out_path.replace(".json", ".ndjson");
+    let mut nd = String::new();
+    for r in &rows {
+        let measured = [Provenance::MeasuredIss, Provenance::GateLevel]
+            .iter()
+            .map(|&p| r.report.provenance.energy_for(p))
+            .sum::<f64>();
+        nd.push_str(&format!(
+            "{{\"bench\": \"observe\", \"technique\": \"{}\", \"error_pct\": {:.4}, \
+             \"speedup\": {:.3}, \"detailed_energy_j\": {:e}, \"total_energy_j\": {:e}}}\n",
+            r.technique,
+            r.error_pct,
+            r.speedup,
+            measured,
+            r.report.total_energy_j()
+        ));
+    }
+    std::fs::write(&nd_path, &nd).expect("write benchmark ndjson");
+    println!("wrote {nd_path}");
+}

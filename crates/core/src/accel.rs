@@ -15,6 +15,7 @@ use crate::caching::EnergyCache;
 use crate::config::{Acceleration, CoSimConfig};
 use crate::estimator::DetailedCost;
 use crate::macromodel::{characterize_hw, characterize_sw, ParameterFile};
+use crate::report::Provenance;
 use crate::sampling::SamplingConfig;
 use cfsm::{MacroOp, PathId, ProcId};
 use iss::PowerModel;
@@ -43,6 +44,18 @@ impl CostSource {
             CostSource::Cache => "cache",
             CostSource::MacroModel => "macromodel",
             CostSource::Sampled => "sampling",
+        }
+    }
+
+    /// The [`Provenance`] of an energy obtained from this source.
+    /// `detailed` is the backend's own provenance, used when the firing
+    /// fell through the whole acceleration stack.
+    pub fn provenance(&self, detailed: Provenance) -> Provenance {
+        match self {
+            CostSource::Detailed => detailed,
+            CostSource::Cache => Provenance::CacheReuse,
+            CostSource::MacroModel => Provenance::MacroModel,
+            CostSource::Sampled => Provenance::SampledScaled,
         }
     }
 }
@@ -94,6 +107,12 @@ pub trait AccelLayer: fmt::Debug {
     /// The characterized software parameter file, when this layer is
     /// [`MacroModelLayer`].
     fn sw_parameter_file(&self) -> Option<&ParameterFile> {
+        None
+    }
+
+    /// Sampling counters `(period, served, samples)`, when this layer
+    /// is [`SamplingLayer`] (for the compaction-ratio report).
+    fn sampling_stats(&self) -> Option<(u32, u64, u64)> {
         None
     }
 }
@@ -201,6 +220,10 @@ impl AccelLayer for CacheLayer {
 pub struct SamplingLayer {
     period: u32,
     state: HashMap<(ProcId, PathId), (u32, DetailedCost)>,
+    /// Firings answered by reusing the last sample.
+    served: u64,
+    /// Detailed samples observed.
+    samples: u64,
 }
 
 impl SamplingLayer {
@@ -209,6 +232,8 @@ impl SamplingLayer {
         SamplingLayer {
             period: config.period,
             state: HashMap::new(),
+            served: 0,
+            samples: 0,
         }
     }
 }
@@ -227,6 +252,7 @@ impl AccelLayer for SamplingLayer {
         if let Some((countdown, last)) = self.state.get_mut(&key) {
             if *countdown > 0 {
                 *countdown -= 1;
+                self.served += 1;
                 return Some(*last);
             }
             // The reuse window closed: re-arm it and delegate so the
@@ -237,11 +263,16 @@ impl AccelLayer for SamplingLayer {
     }
 
     fn observe_detailed(&mut self, ctx: &FiringCtx<'_>, cost: DetailedCost) {
+        self.samples += 1;
         let entry = self
             .state
             .entry((ctx.proc, ctx.path))
             .or_insert((self.period.saturating_sub(1), cost));
         entry.1 = cost;
+    }
+
+    fn sampling_stats(&self) -> Option<(u32, u64, u64)> {
+        Some((self.period, self.served, self.samples))
     }
 }
 
@@ -253,6 +284,8 @@ impl AccelLayer for SamplingLayer {
 #[derive(Debug, Default)]
 pub struct AccelPipeline {
     layers: Vec<Box<dyn AccelLayer>>,
+    /// Firings answered per layer, parallel to `layers`.
+    answered: Vec<u64>,
 }
 
 impl AccelPipeline {
@@ -280,6 +313,7 @@ impl AccelPipeline {
     /// Appends a layer at the bottom of the stack.
     pub fn push(&mut self, layer: Box<dyn AccelLayer>) {
         self.layers.push(layer);
+        self.answered.push(0);
     }
 
     /// Number of stacked layers.
@@ -305,8 +339,10 @@ impl AccelPipeline {
         tracer: &mut Tracer,
         detailed: &mut dyn FnMut() -> DetailedCost,
     ) -> (DetailedCost, CostSource) {
-        for layer in &mut self.layers {
+        let answered = &mut self.answered;
+        for (i, layer) in self.layers.iter_mut().enumerate() {
             if let Some(cost) = layer.try_answer(ctx, tracer) {
+                answered[i] += 1;
                 let name = layer.name();
                 tracer.emit(|| TraceRecord::LayerAnswered {
                     at: ctx.now,
@@ -334,6 +370,21 @@ impl AccelPipeline {
     /// [`MacroModelLayer`] is stacked.
     pub fn sw_parameter_file(&self) -> Option<&ParameterFile> {
         self.layers.iter().find_map(|l| l.sw_parameter_file())
+    }
+
+    /// Firings answered per layer, top-down: `(layer name, count)`.
+    pub fn answered_counts(&self) -> Vec<(&'static str, u64)> {
+        self.layers
+            .iter()
+            .zip(&self.answered)
+            .map(|(l, &n)| (l.name(), n))
+            .collect()
+    }
+
+    /// Sampling counters `(period, served, samples)`, when a
+    /// [`SamplingLayer`] is stacked.
+    pub fn sampling_stats(&self) -> Option<(u32, u64, u64)> {
+        self.layers.iter().find_map(|l| l.sampling_stats())
     }
 }
 

@@ -202,6 +202,24 @@ impl EnergyCache {
     pub fn iter(&self) -> impl Iterator<Item = (&(ProcId, PathId), &PathStats)> {
         self.entries.iter()
     }
+
+    /// `(eligible paths, max coefficient of variation among them)`:
+    /// how many paths currently qualify for cache answers, and the
+    /// worst relative spread of any energy the cache would replay — the
+    /// §4.2 error bound actually in force (always `<= thresh_variance`).
+    pub fn eligible_stats(&self) -> (usize, f64) {
+        let mut eligible = 0usize;
+        let mut max_cv = 0.0f64;
+        for st in self.entries.values() {
+            if st.energy.count() >= self.config.thresh_iss_calls as u64
+                && st.energy.coeff_of_variation() <= self.config.thresh_variance
+            {
+                eligible += 1;
+                max_cv = max_cv.max(st.energy.coeff_of_variation());
+            }
+        }
+        (eligible, max_cv)
+    }
 }
 
 #[cfg(test)]

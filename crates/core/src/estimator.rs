@@ -13,6 +13,7 @@
 
 use crate::config::{CoSimConfig, EstimatorBackend};
 use crate::macromodel::{characterize_hw, characterize_sw, ParameterFile};
+use crate::report::Provenance;
 use cfsm::{EventId, Execution, Implementation, Network, ProcId, TransitionId};
 use gatesim::{HwCfsm, SynthError};
 use iss::codegen::CodegenError;
@@ -147,6 +148,19 @@ pub trait PowerEstimator: fmt::Debug {
     /// trace layer. Defaults to `None` (no gate-level model).
     fn gate_stats(&self) -> Option<(u64, u64)> {
         None
+    }
+
+    /// Provenance of the energies this backend produces when it answers
+    /// a firing in detail. Defaults to the detailed-path provenance of
+    /// the mapping ([`Provenance::GateLevel`] for hardware,
+    /// [`Provenance::MeasuredIss`] for software); analytic backends
+    /// override.
+    fn provenance(&self) -> Provenance {
+        if self.is_hw() {
+            Provenance::GateLevel
+        } else {
+            Provenance::MeasuredIss
+        }
     }
 }
 
@@ -381,6 +395,11 @@ impl PowerEstimator for LinearModelEstimator {
 
     fn wait_energy(&mut self, _transition: TransitionId, cycles: u64, _detailed: bool) -> f64 {
         self.wait_energy_per_cycle_j * cycles as f64
+    }
+
+    fn provenance(&self) -> Provenance {
+        // Analytic cost table, not a measured detailed path.
+        Provenance::MacroModel
     }
 }
 

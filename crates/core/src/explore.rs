@@ -16,6 +16,25 @@ use crate::estimator::BuildEstimatorError;
 use crate::master::CoSimulator;
 use crate::report::CoSimReport;
 use cfsm::ProcId;
+use soctrace::{ArcSharedSink, ProfileReport, ProfileSink, SpanKind};
+use std::time::Instant;
+
+/// Runs one sweep-point simulation, optionally wiring the shared
+/// profiler into the master and timing the whole point as a
+/// [`SpanKind::SweepPoint`] span. Profiling never perturbs results
+/// (wall time only), so the sweeps stay bit-identical with or without
+/// a sink.
+fn run_point(
+    sim: &mut CoSimulator,
+    profile: Option<&ArcSharedSink<ProfileReport>>,
+) -> CoSimReport {
+    let Some(p) = profile else { return sim.run() };
+    sim.attach_profile(Box::new(p.clone()));
+    let t0 = Instant::now();
+    let report = sim.run();
+    p.clone().span(SpanKind::SweepPoint, t0.elapsed());
+    report
+}
 
 /// One evaluated configuration.
 #[derive(Debug, Clone)]
@@ -75,6 +94,7 @@ pub(crate) fn eval_bus_point(
     base: &CoSimConfig,
     perm: &[ProcId],
     dma: u32,
+    profile: Option<&ArcSharedSink<ProfileReport>>,
 ) -> Result<ExplorationPoint, BuildEstimatorError> {
     let mut soc_variant = soc.clone();
     let n = perm.len() as u8;
@@ -89,7 +109,7 @@ pub(crate) fn eval_bus_point(
     let label = label_parts.join(" > ");
     let config = base.with_dma_block_size(dma);
     let mut sim = CoSimulator::new(soc_variant, config)?;
-    let report = sim.run();
+    let report = run_point(&mut sim, profile);
     Ok(ExplorationPoint {
         dma_block_size: dma,
         priorities,
@@ -117,7 +137,7 @@ pub fn explore_bus_architecture(
     let mut points = Vec::with_capacity(perms.len() * dma_sizes.len());
     for perm in &perms {
         for &dma in dma_sizes {
-            points.push(eval_bus_point(soc, base, perm, dma)?);
+            points.push(eval_bus_point(soc, base, perm, dma, None)?);
         }
     }
     Ok(points)
@@ -150,6 +170,7 @@ pub(crate) fn eval_partition_point(
     config: &CoSimConfig,
     movable: &[ProcId],
     bits: u32,
+    profile: Option<&ArcSharedSink<ProfileReport>>,
 ) -> Result<Option<PartitionPoint>, BuildEstimatorError> {
     use cfsm::Implementation;
     let mut soc_variant = soc.clone();
@@ -166,7 +187,7 @@ pub(crate) fn eval_partition_point(
     let label = label_parts.join(" ");
     match CoSimulator::new(soc_variant.clone(), config.clone()) {
         Ok(mut sim) => {
-            let report = sim.run();
+            let report = run_point(&mut sim, profile);
             Ok(Some(PartitionPoint {
                 mapping: soc_variant
                     .network
@@ -215,7 +236,7 @@ pub fn explore_partitions(
     let n = movable.len();
     let mut points = Vec::with_capacity(1 << n);
     for bits in 0..(1u32 << n) {
-        if let Some(point) = eval_partition_point(soc, config, movable, bits)? {
+        if let Some(point) = eval_partition_point(soc, config, movable, bits, None)? {
             points.push(point);
         }
     }

@@ -36,6 +36,7 @@ use crate::explore::{
 };
 use crate::report::CoSimReport;
 use cfsm::ProcId;
+use soctrace::{ArcSharedSink, ProfileReport};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -52,6 +53,12 @@ pub struct ExploreOptions {
     /// point, so one degraded (livelocked / runaway) design point cannot
     /// hang the whole sweep. `None` keeps the base config's budgets.
     pub watchdog: Option<desim::WatchdogConfig>,
+    /// When set, every point's master runs with this shared span
+    /// profiler attached and each point is timed as a
+    /// [`soctrace::SpanKind::SweepPoint`] span; workers aggregate into
+    /// the one report through the `Arc<Mutex<_>>` sink. Wall-time
+    /// observability only — results stay bit-identical.
+    pub profile: Option<ArcSharedSink<ProfileReport>>,
 }
 
 impl ExploreOptions {
@@ -61,6 +68,7 @@ impl ExploreOptions {
         ExploreOptions {
             workers: NonZeroUsize::MIN,
             watchdog: None,
+            profile: None,
         }
     }
 
@@ -69,12 +77,20 @@ impl ExploreOptions {
         ExploreOptions {
             workers: NonZeroUsize::new(workers).unwrap_or(NonZeroUsize::MIN),
             watchdog: None,
+            profile: None,
         }
     }
 
     /// Returns a copy with the given per-point watchdog budgets.
     pub fn guarded(mut self, watchdog: desim::WatchdogConfig) -> Self {
         self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Returns a copy with the given shared span profiler attached to
+    /// every point's master.
+    pub fn profiled(mut self, sink: ArcSharedSink<ProfileReport>) -> Self {
+        self.profile = Some(sink);
         self
     }
 }
@@ -85,6 +101,7 @@ impl Default for ExploreOptions {
         ExploreOptions {
             workers: thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
             watchdog: None,
+            profile: None,
         }
     }
 }
@@ -234,7 +251,7 @@ pub fn explore_bus_architecture_parallel(
     let (items, workers) = run_indexed(total, options.workers, |i| {
         let perm = &perms[i / dma_sizes.len()];
         let dma = dma_sizes[i % dma_sizes.len()];
-        eval_bus_point(soc, &config, perm, dma).map(Some)
+        eval_bus_point(soc, &config, perm, dma, options.profile.as_ref()).map(Some)
     })?;
     Ok(finish(items, t0, workers, |p| &p.report))
 }
@@ -263,7 +280,7 @@ pub fn explore_partitions_parallel(
     let total = 1usize << movable.len();
     let t0 = Instant::now();
     let (items, workers) = run_indexed(total, options.workers, |i| {
-        eval_partition_point(soc, &config, movable, i as u32)
+        eval_partition_point(soc, &config, movable, i as u32, options.profile.as_ref())
     })?;
     Ok(finish(items, t0, workers, |p| &p.report))
 }

@@ -116,6 +116,9 @@ pub use estimator::{
     LinearModelEstimator, PowerEstimator, SwEstimator,
 };
 pub use faults::{FaultKind, FaultPlan, FaultSpec};
+pub use report::{
+    AccelEffectiveness, CacheEffectiveness, Provenance, ProvenanceBreakdown, SamplingEffectiveness,
+};
 pub use explore::{
     explore_bus_architecture, explore_partitions, minimum_energy, permutations,
     ExplorationPoint, PartitionPoint,

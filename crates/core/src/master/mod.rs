@@ -41,13 +41,17 @@ use crate::estimator::{
 };
 use crate::faults::{self, ResolvedFault};
 use crate::macromodel::ParameterFile;
-use crate::report::{CoSimReport, ProcessReport, RunOutcome};
+use crate::report::{
+    AccelEffectiveness, CacheEffectiveness, CoSimReport, ProcessReport, Provenance,
+    ProvenanceBreakdown, RunOutcome, SamplingEffectiveness,
+};
 use busmodel::{Bus, MasterId};
 use cachesim::Cache;
 use cfsm::{EventId, EventOccurrence, Implementation, NetworkState, ProcId};
 use desim::{EventQueue, SimTime, Watchdog};
-use soctrace::{TraceRecord, TraceSink, Tracer};
+use soctrace::{ProfileSink, Profiler, SpanKind, TraceRecord, TraceSink, Tracer};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Master events.
 #[derive(Debug, Clone)]
@@ -72,6 +76,9 @@ struct FiringWait {
     exec_end: u64,
     detailed: bool,
     is_sw: bool,
+    /// Provenance of the firing's energy; bus-wait idling charged when
+    /// the firing completes is booked under the same source.
+    provenance: Provenance,
     emissions: Vec<(EventId, Option<i64>)>,
 }
 
@@ -79,17 +86,37 @@ struct FiringWait {
 ///
 /// # Examples
 ///
-/// See the `systems` crate for complete SOC descriptions; the general
-/// shape is:
+/// See the `systems` crate for complete SOC descriptions; a minimal
+/// one-process system runs end to end like this:
 ///
-/// ```no_run
-/// use co_estimation::{CoSimulator, CoSimConfig};
-/// # fn soc() -> co_estimation::SocDescription { unimplemented!() }
+/// ```
+/// use cfsm::{Cfsm, Cfg, Stmt, Expr, Network, EventDef, Implementation, EventOccurrence};
+/// use co_estimation::{CoSimulator, CoSimConfig, SocDescription};
 ///
-/// let mut sim = CoSimulator::new(soc(), CoSimConfig::date2000_defaults())?;
+/// let mut nb = Network::builder();
+/// let tick = nb.event(EventDef::pure("TICK"));
+/// let mut mb = Cfsm::builder("counter");
+/// let s = mb.state("s");
+/// let v = mb.var("v", 0);
+/// mb.transition(s, vec![tick], None,
+///     Cfg::straight_line(vec![Stmt::Assign {
+///         var: v,
+///         expr: Expr::add(Expr::Var(v), Expr::Const(1)),
+///     }]), s);
+/// nb.process(mb.finish()?, Implementation::Hw);
+///
+/// let soc = SocDescription {
+///     name: "counter".into(),
+///     network: nb.finish()?,
+///     stimulus: (0..4).map(|i| (i * 100, EventOccurrence::pure(tick))).collect(),
+///     priorities: vec![1],
+/// };
+/// let mut sim = CoSimulator::new(soc, CoSimConfig::date2000_defaults())?;
 /// let report = sim.run();
 /// println!("total energy: {:.3e} J", report.total_energy_j());
-/// # Ok::<(), co_estimation::BuildEstimatorError>(())
+/// assert_eq!(report.firings, 4);
+/// report.verify_provenance().expect("attribution sums bit-exactly");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct CoSimulator {
@@ -99,6 +126,10 @@ pub struct CoSimulator {
     estimators: Vec<Box<dyn PowerEstimator>>,
     accel: AccelPipeline,
     tracer: Tracer,
+    profiler: Profiler,
+    /// Mirror of every ledger charge, tagged with its energy source
+    /// (see [`ProvenanceBreakdown`]'s bit-identity contract).
+    provenance: ProvenanceBreakdown,
     queue: EventQueue<Ev>,
     bus: Bus,
     bus_master: Vec<MasterId>,
@@ -188,6 +219,9 @@ impl CoSimulator {
             estimators,
             accel,
             tracer: Tracer::disabled(),
+            profiler: Profiler::disabled(),
+            // Ledger registration order: processes, then bus, then icache.
+            provenance: ProvenanceBreakdown::new(n + 2),
             queue,
             bus,
             bus_master,
@@ -231,12 +265,29 @@ impl CoSimulator {
         self.tracer.detach()
     }
 
+    /// Attaches a span profiler; estimator firings, acceleration-layer
+    /// decisions, gate-kernel work and the whole run are timed on the
+    /// monotonic clock. Profiling is wall-time observability only: no
+    /// measured duration ever feeds back into the simulation, so every
+    /// result stays bit-identical with and without a profiler (and when
+    /// detached the master reads no clock at all).
+    pub fn attach_profile(&mut self, sink: Box<dyn ProfileSink>) {
+        self.profiler.attach(sink);
+    }
+
+    /// Detaches and returns the profile sink, disabling profiling.
+    pub fn detach_profile(&mut self) -> Option<Box<dyn ProfileSink>> {
+        self.profiler.detach()
+    }
+
     /// Runs to quiescence — or until a watchdog budget or the firing
     /// bound trips, in which case the report's
     /// [`outcome`](CoSimReport::outcome) is [`RunOutcome::Degraded`] and
     /// its figures cover the simulated time up to the trip.
     pub fn run(&mut self) -> CoSimReport {
+        let t0 = self.profiler.start();
         while self.step() {}
+        self.profiler.finish(SpanKind::MasterRun, t0);
         self.report()
     }
 
@@ -296,14 +347,18 @@ impl CoSimulator {
         self.degraded = Some(reason);
     }
 
-    /// Charges one window to the ledger, mirroring it into the trace.
-    fn charge(&mut self, comp: ComponentId, start: u64, end: u64, energy_j: f64) {
+    /// Charges one window to the ledger, mirroring it into the
+    /// provenance breakdown (same `f64`, same `+=` order — the
+    /// bit-identity contract) and into the trace.
+    fn charge(&mut self, comp: ComponentId, start: u64, end: u64, energy_j: f64, prov: Provenance) {
         self.account.record(comp, start, end, energy_j);
+        self.provenance.record(comp.0 as usize, prov, energy_j);
         self.tracer.emit(|| TraceRecord::EnergySample {
             component: comp.0,
             start,
             end,
             energy_j,
+            provenance: prov.as_str(),
         });
     }
 
@@ -318,7 +373,7 @@ impl CoSimulator {
         }
         match self.bus.grant_block(t) {
             Some(g) => {
-                self.charge(self.bus_comp, g.start, g.end, g.energy_j);
+                self.charge(self.bus_comp, g.start, g.end, g.energy_j, Provenance::BusModel);
                 self.tracer.emit(|| TraceRecord::BusGrant {
                     at: t,
                     master: g.master.0,
@@ -372,7 +427,13 @@ impl CoSimulator {
         let idle_energy =
             self.estimators[p.0 as usize].wait_energy(wait.transition, idle, wait.detailed);
         if idle > 0 {
-            self.charge(self.comp_of_proc[p.0 as usize], wait.exec_end, end, idle_energy);
+            self.charge(
+                self.comp_of_proc[p.0 as usize],
+                wait.exec_end,
+                end,
+                idle_energy,
+                wait.provenance,
+            );
         }
         for (e, v) in wait.emissions {
             let occ = match v {
@@ -535,7 +596,13 @@ impl CoSimulator {
                     let fetches = addrs.len() as u64;
                     let de = fetches as f64 * (cfg.access_energy_j + cfg.miss_energy_j);
                     stall_cycles = fetches * cfg.miss_penalty_cycles;
-                    self.charge(self.cache_comp, t, t + stall_cycles.max(1), de);
+                    self.charge(
+                        self.cache_comp,
+                        t,
+                        t + stall_cycles.max(1),
+                        de,
+                        Provenance::CacheModel,
+                    );
                     self.tracer.emit(|| TraceRecord::IcacheBatch {
                         at: t,
                         process: p.0,
@@ -549,7 +616,13 @@ impl CoSimulator {
                 } else {
                     let batch = icache.access_batch(addrs);
                     stall_cycles = batch.stall_cycles;
-                    self.charge(self.cache_comp, t, t + stall_cycles.max(1), batch.energy_j);
+                    self.charge(
+                        self.cache_comp,
+                        t,
+                        t + stall_cycles.max(1),
+                        batch.energy_j,
+                        Provenance::CacheModel,
+                    );
                     self.tracer.emit(|| TraceRecord::IcacheBatch {
                         at: t,
                         process: p.0,
@@ -564,8 +637,11 @@ impl CoSimulator {
         }
 
         // The component's execution phase: computation plus cache-miss
-        // stalls (charged at the processor's stall power).
+        // stalls (charged at the processor's stall power). The whole
+        // window is one charge, booked under the provenance of whatever
+        // produced the firing's cost.
         let detailed = source == CostSource::Detailed;
+        let provenance = source.provenance(self.estimators[p.0 as usize].provenance());
         let stall_energy =
             self.estimators[p.0 as usize].wait_energy(fr.transition, stall_cycles, detailed);
         let exec_end = t + cost.cycles + stall_cycles;
@@ -574,6 +650,7 @@ impl CoSimulator {
             t,
             exec_end,
             cost.energy_j + stall_energy,
+            provenance,
         );
         self.end_time = self.end_time.max(exec_end);
 
@@ -584,6 +661,7 @@ impl CoSimulator {
             exec_end,
             detailed,
             is_sw,
+            provenance,
             emissions: fr.execution.emitted.clone(),
         };
 
@@ -645,9 +723,33 @@ impl CoSimulator {
             event_value: &|e| ev_snapshot.get(&e).copied().unwrap_or(0),
             exec: &fr.execution,
         };
-        let (cost, source) =
-            self.accel
-                .estimate(&ctx, &mut self.tracer, &mut || est.run_firing(&inputs));
+        // The detailed closure can't reach `self.profiler` (it already
+        // borrows the estimator), so it measures into a local and the
+        // spans are booked after the pipeline returns. Detached profiler
+        // = `prof_on` is false = zero clock reads on the hot path.
+        let prof_on = self.profiler.enabled();
+        let mut firing_wall: Option<Duration> = None;
+        let accel_t0 = prof_on.then(Instant::now);
+        let (cost, source) = self.accel.estimate(&ctx, &mut self.tracer, &mut || {
+            let t0 = prof_on.then(Instant::now);
+            let c = est.run_firing(&inputs);
+            firing_wall = t0.map(|t0| t0.elapsed());
+            c
+        });
+        if prof_on {
+            let accel_wall = accel_t0.map(|t0| t0.elapsed());
+            if let Some(wall) = firing_wall {
+                self.profiler.record(SpanKind::EstimatorFiring, Some(wall));
+                if ctx.is_hw {
+                    // A detailed HW firing *is* a gate-kernel run: the
+                    // same wall time, aggregated under its own kind so
+                    // kernel work is visible without double bookkeeping
+                    // in the simulator.
+                    self.profiler.record(SpanKind::GateSimKernel, Some(wall));
+                }
+            }
+            self.profiler.record(SpanKind::AccelDecision, accel_wall);
+        }
         match source {
             CostSource::Detailed => self.detailed_calls += 1,
             _ => self.accelerated_calls += 1,
@@ -705,6 +807,39 @@ impl CoSimulator {
                 None => RunOutcome::Completed,
             },
             anomalies: self.anomalies.clone(),
+            provenance: self.provenance.clone(),
+            effectiveness: self.effectiveness(),
+        }
+    }
+
+    /// Snapshots the per-technique effectiveness counters.
+    fn effectiveness(&self) -> AccelEffectiveness {
+        AccelEffectiveness {
+            answered_by_layer: self
+                .accel
+                .answered_counts()
+                .into_iter()
+                .map(|(name, n)| (name.to_string(), n))
+                .collect(),
+            cache: self.accel.energy_cache().map(|c| {
+                let (hits, misses) = c.hit_miss();
+                let (eligible_paths, max_eligible_cv) = c.eligible_stats();
+                CacheEffectiveness {
+                    hits,
+                    misses,
+                    distinct_paths: c.distinct_paths(),
+                    eligible_paths,
+                    max_eligible_cv,
+                    cv_bound: c.config().thresh_variance,
+                }
+            }),
+            sampling: self.accel.sampling_stats().map(|(period, served, samples)| {
+                SamplingEffectiveness {
+                    period,
+                    served,
+                    samples,
+                }
+            }),
         }
     }
 }

@@ -21,7 +21,17 @@
 //! * [`MemorySink`] — keeps the records in a `Vec` for tests.
 //!
 //! [`SharedSink`] wraps any sink in `Rc<RefCell<…>>` so the caller can
-//! keep a handle while the simulator owns the attached clone.
+//! keep a handle while the simulator owns the attached clone;
+//! [`ArcSharedSink`] is its `Arc<Mutex<…>>` counterpart for sinks shared
+//! across a worker pool (parallel exploration sweeps).
+//!
+//! Alongside the record stream, the crate carries the **span profiler**:
+//! a [`Profiler`] handle emits monotonic-clock [`SpanKind`] timings into
+//! a [`ProfileSink`] — typically a [`ProfileReport`], which aggregates
+//! count/total/mean/max per kind. Like the tracer, a detached profiler
+//! is near-free: one `Option` check per site and **zero clock reads**.
+//! Wall-clock figures never enter golden snapshots — profiling, like
+//! tracing, must not perturb a single bit of the simulation results.
 //!
 //! # Examples
 //!
@@ -45,6 +55,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::io::Write;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One structured observation from the simulation stack.
 ///
@@ -110,6 +122,11 @@ pub enum TraceRecord {
         end: u64,
         /// Energy, joules.
         energy_j: f64,
+        /// Provenance tag: which estimation technique produced this
+        /// quantum (`"measured_iss"`, `"gate_level"`, `"cache_reuse"`,
+        /// `"macro_model"`, `"sampled_scaled"`, `"bus_model"`,
+        /// `"cache_model"` — see the emitting layer's `Provenance`).
+        provenance: &'static str,
     },
     /// The bus arbiter granted one DMA block.
     BusGrant {
@@ -248,9 +265,9 @@ impl TraceRecord {
             TraceRecord::EnergyCacheLookup { at, process, path, hit } => format!(
                 "{{\"kind\":\"{kind}\",\"at\":{at},\"process\":{process},\"path\":{path},\"hit\":{hit}}}"
             ),
-            TraceRecord::EnergySample { component, start, end, energy_j } => format!(
+            TraceRecord::EnergySample { component, start, end, energy_j, provenance } => format!(
                 "{{\"kind\":\"{kind}\",\"component\":{component},\"start\":{start},\"end\":{end},\
-                 \"energy_j\":{energy_j:e}}}"
+                 \"energy_j\":{energy_j:e},\"provenance\":\"{provenance}\"}}"
             ),
             TraceRecord::BusGrant { at, master, start, end, words, energy_j, request_done } => {
                 format!(
@@ -373,6 +390,8 @@ pub struct MetricsSink {
     pub energy_samples: u64,
     /// Total energy observed through ledger records, joules.
     pub sampled_energy_j: f64,
+    /// Ledger energy per provenance tag, joules.
+    pub energy_by_provenance: BTreeMap<&'static str, f64>,
     /// Bus DMA blocks granted.
     pub bus_grants: u64,
     /// Bus words transferred under observed grants.
@@ -425,11 +444,19 @@ impl MetricsSink {
             }
             layers.push_str(&format!("\"{layer}\": {n}"));
         }
+        let mut prov = String::new();
+        for (i, (tag, e)) in self.energy_by_provenance.iter().enumerate() {
+            if i > 0 {
+                prov.push_str(", ");
+            }
+            prov.push_str(&format!("\"{tag}\": {e:e}"));
+        }
         format!(
             "{{\"records\": {}, \"firings\": {}, \"detailed_calls\": {}, \
              \"accelerated_calls\": {}, \"answered_by_layer\": {{{layers}}}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \"energy_samples\": {}, \
-             \"sampled_energy_j\": {:e}, \"bus_grants\": {}, \"bus_words\": {}, \
+             \"sampled_energy_j\": {:e}, \"energy_by_provenance\": {{{prov}}}, \
+             \"bus_grants\": {}, \"bus_words\": {}, \
              \"icache_batches\": {}, \"icache_fetches\": {}, \"faults_injected\": {}, \
              \"watchdog_trips\": {}, \"gate_evals\": {}, \"gate_events\": {}}}",
             self.records,
@@ -472,9 +499,10 @@ impl TraceSink for MetricsSink {
                     self.cache_misses += 1;
                 }
             }
-            TraceRecord::EnergySample { energy_j, .. } => {
+            TraceRecord::EnergySample { energy_j, provenance, .. } => {
                 self.energy_samples += 1;
                 self.sampled_energy_j += energy_j;
+                *self.energy_by_provenance.entry(provenance).or_insert(0.0) += energy_j;
             }
             TraceRecord::BusGrant { words, .. } => {
                 self.bus_grants += 1;
@@ -525,6 +553,15 @@ impl<W: Write> NdjsonSink<W> {
     /// The first write error, if any occurred.
     pub fn error(&self) -> Option<std::io::ErrorKind> {
         self.error
+    }
+
+    /// Flushes the underlying writer in place. A flush failure is
+    /// recorded like a write failure (first error wins, subsequent
+    /// records are dropped) — never propagated as a panic.
+    pub fn flush(&mut self) {
+        if let Err(e) = self.writer.flush() {
+            self.error.get_or_insert(e.kind());
+        }
     }
 
     /// Flushes and returns the underlying writer.
@@ -622,6 +659,361 @@ impl<T: TraceSink> TraceSink for SharedSink<T> {
     }
 }
 
+impl<T: ProfileSink> ProfileSink for SharedSink<T> {
+    fn span(&mut self, kind: SpanKind, wall: Duration) {
+        if let Ok(mut inner) = self.0.try_borrow_mut() {
+            inner.span(kind, wall);
+        }
+    }
+}
+
+/// A thread-safe shareable sink: the `Arc<Mutex<…>>` counterpart of
+/// [`SharedSink`], for sinks that must cross a worker pool (one handle
+/// per `explore_parallel` worker, all aggregating into the same inner
+/// sink). For the single-threaded master, [`SharedSink`] stays cheaper.
+pub struct ArcSharedSink<T>(Arc<Mutex<T>>);
+
+impl<T> Clone for ArcSharedSink<T> {
+    fn clone(&self) -> Self {
+        ArcSharedSink(Arc::clone(&self.0))
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ArcSharedSink<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ArcSharedSink").field(&self.0).finish()
+    }
+}
+
+impl<T> ArcSharedSink<T> {
+    /// Wraps `sink` for sharing across threads.
+    pub fn new(sink: T) -> Self {
+        ArcSharedSink(Arc::new(Mutex::new(sink)))
+    }
+
+    /// Runs `f` with a shared view of the inner sink. Recovers the sink
+    /// from a poisoned lock (a panicked peer thread) rather than
+    /// propagating the panic.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        match self.0.lock() {
+            Ok(guard) => f(&guard),
+            Err(poisoned) => f(&poisoned.into_inner()),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the inner sink.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        match self.0.lock() {
+            Ok(mut guard) => f(&mut guard),
+            Err(poisoned) => f(&mut poisoned.into_inner()),
+        }
+    }
+
+    /// Extracts the inner sink if this is the last handle, otherwise a
+    /// clone of it.
+    pub fn into_inner(self) -> T
+    where
+        T: Clone,
+    {
+        match Arc::try_unwrap(self.0) {
+            Ok(mutex) => match mutex.into_inner() {
+                Ok(inner) => inner,
+                Err(poisoned) => poisoned.into_inner(),
+            },
+            Err(arc) => match arc.lock() {
+                Ok(guard) => guard.clone(),
+                Err(poisoned) => poisoned.into_inner().clone(),
+            },
+        }
+    }
+}
+
+impl<T: TraceSink> TraceSink for ArcSharedSink<T> {
+    fn record(&mut self, rec: &TraceRecord) {
+        // A sink must not panic: a poisoned lock (panicked peer) still
+        // yields the inner sink.
+        match self.0.lock() {
+            Ok(mut inner) => inner.record(rec),
+            Err(poisoned) => poisoned.into_inner().record(rec),
+        }
+    }
+}
+
+impl<T: ProfileSink> ProfileSink for ArcSharedSink<T> {
+    fn span(&mut self, kind: SpanKind, wall: Duration) {
+        match self.0.lock() {
+            Ok(mut inner) => inner.span(kind, wall),
+            Err(poisoned) => poisoned.into_inner().span(kind, wall),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Span profiler
+// ---------------------------------------------------------------------
+
+/// The instrumented span kinds of the co-estimation stack.
+///
+/// Spans nest: an [`AccelDecision`](SpanKind::AccelDecision) includes
+/// the time of the [`EstimatorFiring`](SpanKind::EstimatorFiring) it may
+/// delegate to, which for a hardware component is also reported as
+/// [`GateSimKernel`](SpanKind::GateSimKernel); a
+/// [`MasterRun`](SpanKind::MasterRun) covers the whole event loop, and a
+/// [`SweepPoint`](SpanKind::SweepPoint) covers one design point of an
+/// exploration (construction included). Totals of different kinds
+/// therefore must not be added together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// One detailed estimator invocation (ISS / gate-level / linear).
+    EstimatorFiring,
+    /// One walk of the acceleration pipeline for one firing (includes
+    /// any nested detailed invocation).
+    AccelDecision,
+    /// One gate-level kernel run behind a detailed hardware firing.
+    GateSimKernel,
+    /// One design point of an exploration sweep, end to end.
+    SweepPoint,
+    /// One complete master event loop (run to quiescence).
+    MasterRun,
+}
+
+impl SpanKind {
+    /// Every span kind, in rendering order.
+    pub const ALL: [SpanKind; 5] = [
+        SpanKind::EstimatorFiring,
+        SpanKind::AccelDecision,
+        SpanKind::GateSimKernel,
+        SpanKind::SweepPoint,
+        SpanKind::MasterRun,
+    ];
+
+    /// Stable lowercase tag, used in reports and JSON artifacts.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanKind::EstimatorFiring => "estimator_firing",
+            SpanKind::AccelDecision => "accel_decision",
+            SpanKind::GateSimKernel => "gatesim_kernel",
+            SpanKind::SweepPoint => "sweep_point",
+            SpanKind::MasterRun => "master_run",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            SpanKind::EstimatorFiring => 0,
+            SpanKind::AccelDecision => 1,
+            SpanKind::GateSimKernel => 2,
+            SpanKind::SweepPoint => 3,
+            SpanKind::MasterRun => 4,
+        }
+    }
+}
+
+/// A consumer of timed spans. Object-safe, like [`TraceSink`], and under
+/// the same contract: must not panic, and must never feed back into the
+/// simulation (wall-clock figures stay out of golden snapshots).
+pub trait ProfileSink {
+    /// Consumes one completed span.
+    fn span(&mut self, kind: SpanKind, wall: Duration);
+}
+
+/// The span-emission handle, mirroring [`Tracer`]: detached (the
+/// default) it costs one `Option` check per site and performs **zero
+/// clock reads** — [`start`](Profiler::start) returns `None` without
+/// touching the monotonic clock.
+#[derive(Default)]
+pub struct Profiler {
+    sink: Option<Box<dyn ProfileSink>>,
+}
+
+impl fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Profiler")
+            .field("enabled", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl Profiler {
+    /// A profiler with no sink: every span is a no-op and no clock is
+    /// ever read.
+    pub fn disabled() -> Self {
+        Profiler { sink: None }
+    }
+
+    /// A profiler forwarding every span to `sink`.
+    pub fn new(sink: Box<dyn ProfileSink>) -> Self {
+        Profiler { sink: Some(sink) }
+    }
+
+    /// Attaches (or replaces) the sink.
+    pub fn attach(&mut self, sink: Box<dyn ProfileSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the sink, disabling the profiler.
+    pub fn detach(&mut self) -> Option<Box<dyn ProfileSink>> {
+        self.sink.take()
+    }
+
+    /// Whether a sink is attached.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Opens a span: reads the monotonic clock only when a sink is
+    /// attached. The returned token is passed to
+    /// [`finish`](Profiler::finish) (a `start`/`finish` pair instead of
+    /// a guard object, so call sites with tangled borrows — the master's
+    /// estimator closures — need no lifetime gymnastics).
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.sink.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Closes a span opened by [`start`](Profiler::start) and emits it.
+    /// A `None` token (profiler was detached at open time) is a no-op.
+    #[inline]
+    pub fn finish(&mut self, kind: SpanKind, start: Option<Instant>) {
+        if let (Some(sink), Some(t0)) = (&mut self.sink, start) {
+            sink.span(kind, t0.elapsed());
+        }
+    }
+
+    /// Emits an already-measured span (used to mirror one measurement
+    /// under a second kind, e.g. a detailed hardware firing doubling as
+    /// a gate-kernel span).
+    #[inline]
+    pub fn record(&mut self, kind: SpanKind, wall: Option<Duration>) {
+        if let (Some(sink), Some(w)) = (&mut self.sink, wall) {
+            sink.span(kind, w);
+        }
+    }
+}
+
+/// Aggregate statistics of one span kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Spans observed.
+    pub count: u64,
+    /// Total wall time, nanoseconds.
+    pub total_ns: u128,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u128,
+}
+
+impl SpanStats {
+    /// Mean span wall time, nanoseconds (0 when no spans).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// A [`ProfileSink`] aggregating spans into count/total/mean/max per
+/// kind — the profiling counterpart of [`MetricsSink`]. Thread-safe
+/// sharing across a worker pool goes through
+/// [`ArcSharedSink<ProfileReport>`](ArcSharedSink).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileReport {
+    stats: [SpanStats; 5],
+}
+
+impl ProfileReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        ProfileReport::default()
+    }
+
+    /// Aggregates one span.
+    pub fn record(&mut self, kind: SpanKind, wall: Duration) {
+        let s = &mut self.stats[kind.index()];
+        let ns = wall.as_nanos();
+        s.count += 1;
+        s.total_ns += ns;
+        s.max_ns = s.max_ns.max(ns);
+    }
+
+    /// The aggregate statistics of one span kind.
+    pub fn stats(&self, kind: SpanKind) -> SpanStats {
+        self.stats[kind.index()]
+    }
+
+    /// Total spans observed across all kinds.
+    pub fn total_spans(&self) -> u64 {
+        self.stats.iter().map(|s| s.count).sum()
+    }
+
+    /// Folds another report into this one (per-kind sums; max of maxes).
+    pub fn merge(&mut self, other: &ProfileReport) {
+        for (mine, theirs) in self.stats.iter_mut().zip(&other.stats) {
+            mine.count += theirs.count;
+            mine.total_ns += theirs.total_ns;
+            mine.max_ns = mine.max_ns.max(theirs.max_ns);
+        }
+    }
+
+    /// Renders the aggregates as a JSON object (stable key order; kinds
+    /// with zero spans included so the shape is fixed).
+    pub fn to_json(&self) -> String {
+        let mut body = String::new();
+        for (i, kind) in SpanKind::ALL.iter().enumerate() {
+            let s = self.stats(*kind);
+            if i > 0 {
+                body.push_str(", ");
+            }
+            body.push_str(&format!(
+                "\"{}\": {{\"count\": {}, \"total_ns\": {}, \"mean_ns\": {:.1}, \"max_ns\": {}}}",
+                kind.as_str(),
+                s.count,
+                s.total_ns,
+                s.mean_ns(),
+                s.max_ns
+            ));
+        }
+        format!("{{{body}}}")
+    }
+
+    /// Renders a human-readable table (kinds with zero spans omitted).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:>17} | {:>8} | {:>12} | {:>12} | {:>12}\n",
+            "span", "count", "total (ms)", "mean (us)", "max (us)"
+        );
+        out.push_str(&"-".repeat(72));
+        out.push('\n');
+        for kind in SpanKind::ALL {
+            let s = self.stats(kind);
+            if s.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:>17} | {:>8} | {:>12.3} | {:>12.2} | {:>12.2}\n",
+                kind.as_str(),
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.mean_ns() / 1e3,
+                s.max_ns as f64 / 1e3
+            ));
+        }
+        out
+    }
+}
+
+impl ProfileSink for ProfileReport {
+    fn span(&mut self, kind: SpanKind, wall: Duration) {
+        self.record(kind, wall);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -652,7 +1044,13 @@ mod tests {
                 source: "detailed",
             },
             TraceRecord::EnergyCacheLookup { at: 2, process: 1, path: 7, hit: false },
-            TraceRecord::EnergySample { component: 1, start: 2, end: 22, energy_j: 2e-9 },
+            TraceRecord::EnergySample {
+                component: 1,
+                start: 2,
+                end: 22,
+                energy_j: 2e-9,
+                provenance: "measured_iss",
+            },
             TraceRecord::BusGrant {
                 at: 5,
                 master: 1,
@@ -760,5 +1158,208 @@ mod tests {
     fn json_escape_handles_control_chars() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn metrics_sink_buckets_energy_by_provenance() {
+        let mut m = MetricsSink::new();
+        for (tag, e) in [("measured_iss", 2e-9), ("bus_model", 1e-9), ("measured_iss", 3e-9)] {
+            m.record(&TraceRecord::EnergySample {
+                component: 0,
+                start: 0,
+                end: 1,
+                energy_j: e,
+                provenance: tag,
+            });
+        }
+        assert_eq!(m.energy_samples, 3);
+        assert!((m.energy_by_provenance["measured_iss"] - 5e-9).abs() < 1e-20);
+        assert!((m.energy_by_provenance["bus_model"] - 1e-9).abs() < 1e-20);
+        let json = m.to_json();
+        assert!(json.contains("\"energy_by_provenance\": {\"bus_model\":"), "{json}");
+    }
+
+    #[test]
+    fn metrics_to_json_shape_is_stable() {
+        // Golden-ish shape pin: the key set and order of the JSON form
+        // are part of the benchmark-artifact contract. An empty sink
+        // renders every key with its zero value.
+        let expected = "{\"records\": 0, \"firings\": 0, \"detailed_calls\": 0, \
+             \"accelerated_calls\": 0, \"answered_by_layer\": {}, \
+             \"cache_hits\": 0, \"cache_misses\": 0, \"energy_samples\": 0, \
+             \"sampled_energy_j\": 0e0, \"energy_by_provenance\": {}, \
+             \"bus_grants\": 0, \"bus_words\": 0, \
+             \"icache_batches\": 0, \"icache_fetches\": 0, \"faults_injected\": 0, \
+             \"watchdog_trips\": 0, \"gate_evals\": 0, \"gate_events\": 0}";
+        assert_eq!(MetricsSink::new().to_json(), expected);
+    }
+
+    /// A writer that fails after `ok_writes` successful writes.
+    struct FailingWriter {
+        ok_writes: usize,
+        fail_flush: bool,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.ok_writes == 0 {
+                Err(std::io::Error::new(std::io::ErrorKind::WriteZero, "full"))
+            } else {
+                self.ok_writes -= 1;
+                Ok(buf.len())
+            }
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            if self.fail_flush {
+                Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn ndjson_sink_swallows_write_errors_after_the_first() {
+        // `writeln!` issues two writes per record (payload, then the
+        // newline), so a budget of 4 admits exactly two records.
+        let mut sink = NdjsonSink::new(FailingWriter { ok_writes: 4, fail_flush: false });
+        for _ in 0..5 {
+            sink.record(&TraceRecord::KernelEvent { at: 0, process: 0 });
+        }
+        assert_eq!(sink.written(), 2);
+        assert_eq!(sink.error(), Some(std::io::ErrorKind::WriteZero));
+        // Recording after the first error is a silent no-op.
+        sink.record(&TraceRecord::KernelEvent { at: 9, process: 0 });
+        assert_eq!(sink.written(), 2);
+    }
+
+    #[test]
+    fn ndjson_sink_flush_records_flush_errors() {
+        let mut sink = NdjsonSink::new(FailingWriter { ok_writes: 10, fail_flush: true });
+        sink.record(&TraceRecord::KernelEvent { at: 0, process: 0 });
+        assert!(sink.error().is_none());
+        sink.flush();
+        assert_eq!(sink.error(), Some(std::io::ErrorKind::BrokenPipe));
+        // A later write error must not overwrite the first failure.
+        let mut sink = NdjsonSink::new(FailingWriter { ok_writes: 0, fail_flush: true });
+        sink.record(&TraceRecord::KernelEvent { at: 0, process: 0 });
+        sink.flush();
+        assert_eq!(sink.error(), Some(std::io::ErrorKind::WriteZero));
+    }
+
+    #[test]
+    fn ndjson_sink_flush_is_clean_on_healthy_writer() {
+        let mut sink = NdjsonSink::new(Vec::new());
+        sink.record(&TraceRecord::KernelEvent { at: 0, process: 0 });
+        sink.flush();
+        assert!(sink.error().is_none());
+        assert_eq!(sink.written(), 1);
+    }
+
+    #[test]
+    fn arc_shared_sink_observes_through_clone() {
+        let shared = ArcSharedSink::new(MetricsSink::new());
+        let mut tracer = Tracer::new(Box::new(shared.clone()));
+        tracer.emit(|| TraceRecord::KernelEvent { at: 3, process: 0 });
+        tracer.emit(|| TraceRecord::KernelEvent { at: 4, process: 1 });
+        assert_eq!(shared.with(|m| m.kernel_events), 2);
+        drop(tracer);
+        let inner = shared.into_inner();
+        assert_eq!(inner.records, 2);
+    }
+
+    #[test]
+    fn arc_shared_sink_aggregates_across_threads() {
+        let shared = ArcSharedSink::new(MetricsSink::new());
+        std::thread::scope(|s| {
+            for worker in 0..4u32 {
+                let mut sink = shared.clone();
+                s.spawn(move || {
+                    for i in 0..25 {
+                        sink.record(&TraceRecord::KernelEvent { at: i, process: worker });
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.with(|m| m.kernel_events), 100);
+    }
+
+    #[test]
+    fn profiler_disabled_reads_no_clock_and_emits_nothing() {
+        let prof = Profiler::disabled();
+        assert!(!prof.enabled());
+        assert!(prof.start().is_none(), "no clock read when detached");
+        let mut prof = prof;
+        prof.finish(SpanKind::MasterRun, None);
+        prof.record(SpanKind::GateSimKernel, None);
+    }
+
+    #[test]
+    fn profiler_aggregates_spans_into_report() {
+        let shared = SharedSink::new(ProfileReport::new());
+        let mut prof = Profiler::new(Box::new(shared.clone()));
+        assert!(prof.enabled());
+        for _ in 0..3 {
+            let t0 = prof.start();
+            assert!(t0.is_some());
+            prof.finish(SpanKind::EstimatorFiring, t0);
+        }
+        prof.record(SpanKind::GateSimKernel, Some(Duration::from_micros(5)));
+        let report = shared.with(|r| r.clone());
+        assert_eq!(report.stats(SpanKind::EstimatorFiring).count, 3);
+        assert_eq!(report.stats(SpanKind::GateSimKernel).count, 1);
+        assert_eq!(report.stats(SpanKind::GateSimKernel).total_ns, 5_000);
+        assert_eq!(report.stats(SpanKind::SweepPoint).count, 0);
+        assert_eq!(report.total_spans(), 4);
+    }
+
+    #[test]
+    fn profile_report_stats_and_merge() {
+        let mut a = ProfileReport::new();
+        a.record(SpanKind::SweepPoint, Duration::from_nanos(100));
+        a.record(SpanKind::SweepPoint, Duration::from_nanos(300));
+        let s = a.stats(SpanKind::SweepPoint);
+        assert_eq!((s.count, s.total_ns, s.max_ns), (2, 400, 300));
+        assert!((s.mean_ns() - 200.0).abs() < 1e-9);
+
+        let mut b = ProfileReport::new();
+        b.record(SpanKind::SweepPoint, Duration::from_nanos(700));
+        b.record(SpanKind::MasterRun, Duration::from_nanos(50));
+        a.merge(&b);
+        let s = a.stats(SpanKind::SweepPoint);
+        assert_eq!((s.count, s.total_ns, s.max_ns), (3, 1_100, 700));
+        assert_eq!(a.stats(SpanKind::MasterRun).count, 1);
+    }
+
+    #[test]
+    fn profile_report_render_and_json_shape() {
+        let mut r = ProfileReport::new();
+        r.record(SpanKind::AccelDecision, Duration::from_micros(2));
+        let json = r.to_json();
+        for kind in SpanKind::ALL {
+            assert!(json.contains(&format!("\"{}\"", kind.as_str())), "{json}");
+        }
+        let text = r.render();
+        assert!(text.contains("accel_decision"));
+        assert!(!text.contains("sweep_point"), "zero-count kinds omitted:\n{text}");
+    }
+
+    #[test]
+    fn arc_shared_profile_report_across_threads() {
+        let shared = ArcSharedSink::new(ProfileReport::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let sink = shared.clone();
+                s.spawn(move || {
+                    let mut prof = Profiler::new(Box::new(sink));
+                    for _ in 0..10 {
+                        let t0 = prof.start();
+                        prof.finish(SpanKind::SweepPoint, t0);
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.with(|r| r.stats(SpanKind::SweepPoint).count), 40);
     }
 }

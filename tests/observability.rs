@@ -1,0 +1,232 @@
+//! Observability contract: provenance attribution must sum bit-exactly
+//! to the report totals on every system under every acceleration mode,
+//! and attaching any combination of trace, metrics, and profiler sinks
+//! must not perturb a single bit of the golden snapshot.
+//!
+//! The profiler's span counts are also pinned to the master's own
+//! counters (one `accel_decision` per firing, one `estimator_firing` per
+//! detailed call), so the spans cannot silently drift away from what
+//! they claim to time.
+
+use co_estimation::{
+    explore_bus_architecture, explore_bus_architecture_parallel, Acceleration, CachingConfig,
+    CoSimConfig, CoSimReport, CoSimulator, ExploreOptions, Provenance, SamplingConfig,
+    SocDescription,
+};
+use soctrace::{ArcSharedSink, MetricsSink, ProfileReport, SharedSink, SpanKind};
+use systems::automotive::{self, AutomotiveParams};
+use systems::producer_consumer::{self, ProducerConsumerParams};
+use systems::tcpip::{self, TcpIpParams};
+
+fn small_tcpip() -> SocDescription {
+    tcpip::build(&TcpIpParams {
+        num_packets: 8,
+        len_range: (8, 24),
+        pkt_period: 5_000,
+        seed: 3,
+    })
+    .expect("valid params")
+}
+
+fn all_systems() -> Vec<(&'static str, SocDescription)> {
+    vec![
+        ("tcpip", small_tcpip()),
+        (
+            "producer_consumer",
+            producer_consumer::build(&ProducerConsumerParams::default()).expect("valid params"),
+        ),
+        (
+            "automotive",
+            automotive::build(&AutomotiveParams::default()).expect("valid params"),
+        ),
+    ]
+}
+
+fn all_modes() -> Vec<(&'static str, Acceleration)> {
+    vec![
+        ("baseline", Acceleration::none()),
+        ("caching", Acceleration::caching(CachingConfig::new())),
+        ("macromodel", Acceleration::macromodel()),
+        ("sampling", Acceleration::sampling(SamplingConfig { period: 4 })),
+    ]
+}
+
+/// Runs with metrics + profiler sinks attached; returns the report and
+/// the aggregated profile.
+fn run_observed(soc: SocDescription, config: CoSimConfig) -> (CoSimReport, ProfileReport) {
+    let metrics = SharedSink::new(MetricsSink::new());
+    let profile = SharedSink::new(ProfileReport::new());
+    let mut sim = CoSimulator::new(soc, config).expect("valid soc");
+    sim.attach_trace(Box::new(metrics.clone()));
+    sim.attach_profile(Box::new(profile.clone()));
+    let report = sim.run();
+    drop(sim);
+    (report, profile.into_inner())
+}
+
+#[test]
+fn provenance_sums_bit_exactly_on_every_system_and_mode() {
+    let base = CoSimConfig::date2000_defaults();
+    for (system, soc) in all_systems() {
+        for (mode, accel) in all_modes() {
+            let config = base.with_accel(accel);
+            let mut plain = CoSimulator::new(soc.clone(), config.clone()).expect("valid soc");
+            let plain_report = plain.run();
+            let (observed, profile) = run_observed(soc.clone(), config);
+
+            observed
+                .verify_provenance()
+                .unwrap_or_else(|e| panic!("{system}/{mode}: {e}"));
+            assert_eq!(
+                plain_report.golden_snapshot(),
+                observed.golden_snapshot(),
+                "{system}/{mode}: observability perturbed the report"
+            );
+            // Span counts are pinned to the master's own counters.
+            assert_eq!(
+                profile.stats(SpanKind::AccelDecision).count,
+                observed.firings,
+                "{system}/{mode}: one accel_decision span per firing"
+            );
+            assert_eq!(
+                profile.stats(SpanKind::EstimatorFiring).count,
+                observed.detailed_calls,
+                "{system}/{mode}: one estimator_firing span per detailed call"
+            );
+            assert_eq!(profile.stats(SpanKind::MasterRun).count, 1);
+        }
+    }
+}
+
+#[test]
+fn provenance_buckets_track_the_active_technique() {
+    let soc = small_tcpip();
+    let base = CoSimConfig::date2000_defaults();
+
+    let (baseline, _) = run_observed(soc.clone(), base.clone());
+    for p in [
+        Provenance::CacheReuse,
+        Provenance::MacroModel,
+        Provenance::SampledScaled,
+    ] {
+        assert_eq!(
+            baseline.provenance.records_for(p),
+            0,
+            "baseline run must attribute nothing to {p:?}"
+        );
+    }
+    assert!(baseline.provenance.records_for(Provenance::BusModel) > 0);
+
+    let (cached, _) = run_observed(
+        soc.clone(),
+        base.with_accel(Acceleration::caching(CachingConfig::new())),
+    );
+    assert!(cached.provenance.records_for(Provenance::CacheReuse) > 0);
+    assert_eq!(cached.provenance.records_for(Provenance::SampledScaled), 0);
+
+    let (macro_run, _) = run_observed(soc.clone(), base.with_accel(Acceleration::macromodel()));
+    assert!(macro_run.provenance.records_for(Provenance::MacroModel) > 0);
+
+    let (sampled, _) = run_observed(
+        soc,
+        base.with_accel(Acceleration::sampling(SamplingConfig { period: 4 })),
+    );
+    assert!(sampled.provenance.records_for(Provenance::SampledScaled) > 0);
+
+    // The bucket partition is exact (same additions, different grouping),
+    // so its sum may differ from the bit-exact component sum only by
+    // float reassociation noise.
+    for r in [&baseline, &cached, &macro_run, &sampled] {
+        let total = r.provenance.total_energy_j();
+        assert!((r.provenance.bucket_sum_j() - total).abs() <= 1e-12 * total.abs().max(1e-300));
+    }
+}
+
+#[test]
+fn effectiveness_counters_reconcile_with_the_report() {
+    let soc = small_tcpip();
+    let base = CoSimConfig::date2000_defaults();
+
+    let (baseline, _) = run_observed(soc.clone(), base.clone());
+    assert_eq!(baseline.effectiveness.iss_calls_avoided(), 0);
+    assert!(baseline.effectiveness.cache.is_none());
+    assert!(baseline.effectiveness.sampling.is_none());
+
+    let (cached, _) = run_observed(
+        soc.clone(),
+        base.with_accel(Acceleration::caching(CachingConfig::new())),
+    );
+    let cache = cached.effectiveness.cache.as_ref().expect("cache stats");
+    assert_eq!(
+        cache.hits,
+        cached.firings - cached.detailed_calls,
+        "every avoided detailed call must be a cache hit"
+    );
+    assert_eq!(
+        cached.effectiveness.iss_calls_avoided(),
+        cached.firings - cached.detailed_calls
+    );
+    assert!(cache.eligible_paths <= cache.distinct_paths);
+    assert!(
+        cache.max_eligible_cv <= cache.cv_bound,
+        "served paths must respect the §4.2 variance bound"
+    );
+
+    let (sampled, _) = run_observed(
+        soc,
+        base.with_accel(Acceleration::sampling(SamplingConfig { period: 4 })),
+    );
+    let sampling = sampled.effectiveness.sampling.as_ref().expect("sampling stats");
+    assert_eq!(sampling.period, 4);
+    assert_eq!(
+        sampling.served + sampling.samples,
+        sampled.firings,
+        "served + sampled firings must cover every firing"
+    );
+    assert!(sampling.compaction_ratio() > 1.0);
+}
+
+#[test]
+fn parallel_sweep_profiles_every_point_without_perturbing_results() {
+    let soc = tcpip::build(&TcpIpParams::fig7_defaults()).expect("valid params");
+    let config = CoSimConfig::date2000_defaults();
+    let procs: Vec<cfsm::ProcId> = ["create_pack", "ip_check", "checksum"]
+        .iter()
+        .map(|n| soc.network.process_by_name(n).expect("process exists"))
+        .collect();
+    let dmas = [1u32, 8, 32, 128];
+
+    let serial = explore_bus_architecture(&soc, &config, &procs, &dmas).expect("serial sweep");
+
+    let sink = ArcSharedSink::new(ProfileReport::new());
+    let sweep = explore_bus_architecture_parallel(
+        &soc,
+        &config,
+        &procs,
+        &dmas,
+        &ExploreOptions::with_workers(4).profiled(sink.clone()),
+    )
+    .expect("parallel sweep");
+
+    assert_eq!(serial.len(), sweep.points.len());
+    for (i, (s, p)) in serial.iter().zip(&sweep.points).enumerate() {
+        assert_eq!(
+            s.report.golden_snapshot(),
+            p.report.golden_snapshot(),
+            "profiled point {i} drifted from the serial reference"
+        );
+        p.report
+            .verify_provenance()
+            .unwrap_or_else(|e| panic!("profiled point {i}: {e}"));
+    }
+
+    let profile = sink.with(|r| r.clone());
+    let points = serial.len() as u64;
+    assert_eq!(
+        profile.stats(SpanKind::SweepPoint).count,
+        points,
+        "one sweep_point span per point, aggregated across workers"
+    );
+    assert_eq!(profile.stats(SpanKind::MasterRun).count, points);
+    assert!(profile.stats(SpanKind::EstimatorFiring).count > 0);
+}
