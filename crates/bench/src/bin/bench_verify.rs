@@ -1,0 +1,177 @@
+//! Verification benchmark: what does the static liveness checker cost,
+//! and what watchdog-timeout cost does it avoid?
+//!
+//! Three measurements, written as `BENCH_verify.json`:
+//!
+//! 1. checker wall time on the three reference systems (must be clean);
+//! 2. checker wall time across a generated fuzz sweep (live +
+//!    deadlocking), asserting zero false positives / false negatives;
+//! 3. the dynamic alternative: simulating doomed specs until the
+//!    watchdog trips, i.e. the per-spec cost the checker's microseconds
+//!    replace.
+//!
+//! Usage:
+//!   cargo run --release -p soc-bench --bin bench_verify [out.json]
+//!   cargo run --release -p soc-bench --bin bench_verify -- --smoke
+
+// Regeneration binary for the evaluation harness: aborting loudly on a
+// broken setup is correct here, matching the tests-and-benches carve-out
+// from the workspace-wide panic-free policy.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use co_estimation::{verify_soc, CoSimConfig, CoSimulator, SocDescription};
+use desim::WatchdogConfig;
+use socverify::gen::{generate_deadlocking, generate_live, GeneratedSystem};
+use std::time::Instant;
+use systems::automotive::{self, AutomotiveParams};
+use systems::producer_consumer::{self, ProducerConsumerParams};
+use systems::tcpip::{self, TcpIpParams};
+
+fn reference_systems() -> Vec<(&'static str, SocDescription)> {
+    vec![
+        (
+            "tcpip",
+            tcpip::build(&TcpIpParams {
+                num_packets: 8,
+                len_range: (8, 24),
+                pkt_period: 5_000,
+                seed: 3,
+            })
+            .expect("valid params"),
+        ),
+        (
+            "producer_consumer",
+            producer_consumer::build(&ProducerConsumerParams::default()).expect("valid params"),
+        ),
+        (
+            "automotive",
+            automotive::build(&AutomotiveParams::default()).expect("valid params"),
+        ),
+    ]
+}
+
+fn to_soc(g: GeneratedSystem) -> SocDescription {
+    SocDescription {
+        name: g.name,
+        network: g.network,
+        stimulus: g.stimulus,
+        priorities: g.priorities,
+    }
+}
+
+/// Average checker wall time over `reps` runs, microseconds.
+fn time_check_us(soc: &SocDescription, reps: u32) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(verify_soc(std::hint::black_box(soc)));
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / f64::from(reps)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_verify.json".to_string());
+    let (n_fuzz, n_watchdog, reps) = if smoke { (25, 3, 20) } else { (200, 10, 200) };
+
+    // 1. Reference systems: must verify clean, timed.
+    println!("== bench_verify: static checker vs. watchdog timeout ==\n");
+    let mut sys_rows = Vec::new();
+    for (name, soc) in reference_systems() {
+        let report = verify_soc(&soc);
+        assert!(
+            !report.has_errors(),
+            "{name} must be clean, got:\n{report}"
+        );
+        let us = time_check_us(&soc, reps);
+        println!(
+            "{name:<20} {:>2} procs  {:>2} events  check {us:>8.1} us  \
+             (0 errors, {} advisory warnings)",
+            soc.network.process_count(),
+            soc.network.events().len(),
+            report.warnings().count()
+        );
+        sys_rows.push(format!(
+            "    {{\"system\": \"{name}\", \"processes\": {}, \"events\": {}, \
+             \"check_us\": {us:.3}, \"warnings\": {}}}",
+            soc.network.process_count(),
+            soc.network.events().len(),
+            report.warnings().count()
+        ));
+    }
+
+    // 2. Fuzz sweep: both directions, zero false verdicts, timed.
+    let mut check_total_us = 0.0;
+    let (mut false_pos, mut false_neg) = (0u32, 0u32);
+    for seed in 0..n_fuzz {
+        let live = to_soc(generate_live(seed).expect("generator"));
+        let t0 = Instant::now();
+        let r = verify_soc(&live);
+        check_total_us += t0.elapsed().as_secs_f64() * 1e6;
+        if r.has_errors() {
+            false_pos += 1;
+        }
+        let dead = to_soc(generate_deadlocking(seed).expect("generator"));
+        let t0 = Instant::now();
+        let r = verify_soc(&dead);
+        check_total_us += t0.elapsed().as_secs_f64() * 1e6;
+        if !r.has_errors() {
+            false_neg += 1;
+        }
+    }
+    let avg_check_us = check_total_us / f64::from(2 * n_fuzz as u32);
+    assert_eq!(false_pos, 0, "checker flagged a known-live spec");
+    assert_eq!(false_neg, 0, "checker missed a known-deadlocking spec");
+    println!(
+        "\nfuzz sweep: {n_fuzz} live + {n_fuzz} deadlocking specs, \
+         0 false verdicts, avg check {avg_check_us:.1} us"
+    );
+
+    // 3. The avoided cost: a doomed spec burning its watchdog budget.
+    let dead_guard = WatchdogConfig {
+        max_cycles: Some(2_000_000),
+        max_events: Some(4_000),
+        max_stagnant_events: Some(2_000),
+        ..WatchdogConfig::unlimited()
+    };
+    let mut timeout_total_ms = 0.0;
+    for seed in 0..n_watchdog {
+        let soc = to_soc(generate_deadlocking(seed).expect("generator"));
+        let config = CoSimConfig::date2000_defaults().with_watchdog(dead_guard.clone());
+        let t0 = Instant::now();
+        let run = CoSimulator::new(soc, config).expect("builds").run();
+        timeout_total_ms += t0.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            run.outcome.is_degraded(),
+            "seed {seed}: doomed spec must trip the watchdog"
+        );
+    }
+    let avg_timeout_ms = timeout_total_ms / f64::from(n_watchdog as u32);
+    let avoidance = avg_timeout_ms * 1e3 / avg_check_us;
+    println!(
+        "watchdog alternative: {n_watchdog} doomed specs simulated to Degraded, \
+         avg {avg_timeout_ms:.2} ms each"
+    );
+    println!(
+        "=> one static check costs 1/{avoidance:.0} of one watchdog timeout \
+         (and the production budget is far larger than this bench's)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"verify\",\n  \"mode\": \"{}\",\n  \"systems\": [\n{}\n  ],\n  \
+         \"fuzz\": {{\"live\": {n_fuzz}, \"deadlocking\": {n_fuzz}, \
+         \"false_positives\": {false_pos}, \"false_negatives\": {false_neg}, \
+         \"avg_check_us\": {avg_check_us:.3}}},\n  \
+         \"watchdog\": {{\"runs\": {n_watchdog}, \"max_events_budget\": 4000, \
+         \"avg_timeout_ms\": {avg_timeout_ms:.3}}},\n  \
+         \"avoidance_factor\": {avoidance:.1}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        sys_rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("\nwrote {out_path}");
+}

@@ -8,9 +8,10 @@
 //! the unit of synchronization between the simulation master and the
 //! component power estimators (paper §3, footnote 3).
 
-use crate::cfg::{Cfg, ExecEnv, Execution, ValidateCfgError};
+use crate::cfg::{Cfg, ExecEnv, Execution, Stmt, ValidateCfgError};
 use crate::event::{EventBuffer, EventId, EventOccurrence};
 use crate::expr::{Expr, VarId};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Identifier of a CFSM control state.
@@ -42,6 +43,25 @@ pub struct Transition {
     pub body: Cfg,
     /// Destination control state.
     pub to: StateId,
+}
+
+impl Transition {
+    /// The events this transition's body *may* emit: every
+    /// [`Stmt::Emit`] on any path through the body, regardless of
+    /// whether a particular execution reaches it. This is the syntactic
+    /// producer set the static liveness checker builds its event graph
+    /// from (an over-approximation of what one firing actually emits).
+    pub fn emits(&self) -> BTreeSet<EventId> {
+        let mut out = BTreeSet::new();
+        for b in self.body.blocks() {
+            for s in &b.stmts {
+                if let Stmt::Emit { event, .. } = s {
+                    out.insert(*event);
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Errors detected by [`Cfsm::validate`].
@@ -125,6 +145,16 @@ impl Cfsm {
     /// Looks up one transition.
     pub fn transition(&self, id: TransitionId) -> &Transition {
         &self.transitions[id.0 as usize]
+    }
+
+    /// The union of every transition's [syntactic emit
+    /// set](Transition::emits): all events this machine may ever produce.
+    pub fn emitted_events(&self) -> BTreeSet<EventId> {
+        let mut out = BTreeSet::new();
+        for t in &self.transitions {
+            out.extend(t.emits());
+        }
+        out
     }
 
     /// Checks structural sanity of states, triggers and bodies.
@@ -580,6 +610,40 @@ mod tests {
             b.finish(),
             Err(ValidateCfsmError::UnknownState(_, _))
         ));
+    }
+
+    #[test]
+    fn emit_sets_cover_all_paths() {
+        use crate::cfg::{CfgBuilder, Terminator};
+        // A branch body emitting different events on each arm: the
+        // syntactic emit set must include both.
+        let mut cb = CfgBuilder::new();
+        let entry = cb.block(
+            vec![],
+            Terminator::Branch {
+                cond: Expr::Var(VarId(0)),
+                then_block: crate::cfg::BlockId(1),
+                else_block: crate::cfg::BlockId(2),
+            },
+        );
+        assert_eq!(entry.0, 0);
+        cb.block(
+            vec![Stmt::Emit { event: EventId(1), value: None }],
+            Terminator::Return,
+        );
+        cb.block(
+            vec![Stmt::Emit { event: EventId(2), value: None }],
+            Terminator::Return,
+        );
+        let mut b = Cfsm::builder("brancher");
+        let s = b.state("s");
+        b.var("v", 0);
+        b.transition(s, vec![tick()], None, cb.finish().expect("valid cfg"), s);
+        let m = b.finish().expect("valid");
+        let emitted = m.emitted_events();
+        assert!(emitted.contains(&EventId(1)) && emitted.contains(&EventId(2)));
+        assert!(!emitted.contains(&tick()));
+        assert_eq!(m.transition(TransitionId(0)).emits(), emitted);
     }
 
     #[test]

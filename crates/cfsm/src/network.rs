@@ -48,6 +48,7 @@ struct ProcDef {
     cfsm: Cfsm,
     mapping: Implementation,
     listens: BTreeSet<EventId>,
+    emits: BTreeSet<EventId>,
 }
 
 /// Errors from [`NetworkBuilder::finish`].
@@ -148,6 +149,23 @@ impl Network {
             .iter()
             .enumerate()
             .filter(move |(_, p)| p.listens.contains(&event))
+            .map(|(i, _)| ProcId(i as u32))
+    }
+
+    /// The events a process may emit (the union of its transitions'
+    /// [syntactic emit sets](crate::Transition::emits), derived at build
+    /// time like the listen sets).
+    pub fn emits(&self, p: ProcId) -> &BTreeSet<EventId> {
+        &self.procs[p.0 as usize].emits
+    }
+
+    /// The processes that may produce `event` — the static
+    /// producer/consumer graph edge the liveness checker walks.
+    pub fn producers(&self, event: EventId) -> impl Iterator<Item = ProcId> + '_ {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(move |(_, p)| p.emits.contains(&event))
             .map(|(i, _)| ProcId(i as u32))
     }
 
@@ -368,10 +386,12 @@ impl NetworkBuilder {
                     ));
                 }
             }
+            let emits = cfsm.emitted_events();
             procs.push(ProcDef {
                 cfsm,
                 mapping,
                 listens,
+                emits,
             });
         }
         Ok(Network {
@@ -427,6 +447,20 @@ mod tests {
         assert!(net.listens(p).contains(&a));
         assert!(!net.listens(p).contains(&bv));
         assert_eq!(net.listeners(a).collect::<Vec<_>>(), vec![p]);
+    }
+
+    #[test]
+    fn emit_sets_and_producers_derived_at_build_time() {
+        let mut nb = Network::builder();
+        let a = nb.event(EventDef::pure("A"));
+        let bv = nb.event(EventDef::pure("B"));
+        let p0 = nb.process(simple_machine("m0", a, bv), Implementation::Hw);
+        let p1 = nb.process(simple_machine("m1", bv, a), Implementation::Sw);
+        let net = nb.finish().expect("valid");
+        assert!(net.emits(p0).contains(&bv) && !net.emits(p0).contains(&a));
+        assert!(net.emits(p1).contains(&a) && !net.emits(p1).contains(&bv));
+        assert_eq!(net.producers(a).collect::<Vec<_>>(), vec![p1]);
+        assert_eq!(net.producers(bv).collect::<Vec<_>>(), vec![p0]);
     }
 
     #[test]

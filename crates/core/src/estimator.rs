@@ -43,6 +43,10 @@ pub enum BuildEstimatorError {
     /// CFSM machine or network construction failed inside a system
     /// builder (an internal bug, reported instead of panicking).
     Construction(String),
+    /// Pre-simulation verification found error-severity liveness
+    /// defects (orphan triggers, wait cycles); the full report carries
+    /// every finding, warnings included.
+    Unverifiable(socverify::VerifyReport),
 }
 
 impl fmt::Display for BuildEstimatorError {
@@ -58,6 +62,9 @@ impl fmt::Display for BuildEstimatorError {
             BuildEstimatorError::InvalidParams(what) => write!(f, "invalid parameters: {what}"),
             BuildEstimatorError::Construction(what) => {
                 write!(f, "system construction failed: {what}")
+            }
+            BuildEstimatorError::Unverifiable(report) => {
+                write!(f, "spec failed pre-simulation verification: {report}")
             }
         }
     }

@@ -59,6 +59,13 @@ pub struct ExploreOptions {
     /// the one report through the `Arc<Mutex<_>>` sink. Wall-time
     /// observability only — results stay bit-identical.
     pub profile: Option<ArcSharedSink<ProfileReport>>,
+    /// When `true`, the sweep statically verifies the base spec once
+    /// before evaluating any point and fails fast with
+    /// [`BuildEstimatorError::Unverifiable`] on error-severity
+    /// findings. One check covers every point: liveness structure is
+    /// invariant under the re-mappings and re-prioritisations a sweep
+    /// explores. Off by default (sweeps of trusted specs pay nothing).
+    pub verify_first: bool,
 }
 
 impl ExploreOptions {
@@ -69,6 +76,7 @@ impl ExploreOptions {
             workers: NonZeroUsize::MIN,
             watchdog: None,
             profile: None,
+            verify_first: false,
         }
     }
 
@@ -78,6 +86,7 @@ impl ExploreOptions {
             workers: NonZeroUsize::new(workers).unwrap_or(NonZeroUsize::MIN),
             watchdog: None,
             profile: None,
+            verify_first: false,
         }
     }
 
@@ -93,6 +102,13 @@ impl ExploreOptions {
         self.profile = Some(sink);
         self
     }
+
+    /// Returns a copy that statically verifies the spec before the
+    /// sweep starts (see [`ExploreOptions::verify_first`]).
+    pub fn verified(mut self) -> Self {
+        self.verify_first = true;
+        self
+    }
 }
 
 impl Default for ExploreOptions {
@@ -102,6 +118,7 @@ impl Default for ExploreOptions {
             workers: thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
             watchdog: None,
             profile: None,
+            verify_first: false,
         }
     }
 }
@@ -241,6 +258,9 @@ pub fn explore_bus_architecture_parallel(
     dma_sizes: &[u32],
     options: &ExploreOptions,
 ) -> Result<SweepReport<ExplorationPoint>, BuildEstimatorError> {
+    if options.verify_first {
+        crate::verify::gate(crate::verify::verify_soc(soc))?;
+    }
     let config = match &options.watchdog {
         Some(w) => base.with_watchdog(w.clone()),
         None => base.clone(),
@@ -272,6 +292,9 @@ pub fn explore_partitions_parallel(
     movable: &[ProcId],
     options: &ExploreOptions,
 ) -> Result<SweepReport<PartitionPoint>, BuildEstimatorError> {
+    if options.verify_first {
+        crate::verify::gate(crate::verify::verify_soc(soc))?;
+    }
     check_partition_count(movable)?;
     let config = match &options.watchdog {
         Some(w) => base.with_watchdog(w.clone()),

@@ -102,6 +102,7 @@ mod separate;
 mod snapshot;
 pub mod spec;
 mod stats;
+mod verify;
 
 pub use account::{
     Anomaly, AnomalyKind, AnomalyLedger, ComponentId, ComponentTotals, EnergyAccount, Waveform,
@@ -138,3 +139,5 @@ pub use separate::{
     capture_traces, estimate_separately, BehavioralTrace, FiringRecord, SeparateReport,
 };
 pub use stats::RunningStats;
+pub use socverify::{Diagnostic, Finding, Severity, VerifyReport};
+pub use verify::verify_soc;

@@ -252,6 +252,32 @@ impl CoSimulator {
         })
     }
 
+    /// Builds the master like [`CoSimulator::new`], but first runs the
+    /// static liveness checker and rejects specs with error-severity
+    /// findings — the fast-fail front door for untrusted specs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildEstimatorError::Unverifiable`] carrying the full
+    /// [`VerifyReport`](socverify::VerifyReport) when the spec has an
+    /// orphan trigger or a wait cycle, plus every error
+    /// [`CoSimulator::new`] can return.
+    pub fn new_verified(
+        soc: SocDescription,
+        config: CoSimConfig,
+    ) -> Result<Self, BuildEstimatorError> {
+        crate::verify::gate(crate::verify::verify_soc(&soc))?;
+        CoSimulator::new(soc, config)
+    }
+
+    /// Statically checks the spec this master was built from, without
+    /// simulating anything. Read-only: the master is unchanged and a
+    /// subsequent [`run`](CoSimulator::run) is bit-identical to one
+    /// without the check.
+    pub fn verify(&self) -> socverify::VerifyReport {
+        crate::verify::verify_soc(&self.soc)
+    }
+
     /// Attaches a trace sink; every subsequent synchronization point
     /// emits a structured [`TraceRecord`]. Tracing is an observability
     /// layer only: the simulated schedule and every energy figure are

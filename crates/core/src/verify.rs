@@ -1,0 +1,49 @@
+//! Pre-simulation verification — the `core`-side seam over the
+//! [`socverify`] static checker.
+//!
+//! The checker itself is pure graph analysis over the CFSM network (see
+//! `crates/verify`); this module binds it to the co-estimation entry
+//! points so a doomed spec fails in microseconds with a precise
+//! diagnosis instead of burning a watchdog budget:
+//!
+//! * [`verify_soc`] — check a [`SocDescription`] directly (the stimulus
+//!   supplies the environment event set);
+//! * [`CoSimulator::verify`](crate::CoSimulator::verify) — check an
+//!   already-built master without running it;
+//! * [`CoSimulator::new_verified`](crate::CoSimulator::new_verified) —
+//!   build-and-check, rejecting error-severity specs with
+//!   [`BuildEstimatorError::Unverifiable`](crate::BuildEstimatorError::Unverifiable);
+//! * [`ExploreOptions::verify_first`](crate::ExploreOptions::verify_first)
+//!   — gate a whole design-space sweep on one up-front check (the
+//!   network's liveness structure is invariant under re-mapping and
+//!   re-prioritisation, so one check covers every point).
+//!
+//! Verification is read-only: it never perturbs a simulation result,
+//! and a `Degraded`-capable watchdog remains the dynamic backstop for
+//! the guard-dependent deadlocks the static over-approximation cannot
+//! see (DESIGN.md §13).
+
+use crate::config::SocDescription;
+use crate::estimator::BuildEstimatorError;
+use socverify::{verify_network, VerifyReport};
+
+/// Statically checks a SoC description for liveness defects.
+///
+/// The stimulus's event types form the *environment* set — events the
+/// outside world can always produce. The returned report carries every
+/// finding; [`VerifyReport::has_errors`] is the go/no-go signal
+/// (warnings such as dead consumers are advisory).
+pub fn verify_soc(soc: &SocDescription) -> VerifyReport {
+    let environment = soc.stimulus.iter().map(|(_, occ)| occ.event).collect();
+    verify_network(&soc.network, &environment)
+}
+
+/// Maps a report to `Err(Unverifiable)` when it carries error-severity
+/// findings, for the `new_verified` / `verify_first` gates.
+pub(crate) fn gate(report: VerifyReport) -> Result<(), BuildEstimatorError> {
+    if report.has_errors() {
+        Err(BuildEstimatorError::Unverifiable(report))
+    } else {
+        Ok(())
+    }
+}

@@ -9,6 +9,30 @@
 //! All budgets default to `None` (disabled): an unlimited watchdog performs
 //! only a handful of integer compares per observed event and never reads
 //! the wall clock, so guarding a run is free when no budget is set.
+//!
+//! # Boundary contract
+//!
+//! Every budget is **inclusive**: the watchdog trips on the first
+//! observation strictly *past* the limit, never *at* it.
+//!
+//! * `max_cycles: Some(n)` — an event dispatched at simulated cycle `n`
+//!   is still processed; the first event at cycle `n + 1` or later
+//!   trips. A run whose final event lands exactly at cycle `n`
+//!   therefore completes (`Completed`), while a budget of `n - 1` over
+//!   the same schedule degrades — the off-by-one tests below and the
+//!   system-level test in `tests/robustness.rs` pin this down.
+//! * `max_events: Some(n)` — exactly `n` events are dispatched; the
+//!   `n + 1`-th observation trips *before* the event is handled.
+//! * `max_stagnant_events: Some(n)` — `n` consecutive zero-progress
+//!   events after the first at an instant are tolerated; the next trips.
+//!
+//! [`Watchdog::observe`] must be called *before* handling the event it
+//! observes, so a tripped budget means the offending event was never
+//! processed and the partial result is consistent up to the previous
+//! event. The static pre-simulation checker (`socverify`) relies on
+//! this contract when it treats the watchdog as its dynamic backstop:
+//! a deadlocked-but-busy system trips deterministically at the same
+//! event on every run.
 
 use crate::time::SimTime;
 use std::fmt;
@@ -212,6 +236,38 @@ mod tests {
             dog.observe(SimTime::from_cycles(101)),
             Some(WatchdogTrip::SimCycles { limit: 100, at_cycle: 101 })
         );
+    }
+
+    #[test]
+    fn cycle_budget_equal_to_the_schedule_does_not_trip() {
+        // A schedule whose last event lands exactly at the budget: every
+        // observation passes — the budget is inclusive.
+        let mut dog = Watchdog::new(WatchdogConfig::sim_cycles(30));
+        for t in [0u64, 10, 20, 30] {
+            assert_eq!(dog.observe(SimTime::from_cycles(t)), None, "t={t}");
+        }
+        // The same schedule against a budget one cycle short: the final
+        // event is the one that trips, and it is never processed.
+        let mut dog = Watchdog::new(WatchdogConfig::sim_cycles(29));
+        for t in [0u64, 10, 20] {
+            assert_eq!(dog.observe(SimTime::from_cycles(t)), None, "t={t}");
+        }
+        assert_eq!(
+            dog.observe(SimTime::from_cycles(30)),
+            Some(WatchdogTrip::SimCycles { limit: 29, at_cycle: 30 })
+        );
+    }
+
+    #[test]
+    fn event_budget_equal_to_the_schedule_does_not_trip() {
+        let mut dog = Watchdog::new(WatchdogConfig {
+            max_events: Some(5),
+            ..WatchdogConfig::default()
+        });
+        for t in 0..5u64 {
+            assert_eq!(dog.observe(SimTime::from_cycles(t)), None, "t={t}");
+        }
+        assert_eq!(dog.events(), 5);
     }
 
     #[test]

@@ -1,0 +1,715 @@
+//! Seeded random system generator for fuzzing the checker *and* the
+//! watchdog (Verilock's Gen1–Gen10 pattern).
+//!
+//! Each generated system comes with a ground-truth [`Expectation`]:
+//!
+//! * [`Expectation::Live`] systems are live *by construction* — every
+//!   machine is reachable from the environment stimulus and every run
+//!   quiesces. They must pass [`verify_network`](crate::verify_network)
+//!   with zero error-severity findings and run to `Completed` when
+//!   simulated, including under non-dropping fault plans.
+//! * [`Expectation::Deadlocking`] systems embed a known progress bug
+//!   (an orphan trigger, a wait cycle, a conjunction that can never be
+//!   satisfied) in a *cluster* of machines listed in
+//!   [`GeneratedSystem::dead_machines`]. The checker must report at
+//!   least one error-severity finding. So that the bug is *also*
+//!   observable dynamically (a quiescent deadlock would just drain the
+//!   event queue and report `Completed`), every deadlocking system
+//!   carries a self-perpetuating `ticker` machine that keeps the
+//!   simulation busy forever: under a finite watchdog budget the run
+//!   must terminate `Degraded`, with every machine in `dead_machines`
+//!   showing zero firings.
+//!
+//! Ten families are drawn from, five per expectation:
+//!
+//! | family           | expectation  | shape                                          |
+//! |------------------|--------------|------------------------------------------------|
+//! | `chain`          | live         | stimulus-kicked relay pipeline                 |
+//! | `fanout`         | live         | one root broadcasts to several leaf consumers  |
+//! | `fanin`          | live         | several sources join at a conjunction trigger  |
+//! | `ring`           | live         | guarded token ring, bounded lap counter        |
+//! | `diamond`        | live         | valued-event split/join with arithmetic        |
+//! | `orphan`         | deadlocking  | victim waits on an event nobody produces       |
+//! | `waitcycle2`     | deadlocking  | two machines each waiting on the other         |
+//! | `waitcycle_n`    | deadlocking  | k-machine circular wait                        |
+//! | `chained_orphan` | deadlocking  | a whole pipeline starved behind an orphan      |
+//! | `conj_deadlock`  | deadlocking  | conjunction forever missing one leg            |
+//!
+//! All randomness flows through [`detrand::Rng`], so a seed fully
+//! determines the system — CI replays the same specs forever.
+
+use cfsm::{
+    Cfg, Cfsm, EventDef, EventId, EventOccurrence, Expr, Implementation, Network, Stmt,
+    ValidateCfsmError,
+};
+use detrand::Rng;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Ground truth for a generated system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// Passes the checker; every simulation run quiesces (`Completed`).
+    Live,
+    /// Flagged by the checker; simulation burns its watchdog budget
+    /// (`Degraded`) while the `dead_machines` never fire.
+    Deadlocking,
+}
+
+impl fmt::Display for Expectation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expectation::Live => write!(f, "live"),
+            Expectation::Deadlocking => write!(f, "deadlocking"),
+        }
+    }
+}
+
+/// A generator-internal construction failure (a bug in a family
+/// constructor, not a property of the seed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenError(String);
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec generator: {}", self.0)
+    }
+}
+
+impl std::error::Error for GenError {}
+
+fn internal(what: &str, e: impl fmt::Display) -> GenError {
+    GenError(format!("{what}: {e}"))
+}
+
+/// A generated system plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedSystem {
+    /// Unique name, `<family>_s<seed>`.
+    pub name: String,
+    /// The family that produced it (see module docs).
+    pub family: &'static str,
+    /// Ground truth the checker and the watchdog are fuzzed against.
+    pub expectation: Expectation,
+    /// The CFSM network.
+    pub network: Network,
+    /// Environment events: `(delivery cycle, occurrence)`.
+    pub stimulus: Vec<(u64, EventOccurrence)>,
+    /// Per-process priorities, indexed by `ProcId`.
+    pub priorities: Vec<u8>,
+    /// Machines guaranteed never to fire (empty for live systems).
+    pub dead_machines: Vec<String>,
+}
+
+impl GeneratedSystem {
+    /// The set of event types the environment stimulus injects — the
+    /// `environment` argument for
+    /// [`verify_network`](crate::verify_network).
+    pub fn stimulus_events(&self) -> BTreeSet<EventId> {
+        self.stimulus.iter().map(|(_, occ)| occ.event).collect()
+    }
+}
+
+/// Generates a random system of either expectation.
+///
+/// # Errors
+///
+/// Returns [`GenError`] only on an internal constructor bug.
+pub fn generate(seed: u64) -> Result<GeneratedSystem, GenError> {
+    let mut rng = Rng::new(seed ^ 0x5eed_5eed_5eed_5eed);
+    if rng.bool_with(0.5) {
+        generate_live(seed)
+    } else {
+        generate_deadlocking(seed)
+    }
+}
+
+/// Generates a random known-live system.
+///
+/// # Errors
+///
+/// Returns [`GenError`] only on an internal constructor bug.
+pub fn generate_live(seed: u64) -> Result<GeneratedSystem, GenError> {
+    let mut rng = Rng::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1));
+    match rng.usize_in(0, 5) {
+        0 => gen_chain(seed, &mut rng),
+        1 => gen_fanout(seed, &mut rng),
+        2 => gen_fanin(seed, &mut rng),
+        3 => gen_ring(seed, &mut rng),
+        _ => gen_diamond(seed, &mut rng),
+    }
+}
+
+/// Generates a random known-deadlocking system.
+///
+/// # Errors
+///
+/// Returns [`GenError`] only on an internal constructor bug.
+pub fn generate_deadlocking(seed: u64) -> Result<GeneratedSystem, GenError> {
+    let mut rng = Rng::new(seed.wrapping_mul(0xbf58_476d_1ce4_e5b9).wrapping_add(2));
+    match rng.usize_in(0, 5) {
+        0 => gen_orphan(seed, &mut rng),
+        1 => gen_waitcycle(seed, &mut rng, 2, "waitcycle2"),
+        2 => {
+            let k = rng.usize_in(3, 6);
+            gen_waitcycle(seed, &mut rng, k, "waitcycle_n")
+        }
+        3 => gen_chained_orphan(seed, &mut rng),
+        _ => gen_conj_deadlock(seed, &mut rng),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/// A one-state machine: on `trigger` (conjunction), do a little
+/// arithmetic and emit every event in `emits`.
+fn relay(name: &str, trigger: Vec<EventId>, emits: &[EventId]) -> Result<Cfsm, GenError> {
+    let mut b = Cfsm::builder(name);
+    let s = b.state("s0");
+    let n = b.var("n", 0);
+    let mut stmts = vec![Stmt::Assign {
+        var: n,
+        expr: Expr::add(Expr::Var(n), Expr::Const(1)),
+    }];
+    for &e in emits {
+        stmts.push(Stmt::Emit {
+            event: e,
+            value: None,
+        });
+    }
+    b.transition(s, trigger, None, Cfg::straight_line(stmts), s);
+    b.finish()
+        .map_err(|e: ValidateCfsmError| internal(name, e))
+}
+
+fn random_mapping(rng: &mut Rng) -> Implementation {
+    if rng.bool_with(0.5) {
+        Implementation::Hw
+    } else {
+        Implementation::Sw
+    }
+}
+
+fn random_priorities(rng: &mut Rng, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.u64_in(0, 4) as u8).collect()
+}
+
+/// The self-perpetuating heartbeat added to every deadlocking system:
+/// `on TICK { work; emit TICK }`, primed by one stimulus occurrence.
+/// It alone keeps the event queue non-empty forever, so a finite
+/// watchdog budget is guaranteed to trip.
+fn ticker(tick: EventId) -> Result<Cfsm, GenError> {
+    relay("ticker", vec![tick], &[tick])
+}
+
+fn finish_network(
+    name: &str,
+    nb: cfsm::NetworkBuilder,
+) -> Result<Network, GenError> {
+    nb.finish().map_err(|e| internal(name, e))
+}
+
+// ---------------------------------------------------------------------------
+// Live families
+// ---------------------------------------------------------------------------
+
+/// `chain`: KICK → m0 → m1 → … → m(k-1); the last machine consumes and
+/// computes but emits nothing.
+fn gen_chain(seed: u64, rng: &mut Rng) -> Result<GeneratedSystem, GenError> {
+    let k = rng.usize_in(2, 7);
+    let mut nb = Network::builder();
+    let kick = nb.event(EventDef::pure("KICK"));
+    let links: Vec<EventId> = (0..k - 1)
+        .map(|i| nb.event(EventDef::pure(format!("LINK_{i}"))))
+        .collect();
+    let mut machines = Vec::new();
+    for i in 0..k {
+        let trig = if i == 0 { kick } else { links[i - 1] };
+        let emits: &[EventId] = if i + 1 < k {
+            std::slice::from_ref(&links[i])
+        } else {
+            &[]
+        };
+        machines.push(relay(&format!("stage_{i}"), vec![trig], emits)?);
+    }
+    for m in machines {
+        let mapping = random_mapping(rng);
+        nb.process(m, mapping);
+    }
+    let shots = rng.u64_in(1, 4);
+    let stimulus = (0..shots)
+        .map(|j| (1 + j * 1_000, EventOccurrence::pure(kick)))
+        .collect();
+    Ok(GeneratedSystem {
+        name: format!("chain_s{seed}"),
+        family: "chain",
+        expectation: Expectation::Live,
+        priorities: random_priorities(rng, k),
+        network: finish_network("chain", nb)?,
+        stimulus,
+        dead_machines: Vec::new(),
+    })
+}
+
+/// `fanout`: KICK → root broadcasts BR_1..BR_f, one leaf per branch.
+fn gen_fanout(seed: u64, rng: &mut Rng) -> Result<GeneratedSystem, GenError> {
+    let f = rng.usize_in(2, 5);
+    let mut nb = Network::builder();
+    let kick = nb.event(EventDef::pure("KICK"));
+    let branches: Vec<EventId> = (0..f)
+        .map(|i| nb.event(EventDef::pure(format!("BR_{i}"))))
+        .collect();
+    let root = relay("root", vec![kick], &branches)?;
+    let root_map = random_mapping(rng);
+    nb.process(root, root_map);
+    for (i, &br) in branches.iter().enumerate() {
+        let leaf = relay(&format!("leaf_{i}"), vec![br], &[])?;
+        let mapping = random_mapping(rng);
+        nb.process(leaf, mapping);
+    }
+    Ok(GeneratedSystem {
+        name: format!("fanout_s{seed}"),
+        family: "fanout",
+        expectation: Expectation::Live,
+        priorities: random_priorities(rng, f + 1),
+        network: finish_network("fanout", nb)?,
+        stimulus: vec![(1, EventOccurrence::pure(kick))],
+        dead_machines: Vec::new(),
+    })
+}
+
+/// `fanin`: f sources each kicked independently emit PART_j; a joiner
+/// fires on the conjunction of all parts and emits DONE to a sink.
+fn gen_fanin(seed: u64, rng: &mut Rng) -> Result<GeneratedSystem, GenError> {
+    let f = rng.usize_in(2, 4);
+    let mut nb = Network::builder();
+    let kicks: Vec<EventId> = (0..f)
+        .map(|j| nb.event(EventDef::pure(format!("KICK_{j}"))))
+        .collect();
+    let parts: Vec<EventId> = (0..f)
+        .map(|j| nb.event(EventDef::pure(format!("PART_{j}"))))
+        .collect();
+    let done = nb.event(EventDef::pure("DONE"));
+    for j in 0..f {
+        let src = relay(&format!("source_{j}"), vec![kicks[j]], &[parts[j]])?;
+        let mapping = random_mapping(rng);
+        nb.process(src, mapping);
+    }
+    let joiner = relay("joiner", parts.clone(), &[done])?;
+    let joiner_map = random_mapping(rng);
+    nb.process(joiner, joiner_map);
+    let sink = relay("sink", vec![done], &[])?;
+    let sink_map = random_mapping(rng);
+    nb.process(sink, sink_map);
+    let stimulus = kicks
+        .iter()
+        .enumerate()
+        .map(|(j, &k)| (1 + j as u64 * 10, EventOccurrence::pure(k)))
+        .collect();
+    Ok(GeneratedSystem {
+        name: format!("fanin_s{seed}"),
+        family: "fanin",
+        expectation: Expectation::Live,
+        priorities: random_priorities(rng, f + 2),
+        network: finish_network("fanin", nb)?,
+        stimulus,
+        dead_machines: Vec::new(),
+    })
+}
+
+/// `ring`: a token ring whose head re-injects the token only while
+/// `laps < bound` — live because the lap counter makes it quiesce, and
+/// clean under the checker because the guard is conservatively ignored.
+fn gen_ring(seed: u64, rng: &mut Rng) -> Result<GeneratedSystem, GenError> {
+    let k = rng.usize_in(2, 6);
+    let bound = rng.i64_in(1, 6);
+    let mut nb = Network::builder();
+    let kick = nb.event(EventDef::pure("KICK"));
+    let ring: Vec<EventId> = (0..k)
+        .map(|i| nb.event(EventDef::pure(format!("RING_{i}"))))
+        .collect();
+
+    let mut b = Cfsm::builder("head");
+    let idle = b.state("idle");
+    let run = b.state("run");
+    let laps = b.var("laps", 0);
+    b.transition(
+        idle,
+        vec![kick],
+        None,
+        Cfg::straight_line(vec![Stmt::Emit {
+            event: ring[0],
+            value: None,
+        }]),
+        run,
+    );
+    b.transition(
+        run,
+        vec![ring[k - 1]],
+        Some(Expr::lt(Expr::Var(laps), Expr::Const(bound))),
+        Cfg::straight_line(vec![
+            Stmt::Assign {
+                var: laps,
+                expr: Expr::add(Expr::Var(laps), Expr::Const(1)),
+            },
+            Stmt::Emit {
+                event: ring[0],
+                value: None,
+            },
+        ]),
+        run,
+    );
+    let head = b.finish().map_err(|e| internal("head", e))?;
+    let head_map = random_mapping(rng);
+    nb.process(head, head_map);
+    for i in 1..k {
+        let hop = relay(&format!("hop_{i}"), vec![ring[i - 1]], &[ring[i]])?;
+        let mapping = random_mapping(rng);
+        nb.process(hop, mapping);
+    }
+    Ok(GeneratedSystem {
+        name: format!("ring_s{seed}"),
+        family: "ring",
+        expectation: Expectation::Live,
+        priorities: random_priorities(rng, k),
+        network: finish_network("ring", nb)?,
+        stimulus: vec![(1, EventOccurrence::pure(kick))],
+        dead_machines: Vec::new(),
+    })
+}
+
+/// `diamond`: a valued split/join — the root fans a value out to two
+/// arms, each arm transforms it, a joiner adds the halves back together
+/// and a sink accumulates the result.
+fn gen_diamond(seed: u64, rng: &mut Rng) -> Result<GeneratedSystem, GenError> {
+    let mut nb = Network::builder();
+    let src = nb.event(EventDef::pure("SRC"));
+    let left = nb.event(EventDef::valued("LEFT"));
+    let right = nb.event(EventDef::valued("RIGHT"));
+    let jl = nb.event(EventDef::valued("JOIN_L"));
+    let jr = nb.event(EventDef::valued("JOIN_R"));
+    let out = nb.event(EventDef::valued("OUT"));
+    let seed_val = rng.i64_in(1, 100);
+
+    let mut b = Cfsm::builder("root");
+    let s = b.state("s0");
+    b.transition(
+        s,
+        vec![src],
+        None,
+        Cfg::straight_line(vec![
+            Stmt::Emit {
+                event: left,
+                value: Some(Expr::Const(seed_val)),
+            },
+            Stmt::Emit {
+                event: right,
+                value: Some(Expr::Const(seed_val + 1)),
+            },
+        ]),
+        s,
+    );
+    let root = b.finish().map_err(|e| internal("root", e))?;
+
+    let arm = |name: &str, trig: EventId, emit: EventId, delta: i64| -> Result<Cfsm, GenError> {
+        let mut b = Cfsm::builder(name);
+        let s = b.state("s0");
+        b.transition(
+            s,
+            vec![trig],
+            None,
+            Cfg::straight_line(vec![Stmt::Emit {
+                event: emit,
+                value: Some(Expr::add(Expr::EventValue(trig), Expr::Const(delta))),
+            }]),
+            s,
+        );
+        b.finish().map_err(|e| internal(name, e))
+    };
+    let arm_l = arm("arm_left", left, jl, rng.i64_in(1, 10))?;
+    let arm_r = arm("arm_right", right, jr, rng.i64_in(1, 10))?;
+
+    let mut b = Cfsm::builder("joiner");
+    let s = b.state("s0");
+    b.transition(
+        s,
+        vec![jl, jr],
+        None,
+        Cfg::straight_line(vec![Stmt::Emit {
+            event: out,
+            value: Some(Expr::add(Expr::EventValue(jl), Expr::EventValue(jr))),
+        }]),
+        s,
+    );
+    let joiner = b.finish().map_err(|e| internal("joiner", e))?;
+
+    let mut b = Cfsm::builder("sink");
+    let s = b.state("s0");
+    let acc = b.var("acc", 0);
+    b.transition(
+        s,
+        vec![out],
+        None,
+        Cfg::straight_line(vec![Stmt::Assign {
+            var: acc,
+            expr: Expr::add(Expr::Var(acc), Expr::EventValue(out)),
+        }]),
+        s,
+    );
+    let sink = b.finish().map_err(|e| internal("sink", e))?;
+
+    for m in [root, arm_l, arm_r, joiner, sink] {
+        let mapping = random_mapping(rng);
+        nb.process(m, mapping);
+    }
+    let shots = rng.u64_in(1, 3);
+    let stimulus = (0..shots)
+        .map(|j| (1 + j * 2_000, EventOccurrence::pure(src)))
+        .collect();
+    Ok(GeneratedSystem {
+        name: format!("diamond_s{seed}"),
+        family: "diamond",
+        expectation: Expectation::Live,
+        priorities: random_priorities(rng, 5),
+        network: finish_network("diamond", nb)?,
+        stimulus,
+        dead_machines: Vec::new(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Deadlocking families (all carry the ticker heartbeat)
+// ---------------------------------------------------------------------------
+
+/// `orphan`: a victim waits on PHANTOM, which no machine and no
+/// stimulus produces, alongside a perfectly healthy decoy chain.
+fn gen_orphan(seed: u64, rng: &mut Rng) -> Result<GeneratedSystem, GenError> {
+    let decoys = rng.usize_in(1, 4);
+    let mut nb = Network::builder();
+    let tick = nb.event(EventDef::pure("TICK"));
+    let kick = nb.event(EventDef::pure("KICK"));
+    let phantom = nb.event(EventDef::pure("PHANTOM"));
+    let links: Vec<EventId> = (0..decoys)
+        .map(|i| nb.event(EventDef::pure(format!("LINK_{i}"))))
+        .collect();
+    let tick_map = random_mapping(rng);
+    nb.process(ticker(tick)?, tick_map);
+    let victim = relay("victim", vec![phantom], &[])?;
+    let victim_map = random_mapping(rng);
+    nb.process(victim, victim_map);
+    for i in 0..decoys {
+        let trig = if i == 0 { kick } else { links[i - 1] };
+        let emits: &[EventId] = if i + 1 < decoys {
+            std::slice::from_ref(&links[i])
+        } else {
+            &[]
+        };
+        let decoy = relay(&format!("decoy_{i}"), vec![trig], emits)?;
+        let mapping = random_mapping(rng);
+        nb.process(decoy, mapping);
+    }
+    Ok(GeneratedSystem {
+        name: format!("orphan_s{seed}"),
+        family: "orphan",
+        expectation: Expectation::Deadlocking,
+        priorities: random_priorities(rng, decoys + 2),
+        network: finish_network("orphan", nb)?,
+        stimulus: vec![
+            (1, EventOccurrence::pure(tick)),
+            (2, EventOccurrence::pure(kick)),
+        ],
+        dead_machines: vec!["victim".to_string()],
+    })
+}
+
+/// `waitcycle2` / `waitcycle_n`: k machines in a circular wait — each
+/// waits on an event only its stuck neighbour could produce.
+fn gen_waitcycle(
+    seed: u64,
+    rng: &mut Rng,
+    k: usize,
+    family: &'static str,
+) -> Result<GeneratedSystem, GenError> {
+    let mut nb = Network::builder();
+    let tick = nb.event(EventDef::pure("TICK"));
+    let waits: Vec<EventId> = (0..k)
+        .map(|i| nb.event(EventDef::pure(format!("WAIT_{i}"))))
+        .collect();
+    let tick_map = random_mapping(rng);
+    nb.process(ticker(tick)?, tick_map);
+    let mut dead = Vec::new();
+    for i in 0..k {
+        // locked_i waits on WAIT_i and would emit WAIT_{(i+1) % k}.
+        let name = format!("locked_{i}");
+        let m = relay(&name, vec![waits[i]], &[waits[(i + 1) % k]])?;
+        let mapping = random_mapping(rng);
+        nb.process(m, mapping);
+        dead.push(name);
+    }
+    Ok(GeneratedSystem {
+        name: format!("{family}_s{seed}"),
+        family,
+        expectation: Expectation::Deadlocking,
+        priorities: random_priorities(rng, k + 1),
+        network: finish_network(family, nb)?,
+        stimulus: vec![(1, EventOccurrence::pure(tick))],
+        dead_machines: dead,
+    })
+}
+
+/// `chained_orphan`: a whole relay pipeline starved behind a single
+/// orphan trigger at its head — the checker must blame the root cause
+/// (the orphan), not every downstream machine.
+fn gen_chained_orphan(seed: u64, rng: &mut Rng) -> Result<GeneratedSystem, GenError> {
+    let c = rng.usize_in(2, 5);
+    let mut nb = Network::builder();
+    let tick = nb.event(EventDef::pure("TICK"));
+    let phantom = nb.event(EventDef::pure("PHANTOM"));
+    let links: Vec<EventId> = (0..c - 1)
+        .map(|i| nb.event(EventDef::pure(format!("LINK_{i}"))))
+        .collect();
+    let tick_map = random_mapping(rng);
+    nb.process(ticker(tick)?, tick_map);
+    let mut dead = Vec::new();
+    for i in 0..c {
+        let trig = if i == 0 { phantom } else { links[i - 1] };
+        let emits: &[EventId] = if i + 1 < c {
+            std::slice::from_ref(&links[i])
+        } else {
+            &[]
+        };
+        let name = format!("starved_{i}");
+        let m = relay(&name, vec![trig], emits)?;
+        let mapping = random_mapping(rng);
+        nb.process(m, mapping);
+        dead.push(name);
+    }
+    Ok(GeneratedSystem {
+        name: format!("chained_orphan_s{seed}"),
+        family: "chained_orphan",
+        expectation: Expectation::Deadlocking,
+        priorities: random_priorities(rng, c + 1),
+        network: finish_network("chained_orphan", nb)?,
+        stimulus: vec![(1, EventOccurrence::pure(tick))],
+        dead_machines: dead,
+    })
+}
+
+/// `conj_deadlock`: a conjunction trigger forever missing one leg —
+/// `half_a` needs `[GO, ECHO]` but `ECHO` only comes from `half_b`,
+/// which itself waits on `half_a`'s output.
+fn gen_conj_deadlock(seed: u64, rng: &mut Rng) -> Result<GeneratedSystem, GenError> {
+    let mut nb = Network::builder();
+    let tick = nb.event(EventDef::pure("TICK"));
+    let go = nb.event(EventDef::pure("GO"));
+    let fwd = nb.event(EventDef::pure("FWD"));
+    let echo = nb.event(EventDef::pure("ECHO"));
+    let tick_map = random_mapping(rng);
+    nb.process(ticker(tick)?, tick_map);
+    let half_a = relay("half_a", vec![go, echo], &[fwd])?;
+    let a_map = random_mapping(rng);
+    nb.process(half_a, a_map);
+    let half_b = relay("half_b", vec![fwd], &[echo])?;
+    let b_map = random_mapping(rng);
+    nb.process(half_b, b_map);
+    Ok(GeneratedSystem {
+        name: format!("conj_deadlock_s{seed}"),
+        family: "conj_deadlock",
+        expectation: Expectation::Deadlocking,
+        priorities: random_priorities(rng, 3),
+        network: finish_network("conj_deadlock", nb)?,
+        stimulus: vec![
+            (1, EventOccurrence::pure(tick)),
+            (2, EventOccurrence::pure(go)),
+        ],
+        dead_machines: vec!["half_a".to_string(), "half_b".to_string()],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_network;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..20 {
+            let a = generate(seed).expect("gen a");
+            let b = generate(seed).expect("gen b");
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.family, b.family);
+            assert_eq!(a.expectation, b.expectation);
+            assert_eq!(a.stimulus, b.stimulus);
+            assert_eq!(a.priorities, b.priorities);
+            assert_eq!(a.dead_machines, b.dead_machines);
+            assert_eq!(a.network.process_count(), b.network.process_count());
+        }
+    }
+
+    #[test]
+    fn live_families_pass_the_checker() {
+        for seed in 0..60 {
+            let s = generate_live(seed).expect("live spec");
+            assert_eq!(s.expectation, Expectation::Live);
+            assert!(s.dead_machines.is_empty());
+            let report = verify_network(&s.network, &s.stimulus_events());
+            assert!(
+                !report.has_errors(),
+                "live {} (seed {seed}) flagged:\n{report}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn deadlocking_families_are_flagged() {
+        for seed in 0..60 {
+            let s = generate_deadlocking(seed).expect("deadlocking spec");
+            assert_eq!(s.expectation, Expectation::Deadlocking);
+            assert!(!s.dead_machines.is_empty());
+            let report = verify_network(&s.network, &s.stimulus_events());
+            assert!(
+                report.has_errors(),
+                "deadlocking {} (seed {seed}) passed the checker",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn dead_machines_name_real_processes() {
+        for seed in 0..30 {
+            let s = generate_deadlocking(seed).expect("deadlocking spec");
+            for name in &s.dead_machines {
+                assert!(
+                    s.network.process_by_name(name).is_some(),
+                    "{}: dead machine `{name}` not in network",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_seed_covers_both_directions() {
+        let mut live = 0;
+        let mut dead = 0;
+        for seed in 0..40 {
+            match generate(seed).expect("gen").expectation {
+                Expectation::Live => live += 1,
+                Expectation::Deadlocking => dead += 1,
+            }
+        }
+        assert!(live > 5 && dead > 5, "lopsided mix: {live} live, {dead} dead");
+    }
+
+    #[test]
+    fn priorities_cover_every_process() {
+        for seed in 0..30 {
+            let s = generate(seed).expect("gen");
+            assert_eq!(s.priorities.len(), s.network.process_count());
+        }
+    }
+}

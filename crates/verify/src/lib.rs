@@ -1,0 +1,761 @@
+//! `socverify` — pre-simulation verification of CFSM networks.
+//!
+//! A mis-wired system specification (an event nobody produces, a
+//! wait-for cycle between machines, a state no input sequence reaches)
+//! only surfaces during co-simulation as a watchdog `Degraded` timeout —
+//! after burning the full simulation budget. This crate checks the
+//! *static* event producer/consumer graph of a [`Network`] before any
+//! simulation runs, so a doomed spec fails in microseconds with a
+//! precise diagnosis and the watchdog becomes the backstop, not the
+//! detector (the Verilock recipe, ported from asynchronous circuits to
+//! POLIS-style CFSM networks).
+//!
+//! # The graph model
+//!
+//! From each machine's transitions the checker extracts
+//!
+//! * **consumers**: the events named in transition *triggers* (firing a
+//!   transition consumes them from the single-place input buffers), and
+//! * **producers**: the events named in `emit` statements anywhere in a
+//!   transition body (a *may*-emit over-approximation), plus the
+//!   environment stimulus.
+//!
+//! A monotone fixpoint then propagates *producibility*: an event is
+//! producible if the environment injects it or some transition whose
+//! source state is reachable and whose triggers are all producible may
+//! emit it; a state is reachable if it is initial or the target of such
+//! a transition. Guards are ignored (treated as potentially true), which
+//! makes the analysis an **over-approximation of what can happen**:
+//! whatever the fixpoint says can never fire truly never fires, under
+//! any stimulus ordering and any fault plan — faults drop, duplicate or
+//! delay occurrences but never mint new event types.
+//!
+//! # Diagnostics
+//!
+//! | Diagnostic | Severity | Meaning |
+//! |---|---|---|
+//! | [`Diagnostic::OrphanEvent`] | error | consumed but never produced |
+//! | [`Diagnostic::WaitCycle`] | error | machines each blocked on an event only producible inside the cycle |
+//! | [`Diagnostic::DeadConsumer`] | warning | produced but never listened to (wasted energy) |
+//! | [`Diagnostic::UnreachableState`] | warning | control state no input sequence reaches |
+//!
+//! Error-severity findings are sound: a flagged spec really cannot make
+//! the flagged progress. The checker is *not* complete — a spec whose
+//! deadlock hinges on guard values or event orderings passes the static
+//! check and is still caught by the watchdog at run time.
+//!
+//! # Examples
+//!
+//! ```
+//! use cfsm::{Cfsm, Cfg, EventDef, Implementation, Network};
+//! use socverify::{verify_network, Severity};
+//! use std::collections::BTreeSet;
+//!
+//! // A machine waiting on an event nobody produces.
+//! let mut nb = Network::builder();
+//! let phantom = nb.event(EventDef::pure("PHANTOM"));
+//! let mut mb = Cfsm::builder("victim");
+//! let s = mb.state("s");
+//! mb.transition(s, vec![phantom], None, Cfg::empty(), s);
+//! nb.process(mb.finish()?, Implementation::Hw);
+//! let net = nb.finish()?;
+//!
+//! let report = verify_network(&net, &BTreeSet::new());
+//! assert!(report.has_errors());
+//! assert_eq!(report.errors().count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+
+use cfsm::{EventId, Network, ProcId, StateId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not progress-blocking (wasted energy, dead spec).
+    Warning,
+    /// The flagged machines/events can never make progress; simulating
+    /// the spec would end in a watchdog timeout or a silent no-op.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One typed verification diagnostic. Names (not ids) are stored so a
+/// rendered report is meaningful without the network at hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Diagnostic {
+    /// An event appears in transition triggers but no machine may emit
+    /// it and the environment never injects it: every consuming
+    /// transition is permanently disabled.
+    OrphanEvent {
+        /// The never-produced event.
+        event: String,
+        /// Machines with the event in a trigger.
+        consumers: Vec<String>,
+    },
+    /// An event is produced (by a machine or the stimulus) but no
+    /// machine listens to it: every delivery is broadcast to nobody —
+    /// wasted energy in the emitting machine.
+    DeadConsumer {
+        /// The never-consumed event.
+        event: String,
+        /// Who produces it (machine names, or `environment`).
+        producers: Vec<String>,
+    },
+    /// A strongly connected set of machines in which every machine is
+    /// blocked on an event only producible inside the set: none of them
+    /// can ever fire first.
+    WaitCycle {
+        /// The machines forming the cycle.
+        machines: Vec<String>,
+        /// The blocking events exchanged inside the cycle.
+        events: Vec<String>,
+    },
+    /// A control state no input sequence reaches from the machine's
+    /// initial state (dead specification).
+    UnreachableState {
+        /// The machine.
+        machine: String,
+        /// The unreachable state's name.
+        state: String,
+    },
+}
+
+impl Diagnostic {
+    /// The severity this diagnostic is reported at.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Diagnostic::OrphanEvent { .. } | Diagnostic::WaitCycle { .. } => Severity::Error,
+            Diagnostic::DeadConsumer { .. } | Diagnostic::UnreachableState { .. } => {
+                Severity::Warning
+            }
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn join(names: &[String]) -> String {
+            names
+                .iter()
+                .map(|n| format!("`{n}`"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+        match self {
+            Diagnostic::OrphanEvent { event, consumers } => write!(
+                f,
+                "event `{event}` is consumed by {} but never produced",
+                join(consumers)
+            ),
+            Diagnostic::DeadConsumer { event, producers } => write!(
+                f,
+                "event `{event}` (produced by {}) is never consumed; its deliveries are wasted",
+                join(producers)
+            ),
+            Diagnostic::WaitCycle { machines, events } => write!(
+                f,
+                "wait cycle: machines {} each block on an event ({}) only producible inside the cycle",
+                join(machines),
+                join(events)
+            ),
+            Diagnostic::UnreachableState { machine, state } => write!(
+                f,
+                "state `{state}` of machine `{machine}` is unreachable from its initial state"
+            ),
+        }
+    }
+}
+
+/// One finding: a diagnostic at its severity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// What was found.
+    pub diagnostic: Diagnostic,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.severity, self.diagnostic)
+    }
+}
+
+/// The result of statically verifying one network: every finding,
+/// errors first (then warnings), each group in deterministic
+/// event/machine order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// All findings, errors before warnings.
+    pub findings: Vec<Finding>,
+}
+
+impl VerifyReport {
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+    }
+
+    /// Whether any error-severity finding is present (the spec is
+    /// doomed: some machine or event can never make progress).
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Whether the report is entirely empty (no errors, no warnings).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The rendered multi-line diagnosis (same text as `Display`).
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "verification: {} error(s), {} warning(s)",
+            self.errors().count(),
+            self.warnings().count()
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Statically verifies a network against an environment: `environment`
+/// is the set of events the stimulus injects. Read-only — the network
+/// is not mutated and no simulation state is touched.
+///
+/// See the [module docs](crate) for the graph model and the
+/// soundness/completeness claims of each diagnostic.
+pub fn verify_network(network: &Network, environment: &BTreeSet<EventId>) -> VerifyReport {
+    let n_procs = network.process_count();
+    let ev_name = |e: EventId| network.events()[e.0 as usize].name.clone();
+    let proc_name = |p: ProcId| network.cfsm(p).name().to_string();
+
+    // --- Monotone may-fire fixpoint -----------------------------------
+    let mut producible: BTreeSet<EventId> = environment.clone();
+    let mut reachable: Vec<BTreeSet<StateId>> = network
+        .process_ids()
+        .map(|p| BTreeSet::from([network.cfsm(p).initial_state()]))
+        .collect();
+    let mut fireable: Vec<Vec<bool>> = network
+        .process_ids()
+        .map(|p| vec![false; network.cfsm(p).transitions().len()])
+        .collect();
+    loop {
+        let mut changed = false;
+        for p in network.process_ids() {
+            let m = network.cfsm(p);
+            for (i, t) in m.transitions().iter().enumerate() {
+                if fireable[p.0 as usize][i]
+                    || !reachable[p.0 as usize].contains(&t.from)
+                    || !t.trigger.iter().all(|e| producible.contains(e))
+                {
+                    continue;
+                }
+                fireable[p.0 as usize][i] = true;
+                changed = true;
+                reachable[p.0 as usize].insert(t.to);
+                producible.extend(t.emits());
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut errors = Vec::new();
+    let mut warnings = Vec::new();
+
+    // --- OrphanEvent: consumed but never produced ---------------------
+    let mut consumers_of: BTreeMap<EventId, BTreeSet<ProcId>> = BTreeMap::new();
+    for p in network.process_ids() {
+        for t in network.cfsm(p).transitions() {
+            for &e in &t.trigger {
+                consumers_of.entry(e).or_default().insert(p);
+            }
+        }
+    }
+    for (&e, consumers) in &consumers_of {
+        if environment.contains(&e) || network.producers(e).next().is_some() {
+            continue;
+        }
+        errors.push(Diagnostic::OrphanEvent {
+            event: ev_name(e),
+            consumers: consumers.iter().map(|&p| proc_name(p)).collect(),
+        });
+    }
+
+    // --- DeadConsumer: produced but nobody listens --------------------
+    for (i, def) in network.events().iter().enumerate() {
+        let e = EventId(i as u32);
+        let mut producers: Vec<String> = network.producers(e).map(proc_name).collect();
+        if environment.contains(&e) {
+            producers.push("environment".to_string());
+        }
+        if producers.is_empty() || network.listeners(e).next().is_some() {
+            continue;
+        }
+        warnings.push(Diagnostic::DeadConsumer {
+            event: def.name.clone(),
+            producers,
+        });
+    }
+
+    // --- WaitCycle: SCCs of mutually blocked machines -----------------
+    let stuck: Vec<bool> = (0..n_procs)
+        .map(|p| !fireable[p].is_empty() && fireable[p].iter().all(|&f| !f))
+        .collect();
+    // Edges between stuck machines: consumer -> potential producer of a
+    // blocking (non-producible) trigger event, with the event recorded.
+    let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n_procs];
+    let mut blocking: Vec<BTreeSet<EventId>> = vec![BTreeSet::new(); n_procs];
+    for p in network.process_ids() {
+        if !stuck[p.0 as usize] {
+            continue;
+        }
+        let m = network.cfsm(p);
+        for t in m.transitions() {
+            if !reachable[p.0 as usize].contains(&t.from) {
+                continue;
+            }
+            for &e in &t.trigger {
+                if producible.contains(&e) {
+                    continue;
+                }
+                for q in network.producers(e) {
+                    if stuck[q.0 as usize] {
+                        edges[p.0 as usize].insert(q.0 as usize);
+                        blocking[p.0 as usize].insert(e);
+                    }
+                }
+            }
+        }
+    }
+    for scc in sccs(&edges) {
+        let cyclic = scc.len() > 1 || edges[scc[0]].contains(&scc[0]);
+        if !cyclic || !scc.iter().all(|&p| stuck[p]) {
+            continue;
+        }
+        let members: BTreeSet<usize> = scc.iter().copied().collect();
+        let mut events: BTreeSet<EventId> = BTreeSet::new();
+        for &p in &scc {
+            // Blocking events whose potential producers include a cycle
+            // member — the events the cycle is waiting on itself for.
+            for &e in &blocking[p] {
+                if network.producers(e).any(|q| members.contains(&(q.0 as usize))) {
+                    events.insert(e);
+                }
+            }
+        }
+        let mut machines: Vec<usize> = scc.clone();
+        machines.sort_unstable();
+        errors.push(Diagnostic::WaitCycle {
+            machines: machines
+                .into_iter()
+                .map(|p| proc_name(ProcId(p as u32)))
+                .collect(),
+            events: events.into_iter().map(ev_name).collect(),
+        });
+    }
+
+    // --- UnreachableState ---------------------------------------------
+    for p in network.process_ids() {
+        let m = network.cfsm(p);
+        for (s, name) in m.states().iter().enumerate() {
+            if !reachable[p.0 as usize].contains(&StateId(s as u32)) {
+                warnings.push(Diagnostic::UnreachableState {
+                    machine: m.name().to_string(),
+                    state: name.clone(),
+                });
+            }
+        }
+    }
+
+    let findings = errors
+        .into_iter()
+        .chain(warnings)
+        .map(|diagnostic| Finding {
+            severity: diagnostic.severity(),
+            diagnostic,
+        })
+        .collect();
+    VerifyReport { findings }
+}
+
+/// Strongly connected components of a small adjacency-set digraph
+/// (iterative Tarjan; deterministic output order by lowest member).
+fn sccs(edges: &[BTreeSet<usize>]) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    let adj: Vec<Vec<usize>> = edges.iter().map(|s| s.iter().copied().collect()).collect();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out: Vec<Vec<usize>> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        // Explicit DFS frames: (node, next child offset).
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&(v, ci)) = frames.last() {
+            if ci < adj[v].len() {
+                if let Some(f) = frames.last_mut() {
+                    f.1 += 1;
+                }
+                let w = adj[v][ci];
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out.sort_by_key(|c| c[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfsm::{Cfg, Cfsm, EventDef, Expr, Implementation, Stmt};
+
+    /// A single-state machine that consumes `trig` and emits `emits`.
+    fn relay(name: &str, trig: Vec<EventId>, emits: &[EventId]) -> Cfsm {
+        let mut b = Cfsm::builder(name);
+        let s = b.state("run");
+        let stmts = emits
+            .iter()
+            .map(|&e| Stmt::Emit { event: e, value: None })
+            .collect();
+        b.transition(s, trig, None, Cfg::straight_line(stmts), s);
+        b.finish().expect("valid machine")
+    }
+
+    fn env(events: &[EventId]) -> BTreeSet<EventId> {
+        events.iter().copied().collect()
+    }
+
+    #[test]
+    fn clean_pipeline_passes() {
+        let mut nb = Network::builder();
+        let kick = nb.event(EventDef::pure("KICK"));
+        let mid = nb.event(EventDef::pure("MID"));
+        nb.process(relay("head", vec![kick], &[mid]), Implementation::Hw);
+        nb.process(relay("tail", vec![mid], &[]), Implementation::Sw);
+        let net = nb.finish().expect("valid");
+        let report = verify_network(&net, &env(&[kick]));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn orphan_event_is_an_error() {
+        let mut nb = Network::builder();
+        let phantom = nb.event(EventDef::pure("PHANTOM"));
+        nb.process(relay("victim", vec![phantom], &[]), Implementation::Hw);
+        let net = nb.finish().expect("valid");
+        let report = verify_network(&net, &BTreeSet::new());
+        assert!(report.has_errors());
+        assert!(matches!(
+            &report.findings[0].diagnostic,
+            Diagnostic::OrphanEvent { event, consumers }
+                if event == "PHANTOM" && consumers == &["victim".to_string()]
+        ));
+    }
+
+    #[test]
+    fn stimulus_discharges_an_orphan() {
+        let mut nb = Network::builder();
+        let go = nb.event(EventDef::pure("GO"));
+        nb.process(relay("m", vec![go], &[]), Implementation::Hw);
+        let net = nb.finish().expect("valid");
+        assert!(verify_network(&net, &BTreeSet::new()).has_errors());
+        assert!(!verify_network(&net, &env(&[go])).has_errors());
+    }
+
+    #[test]
+    fn dead_consumer_is_a_warning() {
+        let mut nb = Network::builder();
+        let kick = nb.event(EventDef::pure("KICK"));
+        let shout = nb.event(EventDef::pure("SHOUT"));
+        nb.process(relay("crier", vec![kick], &[shout]), Implementation::Hw);
+        let net = nb.finish().expect("valid");
+        let report = verify_network(&net, &env(&[kick]));
+        assert!(!report.has_errors());
+        assert_eq!(report.warnings().count(), 1);
+        assert!(matches!(
+            &report.findings[0].diagnostic,
+            Diagnostic::DeadConsumer { event, .. } if event == "SHOUT"
+        ));
+    }
+
+    #[test]
+    fn unheard_stimulus_is_a_dead_consumer() {
+        let mut nb = Network::builder();
+        let kick = nb.event(EventDef::pure("KICK"));
+        let noise = nb.event(EventDef::pure("NOISE"));
+        nb.process(relay("m", vec![kick], &[]), Implementation::Hw);
+        let net = nb.finish().expect("valid");
+        let report = verify_network(&net, &env(&[kick, noise]));
+        assert!(matches!(
+            &report.findings[0].diagnostic,
+            Diagnostic::DeadConsumer { event, producers }
+                if event == "NOISE" && producers == &["environment".to_string()]
+        ));
+    }
+
+    #[test]
+    fn two_machine_wait_cycle_detected() {
+        let mut nb = Network::builder();
+        let ea = nb.event(EventDef::pure("EA"));
+        let eb = nb.event(EventDef::pure("EB"));
+        nb.process(relay("a", vec![ea], &[eb]), Implementation::Hw);
+        nb.process(relay("b", vec![eb], &[ea]), Implementation::Sw);
+        let net = nb.finish().expect("valid");
+        let report = verify_network(&net, &BTreeSet::new());
+        assert!(report.has_errors());
+        assert!(matches!(
+            &report.findings[0].diagnostic,
+            Diagnostic::WaitCycle { machines, events }
+                if machines == &["a".to_string(), "b".to_string()] && events.len() == 2
+        ));
+    }
+
+    #[test]
+    fn kicked_ring_is_not_a_wait_cycle() {
+        // Same ring topology, but the environment can start it: no error.
+        let mut nb = Network::builder();
+        let kick = nb.event(EventDef::pure("KICK"));
+        let ea = nb.event(EventDef::pure("EA"));
+        let eb = nb.event(EventDef::pure("EB"));
+        let mut b = Cfsm::builder("a");
+        let s = b.state("run");
+        b.transition(
+            s,
+            vec![kick],
+            None,
+            Cfg::straight_line(vec![Stmt::Emit { event: eb, value: None }]),
+            s,
+        );
+        b.transition(
+            s,
+            vec![ea],
+            None,
+            Cfg::straight_line(vec![Stmt::Emit { event: eb, value: None }]),
+            s,
+        );
+        nb.process(b.finish().expect("valid machine"), Implementation::Hw);
+        nb.process(relay("b", vec![eb], &[ea]), Implementation::Sw);
+        let net = nb.finish().expect("valid");
+        let report = verify_network(&net, &env(&[kick]));
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
+    fn conjunction_on_partly_producible_triggers_is_a_wait_cycle() {
+        // M1 needs [GO, E2]; GO comes from the environment but E2 only
+        // from M2, which needs E1 only from M1.
+        let mut nb = Network::builder();
+        let go = nb.event(EventDef::pure("GO"));
+        let e1 = nb.event(EventDef::pure("E1"));
+        let e2 = nb.event(EventDef::pure("E2"));
+        nb.process(relay("m1", vec![go, e2], &[e1]), Implementation::Hw);
+        nb.process(relay("m2", vec![e1], &[e2]), Implementation::Sw);
+        let net = nb.finish().expect("valid");
+        let report = verify_network(&net, &env(&[go]));
+        assert!(report.has_errors());
+        assert!(matches!(
+            &report.findings[0].diagnostic,
+            Diagnostic::WaitCycle { machines, .. } if machines.len() == 2
+        ));
+    }
+
+    #[test]
+    fn chained_starvation_reports_the_root_orphan_only() {
+        // m0 waits on an orphan; m1 waits on m0. The root cause is the
+        // orphan — no wait cycle should be reported.
+        let mut nb = Network::builder();
+        let phantom = nb.event(EventDef::pure("PHANTOM"));
+        let d1 = nb.event(EventDef::pure("D1"));
+        nb.process(relay("m0", vec![phantom], &[d1]), Implementation::Hw);
+        nb.process(relay("m1", vec![d1], &[]), Implementation::Sw);
+        let net = nb.finish().expect("valid");
+        let report = verify_network(&net, &BTreeSet::new());
+        assert_eq!(report.errors().count(), 1);
+        assert!(matches!(
+            &report.findings[0].diagnostic,
+            Diagnostic::OrphanEvent { event, .. } if event == "PHANTOM"
+        ));
+    }
+
+    #[test]
+    fn unreachable_state_is_a_warning() {
+        let mut nb = Network::builder();
+        let kick = nb.event(EventDef::pure("KICK"));
+        let mut b = Cfsm::builder("m");
+        let run = b.state("run");
+        let limbo = b.state("limbo");
+        b.transition(run, vec![kick], None, Cfg::empty(), run);
+        // `limbo` has an outgoing transition but nothing ever enters it.
+        b.transition(limbo, vec![kick], None, Cfg::empty(), run);
+        nb.process(b.finish().expect("valid machine"), Implementation::Hw);
+        let net = nb.finish().expect("valid");
+        let report = verify_network(&net, &env(&[kick]));
+        assert!(!report.has_errors());
+        assert!(matches!(
+            &report.findings[0].diagnostic,
+            Diagnostic::UnreachableState { machine, state }
+                if machine == "m" && state == "limbo"
+        ));
+    }
+
+    #[test]
+    fn state_reachability_is_event_aware() {
+        // A state only reachable through a transition triggered by a
+        // non-producible event is unreachable.
+        let mut nb = Network::builder();
+        let kick = nb.event(EventDef::pure("KICK"));
+        let phantom = nb.event(EventDef::pure("PHANTOM"));
+        let mut b = Cfsm::builder("m");
+        let run = b.state("run");
+        let deep = b.state("deep");
+        b.transition(run, vec![kick], None, Cfg::empty(), run);
+        b.transition(run, vec![phantom], None, Cfg::empty(), deep);
+        nb.process(b.finish().expect("valid machine"), Implementation::Hw);
+        let net = nb.finish().expect("valid");
+        let report = verify_network(&net, &env(&[kick]));
+        let unreachable: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| matches!(f.diagnostic, Diagnostic::UnreachableState { .. }))
+            .collect();
+        assert_eq!(unreachable.len(), 1);
+    }
+
+    #[test]
+    fn self_wait_is_a_wait_cycle() {
+        // A machine that can only be started by its own output.
+        let mut nb = Network::builder();
+        let own = nb.event(EventDef::pure("OWN"));
+        nb.process(relay("selfish", vec![own], &[own]), Implementation::Hw);
+        let net = nb.finish().expect("valid");
+        let report = verify_network(&net, &BTreeSet::new());
+        assert!(report.has_errors());
+        assert!(matches!(
+            &report.findings[0].diagnostic,
+            Diagnostic::WaitCycle { machines, .. } if machines == &["selfish".to_string()]
+        ));
+    }
+
+    #[test]
+    fn report_renders_counts_and_findings() {
+        let mut nb = Network::builder();
+        let phantom = nb.event(EventDef::pure("PHANTOM"));
+        nb.process(relay("victim", vec![phantom], &[]), Implementation::Hw);
+        let net = nb.finish().expect("valid");
+        let text = verify_network(&net, &BTreeSet::new()).render();
+        assert!(text.contains("1 error(s)"), "{text}");
+        assert!(text.contains("PHANTOM"), "{text}");
+        assert!(text.contains("[error]"), "{text}");
+    }
+
+    #[test]
+    fn reports_are_deterministic_and_eq() {
+        let build = || {
+            let mut nb = Network::builder();
+            let a = nb.event(EventDef::pure("A"));
+            let b = nb.event(EventDef::pure("B"));
+            nb.process(relay("x", vec![a], &[b]), Implementation::Hw);
+            nb.process(relay("y", vec![b], &[a]), Implementation::Sw);
+            nb.finish().expect("valid")
+        };
+        let r1 = verify_network(&build(), &BTreeSet::new());
+        let r2 = verify_network(&build(), &BTreeSet::new());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn guards_are_ignored_soundly() {
+        // A guard that is always false at run time does not produce a
+        // static error: the checker over-approximates enabledness.
+        let mut nb = Network::builder();
+        let kick = nb.event(EventDef::pure("KICK"));
+        let out = nb.event(EventDef::pure("OUT"));
+        let mut b = Cfsm::builder("guarded");
+        let s = b.state("run");
+        b.var("v", 0);
+        b.transition(
+            s,
+            vec![kick],
+            Some(Expr::gt(Expr::Var(cfsm::VarId(0)), Expr::Const(1_000))),
+            Cfg::straight_line(vec![Stmt::Emit { event: out, value: None }]),
+            s,
+        );
+        nb.process(b.finish().expect("valid machine"), Implementation::Hw);
+        nb.process(relay("sink", vec![out], &[]), Implementation::Sw);
+        let net = nb.finish().expect("valid");
+        assert!(!verify_network(&net, &env(&[kick])).has_errors());
+    }
+}

@@ -7,7 +7,28 @@
 //! ```
 
 use co_estimation::spec::parse_system;
-use co_estimation::{Acceleration, CachingConfig, CoSimConfig, CoSimulator};
+use co_estimation::{
+    Acceleration, BuildEstimatorError, CachingConfig, CoSimConfig, CoSimulator,
+};
+
+/// A doomed spec: the `relay` process waits on `REQUEST`, but nothing —
+/// no process, no stimulus — ever produces it. Pre-simulation
+/// verification rejects this in microseconds with a precise diagnosis
+/// instead of a watchdog timeout.
+const MISWIRED: &str = "\
+system miswired
+
+event REQUEST
+event REPLY
+
+process relay sw priority 1
+  state run
+  transition run -> run on REQUEST
+    emit REPLY
+  end
+
+stimulus 10 REPLY
+";
 
 /// A thermostat: a HW sampler reads a (synthetic) temperature ramp, a SW
 /// controller runs a hysteresis loop, and a HW actuator drives the
@@ -73,6 +94,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         text.push_str(&format!("stimulus {} SAMPLE\n", i * 1_500));
     }
 
+    // A mis-wired spec fails the verified front door with a rendered
+    // diagnosis (and would have burned a watchdog budget instead).
+    let doomed = parse_system(MISWIRED)?;
+    match CoSimulator::new_verified(doomed, CoSimConfig::date2000_defaults()) {
+        Err(BuildEstimatorError::Unverifiable(report)) => {
+            println!("rejected `miswired` before simulating anything:");
+            println!("{}\n", report.render());
+        }
+        other => {
+            return Err(format!("miswired spec must be rejected, got {other:?}").into());
+        }
+    }
+
     let soc = parse_system(&text)?;
     println!(
         "parsed `{}`: {} processes, {} events, {} stimuli\n",
@@ -84,7 +118,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", cfsm::dot::network_to_dot(&soc.network));
 
     let config = CoSimConfig::date2000_defaults();
-    let mut sim = CoSimulator::new(soc.clone(), config.clone())?;
+    // The thermostat passes the same gate, so the verified entry point
+    // is a drop-in front door for trusted and untrusted specs alike.
+    let mut sim = CoSimulator::new_verified(soc.clone(), config.clone())?;
     let report = sim.run();
     println!("co-estimation:\n{}\n", report.account);
 

@@ -15,6 +15,7 @@
 //! * [`busmodel`] — the arbitrated shared-bus power model;
 //! * [`coest`] — the co-estimation framework itself (master, caching,
 //!   macro-modeling, sampling, separate-estimation baseline, explorer);
+//! * [`socverify`] — pre-simulation liveness verification + spec fuzzing;
 //! * [`systems`] — the paper's example systems.
 //!
 //! See the `examples/` directory for runnable walkthroughs, starting
@@ -30,4 +31,5 @@ pub use co_estimation as coest;
 pub use desim;
 pub use gatesim;
 pub use iss;
+pub use socverify;
 pub use systems;

@@ -178,3 +178,50 @@ fn unknown_fault_targets_are_typed_build_errors() {
         Err(BuildEstimatorError::InvalidParams(_))
     ));
 }
+
+#[test]
+fn combined_plan_partitions_the_ledger_per_fault_kind() {
+    // One run, three fault mechanisms (drop + stall-bus + corrupt-energy):
+    // the ledger must attribute each mechanism's consequences to its own
+    // anomaly kind — injections to `FaultInjected`, the dropped delivery
+    // to `EventShed`, the arbiter outage to `BusStalled`, the rejected
+    // negative sample to `EnergyClamped` — and the run must still
+    // terminate under the watchdog.
+    let r = run_with(
+        FaultPlan::new()
+            .drop_event(1, "Q_POP")
+            .stall_bus(5_500, 2_000)
+            .corrupt_energy(1, "create_pack", -1.0),
+    );
+    assert!(
+        matches!(r.outcome, RunOutcome::Completed | RunOutcome::Degraded { .. }),
+        "combined plan must terminate, got {:?}",
+        r.outcome
+    );
+
+    let count = |pred: &dyn Fn(&AnomalyKind) -> bool| {
+        r.anomalies.iter().filter(|a| pred(&a.kind)).count()
+    };
+    let injected = count(&|k| matches!(k, AnomalyKind::FaultInjected { .. }));
+    let shed = count(&|k| matches!(k, AnomalyKind::EventShed { .. }));
+    let stalled = count(&|k| matches!(k, AnomalyKind::BusStalled { .. }));
+    let clamped = count(&|k| matches!(k, AnomalyKind::EnergyClamped { .. }));
+    assert_eq!(injected, 3, "three faults armed, ledger: {}", r.anomalies);
+    assert!(shed >= 1, "dropped Q_POP not recorded: {}", r.anomalies);
+    assert!(stalled >= 1, "bus stall not recorded: {}", r.anomalies);
+    assert!(clamped >= 1, "clamped sample not recorded: {}", r.anomalies);
+
+    // Every consequence entry carries its kind's own payload — spot-check
+    // the partition is by mechanism, not a catch-all bucket.
+    for a in r.anomalies.iter() {
+        if let AnomalyKind::EventShed { event } = &a.kind {
+            assert_eq!(event, "Q_POP");
+        }
+        if let AnomalyKind::EnergyClamped { process, raw_j } = &a.kind {
+            assert_eq!(process, "create_pack");
+            assert!(*raw_j < 0.0, "clamp recorded the rejected sample");
+        }
+    }
+    let e = r.total_energy_j();
+    assert!(e.is_finite() && e >= 0.0, "energy stayed sane: {e}");
+}

@@ -6,7 +6,8 @@
 use cfsm::{
     Cfg, Cfsm, EventDef, EventOccurrence, Expr, Implementation, Network, Stmt, VarId,
 };
-use co_estimation::{BuildEstimatorError, CoSimConfig, CoSimulator, SocDescription};
+use co_estimation::{BuildEstimatorError, CoSimConfig, CoSimulator, RunOutcome, SocDescription};
+use desim::WatchdogConfig;
 use systems::tcpip;
 
 fn counter_network(mapping: Implementation, body: Cfg) -> (Network, cfsm::EventId) {
@@ -193,4 +194,59 @@ fn cache_disabled_runs_still_work() {
     assert_eq!(report.cache.accesses, 0);
     assert_eq!(report.cache_energy_j, 0.0);
     assert!(report.total_energy_j() > 0.0);
+}
+
+#[test]
+fn watchdog_budget_boundary_separates_completed_from_degraded() {
+    // The desim::watchdog boundary contract, observed end to end: a
+    // cycle budget equal to the exact simulated length of a run keeps it
+    // `Completed`; one cycle less and the final firing-completion event
+    // dispatches past the budget, degrading the run before it is
+    // handled.
+    let build = || {
+        let body = Cfg::straight_line(vec![Stmt::Assign {
+            var: VarId(0),
+            expr: Expr::add(Expr::Var(VarId(0)), Expr::Const(1)),
+        }]);
+        let (network, tick) = counter_network(Implementation::Hw, body);
+        SocDescription {
+            name: "boundary".into(),
+            network,
+            stimulus: (1..=4).map(|i| (i * 50, EventOccurrence::pure(tick))).collect(),
+            priorities: vec![1],
+        }
+    };
+
+    let unguarded = CoSimulator::new(build(), CoSimConfig::date2000_defaults())
+        .expect("builds")
+        .run();
+    assert!(matches!(unguarded.outcome, RunOutcome::Completed));
+    let exact = unguarded.total_cycles;
+    assert!(exact > 0, "run must simulate some time");
+
+    let at_budget = CoSimulator::new(
+        build(),
+        CoSimConfig::date2000_defaults().with_watchdog(WatchdogConfig::sim_cycles(exact)),
+    )
+    .expect("builds")
+    .run();
+    assert!(
+        matches!(at_budget.outcome, RunOutcome::Completed),
+        "budget == exact cycles must complete, got {:?}",
+        at_budget.outcome
+    );
+    assert_eq!(at_budget.total_cycles, exact, "guarded run is bit-identical");
+    assert_eq!(at_budget.firings, unguarded.firings);
+
+    let one_short = CoSimulator::new(
+        build(),
+        CoSimConfig::date2000_defaults().with_watchdog(WatchdogConfig::sim_cycles(exact - 1)),
+    )
+    .expect("builds")
+    .run();
+    assert!(
+        one_short.outcome.is_degraded(),
+        "budget one cycle short must degrade, got {:?}",
+        one_short.outcome
+    );
 }

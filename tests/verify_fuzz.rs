@@ -1,0 +1,177 @@
+//! Adversarial spec fuzzing: the seeded generator (`socverify::gen`)
+//! emits known-live and known-deadlocking systems, and both the static
+//! checker and the dynamic watchdog are held to their contracts:
+//!
+//! * **zero false positives** — every known-live spec passes the
+//!   checker (no error-severity findings) and runs to `Completed`,
+//!   including under a non-empty `FaultPlan`;
+//! * **zero false negatives** — every known-deadlocking spec is flagged
+//!   statically *and*, when simulated anyway, is independently caught
+//!   by the watchdog (`Degraded`) with its doomed machines at zero
+//!   firings.
+//!
+//! Seeds are sequential from zero, so a failure reproduces exactly.
+//! `VERIFY_FUZZ_N` scales the sweep (default 40 per direction locally;
+//! CI runs 200).
+
+use co_estimation::{
+    verify_soc, CoSimConfig, CoSimulator, FaultPlan, RunOutcome, SocDescription,
+};
+use desim::WatchdogConfig;
+use socverify::gen::{generate_deadlocking, generate_live, Expectation, GeneratedSystem};
+
+fn n_specs() -> u64 {
+    std::env::var("VERIFY_FUZZ_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40)
+}
+
+fn to_soc(g: GeneratedSystem) -> SocDescription {
+    SocDescription {
+        name: g.name,
+        network: g.network,
+        stimulus: g.stimulus,
+        priorities: g.priorities,
+    }
+}
+
+/// Generous budgets a live spec can never hit.
+fn live_guard() -> WatchdogConfig {
+    WatchdogConfig {
+        max_cycles: Some(50_000_000),
+        max_events: Some(1_000_000),
+        max_stagnant_events: Some(100_000),
+        ..WatchdogConfig::unlimited()
+    }
+}
+
+/// Tight budgets so a deadlocked-but-busy spec trips quickly.
+fn dead_guard() -> WatchdogConfig {
+    WatchdogConfig {
+        max_cycles: Some(2_000_000),
+        max_events: Some(4_000),
+        max_stagnant_events: Some(2_000),
+        ..WatchdogConfig::unlimited()
+    }
+}
+
+#[test]
+fn live_specs_pass_the_checker_and_complete() {
+    for seed in 0..n_specs() {
+        let g = generate_live(seed).expect("generator");
+        assert_eq!(g.expectation, Expectation::Live);
+        let name = g.name.clone();
+        let soc = to_soc(g);
+
+        let report = verify_soc(&soc);
+        assert!(
+            !report.has_errors(),
+            "false positive on live {name} (seed {seed}):\n{report}"
+        );
+
+        let config = CoSimConfig::date2000_defaults().with_watchdog(live_guard());
+        let run = CoSimulator::new_verified(soc, config)
+            .unwrap_or_else(|e| panic!("{name} (seed {seed}) must build: {e}"))
+            .run();
+        assert!(
+            matches!(run.outcome, RunOutcome::Completed),
+            "live {name} (seed {seed}) must complete, got {:?}",
+            run.outcome
+        );
+        for p in &run.processes {
+            assert!(
+                p.firings >= 1,
+                "live {name} (seed {seed}): machine `{}` never fired",
+                p.name
+            );
+        }
+    }
+}
+
+#[test]
+fn live_specs_complete_under_non_empty_fault_plans() {
+    for seed in 0..n_specs() {
+        let g = generate_live(seed).expect("generator");
+        let name = g.name.clone();
+        // Perturb a real stimulus event: delay it and duplicate it, and
+        // stall the bus mid-run. (No drops — liveness under loss is a
+        // different contract; POLIS buffers may legitimately starve.)
+        let first_stim = g.stimulus.first().expect("live specs have stimulus").1.event;
+        let stim_name = g.network.events()[first_stim.0 as usize].name.clone();
+        let soc = to_soc(g);
+        let faults = FaultPlan::new()
+            .delay_event(1, stim_name.clone(), 500 + seed % 700)
+            .duplicate_event(1, stim_name)
+            .stall_bus(100 + seed * 13 % 1_000, 1_000);
+
+        let config = CoSimConfig::date2000_defaults()
+            .with_watchdog(live_guard())
+            .with_faults(faults);
+        let run = CoSimulator::new_verified(soc, config)
+            .unwrap_or_else(|e| panic!("{name} (seed {seed}) must build: {e}"))
+            .run();
+        assert!(
+            matches!(run.outcome, RunOutcome::Completed),
+            "live {name} (seed {seed}) under faults must still complete, got {:?}",
+            run.outcome
+        );
+        assert!(
+            run.anomalies.faults_injected() >= 1,
+            "{name} (seed {seed}): the plan must actually fire"
+        );
+    }
+}
+
+#[test]
+fn deadlocking_specs_are_flagged_and_watchdog_caught() {
+    for seed in 0..n_specs() {
+        let g = generate_deadlocking(seed).expect("generator");
+        assert_eq!(g.expectation, Expectation::Deadlocking);
+        let name = g.name.clone();
+        let dead = g.dead_machines.clone();
+        assert!(!dead.is_empty(), "{name}: deadlocking spec must list victims");
+        let soc = to_soc(g);
+
+        // Static direction: zero false negatives.
+        let report = verify_soc(&soc);
+        assert!(
+            report.has_errors(),
+            "false negative: {name} (seed {seed}) passed the checker"
+        );
+
+        // Dynamic direction: simulate anyway (bypassing the verified
+        // front door) — the watchdog must independently catch it.
+        let config = CoSimConfig::date2000_defaults().with_watchdog(dead_guard());
+        let run = CoSimulator::new(soc, config)
+            .unwrap_or_else(|e| panic!("{name} (seed {seed}) must build: {e}"))
+            .run();
+        assert!(
+            run.outcome.is_degraded(),
+            "{name} (seed {seed}) must trip the watchdog, got {:?}",
+            run.outcome
+        );
+        for victim in &dead {
+            let p = run
+                .processes
+                .iter()
+                .find(|p| &p.name == victim)
+                .unwrap_or_else(|| panic!("{name}: victim `{victim}` missing from report"));
+            assert_eq!(
+                p.firings, 0,
+                "{name} (seed {seed}): doomed machine `{victim}` fired"
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzz_verdicts_are_deterministic() {
+    // The same seed must produce the same spec and the same report —
+    // the property that makes CI's fixed-seed sweep meaningful.
+    for seed in [0, 1, 17, 33] {
+        let a = verify_soc(&to_soc(generate_deadlocking(seed).expect("gen")));
+        let b = verify_soc(&to_soc(generate_deadlocking(seed).expect("gen")));
+        assert_eq!(a, b, "seed {seed} verdict changed between runs");
+    }
+}
