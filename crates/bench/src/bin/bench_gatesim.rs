@@ -1,12 +1,16 @@
-//! Gate-simulation kernel benchmark: the event-driven levelized kernel
-//! against the oblivious reference path, on the synthesized TCP/IP
-//! checksum netlist, written as `BENCH_gatesim.json` so the perf
-//! trajectory tracks the hot inner loop across PRs.
+//! Gate-simulation kernel benchmark: the event-driven levelized kernel,
+//! the oblivious reference path, and the word-parallel kernel (both the
+//! single-stream block engine and the 64-stream lockstep [`LaneSim`]),
+//! on the synthesized TCP/IP checksum netlist, written as
+//! `BENCH_gatesim.json` so the perf trajectory tracks the hot inner
+//! loop across PRs.
 //!
-//! A timing entry only exists if the two kernels agreed bit for bit
+//! A timing entry only exists if the kernels agreed bit for bit
 //! (per-cycle energy bit patterns and all output values) over the same
-//! stimulus first. The full run also times the end-to-end Fig. 7 sweep
-//! under each kernel.
+//! stimulus first — including the word kernel driven through
+//! `run_block` with odd chunk sizes, and every `LaneSim` lane against a
+//! scalar run of its stream. The full run also times the end-to-end
+//! Fig. 7 sweep under each kernel.
 //!
 //! Usage:
 //!   cargo run --release -p soc-bench --bin bench_gatesim [out.json]
@@ -20,7 +24,7 @@
 use cfsm::TransitionId;
 use co_estimation::CoSimConfig;
 use detrand::Rng;
-use gatesim::{HwCfsm, NetId, Netlist, PowerConfig, SimKernel, Simulator};
+use gatesim::{HwCfsm, LaneSim, NetId, Netlist, PowerConfig, SimKernel, Simulator};
 use soc_bench::{fig7_profile_overhead, fig7_serial};
 use std::sync::Arc;
 use std::time::Instant;
@@ -109,6 +113,141 @@ fn timed(netlist: &Arc<Netlist>, kernel: SimKernel, stim: &[Vec<(NetId, bool)>])
     (t0.elapsed().as_secs_f64(), sim.gate_evals())
 }
 
+/// Drives the word kernel through `run_block` over a repeating pattern
+/// of odd chunk sizes (seams land everywhere relative to the 64-cycle
+/// lane width), returning per-cycle energy bit patterns, the final
+/// output-bus value, and the gate-event counter.
+fn observe_word_blocks(
+    netlist: &Arc<Netlist>,
+    stim: &[Vec<(NetId, bool)>],
+) -> (Vec<u64>, u64, u64) {
+    let mut sim = Simulator::with_kernel(
+        Arc::clone(netlist),
+        PowerConfig::date2000_defaults(),
+        SimKernel::WordParallel,
+    )
+    .expect("valid netlist");
+    let outputs: Vec<NetId> = netlist.outputs().iter().map(|(_, n)| *n).collect();
+    let chunks = [1usize, 7, 63, 64, 65, 100];
+    let mut at = 0usize;
+    let mut k = 0usize;
+    while at < stim.len() {
+        let len = chunks[k % chunks.len()].min(stim.len() - at);
+        k += 1;
+        sim.run_block(&stim[at..at + len]);
+        at += len;
+    }
+    let energy: Vec<u64> = sim
+        .report()
+        .per_cycle_j
+        .iter()
+        .map(|e| e.to_bits())
+        .collect();
+    (energy, sim.value_bus(&outputs), sim.gate_events())
+}
+
+/// Times the word kernel over the stimulus, driven in 64-cycle blocks.
+fn timed_word_blocks(netlist: &Arc<Netlist>, stim: &[Vec<(NetId, bool)>]) -> f64 {
+    let mut sim = Simulator::with_kernel(
+        Arc::clone(netlist),
+        PowerConfig::date2000_defaults(),
+        SimKernel::WordParallel,
+    )
+    .expect("valid netlist");
+    let t0 = Instant::now();
+    for block in stim.chunks(64) {
+        sim.run_block(block);
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Independent per-lane stimulus streams for the lockstep runs.
+fn lane_streams(
+    netlist: &Netlist,
+    lanes: usize,
+    cycles: usize,
+    seed: u64,
+) -> Vec<Vec<Vec<(NetId, bool)>>> {
+    (0..lanes)
+        .map(|l| stimulus(netlist, cycles, seed ^ ((l as u64) << 16)))
+        .collect()
+}
+
+/// Bitwise evidence for the lockstep simulator: every lane must match a
+/// scalar event-driven run of its stream — per-cycle energy bit
+/// patterns, all net values, and per-net toggle counts.
+fn lanes_bitwise_identical(netlist: &Arc<Netlist>, lanes: usize, cycles: usize) -> bool {
+    let streams = lane_streams(netlist, lanes, cycles, 0xC9EC);
+    let mut ls = LaneSim::new(Arc::clone(netlist), PowerConfig::date2000_defaults(), lanes)
+        .expect("valid netlist");
+    for j in 0..cycles {
+        for (l, stream) in streams.iter().enumerate() {
+            for &(net, v) in &stream[j] {
+                ls.set_input(l, net, v);
+            }
+        }
+        ls.step();
+    }
+    streams.iter().enumerate().all(|(l, stream)| {
+        let mut scalar = Simulator::with_kernel(
+            Arc::clone(netlist),
+            PowerConfig::date2000_defaults(),
+            SimKernel::EventDriven,
+        )
+        .expect("valid netlist");
+        for inputs in stream {
+            for &(net, v) in inputs {
+                scalar.set_input(net, v);
+            }
+            scalar.step();
+        }
+        let scalar_bits: Vec<u64> = scalar
+            .report()
+            .per_cycle_j
+            .iter()
+            .map(|e| e.to_bits())
+            .collect();
+        let lane_bits: Vec<u64> = ls
+            .report(l)
+            .per_cycle_j
+            .iter()
+            .map(|e| e.to_bits())
+            .collect();
+        scalar_bits == lane_bits
+            && (0..netlist.gate_count()).all(|i| {
+                let net = NetId(i as u32);
+                ls.value(net, l) == scalar.value(net)
+                    && ls.toggle_count(net, l) == scalar.toggle_count(net)
+            })
+    })
+}
+
+/// Lockstep lane throughput: `lanes` independent stimulus streams
+/// simulated together by [`LaneSim`] versus one event-driven scalar run
+/// per stream. Returns (lockstep wall, summed scalar wall) over the
+/// same streams.
+fn lane_throughput(netlist: &Arc<Netlist>, lanes: usize, cycles: usize) -> (f64, f64) {
+    let streams = lane_streams(netlist, lanes, cycles, 0x1A9E);
+    let mut ls = LaneSim::new(Arc::clone(netlist), PowerConfig::date2000_defaults(), lanes)
+        .expect("valid netlist");
+    let t0 = Instant::now();
+    for j in 0..cycles {
+        for (l, stream) in streams.iter().enumerate() {
+            for &(net, v) in &stream[j] {
+                ls.set_input(l, net, v);
+            }
+        }
+        ls.step();
+    }
+    let lane_s = t0.elapsed().as_secs_f64();
+    let mut scalar_s = 0.0;
+    for stream in &streams {
+        let (s, _) = timed(netlist, SimKernel::EventDriven, stream);
+        scalar_s += s;
+    }
+    (lane_s, scalar_s)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -122,12 +261,22 @@ fn main() {
     let gates = netlist.gate_count();
     println!("== bench_gatesim: tcpip checksum netlist ({gates} gates) ==\n");
 
-    // Bitwise cross-check first: no timing without equivalence.
+    // Bitwise cross-check first: no timing without equivalence. The
+    // word kernel is checked twice — step-driven (1-cycle windows) and
+    // through `run_block` with odd chunk sizes.
     let check_cycles = if smoke { 2_000 } else { 5_000 };
     let check_stim = stimulus(&netlist, check_cycles, 0xBE9C);
     let (ev_trace, ev_evals, ev_events) = observe(&netlist, SimKernel::EventDriven, &check_stim);
     let (ob_trace, ob_evals, ob_events) = observe(&netlist, SimKernel::Oblivious, &check_stim);
-    let bitwise_identical = ev_trace == ob_trace && ev_events == ob_events;
+    let (wd_trace, _wd_evals, wd_events) = observe(&netlist, SimKernel::WordParallel, &check_stim);
+    let (blk_energy, blk_bus, blk_events) = observe_word_blocks(&netlist, &check_stim);
+    let word_step_identical = wd_trace == ev_trace && wd_events == ev_events;
+    let word_block_identical = blk_energy
+        == ev_trace.iter().map(|&(e, _)| e).collect::<Vec<u64>>()
+        && Some(blk_bus) == ev_trace.last().map(|&(_, v)| v)
+        && blk_events == ev_events;
+    let bitwise_identical =
+        ev_trace == ob_trace && ev_events == ob_events && word_step_identical && word_block_identical;
     assert!(bitwise_identical, "kernels diverged on the checksum netlist");
     assert!(
         ev_evals < ob_evals,
@@ -135,17 +284,45 @@ fn main() {
     );
     let ev_epc = ev_evals as f64 / check_cycles as f64;
     let ob_epc = ob_evals as f64 / check_cycles as f64;
-    println!("bitwise identical over {check_cycles} cycles: {bitwise_identical}");
+    println!("bitwise identical over {check_cycles} cycles (3 kernels + word blocks): {bitwise_identical}");
     println!(
         "gate evals/cycle: oblivious {ob_epc:.1}, event-driven {ev_epc:.1} \
          ({:.1}x reduction)\n",
         ob_epc / ev_epc.max(1e-12)
     );
 
+    // Lockstep-lane evidence: every lane bit-identical to a scalar run.
+    let (eq_lanes, eq_cycles) = if smoke { (8, 300) } else { (64, 300) };
+    let lanes_identical = lanes_bitwise_identical(&netlist, eq_lanes, eq_cycles);
+    assert!(lanes_identical, "LaneSim lanes diverged from scalar runs");
+    println!("LaneSim: {eq_lanes} lanes bit-identical to scalar runs over {eq_cycles} cycles");
+
+    // Lockstep-lane throughput: the word kernel's headline number. The
+    // checksum netlist changes flop state on ~90% of cycles under this
+    // stimulus, so single-stream windows stay short; 64 independent
+    // streams in lockstep is where the 64x lane width pays off.
+    let (tp_lanes, tp_cycles) = if smoke { (16, 1_500) } else { (64, 6_000) };
+    let _ = lane_throughput(&netlist, tp_lanes, 200); // warm-up
+    let (lane_s, lane_scalar_s) = lane_throughput(&netlist, tp_lanes, tp_cycles);
+    let lane_speedup = lane_scalar_s / lane_s;
+    let lane_cps = (tp_lanes * tp_cycles) as f64 / lane_s;
+    println!(
+        "LaneSim {tp_lanes} lanes x {tp_cycles} cycles: {lane_s:.3} s \
+         ({lane_cps:.0} lane-cycles/s); event-driven scalar: {lane_scalar_s:.3} s \
+         -> {lane_speedup:.2}x"
+    );
     if smoke {
-        println!("smoke mode: equivalence and eval-reduction assertions passed");
+        assert!(
+            lane_speedup > 1.0,
+            "lockstep lanes must beat scalar event-driven ({lane_speedup:.2}x)"
+        );
+        println!("\nsmoke mode: equivalence, eval-reduction, and lane-speedup assertions passed");
         return;
     }
+    assert!(
+        lane_speedup >= 4.0,
+        "lockstep lanes must deliver >=4x over event-driven ({lane_speedup:.2}x)"
+    );
 
     // Kernel timing: warm-up pass, then a measured pass each.
     let bench_cycles = 50_000;
@@ -153,11 +330,22 @@ fn main() {
     let _ = timed(&netlist, SimKernel::EventDriven, &bench_stim);
     let (ob_s, _) = timed(&netlist, SimKernel::Oblivious, &bench_stim);
     let (ev_s, _) = timed(&netlist, SimKernel::EventDriven, &bench_stim);
+    let _ = timed_word_blocks(&netlist, &bench_stim); // warm-up
+    let wd_s = timed_word_blocks(&netlist, &bench_stim);
     let ob_cps = bench_cycles as f64 / ob_s;
     let ev_cps = bench_cycles as f64 / ev_s;
+    let wd_cps = bench_cycles as f64 / wd_s;
     let speedup = ev_cps / ob_cps;
+    // Honest number: a single sequential stream commits short windows
+    // whenever flop state changes, so this is NOT the word kernel's
+    // headline — the lockstep-lane speedup above is.
+    let wd_single_speedup = wd_cps / ev_cps;
     println!("oblivious:    {ob_s:.3} s ({ob_cps:.0} cycles/s)");
     println!("event-driven: {ev_s:.3} s ({ev_cps:.0} cycles/s)");
+    println!(
+        "word (single stream, 64-cycle blocks): {wd_s:.3} s ({wd_cps:.0} cycles/s, \
+         {wd_single_speedup:.2}x vs event-driven)"
+    );
     println!("kernel speedup: {speedup:.2}x\n");
 
     // End-to-end: the Fig. 7 sweep (48 points) under each kernel, via
@@ -169,17 +357,30 @@ fn main() {
     let oblivious_sweep = fig7_serial(&params);
     let fig7_ob_s = t0.elapsed().as_secs_f64();
     std::env::remove_var("GATESIM_OBLIVIOUS");
+    std::env::set_var("GATESIM_KERNEL", "word");
+    let t0 = Instant::now();
+    let word_sweep = fig7_serial(&params);
+    let fig7_wd_s = t0.elapsed().as_secs_f64();
+    std::env::remove_var("GATESIM_KERNEL");
     let t0 = Instant::now();
     let event_sweep = fig7_serial(&params);
     let fig7_ev_s = t0.elapsed().as_secs_f64();
     let fig7_identical = oblivious_sweep.len() == event_sweep.len()
+        && word_sweep.len() == event_sweep.len()
         && oblivious_sweep
             .iter()
             .zip(&event_sweep)
-            .all(|(a, b)| a.report.golden_snapshot() == b.report.golden_snapshot());
+            .zip(&word_sweep)
+            .all(|((a, b), c)| {
+                let want = b.report.golden_snapshot();
+                a.report.golden_snapshot() == want && c.report.golden_snapshot() == want
+            });
     assert!(fig7_identical, "fig7 sweeps diverged between kernels");
     let fig7_speedup = fig7_ob_s / fig7_ev_s;
-    println!("fig7 sweep (48 points): oblivious {fig7_ob_s:.3} s, event-driven {fig7_ev_s:.3} s");
+    println!(
+        "fig7 sweep (48 points): oblivious {fig7_ob_s:.3} s, event-driven {fig7_ev_s:.3} s, \
+         word {fig7_wd_s:.3} s"
+    );
     println!("end-to-end speedup: {fig7_speedup:.2}x (bitwise identical: {fig7_identical})");
 
     // Span-profiler cost on the same sweep (event-driven kernel): the
@@ -203,8 +404,15 @@ fn main() {
          \"gate_evals_per_cycle\": {ev_epc:.2}}},\n  \
          \"speedup\": {speedup:.3},\n  \"eval_reduction\": {:.3},\n  \
          \"bitwise_identical\": {bitwise_identical},\n  \
+         \"word_parallel\": {{\"single_stream\": {{\"wall_s\": {wd_s:.6}, \
+         \"cycles_per_sec\": {wd_cps:.1}, \"speedup_vs_event\": {wd_single_speedup:.3}}}, \
+         \"lane_throughput\": {{\"lanes\": {tp_lanes}, \"cycles_per_lane\": {tp_cycles}, \
+         \"wall_s\": {lane_s:.6}, \"scalar_event_wall_s\": {lane_scalar_s:.6}, \
+         \"lane_cycles_per_sec\": {lane_cps:.1}, \"speedup_vs_event\": {lane_speedup:.3}}}, \
+         \"bitwise_identical\": {bitwise_identical}}},\n  \
          \"fig7_sweep\": {{\"oblivious_wall_s\": {fig7_ob_s:.6}, \
-         \"event_driven_wall_s\": {fig7_ev_s:.6}, \"speedup\": {fig7_speedup:.3}, \
+         \"event_driven_wall_s\": {fig7_ev_s:.6}, \"word_wall_s\": {fig7_wd_s:.6}, \
+         \"speedup\": {fig7_speedup:.3}, \
          \"bitwise_identical\": {fig7_identical}}},\n  \
          \"profiler_overhead\": {{\"detached_wall_s\": {detached_s:.6}, \
          \"attached_wall_s\": {attached_s:.6}, \

@@ -151,8 +151,11 @@ pub trait PowerEstimator: fmt::Debug {
     /// Cumulative gate-level activity counters
     /// `(gate_evals, gate_events)` of the backend's simulator, when it
     /// has one. The master diffs this around each detailed firing to
-    /// surface the event-driven kernel's eval reduction through the
-    /// trace layer. Defaults to `None` (no gate-level model).
+    /// surface the gate kernel's work through the trace layer.
+    /// `gate_evals` counts kernel work units and varies by selected
+    /// kernel (a word-parallel evaluation covers up to 64 cycles);
+    /// `gate_events` counts committed per-cycle output changes and is
+    /// kernel-invariant. Defaults to `None` (no gate-level model).
     fn gate_stats(&self) -> Option<(u64, u64)> {
         None
     }

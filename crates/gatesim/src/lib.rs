@@ -14,7 +14,10 @@
 //! * [`bus`] — word-level datapath blocks (adders, multipliers,
 //!   comparators, registers);
 //! * [`Simulator`] — deterministic cycle-based logic simulation with
-//!   energy capture;
+//!   energy capture (three bit-identical kernels: event-driven,
+//!   oblivious, and word-parallel — see [`SimKernel`]);
+//! * [`word`] — bit-parallel lane primitives and the 64-stream
+//!   lockstep [`LaneSim`];
 //! * [`HwCfsm`] — CFSM transitions synthesized to FSMDs plus the
 //!   run protocol the co-simulation master uses.
 //!
@@ -46,10 +49,12 @@ mod netlist;
 mod power;
 mod sim;
 mod synth;
+pub mod word;
 
 pub use netlist::{Gate, GateKind, NetId, Netlist, ValidateNetlistError};
 pub use power::{CapacitanceMap, EnergyReport, PowerConfig};
-pub use sim::{SimKernel, Simulator};
+pub use sim::{SimKernel, Simulator, WindowRun};
+pub use word::LaneSim;
 pub use synth::{
     clear_synth_cache, synth_cache_stats, HwCfsm, HwRun, HwTransition, SynthConfig, SynthError,
 };

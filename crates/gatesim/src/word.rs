@@ -1,0 +1,455 @@
+//! Word-level (bit-parallel) simulation support: lane packing utilities
+//! and a 64-stream lockstep simulator.
+//!
+//! The software analogue of hardware-accelerated power estimation
+//! (Coburn/Ravi/Raghunathan): a net's value over 64 cycle slots — or
+//! across 64 independent stimulus streams — is one `u64` *lane word*,
+//! and every gate evaluation is a single word operation (`&`, `|`, `^`,
+//! `!`, and `(s & a) | (!s & b)` for a mux). Toggle counting becomes a
+//! popcount over a *toggle word* ([`toggle_word`]).
+//!
+//! Two consumers build on these primitives:
+//!
+//! * [`crate::SimKernel::WordParallel`] packs up to 64 *consecutive
+//!   cycles of one stream* into each lane word, with a speculate /
+//!   commit-prefix / replay seam at DFF boundaries (see
+//!   `gatesim::sim`).
+//! * [`LaneSim`] (here) packs *64 independent streams* into each lane
+//!   word and steps them in lockstep — sequential feedback never limits
+//!   the batch because the lanes share nothing, which is what makes
+//!   word-level evaluation pay off on state-dense netlists. Each lane
+//!   is bit-identical to a scalar [`crate::Simulator`] run of the same
+//!   stream, including the per-cycle float accumulation order and the
+//!   seed's constant-init quirk.
+
+use crate::netlist::{GateKind, NetId, Netlist, ValidateNetlistError};
+use crate::power::{CapacitanceMap, EnergyReport, PowerConfig};
+use std::sync::Arc;
+
+/// Number of cycle (or stream) slots packed into one lane word.
+pub const LANES: usize = 64;
+
+/// A lane word with every slot holding `v`.
+#[inline]
+pub fn broadcast(v: bool) -> u64 {
+    if v {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// Packs up to 64 slot values into a lane word (`bits[i]` → bit `i`).
+///
+/// # Panics
+///
+/// Panics if more than [`LANES`] values are given.
+pub fn pack_lanes(bits: &[bool]) -> u64 {
+    assert!(bits.len() <= LANES, "at most {LANES} lanes fit in a word");
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |w, (i, &b)| w | ((b as u64) << i))
+}
+
+/// Unpacks the low `n` slots of a lane word (inverse of [`pack_lanes`]).
+///
+/// # Panics
+///
+/// Panics if `n` exceeds [`LANES`].
+pub fn unpack_lanes(word: u64, n: usize) -> Vec<bool> {
+    assert!(n <= LANES, "a word holds at most {LANES} lanes");
+    (0..n).map(|i| (word >> i) & 1 == 1).collect()
+}
+
+/// The toggle word of a *cycle-packed* lane: bit `j` is set iff the
+/// net's value at cycle `j` differs from its value at cycle `j - 1`,
+/// where cycle `-1` is the committed value `prev` from before the
+/// window. `popcount(toggle_word(..) & prefix_mask)` is exactly the
+/// scalar kernels' toggle count over that prefix.
+#[inline]
+pub fn toggle_word(lane: u64, prev: bool) -> u64 {
+    lane ^ ((lane << 1) | prev as u64)
+}
+
+/// One compiled combinational word operation: evaluate `kind` over the
+/// argument slice and store the result lane at `out`.
+#[derive(Debug, Clone, Copy)]
+struct CompiledOp {
+    kind: GateKind,
+    out: u32,
+    args_start: u32,
+    args_len: u32,
+}
+
+/// The netlist's combinational logic flattened to a branch-light op
+/// stream in topological order — one pass is one full settle.
+#[derive(Debug, Clone)]
+struct CompiledOps {
+    ops: Vec<CompiledOp>,
+    args: Vec<u32>,
+}
+
+fn compile(netlist: &Netlist, order: &[NetId]) -> CompiledOps {
+    let mut ops = Vec::with_capacity(order.len());
+    let mut args = Vec::new();
+    for &id in order {
+        let g = &netlist.gates()[id.0 as usize];
+        let start = args.len() as u32;
+        args.extend(g.inputs.iter().map(|n| n.0));
+        ops.push(CompiledOp {
+            kind: g.kind,
+            out: id.0,
+            args_start: start,
+            args_len: g.inputs.len() as u32,
+        });
+    }
+    CompiledOps { ops, args }
+}
+
+/// Evaluates one compiled op over lane words.
+#[inline]
+fn eval_op(op: &CompiledOp, args: &[u32], values: &[u64]) -> u64 {
+    let ins = &args[op.args_start as usize..(op.args_start + op.args_len) as usize];
+    match op.kind {
+        GateKind::Buf => values[ins[0] as usize],
+        GateKind::Not => !values[ins[0] as usize],
+        GateKind::And => ins.iter().fold(u64::MAX, |a, &i| a & values[i as usize]),
+        GateKind::Or => ins.iter().fold(0u64, |a, &i| a | values[i as usize]),
+        GateKind::Nand => !ins.iter().fold(u64::MAX, |a, &i| a & values[i as usize]),
+        GateKind::Nor => !ins.iter().fold(0u64, |a, &i| a | values[i as usize]),
+        GateKind::Xor => ins.iter().fold(0u64, |a, &i| a ^ values[i as usize]),
+        GateKind::Xnor => !ins.iter().fold(0u64, |a, &i| a ^ values[i as usize]),
+        GateKind::Mux => {
+            let s = values[ins[0] as usize];
+            (s & values[ins[1] as usize]) | (!s & values[ins[2] as usize])
+        }
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff(_) => {
+            unreachable!("not a combinational gate")
+        }
+    }
+}
+
+/// A lockstep simulator of up to 64 *independent* stimulus streams over
+/// one shared netlist: lane `ℓ` of every net word is stream `ℓ`'s value.
+///
+/// Every cycle runs one full compiled word pass (oblivious-style) and a
+/// full before/after diff, so the per-lane energy accumulation order —
+/// clock tree, then toggled nets ascending by net id, then DFF edges
+/// ascending by gate order — is the scalar kernels' order exactly, and
+/// each lane's [`EnergyReport`] is bit-identical to a scalar run.
+///
+/// # Examples
+///
+/// ```
+/// use gatesim::{GateKind, LaneSim, Netlist, PowerConfig};
+/// use std::sync::Arc;
+///
+/// let mut n = Netlist::new();
+/// let a = n.input();
+/// let x = n.gate(GateKind::Not, vec![a]);
+/// n.mark_output("x", x);
+/// let mut sim = LaneSim::new(Arc::new(n), PowerConfig::date2000_defaults(), 2)?;
+/// sim.set_input(0, a, true); // stream 0 raises `a`, stream 1 holds low
+/// sim.step();
+/// assert!(!sim.value(x, 0) && sim.value(x, 1));
+/// # Ok::<(), gatesim::ValidateNetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LaneSim {
+    netlist: Arc<Netlist>,
+    caps: CapacitanceMap,
+    config: PowerConfig,
+    lanes: usize,
+    lane_mask: u64,
+    compiled: CompiledOps,
+    input_ids: Vec<u32>,
+    /// `(gate index, D-input net)` per DFF, ascending by gate index.
+    dffs: Vec<(u32, u32)>,
+    values: Vec<u64>,
+    inputs: Vec<u64>,
+    prev: Vec<u64>,
+    edge_sample: Vec<u64>,
+    energy: Vec<f64>,
+    toggles: Vec<u64>,
+    reports: Vec<EnergyReport>,
+    cycle: u64,
+    gate_evals: u64,
+    gate_events: u64,
+}
+
+impl LaneSim {
+    /// Builds a lane simulator for `lanes` independent streams
+    /// (1..=64), validating the netlist. All streams start from the
+    /// same reset state a scalar [`crate::Simulator`] starts from.
+    ///
+    /// # Errors
+    ///
+    /// Returns the netlist's [`ValidateNetlistError`] if it is
+    /// malformed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds [`LANES`].
+    pub fn new(
+        netlist: Arc<Netlist>,
+        config: PowerConfig,
+        lanes: usize,
+    ) -> Result<Self, ValidateNetlistError> {
+        assert!((1..=LANES).contains(&lanes), "1..=64 lanes per word");
+        let order = netlist.validate()?;
+        let caps = CapacitanceMap::new(&netlist, &config);
+        let compiled = compile(&netlist, &order);
+        let n = netlist.gate_count();
+        let mut input_ids = Vec::new();
+        let mut dffs = Vec::new();
+        for (i, g) in netlist.gates().iter().enumerate() {
+            match g.kind {
+                GateKind::Input => input_ids.push(i as u32),
+                GateKind::Dff(_) => dffs.push((i as u32, g.inputs[0].0)),
+                _ => {}
+            }
+        }
+        let lane_mask = if lanes == LANES {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+        let mut sim = LaneSim {
+            netlist,
+            caps,
+            config,
+            lanes,
+            lane_mask,
+            compiled,
+            input_ids,
+            dffs,
+            values: vec![0; n],
+            inputs: vec![0; n],
+            prev: vec![0; n],
+            edge_sample: Vec::new(),
+            energy: vec![0.0; lanes],
+            toggles: vec![0; n * lanes],
+            reports: vec![EnergyReport::default(); lanes],
+            cycle: 0,
+            gate_evals: 0,
+            gate_events: 0,
+        };
+        // Reset settle, mirroring the scalar construction exactly: DFFs
+        // at their init values, one combinational pass *before* the
+        // constants are forced (the seed's constant-init quirk — gates
+        // downstream of a `Const1` hold stale values until the first
+        // cycle charges them as toggles).
+        for (i, g) in sim.netlist.gates().iter().enumerate() {
+            if let GateKind::Dff(init) = g.kind {
+                sim.values[i] = broadcast(init);
+            }
+        }
+        for op in &sim.compiled.ops {
+            sim.values[op.out as usize] = eval_op(op, &sim.compiled.args, &sim.values);
+        }
+        for (i, g) in sim.netlist.gates().iter().enumerate() {
+            match g.kind {
+                GateKind::Const0 => sim.values[i] = 0,
+                GateKind::Const1 => sim.values[i] = u64::MAX,
+                _ => {}
+            }
+        }
+        Ok(sim)
+    }
+
+    /// The shared netlist this simulator evaluates.
+    pub fn netlist(&self) -> &Arc<Netlist> {
+        &self.netlist
+    }
+
+    /// Number of independent streams in flight.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Forces a primary input for one stream from the next cycle on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an `Input` gate or `lane` is out of range.
+    pub fn set_input(&mut self, lane: usize, net: NetId, value: bool) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        assert_eq!(
+            self.netlist.gates()[net.0 as usize].kind,
+            GateKind::Input,
+            "{net} is not a primary input"
+        );
+        let bit = 1u64 << lane;
+        if value {
+            self.inputs[net.0 as usize] |= bit;
+        } else {
+            self.inputs[net.0 as usize] &= !bit;
+        }
+    }
+
+    /// The settled value of a net in one stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn value(&self, net: NetId, lane: usize) -> bool {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        (self.values[net.0 as usize] >> lane) & 1 == 1
+    }
+
+    /// The settled lane word of a net (bit `ℓ` is stream `ℓ`).
+    pub fn value_word(&self, net: NetId) -> u64 {
+        self.values[net.0 as usize] & self.lane_mask
+    }
+
+    /// Total toggle count of a net in one stream so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn toggle_count(&self, net: NetId, lane: usize) -> u64 {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        self.toggles[net.0 as usize * self.lanes + lane]
+    }
+
+    /// One stream's accumulated cycle-by-cycle energy report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn report(&self, lane: usize) -> &EnergyReport {
+        &self.reports[lane]
+    }
+
+    /// Cycles simulated so far (all streams advance together).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Combinational *word* evaluations so far — each covers every lane,
+    /// so the per-stream-cycle equivalent is `gate_evals × lanes`.
+    pub fn gate_evals(&self) -> u64 {
+        self.gate_evals
+    }
+
+    /// Net value changes observed so far, summed over all streams
+    /// (directly comparable to the sum of scalar runs' `gate_events`).
+    pub fn gate_events(&self) -> u64 {
+        self.gate_events
+    }
+
+    /// Simulates one clock cycle of every stream in lockstep.
+    pub fn step(&mut self) {
+        self.prev.copy_from_slice(&self.values);
+        // 1. Apply inputs.
+        for &i in &self.input_ids {
+            self.values[i as usize] = self.inputs[i as usize];
+        }
+        // 2. One word pass settles all streams at once.
+        for op in &self.compiled.ops {
+            self.values[op.out as usize] = eval_op(op, &self.compiled.args, &self.values);
+        }
+        self.gate_evals += self.compiled.ops.len() as u64;
+        // 3. Per-lane energy from the before/after diff, ascending by
+        //    net id — the scalar kernels' float accumulation order.
+        let clock = self.caps.clock_energy_per_cycle_j();
+        for e in &mut self.energy {
+            *e = clock;
+        }
+        for i in 0..self.values.len() {
+            let t = (self.values[i] ^ self.prev[i]) & self.lane_mask;
+            if t != 0 {
+                let se = self.config.switch_energy_j(self.caps.cap_ff(i as u32));
+                self.charge(i, t, se);
+            }
+        }
+        // 4. Clock edge: all D words sampled simultaneously, then
+        //    committed in ascending gate order.
+        self.edge_sample.clear();
+        for k in 0..self.dffs.len() {
+            let d = self.dffs[k].1;
+            self.edge_sample.push(self.values[d as usize]);
+        }
+        for k in 0..self.dffs.len() {
+            let q = self.dffs[k].0 as usize;
+            let v = self.edge_sample[k];
+            let t = (v ^ self.values[q]) & self.lane_mask;
+            if t != 0 {
+                let se = self.config.switch_energy_j(self.caps.cap_ff(q as u32));
+                self.charge(q, t, se);
+            }
+            self.values[q] = v;
+        }
+        for (l, r) in self.reports.iter_mut().enumerate() {
+            r.per_cycle_j.push(self.energy[l]);
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs `n` lockstep cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Adds switch energy `se` to every lane set in toggle word `t` and
+    /// bumps that net's per-lane toggle counters.
+    #[inline]
+    fn charge(&mut self, net: usize, t: u64, se: f64) {
+        let mut m = t;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            self.energy[l] += se;
+            self.toggles[net * self.lanes + l] += 1;
+            m &= m - 1;
+        }
+        self.gate_events += t.count_ones() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let bits = [true, false, true, true, false];
+        let w = pack_lanes(&bits);
+        assert_eq!(w, 0b01101);
+        assert_eq!(unpack_lanes(w, bits.len()), bits);
+    }
+
+    #[test]
+    fn broadcast_is_all_or_nothing() {
+        assert_eq!(broadcast(false), 0);
+        assert_eq!(broadcast(true), u64::MAX);
+    }
+
+    #[test]
+    fn toggle_word_counts_transitions() {
+        // prev=0, lane cycles 0..5: 1,1,0,1,0 → toggles at 0, 2, 3, 4.
+        let lane = pack_lanes(&[true, true, false, true, false]);
+        let t = toggle_word(lane, false) & 0b11111;
+        assert_eq!(t, 0b11101);
+        assert_eq!(t.count_ones(), 4);
+    }
+
+    #[test]
+    fn lane_streams_are_independent() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let x = n.gate(GateKind::Not, vec![a]);
+        n.mark_output("x", x);
+        let mut sim =
+            LaneSim::new(Arc::new(n), PowerConfig::date2000_defaults(), 3).expect("valid");
+        sim.set_input(1, a, true);
+        sim.step();
+        assert!(sim.value(x, 0));
+        assert!(!sim.value(x, 1));
+        assert!(sim.value(x, 2));
+        assert_eq!(sim.toggle_count(a, 1), 1);
+        assert_eq!(sim.toggle_count(a, 0), 0);
+        assert!(sim.report(1).total_j() > sim.report(0).total_j());
+    }
+}

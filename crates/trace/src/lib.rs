@@ -186,14 +186,21 @@ pub enum TraceRecord {
     /// Gate-level simulation activity behind one detailed firing: how
     /// many combinational gates the power simulator evaluated and how
     /// many net-value events it observed.
+    ///
+    /// `evals` counts kernel *work units* and so depends on the
+    /// selected gate-simulation kernel (a word-parallel evaluation
+    /// covers up to 64 cycles in one unit); `events` counts committed
+    /// per-cycle gate output changes and is kernel-invariant — it is
+    /// the number to compare across `GATESIM_KERNEL` selections.
     GateActivity {
         /// Simulation time, cycles.
         at: u64,
         /// Process index.
         process: u32,
-        /// Combinational gate evaluations performed.
+        /// Combinational gate evaluations performed (kernel work
+        /// units; kernel-dependent).
         evals: u64,
-        /// Net value changes observed.
+        /// Net value changes observed (kernel-invariant).
         events: u64,
     },
     /// The RTOS scheduler granted CPU time to a task.
@@ -408,9 +415,14 @@ pub struct MetricsSink {
     pub kernel_events: u64,
     /// RTOS grants.
     pub rtos_grants: u64,
-    /// Combinational gate evaluations behind observed detailed firings.
+    /// Combinational gate evaluations behind observed detailed
+    /// firings. Kernel work units: the word-parallel kernel covers up
+    /// to 64 cycles per evaluation, so this aggregate depends on the
+    /// selected gate-simulation kernel.
     pub gate_evals: u64,
     /// Gate-level net value changes behind observed detailed firings.
+    /// Kernel-invariant: identical under every `GATESIM_KERNEL`
+    /// selection, so cross-kernel runs stay comparable on this column.
     pub gate_events: u64,
 }
 
