@@ -138,6 +138,24 @@ impl EnergyAccount {
         self.waveforms[c.0 as usize].deposit(start_cycle, end_cycle, energy_j);
     }
 
+    /// Records static energy (leakage, wake overhead) spanning
+    /// `[start_cycle, end_cycle)` — same energy and waveform
+    /// accumulation as [`record`](Self::record), but the span is *not*
+    /// booked as busy cycles: the component was idle or gated, not
+    /// working.
+    pub fn record_static(
+        &mut self,
+        c: ComponentId,
+        start_cycle: u64,
+        end_cycle: u64,
+        energy_j: f64,
+    ) {
+        let t = &mut self.totals[c.0 as usize];
+        t.energy_j += energy_j;
+        t.records += 1;
+        self.waveforms[c.0 as usize].deposit(start_cycle, end_cycle, energy_j);
+    }
+
     /// A component's name.
     pub fn name(&self, c: ComponentId) -> &str {
         &self.names[c.0 as usize]

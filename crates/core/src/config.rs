@@ -137,6 +137,11 @@ pub struct CoSimConfig {
     pub faults: crate::faults::FaultPlan,
     /// Execution budgets guarding the run (all disabled by default).
     pub watchdog: desim::WatchdogConfig,
+    /// Power-management policy (DVFS operating points, gating,
+    /// leakage). The default [`PowerPolicy::none`](crate::PowerPolicy::none)
+    /// is a guaranteed noop: the run is bit-identical to one without
+    /// the power layer.
+    pub power: crate::powermgmt::PowerPolicy,
 }
 
 impl CoSimConfig {
@@ -157,6 +162,7 @@ impl CoSimConfig {
             max_firings: 50_000_000,
             faults: crate::faults::FaultPlan::none(),
             watchdog: desim::WatchdogConfig::unlimited(),
+            power: crate::powermgmt::PowerPolicy::none(),
         }
     }
 
@@ -197,6 +203,15 @@ impl CoSimConfig {
     pub fn with_watchdog(&self, watchdog: desim::WatchdogConfig) -> Self {
         CoSimConfig {
             watchdog,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with the given power-management policy (the
+    /// exploration knob of the power sweeps).
+    pub fn with_power_policy(&self, power: crate::powermgmt::PowerPolicy) -> Self {
+        CoSimConfig {
+            power,
             ..self.clone()
         }
     }

@@ -243,6 +243,74 @@ pub fn explore_partitions(
     Ok(points)
 }
 
+/// One evaluated power-management policy.
+#[derive(Debug, Clone)]
+pub struct PowerPoint {
+    /// The policy's name (its sweep label).
+    pub policy_name: String,
+    /// The full co-estimation report (its `power` section carries the
+    /// state residency and per-technique savings).
+    pub report: CoSimReport,
+}
+
+impl PowerPoint {
+    /// Total energy of this policy, joules (dynamic + leakage + wake
+    /// overhead — everything the ledger booked).
+    pub fn energy_j(&self) -> f64 {
+        self.report.total_energy_j()
+    }
+
+    /// Net energy this policy saved versus running the same schedule
+    /// all-Active (per-technique savings minus wake overhead), joules.
+    /// Zero for the noop policy.
+    pub fn net_saved_j(&self) -> f64 {
+        self.report
+            .power
+            .as_ref()
+            .map(|p| p.savings.net_saved_j())
+            .unwrap_or(0.0)
+    }
+}
+
+/// Evaluates one power-management policy on the base configuration.
+/// Shared by the serial and parallel sweeps.
+pub(crate) fn eval_power_point(
+    soc: &SocDescription,
+    base: &CoSimConfig,
+    policy: &crate::powermgmt::PowerPolicy,
+    profile: Option<&ArcSharedSink<ProfileReport>>,
+) -> Result<PowerPoint, BuildEstimatorError> {
+    let config = base.with_power_policy(policy.clone());
+    let mut sim = CoSimulator::new(soc.clone(), config)?;
+    let report = run_point(&mut sim, profile);
+    Ok(PowerPoint {
+        policy_name: policy.name.clone(),
+        report,
+    })
+}
+
+/// Sweeps power-management policies (operating-point assignments ×
+/// gating rules): one co-simulation per policy, in slice order. The
+/// exploration knob that widens §5.3's architecture sweep to the power
+/// axis.
+///
+/// # Errors
+///
+/// Returns the first [`BuildEstimatorError`] encountered — including
+/// policy-validation failures (unknown component names, out-of-range
+/// operating points).
+pub fn explore_power_policies(
+    soc: &SocDescription,
+    base: &CoSimConfig,
+    policies: &[crate::powermgmt::PowerPolicy],
+) -> Result<Vec<PowerPoint>, BuildEstimatorError> {
+    let mut points = Vec::with_capacity(policies.len());
+    for policy in policies {
+        points.push(eval_power_point(soc, base, policy, None)?);
+    }
+    Ok(points)
+}
+
 /// The minimum-energy point of an exploration.
 pub fn minimum_energy(points: &[ExplorationPoint]) -> Option<&ExplorationPoint> {
     points.iter().min_by(|a, b| a.energy_j().total_cmp(&b.energy_j()))

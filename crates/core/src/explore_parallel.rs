@@ -31,8 +31,8 @@
 use crate::config::{CoSimConfig, SocDescription};
 use crate::estimator::BuildEstimatorError;
 use crate::explore::{
-    check_partition_count, eval_bus_point, eval_partition_point, permutations, ExplorationPoint,
-    PartitionPoint,
+    check_partition_count, eval_bus_point, eval_partition_point, eval_power_point, permutations,
+    ExplorationPoint, PartitionPoint, PowerPoint,
 };
 use crate::report::CoSimReport;
 use cfsm::ProcId;
@@ -308,6 +308,38 @@ pub fn explore_partitions_parallel(
     Ok(finish(items, t0, workers, |p| &p.report))
 }
 
+/// The parallel counterpart of
+/// [`explore_power_policies`](crate::explore_power_policies): one
+/// co-simulation per policy, bit-for-bit identical to the serial sweep
+/// at every worker count (leakage spans settle in simulation order
+/// inside each single-threaded point, so worker scheduling cannot
+/// reorder any float accumulation).
+///
+/// # Errors
+///
+/// Returns the lowest-enumeration-order [`BuildEstimatorError`] — the
+/// same error the serial sweep returns, including policy-validation
+/// failures.
+pub fn explore_power_policies_parallel(
+    soc: &SocDescription,
+    base: &CoSimConfig,
+    policies: &[crate::powermgmt::PowerPolicy],
+    options: &ExploreOptions,
+) -> Result<SweepReport<PowerPoint>, BuildEstimatorError> {
+    if options.verify_first {
+        crate::verify::gate(crate::verify::verify_soc(soc))?;
+    }
+    let config = match &options.watchdog {
+        Some(w) => base.with_watchdog(w.clone()),
+        None => base.clone(),
+    };
+    let t0 = Instant::now();
+    let (items, workers) = run_indexed(policies.len(), options.workers, |i| {
+        eval_power_point(soc, &config, &policies[i], options.profile.as_ref()).map(Some)
+    })?;
+    Ok(finish(items, t0, workers, |p| &p.report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +450,51 @@ mod tests {
                     p.report.golden_snapshot(),
                     "partition `{}` diverged at workers = {workers}",
                     s.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_power_sweep_matches_serial_bitwise() {
+        use crate::powermgmt::{GatingPolicy, LeakageModel, OperatingPoint, PowerPolicy};
+        let soc = sweep_soc();
+        let config = CoSimConfig::date2000_defaults();
+        let policies = vec![
+            PowerPolicy::none(),
+            PowerPolicy::named("leaky").with_leakage(LeakageModel::with_default_rate(1.0e-3)),
+            PowerPolicy::named("gated")
+                .with_leakage(LeakageModel::with_default_rate(1.0e-3))
+                .gate("alpha", GatingPolicy::clock(200))
+                .gate("beta", GatingPolicy::power(400, 1.0e-6, 5)),
+            PowerPolicy::named("dvfs")
+                .with_operating_point(OperatingPoint::new("low", 0.8, 0.5))
+                .dvfs("gamma", 0),
+        ];
+        let serial =
+            crate::explore::explore_power_policies(&soc, &config, &policies).expect("serial");
+        for workers in [1usize, 3] {
+            let par = explore_power_policies_parallel(
+                &soc,
+                &config,
+                &policies,
+                &ExploreOptions::with_workers(workers),
+            )
+            .expect("parallel");
+            assert_eq!(par.points.len(), serial.len());
+            for (s, p) in serial.iter().zip(&par.points) {
+                assert_eq!(s.policy_name, p.policy_name);
+                assert_eq!(
+                    s.report.golden_snapshot(),
+                    p.report.golden_snapshot(),
+                    "policy `{}` diverged at workers = {workers}",
+                    s.policy_name
+                );
+                assert_eq!(
+                    s.energy_j().to_bits(),
+                    p.energy_j().to_bits(),
+                    "policy `{}` energy diverged at workers = {workers}",
+                    s.policy_name
                 );
             }
         }

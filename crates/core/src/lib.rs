@@ -36,11 +36,23 @@
 //! bus grants, cache batches, fault injections, watchdog trips) without
 //! perturbing the simulated schedule.
 //!
+//! A composable power-management layer ([`PowerPolicy`]) assigns DVFS
+//! operating points ([`OperatingPoint`]) and idle-timeout clock/power
+//! gating ([`GatingPolicy`]) per component, and integrates static
+//! leakage ([`LeakageModel`]) over simulated time: dynamic charges are
+//! scaled at the master's charge choke point by the component's
+//! [`PowerState`] at charge time, and every new joule is provenance-
+//! tagged ([`Provenance::Leakage`], [`Provenance::WakeOverhead`]) so
+//! [`CoSimReport::verify_provenance`] stays an exact bit-level
+//! partition. The default policy is a guaranteed noop.
+//!
 //! [`explore_bus_architecture`] drives the iterative design-space
 //! exploration of §5.3; [`explore_bus_architecture_parallel`] and
 //! [`explore_partitions_parallel`] fan the same sweeps out over a scoped
 //! worker pool ([`ExploreOptions`]) with **bit-for-bit identical**
-//! results and throughput metrics ([`SweepStats`]).
+//! results and throughput metrics ([`SweepStats`]); and
+//! [`explore_power_policies`] / [`explore_power_policies_parallel`]
+//! widen the sweep to operating points × gating policies.
 //!
 //! The framework is fault-aware: a [`FaultPlan`] schedules declarative
 //! fault injections (dropped/duplicated/delayed events, frozen processes,
@@ -96,6 +108,7 @@ mod explore_parallel;
 mod faults;
 mod macromodel;
 mod master;
+mod powermgmt;
 mod report;
 mod sampling;
 mod separate;
@@ -121,12 +134,16 @@ pub use report::{
     AccelEffectiveness, CacheEffectiveness, Provenance, ProvenanceBreakdown, SamplingEffectiveness,
 };
 pub use explore::{
-    explore_bus_architecture, explore_partitions, minimum_energy, permutations,
-    ExplorationPoint, PartitionPoint,
+    explore_bus_architecture, explore_partitions, explore_power_policies, minimum_energy,
+    permutations, ExplorationPoint, PartitionPoint, PowerPoint,
 };
 pub use explore_parallel::{
-    explore_bus_architecture_parallel, explore_partitions_parallel, ExploreOptions,
-    SweepReport, SweepStats,
+    explore_bus_architecture_parallel, explore_partitions_parallel,
+    explore_power_policies_parallel, ExploreOptions, SweepReport, SweepStats,
+};
+pub use powermgmt::{
+    ComponentPolicy, ComponentPowerReport, GateMode, GatingPolicy, LeakageModel, OperatingPoint,
+    PowerPolicy, PowerReport, PowerSavings, PowerState,
 };
 pub use snapshot::snapshot_diff;
 pub use macromodel::{

@@ -41,6 +41,7 @@ use crate::estimator::{
 };
 use crate::faults::{self, ResolvedFault};
 use crate::macromodel::ParameterFile;
+use crate::powermgmt::{PowerRt, Settlement};
 use crate::report::{
     AccelEffectiveness, CacheEffectiveness, CoSimReport, ProcessReport, Provenance,
     ProvenanceBreakdown, RunOutcome, SamplingEffectiveness,
@@ -130,6 +131,10 @@ pub struct CoSimulator {
     /// Mirror of every ledger charge, tagged with its energy source
     /// (see [`ProvenanceBreakdown`]'s bit-identity contract).
     provenance: ProvenanceBreakdown,
+    /// Power-management runtime (DVFS scaling, gating, leakage).
+    /// `None` under the default noop policy — the master then skips the
+    /// layer entirely, keeping the default path bit-identical.
+    power: Option<PowerRt>,
     queue: EventQueue<Ev>,
     bus: Bus,
     bus_master: Vec<MasterId>,
@@ -214,6 +219,12 @@ impl CoSimulator {
         let accel = AccelPipeline::from_config(&config.accel, &config);
         let state = soc.network.spawn();
         let icache = config.icache.clone().map(Cache::new);
+        let process_names: Vec<&str> = soc
+            .network
+            .process_ids()
+            .map(|p| soc.network.cfsm(p).name())
+            .collect();
+        let power = PowerRt::build(&config.power, &process_names, config.clock_hz)?;
         Ok(CoSimulator {
             state,
             estimators,
@@ -222,6 +233,7 @@ impl CoSimulator {
             profiler: Profiler::disabled(),
             // Ledger registration order: processes, then bus, then icache.
             provenance: ProvenanceBreakdown::new(n + 2),
+            power,
             queue,
             bus,
             bus_master,
@@ -313,6 +325,19 @@ impl CoSimulator {
     pub fn run(&mut self) -> CoSimReport {
         let t0 = self.profiler.start();
         while self.step() {}
+        if self.power.is_some() {
+            // Settle every component's leakage tail up to the simulated
+            // end of run (idempotent: re-running settles nothing).
+            let end = self.end_time;
+            let settles = self
+                .power
+                .as_mut()
+                .map(|rt| rt.finalize(end))
+                .unwrap_or_default();
+            for (i, s) in settles.iter().enumerate() {
+                self.apply_settlement(ProcId(i as u32), end, s);
+            }
+        }
         self.profiler.finish(SpanKind::MasterRun, t0);
         self.report()
     }
@@ -376,7 +401,25 @@ impl CoSimulator {
     /// Charges one window to the ledger, mirroring it into the
     /// provenance breakdown (same `f64`, same `+=` order — the
     /// bit-identity contract) and into the trace.
-    fn charge(&mut self, comp: ComponentId, start: u64, end: u64, energy_j: f64, prov: Provenance) {
+    ///
+    /// This is the power layer's choke point: every *dynamic* charge is
+    /// scaled here by the component's operating point at charge time,
+    /// so cached and macro-model answers are scaled by the state at
+    /// replay time for free. Leakage and wake-overhead charges are
+    /// computed in absolute joules and pass through unscaled.
+    fn charge(
+        &mut self,
+        comp: ComponentId,
+        start: u64,
+        end: u64,
+        mut energy_j: f64,
+        prov: Provenance,
+    ) {
+        if let Some(rt) = &mut self.power {
+            if !matches!(prov, Provenance::Leakage | Provenance::WakeOverhead) {
+                energy_j = rt.scale_dynamic(comp.0 as usize, energy_j);
+            }
+        }
         self.account.record(comp, start, end, energy_j);
         self.provenance.record(comp.0 as usize, prov, energy_j);
         self.tracer.emit(|| TraceRecord::EnergySample {
@@ -386,6 +429,55 @@ impl CoSimulator {
             energy_j,
             provenance: prov.as_str(),
         });
+    }
+
+    /// Charges a *static* window (leakage, wake overhead) to the
+    /// ledger: same mirroring as [`charge`](Self::charge), but the
+    /// cycles are not booked as busy — the component was idle or gated.
+    fn charge_static(
+        &mut self,
+        comp: ComponentId,
+        start: u64,
+        end: u64,
+        energy_j: f64,
+        prov: Provenance,
+    ) {
+        self.account.record_static(comp, start, end, energy_j);
+        self.provenance.record(comp.0 as usize, prov, energy_j);
+        self.tracer.emit(|| TraceRecord::EnergySample {
+            component: comp.0,
+            start,
+            end,
+            energy_j,
+            provenance: prov.as_str(),
+        });
+    }
+
+    /// Books a power-layer settlement for process `p` at time `at`:
+    /// settled leakage spans, power-state transition trace records, and
+    /// any wake penalty (charged over the wake-latency window).
+    fn apply_settlement(&mut self, p: ProcId, at: u64, s: &Settlement) {
+        let comp = self.comp_of_proc[p.0 as usize];
+        for span in &s.spans {
+            self.charge_static(comp, span.start, span.end, span.energy_j, Provenance::Leakage);
+        }
+        for tr in &s.transitions {
+            self.tracer.emit(|| TraceRecord::PowerTransition {
+                at: tr.at,
+                process: p.0,
+                from: tr.from.as_str(),
+                to: tr.to.as_str(),
+            });
+        }
+        if s.wake_energy_j > 0.0 {
+            self.charge_static(
+                comp,
+                at,
+                at + s.wake_latency_cycles,
+                s.wake_energy_j,
+                Provenance::WakeOverhead,
+            );
+        }
     }
 
     /// Tries to grant one DMA block at time `t`; a successful grant
@@ -476,6 +568,11 @@ impl CoSimulator {
         };
         self.queue.push(SimTime::from_cycles(end), done);
         self.end_time = self.end_time.max(end);
+        if let Some(rt) = &mut self.power {
+            // The component idles from here; its gate (if any) closes
+            // after the policy's idle timeout.
+            rt.sleep(p.0 as usize, end);
+        }
     }
 
     /// Current simulation time, cycles.
@@ -586,6 +683,20 @@ impl CoSimulator {
         };
         self.firings += 1;
         self.firings_per_proc[p.0 as usize] += 1;
+
+        // Power layer: settle the component's leakage up to the firing
+        // instant and pay any power-gate wake penalty. The wake latency
+        // shifts the whole firing — execution, cache fetches and bus
+        // traffic all start after the component is back up.
+        let mut t = t;
+        if self.power.is_some() {
+            let settle = self.power.as_mut().map(|rt| rt.wake(p.0 as usize, t));
+            if let Some(s) = settle {
+                self.apply_settlement(p, t, &s);
+                t += s.wake_latency_cycles;
+            }
+        }
+
         self.tracer.emit(|| TraceRecord::FiringStart {
             at: t,
             process: p.0,
@@ -596,6 +707,12 @@ impl CoSimulator {
         let (mut cost, source) = self.estimate(p, &fr, &vars_in, &ev_snapshot, t);
         if !self.faults.is_empty() {
             cost = self.corrupt_cost(p, cost);
+        }
+        if let Some(rt) = &self.power {
+            // A scaled clock stretches the execution window in master
+            // cycles; the energy is scaled later, at the charge choke
+            // point.
+            cost.cycles = rt.stretch_cycles(p.0 as usize, cost.cycles);
         }
         self.tracer.emit(|| TraceRecord::FiringEnd {
             at: t,
@@ -835,6 +952,15 @@ impl CoSimulator {
             anomalies: self.anomalies.clone(),
             provenance: self.provenance.clone(),
             effectiveness: self.effectiveness(),
+            power: self.power.as_ref().map(|rt| {
+                let names: Vec<&str> = self
+                    .soc
+                    .network
+                    .process_ids()
+                    .map(|p| self.soc.network.cfsm(p).name())
+                    .collect();
+                rt.report(&names)
+            }),
         }
     }
 

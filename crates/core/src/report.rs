@@ -35,11 +35,18 @@ pub enum Provenance {
     BusModel,
     /// Instruction-cache energy from the cache model.
     CacheModel,
+    /// Static (leakage) energy integrated over simulated time by the
+    /// power-management layer; scaled down while a component is clock-
+    /// or power-gated.
+    Leakage,
+    /// Wake-up penalty energy paid when a power-gated component is
+    /// brought back up.
+    WakeOverhead,
 }
 
 impl Provenance {
     /// Every provenance, in stable rendering order.
-    pub const ALL: [Provenance; 7] = [
+    pub const ALL: [Provenance; 9] = [
         Provenance::MeasuredIss,
         Provenance::CacheReuse,
         Provenance::MacroModel,
@@ -47,6 +54,8 @@ impl Provenance {
         Provenance::GateLevel,
         Provenance::BusModel,
         Provenance::CacheModel,
+        Provenance::Leakage,
+        Provenance::WakeOverhead,
     ];
 
     /// Stable machine-readable tag, shared with the trace layer's
@@ -60,6 +69,8 @@ impl Provenance {
             Provenance::GateLevel => "gate_level",
             Provenance::BusModel => "bus_model",
             Provenance::CacheModel => "cache_model",
+            Provenance::Leakage => "leakage",
+            Provenance::WakeOverhead => "wake_overhead",
         }
     }
 
@@ -72,6 +83,8 @@ impl Provenance {
             Provenance::GateLevel => 4,
             Provenance::BusModel => 5,
             Provenance::CacheModel => 6,
+            Provenance::Leakage => 7,
+            Provenance::WakeOverhead => 8,
         }
     }
 }
@@ -98,9 +111,9 @@ impl Provenance {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProvenanceBreakdown {
     /// Energy per provenance, joules, indexed by `Provenance::index`.
-    energy_j: [f64; 7],
+    energy_j: [f64; 9],
     /// Number of charges per provenance.
-    records: [u64; 7],
+    records: [u64; 9],
     /// Mirror of the ledger's per-component accumulation, in component
     /// registration order (processes, then bus, then i-cache).
     component_energy_j: Vec<f64>,
@@ -110,8 +123,8 @@ impl ProvenanceBreakdown {
     /// An empty breakdown sized for `components` ledger components.
     pub fn new(components: usize) -> Self {
         ProvenanceBreakdown {
-            energy_j: [0.0; 7],
-            records: [0u64; 7],
+            energy_j: [0.0; 9],
+            records: [0u64; 9],
             component_energy_j: vec![0.0; components],
         }
     }
@@ -324,6 +337,11 @@ pub struct CoSimReport {
     /// Per-technique effectiveness counters. Not part of the golden
     /// snapshot.
     pub effectiveness: AccelEffectiveness,
+    /// Power-management results: per-component state residency and
+    /// per-technique savings. `None` when the run used the default
+    /// (all-Active, zero-leakage) policy. Not part of the golden
+    /// snapshot.
+    pub power: Option<crate::powermgmt::PowerReport>,
 }
 
 impl CoSimReport {

@@ -32,14 +32,24 @@
 //! ```text
 //! system NAME
 //! event NAME [value]
+//! leakage WATTS [CLOCK_FACTOR POWER_FACTOR]
 //! process NAME (hw|sw) [priority N]
 //!   var NAME = INT
 //!   state NAME                       # the first state is initial
+//!   power dvfs OP_NAME VSCALE FSCALE # assign a DVFS operating point
+//!   power clock_gate IDLE_CYCLES     # clock-gate after the idle timeout
+//!   power power_gate IDLE_CYCLES WAKE_J WAKE_CYCLES
 //!   transition FROM -> TO on EV [EV…] [when EXPR]
 //!     STMT…
 //!   end
 //! stimulus CYCLE EV [VALUE]
 //! ```
+//!
+//! The `leakage` and per-process `power` directives accumulate into a
+//! [`PowerPolicy`](crate::PowerPolicy); [`parse_system_with_power`]
+//! returns it alongside the system ([`parse_system`] parses the same
+//! grammar and discards the policy). A `power` directive naming an
+//! unknown state is a [`SpecError`].
 //!
 //! Statements: `x = EXPR` · `emit EV [EXPR]` · `x = mem[EXPR]` ·
 //! `mem[EXPR] = EXPR` · `while EXPR … end` · `if EXPR … [else …] end`.
@@ -132,6 +142,47 @@ enum SExpr {
 /// # Ok::<(), co_estimation::spec::SpecError>(())
 /// ```
 pub fn parse_system(text: &str) -> Result<SocDescription, SpecError> {
+    parse_system_with_power(text).map(|(soc, _)| soc)
+}
+
+/// Parses a complete system specification, returning the system and
+/// the power-management policy accumulated from its `leakage` and
+/// per-process `power` directives. A spec without power directives
+/// yields [`PowerPolicy::none`](crate::PowerPolicy::none) (the
+/// guaranteed-noop default).
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] with the line number of the first problem;
+/// a `power` directive naming an unknown state
+/// (anything but `dvfs` / `clock_gate` / `power_gate`) is rejected.
+///
+/// # Examples
+///
+/// ```
+/// use co_estimation::spec::parse_system_with_power;
+///
+/// let (soc, policy) = parse_system_with_power(
+///     "system demo\n\
+///      event GO\n\
+///      leakage 0.002\n\
+///      process p hw\n\
+///        var n = 0\n\
+///        state s\n\
+///        power clock_gate 500\n\
+///        transition s -> s on GO\n\
+///          n = (+ n 1)\n\
+///        end\n\
+///      stimulus 10 GO\n",
+/// )?;
+/// assert_eq!(soc.name, "demo");
+/// assert!(!policy.is_noop());
+/// # Ok::<(), co_estimation::spec::SpecError>(())
+/// ```
+pub fn parse_system_with_power(
+    text: &str,
+) -> Result<(SocDescription, crate::powermgmt::PowerPolicy), SpecError> {
+    use crate::powermgmt::{GatingPolicy, LeakageModel, OperatingPoint, PowerPolicy};
     let mut lines = text
         .lines()
         .enumerate()
@@ -162,6 +213,18 @@ pub fn parse_system(text: &str) -> Result<SocDescription, SpecError> {
     }
     let mut procs: Vec<ProcSpec> = Vec::new();
     let mut stimulus: Vec<(u64, String, Option<i64>)> = Vec::new();
+    let mut power = PowerPolicy::named("spec");
+    let mut power_used = false;
+
+    fn num<T: std::str::FromStr>(
+        w: Option<&str>,
+        ln: usize,
+        what: &str,
+    ) -> Result<T, SpecError> {
+        w.ok_or_else(|| SpecError::new(ln, format!("expected {what}")))?
+            .parse()
+            .map_err(|_| SpecError::new(ln, format!("bad {what}")))
+    }
 
     while let Some((ln, line)) = lines.next() {
         let mut w = line.split_whitespace();
@@ -255,10 +318,108 @@ pub fn parse_system(text: &str) -> Result<SocDescription, SpecError> {
                                 body,
                             });
                         }
+                        "power" => {
+                            lines.next();
+                            let mut pw = l2.split_whitespace();
+                            pw.next(); // "power"
+                            match pw.next() {
+                                Some("dvfs") => {
+                                    let op_name = pw
+                                        .next()
+                                        .ok_or_else(|| {
+                                            SpecError::new(ln2, "dvfs needs an operating-point name")
+                                        })?
+                                        .to_string();
+                                    let vscale: f64 = num(pw.next(), ln2, "voltage scale")?;
+                                    let fscale: f64 = num(pw.next(), ln2, "frequency scale")?;
+                                    let idx = match power
+                                        .operating_points
+                                        .iter()
+                                        .position(|op| op.name == op_name)
+                                    {
+                                        Some(i) => {
+                                            let op = &power.operating_points[i];
+                                            if op.voltage_scale != vscale
+                                                || op.freq_scale != fscale
+                                            {
+                                                return Err(SpecError::new(
+                                                    ln2,
+                                                    format!(
+                                                        "operating point `{op_name}` redefined \
+                                                         with different scales"
+                                                    ),
+                                                ));
+                                            }
+                                            i
+                                        }
+                                        None => {
+                                            power = power.with_operating_point(
+                                                OperatingPoint::new(op_name, vscale, fscale),
+                                            );
+                                            power.operating_points.len() - 1
+                                        }
+                                    };
+                                    power = power.dvfs(ps.name.clone(), idx);
+                                    power_used = true;
+                                }
+                                Some("clock_gate") => {
+                                    let idle: u64 = num(pw.next(), ln2, "idle timeout")?;
+                                    power =
+                                        power.gate(ps.name.clone(), GatingPolicy::clock(idle));
+                                    power_used = true;
+                                }
+                                Some("power_gate") => {
+                                    let idle: u64 = num(pw.next(), ln2, "idle timeout")?;
+                                    let wake_j: f64 = num(pw.next(), ln2, "wake energy")?;
+                                    let wake_cycles: u64 = num(pw.next(), ln2, "wake cycles")?;
+                                    power = power.gate(
+                                        ps.name.clone(),
+                                        GatingPolicy::power(idle, wake_j, wake_cycles),
+                                    );
+                                    power_used = true;
+                                }
+                                Some(other) => {
+                                    return Err(SpecError::new(
+                                        ln2,
+                                        format!(
+                                            "unknown power state `{other}` \
+                                             (expected dvfs|clock_gate|power_gate)"
+                                        ),
+                                    ));
+                                }
+                                None => {
+                                    return Err(SpecError::new(
+                                        ln2,
+                                        "power directive needs a state",
+                                    ));
+                                }
+                            }
+                        }
                         _ => break,
                     }
                 }
                 procs.push(ps);
+            }
+            "leakage" => {
+                let default_leak_w: f64 = num(w.next(), ln, "leakage watts")?;
+                let (clock_gated_factor, power_gated_factor) = match w.next() {
+                    None => {
+                        let d = LeakageModel::with_default_rate(0.0);
+                        (d.clock_gated_factor, d.power_gated_factor)
+                    }
+                    Some(cg) => {
+                        let cg = cg
+                            .parse()
+                            .map_err(|_| SpecError::new(ln, "bad clock-gated factor"))?;
+                        (cg, num(w.next(), ln, "power-gated factor")?)
+                    }
+                };
+                power = power.with_leakage(LeakageModel {
+                    default_leak_w,
+                    clock_gated_factor,
+                    power_gated_factor,
+                });
+                power_used = true;
             }
             "stimulus" => {
                 let t: u64 = w
@@ -367,12 +528,21 @@ pub fn parse_system(text: &str) -> Result<SocDescription, SpecError> {
         .collect::<Result<Vec<_>, _>>()?;
     let mut stimulus = stimulus;
     stimulus.sort_by_key(|&(t, _)| t);
-    Ok(SocDescription {
-        name,
-        network,
-        stimulus,
-        priorities,
-    })
+    let power = if power_used {
+        power.name = name.clone();
+        power
+    } else {
+        PowerPolicy::none()
+    };
+    Ok((
+        SocDescription {
+            name,
+            network,
+            stimulus,
+            priorities,
+        },
+        power,
+    ))
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -974,6 +1144,111 @@ stimulus 20 GO 50
         let pure_value = "system x\nevent GO\nstimulus 5 GO 3\n";
         let err = parse_system(pure_value).expect_err("must fail");
         assert!(err.message.contains("pure"), "{err}");
+    }
+
+    const POWERED: &str = "\
+system powered
+event GO
+leakage 0.002 0.3 0.02
+process worker hw priority 2
+  var n = 0
+  state s
+  power dvfs low 0.8 0.5
+  power clock_gate 400
+  transition s -> s on GO
+    n = (+ n 1)
+  end
+process helper sw priority 1
+  var m = 0
+  state s
+  power power_gate 900 0.000005 25
+  transition s -> s on GO
+    m = (+ m 1)
+  end
+stimulus 10 GO
+stimulus 5000 GO
+";
+
+    #[test]
+    fn power_directives_build_a_policy() {
+        use crate::powermgmt::{GateMode, PowerPolicy};
+        let (soc, policy) = parse_system_with_power(POWERED).expect("parses");
+        assert_eq!(policy.name, "powered");
+        assert!(!policy.is_noop());
+        assert_eq!(policy.leakage.default_leak_w, 2.0e-3);
+        assert_eq!(policy.operating_points.len(), 1);
+        assert_eq!(policy.operating_points[0].name, "low");
+        let worker = policy
+            .components
+            .iter()
+            .find(|(n, _)| n == "worker")
+            .expect("worker entry");
+        assert_eq!(worker.1.operating_point, Some(0));
+        assert_eq!(worker.1.gating.as_ref().expect("gated").mode, GateMode::Clock);
+        let helper = policy
+            .components
+            .iter()
+            .find(|(n, _)| n == "helper")
+            .expect("helper entry");
+        let g = helper.1.gating.as_ref().expect("gated");
+        assert_eq!(g.mode, GateMode::Power);
+        assert_eq!(g.wake_latency_cycles, 25);
+        // The policy runs end to end and reports power results.
+        let config = CoSimConfig::date2000_defaults().with_power_policy(policy);
+        let mut sim = CoSimulator::new(soc.clone(), config).expect("builds");
+        let r = sim.run();
+        r.verify_provenance().expect("provenance exact");
+        assert!(r.power.expect("managed").leakage_j > 0.0);
+        // parse_system accepts the same text, discarding the policy.
+        let plain = parse_system(POWERED).expect("parses");
+        assert_eq!(plain.name, soc.name);
+        // A power-free spec yields the guaranteed-noop default.
+        let (_, none) = parse_system_with_power(BLINKER).expect("parses");
+        assert_eq!(none, PowerPolicy::none());
+    }
+
+    #[test]
+    fn unknown_power_state_is_rejected() {
+        let bad = "\
+system x
+event GO
+process p hw
+  state s
+  power hibernate 100
+  transition s -> s on GO
+  end
+stimulus 1 GO
+";
+        let err = parse_system_with_power(bad).expect_err("must fail");
+        assert!(err.message.contains("unknown power state `hibernate`"), "{err}");
+        assert_eq!(err.line, 5);
+
+        let missing = "\
+system x
+event GO
+process p hw
+  state s
+  power clock_gate
+  transition s -> s on GO
+  end
+stimulus 1 GO
+";
+        let err = parse_system_with_power(missing).expect_err("must fail");
+        assert!(err.message.contains("idle timeout"), "{err}");
+
+        let redefined = "\
+system x
+event GO
+process p hw
+  state s
+  power dvfs low 0.8 0.5
+  power dvfs low 0.9 0.5
+  transition s -> s on GO
+  end
+stimulus 1 GO
+";
+        let err = parse_system_with_power(redefined).expect_err("must fail");
+        assert!(err.message.contains("redefined"), "{err}");
     }
 
     #[test]

@@ -53,27 +53,59 @@ pub enum SimKernel {
 }
 
 impl SimKernel {
-    /// The kernel selected by the environment.
+    /// The kernel explicitly forced by the environment, if any.
     ///
     /// `GATESIM_KERNEL={event,oblivious,word}` picks any kernel and
     /// takes precedence; the legacy `GATESIM_OBLIVIOUS=1` hatch still
     /// forces the oblivious reference path. Anything else (including
-    /// unset) selects the event-driven default.
-    pub fn from_env() -> Self {
+    /// unset) forces nothing.
+    pub fn env_override() -> Option<Self> {
         if let Some(v) = std::env::var_os("GATESIM_KERNEL") {
             if v == "event" {
-                return SimKernel::EventDriven;
+                return Some(SimKernel::EventDriven);
             }
             if v == "oblivious" {
-                return SimKernel::Oblivious;
+                return Some(SimKernel::Oblivious);
             }
             if v == "word" {
-                return SimKernel::WordParallel;
+                return Some(SimKernel::WordParallel);
             }
         }
         match std::env::var_os("GATESIM_OBLIVIOUS") {
-            Some(v) if v == "1" => SimKernel::Oblivious,
-            _ => SimKernel::EventDriven,
+            Some(v) if v == "1" => Some(SimKernel::Oblivious),
+            _ => None,
+        }
+    }
+
+    /// The kernel selected by the environment alone: the override, or
+    /// the event-driven default.
+    pub fn from_env() -> Self {
+        SimKernel::env_override().unwrap_or(SimKernel::EventDriven)
+    }
+
+    /// Picks the kernel for one netlist: the environment override wins;
+    /// otherwise word-parallel where its window heuristic predicts a
+    /// win, else event-driven (see [`SimKernel::choose`]). Safe at any
+    /// answer — the kernels are contractually bit-identical.
+    pub fn auto_select(netlist: &Netlist) -> Self {
+        SimKernel::choose(SimKernel::env_override(), netlist)
+    }
+
+    /// The pure (environment-free) selection rule behind
+    /// [`SimKernel::auto_select`]: a forced kernel wins; otherwise
+    /// word-parallel is chosen only for netlists without sequential
+    /// state, where every speculative window commits its full 64
+    /// cycles. Any DFF can bound a window to a one-cycle commit-replay
+    /// loop, which forfeits the lane packing's advantage, so sequential
+    /// netlists keep the event-driven kernel.
+    pub fn choose(forced: Option<SimKernel>, netlist: &Netlist) -> Self {
+        if let Some(k) = forced {
+            return k;
+        }
+        if netlist.dff_count() == 0 {
+            SimKernel::WordParallel
+        } else {
+            SimKernel::EventDriven
         }
     }
 }
@@ -179,8 +211,9 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Builds a simulator, validating the netlist. The kernel is taken
-    /// from the environment ([`SimKernel::from_env`]).
+    /// Builds a simulator, validating the netlist. The kernel is
+    /// auto-selected per netlist ([`SimKernel::auto_select`]); the
+    /// `GATESIM_KERNEL` environment hatch keeps precedence.
     ///
     /// All nets start at their reset values (DFF init values, inputs low,
     /// combinational logic settled accordingly).
@@ -189,13 +222,14 @@ impl Simulator {
     ///
     /// Returns the netlist's [`ValidateNetlistError`] if it is malformed.
     pub fn new(netlist: &Netlist, config: PowerConfig) -> Result<Self, ValidateNetlistError> {
-        Self::with_kernel(Arc::new(netlist.clone()), config, SimKernel::from_env())
+        let kernel = SimKernel::auto_select(netlist);
+        Self::with_kernel(Arc::new(netlist.clone()), config, kernel)
     }
 
     /// Builds a simulator over an already-shared netlist without cloning
-    /// it, with the kernel taken from the environment. This is what
-    /// design-space sweeps use: every exploration point holds the same
-    /// `Arc<Netlist>`.
+    /// it, with the kernel auto-selected per netlist
+    /// ([`SimKernel::auto_select`]). This is what design-space sweeps
+    /// use: every exploration point holds the same `Arc<Netlist>`.
     ///
     /// # Errors
     ///
@@ -204,7 +238,8 @@ impl Simulator {
         netlist: Arc<Netlist>,
         config: PowerConfig,
     ) -> Result<Self, ValidateNetlistError> {
-        Self::with_kernel(netlist, config, SimKernel::from_env())
+        let kernel = SimKernel::auto_select(&netlist);
+        Self::with_kernel(netlist, config, kernel)
     }
 
     /// Builds a simulator with an explicitly chosen kernel (differential
@@ -1425,6 +1460,27 @@ mod tests {
         assert_eq!(SimKernel::from_env(), SimKernel::Oblivious);
         std::env::remove_var("GATESIM_OBLIVIOUS");
         assert_eq!(SimKernel::from_env(), SimKernel::EventDriven);
+    }
+
+    #[test]
+    fn auto_select_prefers_word_parallel_only_without_flops() {
+        // Purely combinational: full 64-cycle windows always commit.
+        let mut comb = Netlist::new();
+        let a = comb.input();
+        let x = comb.gate(GateKind::Not, vec![a]);
+        comb.mark_output("x", x);
+        assert_eq!(SimKernel::choose(None, &comb), SimKernel::WordParallel);
+        // One flop bounds every speculative window: stay event-driven.
+        let mut seq = Netlist::new();
+        let b = seq.input();
+        let q = seq.dff(b, false);
+        seq.mark_output("q", q);
+        assert_eq!(SimKernel::choose(None, &seq), SimKernel::EventDriven);
+        // A forced kernel always wins over the heuristic.
+        for forced in [SimKernel::EventDriven, SimKernel::Oblivious, SimKernel::WordParallel] {
+            assert_eq!(SimKernel::choose(Some(forced), &comb), forced);
+            assert_eq!(SimKernel::choose(Some(forced), &seq), forced);
+        }
     }
 
     #[test]

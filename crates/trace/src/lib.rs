@@ -203,6 +203,19 @@ pub enum TraceRecord {
         /// Net value changes observed (kernel-invariant).
         events: u64,
     },
+    /// A component's power-management state changed (gate closed after
+    /// the idle timeout, or the component woke to fire).
+    PowerTransition {
+        /// Transition time, cycles.
+        at: u64,
+        /// Process index.
+        process: u32,
+        /// State left (`"active"`, `"dvfs"`, `"clock_gated"`,
+        /// `"power_gated"`).
+        from: &'static str,
+        /// State entered.
+        to: &'static str,
+    },
     /// The RTOS scheduler granted CPU time to a task.
     RtosGrant {
         /// Grant start, cycles.
@@ -250,6 +263,7 @@ impl TraceRecord {
             TraceRecord::WatchdogTrip { .. } => "watchdog_trip",
             TraceRecord::KernelEvent { .. } => "kernel_event",
             TraceRecord::GateActivity { .. } => "gate_activity",
+            TraceRecord::PowerTransition { .. } => "power_transition",
             TraceRecord::RtosGrant { .. } => "rtos_grant",
         }
     }
@@ -304,6 +318,10 @@ impl TraceRecord {
             TraceRecord::GateActivity { at, process, evals, events } => format!(
                 "{{\"kind\":\"{kind}\",\"at\":{at},\"process\":{process},\"evals\":{evals},\
                  \"events\":{events}}}"
+            ),
+            TraceRecord::PowerTransition { at, process, from, to } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{at},\"process\":{process},\"from\":\"{from}\",\
+                 \"to\":\"{to}\"}}"
             ),
             TraceRecord::RtosGrant { at, task, name, end, completes } => format!(
                 "{{\"kind\":\"{kind}\",\"at\":{at},\"task\":{task},\"name\":\"{}\",\"end\":{end},\
@@ -424,6 +442,8 @@ pub struct MetricsSink {
     /// Kernel-invariant: identical under every `GATESIM_KERNEL`
     /// selection, so cross-kernel runs stay comparable on this column.
     pub gate_events: u64,
+    /// Power-management state transitions observed.
+    pub power_transitions: u64,
 }
 
 impl MetricsSink {
@@ -470,7 +490,8 @@ impl MetricsSink {
              \"sampled_energy_j\": {:e}, \"energy_by_provenance\": {{{prov}}}, \
              \"bus_grants\": {}, \"bus_words\": {}, \
              \"icache_batches\": {}, \"icache_fetches\": {}, \"faults_injected\": {}, \
-             \"watchdog_trips\": {}, \"gate_evals\": {}, \"gate_events\": {}}}",
+             \"watchdog_trips\": {}, \"gate_evals\": {}, \"gate_events\": {}, \
+             \"power_transitions\": {}}}",
             self.records,
             self.firings,
             self.detailed_calls,
@@ -487,6 +508,7 @@ impl MetricsSink {
             self.watchdog_trips,
             self.gate_evals,
             self.gate_events,
+            self.power_transitions,
         )
     }
 }
@@ -531,6 +553,7 @@ impl TraceSink for MetricsSink {
                 self.gate_evals += evals;
                 self.gate_events += events;
             }
+            TraceRecord::PowerTransition { .. } => self.power_transitions += 1,
             TraceRecord::RtosGrant { .. } => self.rtos_grants += 1,
         }
     }
@@ -1192,6 +1215,26 @@ mod tests {
     }
 
     #[test]
+    fn power_transition_renders_and_counts() {
+        let rec = TraceRecord::PowerTransition {
+            at: 42,
+            process: 1,
+            from: "active",
+            to: "clock_gated",
+        };
+        assert_eq!(rec.kind(), "power_transition");
+        assert_eq!(
+            rec.to_ndjson(),
+            "{\"kind\":\"power_transition\",\"at\":42,\"process\":1,\
+             \"from\":\"active\",\"to\":\"clock_gated\"}"
+        );
+        let mut m = MetricsSink::new();
+        m.record(&rec);
+        assert_eq!(m.power_transitions, 1);
+        assert!(m.to_json().contains("\"power_transitions\": 1"));
+    }
+
+    #[test]
     fn metrics_to_json_shape_is_stable() {
         // Golden-ish shape pin: the key set and order of the JSON form
         // are part of the benchmark-artifact contract. An empty sink
@@ -1202,7 +1245,8 @@ mod tests {
              \"sampled_energy_j\": 0e0, \"energy_by_provenance\": {}, \
              \"bus_grants\": 0, \"bus_words\": 0, \
              \"icache_batches\": 0, \"icache_fetches\": 0, \"faults_injected\": 0, \
-             \"watchdog_trips\": 0, \"gate_evals\": 0, \"gate_events\": 0}";
+             \"watchdog_trips\": 0, \"gate_evals\": 0, \"gate_events\": 0, \
+             \"power_transitions\": 0}";
         assert_eq!(MetricsSink::new().to_json(), expected);
     }
 

@@ -6,7 +6,7 @@
 //! cargo run --release --example textual_spec
 //! ```
 
-use co_estimation::spec::parse_system;
+use co_estimation::spec::{parse_system, parse_system_with_power};
 use co_estimation::{
     Acceleration, BuildEstimatorError, CachingConfig, CoSimConfig, CoSimulator,
 };
@@ -41,10 +41,14 @@ event TEMP value
 event HEAT value
 event PULSE_DONE
 
+# Static power floor: 1.5 mW per component, default gating factors.
+leakage 0.0015
+
 process sensor hw priority 3
   var t = 180
   var phase = 0
   state run
+  power clock_gate 800
   transition run -> run on SAMPLE
     # A toy environment: temperature drifts down, heater events push up.
     phase = (+ phase 1)
@@ -60,6 +64,7 @@ process controller sw priority 2
   var err = 0
   var duty = 0
   state run
+  power dvfs low 0.85 0.7
   transition run -> run on TEMP
     err = (- target $TEMP)
     if (> err 0)
@@ -77,6 +82,7 @@ process actuator hw priority 1
   var n = 0
   var ticks = 0
   state run
+  power power_gate 1000 0.00000002 15
   transition run -> run on HEAT
     n = $HEAT
     while (> n 0)
@@ -135,5 +141,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cached.detailed_calls,
         report.detailed_calls
     );
+
+    // The spec carries its own power-management directives (`leakage`
+    // plus per-process `power` lines). `parse_system` above discarded
+    // them; the power-aware entry point threads them out as a
+    // ready-to-run policy.
+    let (soc, policy) = parse_system_with_power(&text)?;
+    println!(
+        "\npower policy `{}`: {} managed components, {} operating point(s)",
+        policy.name,
+        policy.components.len(),
+        policy.operating_points.len()
+    );
+    let mut managed = CoSimulator::new(soc, config.with_power_policy(policy))?;
+    let powered = managed.run();
+    powered.verify_provenance()?;
+    let p = powered.power.as_ref().ok_or("managed run must report power")?;
+    println!(
+        "managed: {:.4e} J over {} cycles (leakage {:.3e} J, net saved {:.3e} J)",
+        powered.total_energy_j(),
+        powered.total_cycles,
+        p.leakage_j,
+        p.savings.net_saved_j()
+    );
+    for c in &p.components {
+        println!(
+            "  {:>11}: active {:>7} dvfs {:>7} gated {:>7} cycles, {} transitions",
+            c.name,
+            c.active_cycles,
+            c.dvfs_cycles,
+            c.clock_gated_cycles + c.power_gated_cycles,
+            c.transitions
+        );
+    }
     Ok(())
 }

@@ -9,9 +9,10 @@
 //! they claim to time.
 
 use co_estimation::{
-    explore_bus_architecture, explore_bus_architecture_parallel, Acceleration, CachingConfig,
-    CoSimConfig, CoSimReport, CoSimulator, ExploreOptions, Provenance, SamplingConfig,
-    SocDescription,
+    explore_bus_architecture, explore_bus_architecture_parallel, explore_power_policies,
+    explore_power_policies_parallel, Acceleration, CachingConfig, CoSimConfig, CoSimReport,
+    CoSimulator, ExploreOptions, FaultPlan, GatingPolicy, LeakageModel, OperatingPoint,
+    PowerPolicy, Provenance, SamplingConfig, SocDescription,
 };
 use soctrace::{ArcSharedSink, MetricsSink, ProfileReport, SharedSink, SpanKind};
 use systems::automotive::{self, AutomotiveParams};
@@ -184,6 +185,113 @@ fn effectiveness_counters_reconcile_with_the_report() {
         "served + sampled firings must cover every firing"
     );
     assert!(sampling.compaction_ratio() > 1.0);
+}
+
+/// A non-noop policy for any system: leakage on every component, the
+/// first process clock-gated, the second (when present) power-gated,
+/// the last assigned a DVFS operating point.
+fn managed_policy(soc: &SocDescription) -> PowerPolicy {
+    let names: Vec<String> = soc
+        .network
+        .process_ids()
+        .map(|p| soc.network.cfsm(p).name().to_string())
+        .collect();
+    let mut policy = PowerPolicy::named("managed")
+        .with_leakage(LeakageModel::with_default_rate(1.5e-3))
+        .with_operating_point(OperatingPoint::new("low", 0.85, 0.7))
+        .gate(names[0].clone(), GatingPolicy::clock(300));
+    if names.len() > 1 {
+        policy = policy.gate(names[1].clone(), GatingPolicy::power(600, 2.0e-8, 12));
+    }
+    if let Some(last) = names.last() {
+        policy = policy.dvfs(last.clone(), 0);
+    }
+    policy
+}
+
+#[test]
+fn provenance_stays_an_exact_partition_under_power_management() {
+    let base = CoSimConfig::date2000_defaults();
+    for (system, soc) in all_systems() {
+        let config = base.with_power_policy(managed_policy(&soc));
+        let (report, _) = run_observed(soc, config);
+        report
+            .verify_provenance()
+            .unwrap_or_else(|e| panic!("{system}: {e}"));
+        let power = report.power.as_ref().unwrap_or_else(|| {
+            panic!("{system}: a managed run must carry a power report")
+        });
+        assert!(
+            report.provenance.records_for(Provenance::Leakage) > 0,
+            "{system}: leakage spans must be booked"
+        );
+        assert!(power.leakage_j > 0.0, "{system}: leakage must accrue");
+        // The provenance bucket and the power report book the same joules.
+        let leak_bucket = report.provenance.energy_for(Provenance::Leakage);
+        assert!(
+            (leak_bucket - power.leakage_j).abs() <= 1e-12 * power.leakage_j.max(1e-300),
+            "{system}: Leakage bucket ({leak_bucket}) != power report ({})",
+            power.leakage_j
+        );
+    }
+}
+
+#[test]
+fn provenance_stays_exact_with_power_management_and_faults() {
+    let soc = small_tcpip();
+    let faults = FaultPlan::new()
+        .delay_event(4_000, "CHK_SUM", 250)
+        .corrupt_energy(9_000, "checksum", 1.5)
+        .stall_bus(14_000, 40);
+    let config = CoSimConfig::date2000_defaults()
+        .with_power_policy(managed_policy(&soc))
+        .with_faults(faults);
+    let (report, _) = run_observed(soc, config);
+    report
+        .verify_provenance()
+        .unwrap_or_else(|e| panic!("faulted managed run: {e}"));
+    assert!(!report.anomalies.is_empty(), "the plan must have injected");
+    assert!(report.provenance.records_for(Provenance::Leakage) > 0);
+}
+
+#[test]
+fn power_sweeps_are_bitwise_identical_serial_vs_parallel() {
+    let soc = small_tcpip();
+    let base = CoSimConfig::date2000_defaults();
+    let policies = vec![
+        PowerPolicy::none(),
+        PowerPolicy::named("leak").with_leakage(LeakageModel::with_default_rate(1.0e-3)),
+        managed_policy(&soc),
+    ];
+    let serial = explore_power_policies(&soc, &base, &policies).expect("serial sweep");
+    for workers in [1usize, 3] {
+        let par = explore_power_policies_parallel(
+            &soc,
+            &base,
+            &policies,
+            &ExploreOptions::with_workers(workers),
+        )
+        .expect("parallel sweep");
+        assert_eq!(serial.len(), par.points.len());
+        for (s, p) in serial.iter().zip(&par.points) {
+            assert_eq!(s.policy_name, p.policy_name);
+            assert_eq!(
+                s.report.golden_snapshot(),
+                p.report.golden_snapshot(),
+                "policy `{}` diverged at workers = {workers}",
+                s.policy_name
+            );
+            assert_eq!(
+                s.energy_j().to_bits(),
+                p.energy_j().to_bits(),
+                "policy `{}` energy bits diverged at workers = {workers}",
+                s.policy_name
+            );
+            p.report
+                .verify_provenance()
+                .unwrap_or_else(|e| panic!("policy `{}`: {e}", s.policy_name));
+        }
+    }
 }
 
 #[test]
