@@ -1,16 +1,18 @@
 //! Gate-simulation kernel benchmark: the event-driven levelized kernel,
-//! the oblivious reference path, and the word-parallel kernel (both the
+//! the oblivious reference path, the word-parallel kernel (both the
 //! single-stream block engine and the 64-stream lockstep [`LaneSim`]),
-//! on the synthesized TCP/IP checksum netlist, written as
-//! `BENCH_gatesim.json` so the perf trajectory tracks the hot inner
-//! loop across PRs.
+//! and the simd kernel (256-cycle windows plus the width-erased
+//! [`SimdLaneSim`] lockstep engine and the lane-scheduled Monte-Carlo
+//! sweep from `co-estimation`), on the synthesized TCP/IP checksum
+//! netlist, written as `BENCH_gatesim.json` so the perf trajectory
+//! tracks the hot inner loop across PRs.
 //!
 //! A timing entry only exists if the kernels agreed bit for bit
 //! (per-cycle energy bit patterns and all output values) over the same
 //! stimulus first — including the word kernel driven through
-//! `run_block` with odd chunk sizes, and every `LaneSim` lane against a
-//! scalar run of its stream. The full run also times the end-to-end
-//! Fig. 7 sweep under each kernel.
+//! `run_block` with odd chunk sizes, and every `LaneSim`/`SimdLaneSim`
+//! lane against a scalar run of its stream. The full run also times the
+//! end-to-end Fig. 7 sweep under each kernel.
 //!
 //! Usage:
 //!   cargo run --release -p soc-bench --bin bench_gatesim [out.json]
@@ -22,9 +24,11 @@
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use cfsm::TransitionId;
-use co_estimation::CoSimConfig;
+use co_estimation::{
+    run_lane_sweep, run_lane_sweep_serial, CoSimConfig, LaneSweepConfig, LaneUnit,
+};
 use detrand::Rng;
-use gatesim::{HwCfsm, LaneSim, NetId, Netlist, PowerConfig, SimKernel, Simulator};
+use gatesim::{HwCfsm, LaneSim, NetId, Netlist, PowerConfig, SimKernel, SimdLaneSim, Simulator};
 use soc_bench::{fig7_profile_overhead, fig7_serial};
 use std::sync::Arc;
 use std::time::Instant;
@@ -34,6 +38,21 @@ use systems::tcpip::{self, TcpIpParams};
 /// the firing protocol's mostly-held ports (load/start pulses, stable
 /// operand buses).
 const P_TOGGLE: f64 = 0.1;
+
+/// The 64-lane `LaneSim` lane throughput recorded in the committed
+/// `BENCH_gatesim.json` before the simd backend landed — the
+/// "existing word_parallel number" the simd acceptance bar is measured
+/// against. (The same-run 64-lane number also moves with this PR's
+/// charge-path optimizations, so it is reported separately.)
+const BASELINE_WORD_LANE_CPS: f64 = 891_169.4;
+
+/// Timed sections run several passes and keep the fastest wall time.
+/// The bench host is a single shared core, and a co-tenant waking up
+/// mid-measurement otherwise leaks into the throughput numbers; the
+/// minimum over passes estimates kernel cost, not host load. Lockstep
+/// passes are cheap (one wide run), scalar passes replay every stream.
+const LOCKSTEP_PASSES: usize = 3;
+const SCALAR_PASSES: usize = 2;
 
 /// The synthesized checksum netlist of the TCP/IP system — the largest
 /// transition, simulated on every detailed firing of the sweep's
@@ -228,9 +247,38 @@ fn lanes_bitwise_identical(netlist: &Arc<Netlist>, lanes: usize, cycles: usize) 
 /// same streams.
 fn lane_throughput(netlist: &Arc<Netlist>, lanes: usize, cycles: usize) -> (f64, f64) {
     let streams = lane_streams(netlist, lanes, cycles, 0x1A9E);
-    let mut ls = LaneSim::new(Arc::clone(netlist), PowerConfig::date2000_defaults(), lanes)
+    let mut lane_s = f64::INFINITY;
+    for _ in 0..LOCKSTEP_PASSES {
+        let mut ls = LaneSim::new(Arc::clone(netlist), PowerConfig::date2000_defaults(), lanes)
+            .expect("valid netlist");
+        let t0 = Instant::now();
+        for j in 0..cycles {
+            for (l, stream) in streams.iter().enumerate() {
+                for &(net, v) in &stream[j] {
+                    ls.set_input(l, net, v);
+                }
+            }
+            ls.step();
+        }
+        lane_s = lane_s.min(t0.elapsed().as_secs_f64());
+    }
+    let mut scalar_s = 0.0;
+    for stream in &streams {
+        let s = (0..SCALAR_PASSES)
+            .map(|_| timed(netlist, SimKernel::EventDriven, stream).0)
+            .fold(f64::INFINITY, f64::min);
+        scalar_s += s;
+    }
+    (lane_s, scalar_s)
+}
+
+/// Bitwise evidence for the width-erased simd lockstep engine: same
+/// contract as [`lanes_bitwise_identical`], at lane counts past the
+/// 64-lane `u64` word so the wide `[u64; N]` paths are exercised.
+fn simd_lanes_bitwise_identical(netlist: &Arc<Netlist>, lanes: usize, cycles: usize) -> bool {
+    let streams = lane_streams(netlist, lanes, cycles, 0x51D0);
+    let mut ls = SimdLaneSim::new(Arc::clone(netlist), PowerConfig::date2000_defaults(), lanes)
         .expect("valid netlist");
-    let t0 = Instant::now();
     for j in 0..cycles {
         for (l, stream) in streams.iter().enumerate() {
             for &(net, v) in &stream[j] {
@@ -239,13 +287,110 @@ fn lane_throughput(netlist: &Arc<Netlist>, lanes: usize, cycles: usize) -> (f64,
         }
         ls.step();
     }
-    let lane_s = t0.elapsed().as_secs_f64();
+    streams.iter().enumerate().all(|(l, stream)| {
+        let mut scalar = Simulator::with_kernel(
+            Arc::clone(netlist),
+            PowerConfig::date2000_defaults(),
+            SimKernel::EventDriven,
+        )
+        .expect("valid netlist");
+        for inputs in stream {
+            for &(net, v) in inputs {
+                scalar.set_input(net, v);
+            }
+            scalar.step();
+        }
+        let scalar_bits: Vec<u64> = scalar
+            .report()
+            .per_cycle_j
+            .iter()
+            .map(|e| e.to_bits())
+            .collect();
+        let lane_bits: Vec<u64> = ls
+            .report(l)
+            .per_cycle_j
+            .iter()
+            .map(|e| e.to_bits())
+            .collect();
+        scalar_bits == lane_bits
+            && (0..netlist.gate_count()).all(|i| {
+                let net = NetId(i as u32);
+                ls.value(net, l) == scalar.value(net)
+                    && ls.toggle_count(net, l) == scalar.toggle_count(net)
+            })
+    })
+}
+
+/// Simd lane throughput: `lanes` independent streams in one wide
+/// lockstep word versus one event-driven scalar run per stream.
+/// Returns (lockstep wall, summed scalar wall) over the same streams.
+fn simd_lane_throughput(netlist: &Arc<Netlist>, lanes: usize, cycles: usize) -> (f64, f64) {
+    let streams = lane_streams(netlist, lanes, cycles, 0x51D1);
+    let mut lane_s = f64::INFINITY;
+    for _ in 0..LOCKSTEP_PASSES {
+        let mut ls =
+            SimdLaneSim::new(Arc::clone(netlist), PowerConfig::date2000_defaults(), lanes)
+                .expect("valid netlist");
+        let t0 = Instant::now();
+        for j in 0..cycles {
+            for (l, stream) in streams.iter().enumerate() {
+                for &(net, v) in &stream[j] {
+                    ls.set_input(l, net, v);
+                }
+            }
+            ls.step();
+        }
+        lane_s = lane_s.min(t0.elapsed().as_secs_f64());
+    }
     let mut scalar_s = 0.0;
     for stream in &streams {
-        let (s, _) = timed(netlist, SimKernel::EventDriven, stream);
+        let s = (0..SCALAR_PASSES)
+            .map(|_| timed(netlist, SimKernel::EventDriven, stream).0)
+            .fold(f64::INFINITY, f64::min);
         scalar_s += s;
     }
     (lane_s, scalar_s)
+}
+
+/// Times the lane-scheduled Monte-Carlo sweep (units packed onto simd
+/// lanes) against the serial scalar reference, asserting the demuxed
+/// per-unit points are bitwise identical first. Returns (lane wall,
+/// serial wall).
+fn mc_sweep_throughput(netlist: &Arc<Netlist>, units: usize, cycles: usize) -> (f64, f64) {
+    let units: Vec<LaneUnit> = (0..units)
+        .map(|i| LaneUnit::MonteCarlo {
+            seed: 0x5EED ^ ((i as u64) << 8),
+        })
+        .collect();
+    let config = LaneSweepConfig {
+        cycles,
+        toggle_probability: P_TOGGLE,
+        max_lanes: 256,
+    };
+    let power = PowerConfig::date2000_defaults();
+    let mut lane_s = f64::INFINITY;
+    let mut lanes = None;
+    for _ in 0..LOCKSTEP_PASSES {
+        let t0 = Instant::now();
+        let r = run_lane_sweep(netlist, &power, &units, &config).expect("valid netlist");
+        lane_s = lane_s.min(t0.elapsed().as_secs_f64());
+        lanes.get_or_insert(r);
+    }
+    let lanes = lanes.expect("at least one lockstep pass");
+    let mut serial_s = f64::INFINITY;
+    let mut serial = None;
+    for _ in 0..SCALAR_PASSES {
+        let t0 = Instant::now();
+        let r = run_lane_sweep_serial(netlist, &power, &units, &config).expect("valid netlist");
+        serial_s = serial_s.min(t0.elapsed().as_secs_f64());
+        serial.get_or_insert(r);
+    }
+    let serial = serial.expect("at least one serial pass");
+    assert_eq!(
+        lanes.points, serial.points,
+        "lane-scheduled MC sweep diverged from serial scalar runs"
+    );
+    (lane_s, serial_s)
 }
 
 fn main() {
@@ -269,14 +414,19 @@ fn main() {
     let (ev_trace, ev_evals, ev_events) = observe(&netlist, SimKernel::EventDriven, &check_stim);
     let (ob_trace, ob_evals, ob_events) = observe(&netlist, SimKernel::Oblivious, &check_stim);
     let (wd_trace, _wd_evals, wd_events) = observe(&netlist, SimKernel::WordParallel, &check_stim);
+    let (sd_trace, _sd_evals, sd_events) = observe(&netlist, SimKernel::Simd, &check_stim);
     let (blk_energy, blk_bus, blk_events) = observe_word_blocks(&netlist, &check_stim);
     let word_step_identical = wd_trace == ev_trace && wd_events == ev_events;
+    let simd_step_identical = sd_trace == ev_trace && sd_events == ev_events;
     let word_block_identical = blk_energy
         == ev_trace.iter().map(|&(e, _)| e).collect::<Vec<u64>>()
         && Some(blk_bus) == ev_trace.last().map(|&(_, v)| v)
         && blk_events == ev_events;
-    let bitwise_identical =
-        ev_trace == ob_trace && ev_events == ob_events && word_step_identical && word_block_identical;
+    let bitwise_identical = ev_trace == ob_trace
+        && ev_events == ob_events
+        && word_step_identical
+        && simd_step_identical
+        && word_block_identical;
     assert!(bitwise_identical, "kernels diverged on the checksum netlist");
     assert!(
         ev_evals < ob_evals,
@@ -284,7 +434,7 @@ fn main() {
     );
     let ev_epc = ev_evals as f64 / check_cycles as f64;
     let ob_epc = ob_evals as f64 / check_cycles as f64;
-    println!("bitwise identical over {check_cycles} cycles (3 kernels + word blocks): {bitwise_identical}");
+    println!("bitwise identical over {check_cycles} cycles (4 kernels + word blocks): {bitwise_identical}");
     println!(
         "gate evals/cycle: oblivious {ob_epc:.1}, event-driven {ev_epc:.1} \
          ({:.1}x reduction)\n",
@@ -311,17 +461,80 @@ fn main() {
          ({lane_cps:.0} lane-cycles/s); event-driven scalar: {lane_scalar_s:.3} s \
          -> {lane_speedup:.2}x"
     );
+    // Simd lockstep evidence at lane counts past the 64-lane u64 word,
+    // so the wide `[u64; N]` words (and their inter-word carry paths)
+    // are the thing being checked.
+    let (sd_eq_lanes, sd_eq_cycles) = if smoke { (80, 200) } else { (256, 300) };
+    let simd_lanes_identical = simd_lanes_bitwise_identical(&netlist, sd_eq_lanes, sd_eq_cycles);
+    assert!(
+        simd_lanes_identical,
+        "SimdLaneSim lanes diverged from scalar runs"
+    );
+    println!(
+        "SimdLaneSim: {sd_eq_lanes} lanes bit-identical to scalar runs over {sd_eq_cycles} cycles"
+    );
+
+    // Simd lane throughput: one wide word carries 4x the lanes of the
+    // u64 engine per gate visit, amortizing the per-gate walk (index
+    // loads, truth-table dispatch) that dominates the u64 inner loop.
+    let (sd_lanes, sd_cycles) = if smoke { (128, 800) } else { (256, 3_000) };
+    let _ = simd_lane_throughput(&netlist, sd_lanes, 100); // warm-up
+    let (sd_s, sd_scalar_s) = simd_lane_throughput(&netlist, sd_lanes, sd_cycles);
+    let sd_speedup = sd_scalar_s / sd_s;
+    let sd_cps = (sd_lanes * sd_cycles) as f64 / sd_s;
+    let sd_vs_word_lanes = sd_cps / lane_cps;
+    println!(
+        "SimdLaneSim {sd_lanes} lanes x {sd_cycles} cycles: {sd_s:.3} s \
+         ({sd_cps:.0} lane-cycles/s); event-driven scalar: {sd_scalar_s:.3} s \
+         -> {sd_speedup:.2}x vs event, {sd_vs_word_lanes:.2}x vs 64-lane word"
+    );
+
+    // Lane-scheduled Monte-Carlo sweep: independent seeded stimulus
+    // units packed onto simd lanes versus one scalar event-driven run
+    // per unit. Per-unit demux bitwise identity is asserted inside.
+    let (mc_units, mc_cycles) = if smoke { (32, 200) } else { (256, 400) };
+    let (mc_lane_s, mc_serial_s) = mc_sweep_throughput(&netlist, mc_units, mc_cycles);
+    let mc_speedup = mc_serial_s / mc_lane_s;
+    println!(
+        "MC lane sweep: {mc_units} units x {mc_cycles} cycles: lanes {mc_lane_s:.3} s, \
+         serial scalar {mc_serial_s:.3} s -> {mc_speedup:.2}x (points bitwise identical)"
+    );
+
     if smoke {
         assert!(
             lane_speedup > 1.0,
             "lockstep lanes must beat scalar event-driven ({lane_speedup:.2}x)"
         );
-        println!("\nsmoke mode: equivalence, eval-reduction, and lane-speedup assertions passed");
+        assert!(
+            sd_speedup > 1.0,
+            "simd lanes must beat scalar event-driven ({sd_speedup:.2}x)"
+        );
+        assert!(
+            mc_speedup > 1.0,
+            "lane-scheduled MC sweep must beat serial scalar ({mc_speedup:.2}x)"
+        );
+        println!(
+            "\nsmoke mode: equivalence, eval-reduction, lane-speedup, and simd assertions passed"
+        );
         return;
     }
     assert!(
         lane_speedup >= 4.0,
         "lockstep lanes must deliver >=4x over event-driven ({lane_speedup:.2}x)"
+    );
+    assert!(
+        sd_speedup >= 10.0,
+        "simd lanes must deliver >=10x over event-driven ({sd_speedup:.2}x)"
+    );
+    let sd_vs_baseline = sd_cps / BASELINE_WORD_LANE_CPS;
+    assert!(
+        sd_vs_baseline >= 1.5,
+        "simd lane throughput must be >=1.5x the pre-simd 64-lane word number \
+         ({sd_cps:.0} vs {BASELINE_WORD_LANE_CPS:.0} lane-cycles/s, {sd_vs_baseline:.2}x)"
+    );
+    assert!(
+        mc_speedup > 1.0,
+        "lane-scheduled MC sweep must beat serial scalar ({mc_speedup:.2}x)"
     );
 
     // Kernel timing: warm-up pass, then a measured pass each.
@@ -410,6 +623,17 @@ fn main() {
          \"wall_s\": {lane_s:.6}, \"scalar_event_wall_s\": {lane_scalar_s:.6}, \
          \"lane_cycles_per_sec\": {lane_cps:.1}, \"speedup_vs_event\": {lane_speedup:.3}}}, \
          \"bitwise_identical\": {bitwise_identical}}},\n  \
+         \"simd\": {{\"lane_throughput\": {{\"lanes\": {sd_lanes}, \
+         \"cycles_per_lane\": {sd_cycles}, \"wall_s\": {sd_s:.6}, \
+         \"scalar_event_wall_s\": {sd_scalar_s:.6}, \
+         \"lane_cycles_per_sec\": {sd_cps:.1}, \"speedup_vs_event\": {sd_speedup:.3}, \
+         \"speedup_vs_word_lanes\": {sd_vs_word_lanes:.3}, \
+         \"baseline_word_lane_cycles_per_sec\": {BASELINE_WORD_LANE_CPS:.1}, \
+         \"speedup_vs_baseline_word_lanes\": {sd_vs_baseline:.3}}}, \
+         \"monte_carlo_sweep\": {{\"units\": {mc_units}, \"cycles_per_unit\": {mc_cycles}, \
+         \"lane_wall_s\": {mc_lane_s:.6}, \"serial_scalar_wall_s\": {mc_serial_s:.6}, \
+         \"speedup\": {mc_speedup:.3}, \"bitwise_identical\": true}}, \
+         \"bitwise_identical\": {simd_lanes_identical}}},\n  \
          \"fig7_sweep\": {{\"oblivious_wall_s\": {fig7_ob_s:.6}, \
          \"event_driven_wall_s\": {fig7_ev_s:.6}, \"word_wall_s\": {fig7_wd_s:.6}, \
          \"speedup\": {fig7_speedup:.3}, \

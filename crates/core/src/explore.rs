@@ -13,9 +13,11 @@
 
 use crate::config::{CoSimConfig, SocDescription};
 use crate::estimator::BuildEstimatorError;
+use crate::faults::FaultPlan;
 use crate::master::CoSimulator;
 use crate::report::CoSimReport;
 use cfsm::ProcId;
+use detrand::Rng;
 use soctrace::{ArcSharedSink, ProfileReport, ProfileSink, SpanKind};
 use std::time::Instant;
 
@@ -307,6 +309,164 @@ pub fn explore_power_policies(
     let mut points = Vec::with_capacity(policies.len());
     for policy in policies {
         points.push(eval_power_point(soc, base, policy, None)?);
+    }
+    Ok(points)
+}
+
+/// One evaluated fault scenario of a fault-matrix sweep.
+#[derive(Debug, Clone)]
+pub struct FaultPoint {
+    /// The scenario's label (its sweep name).
+    pub label: String,
+    /// The full co-estimation report of the faulted run — with the
+    /// provenance partition intact ([`CoSimReport::verify_provenance`]
+    /// holds on every point, faulted or not).
+    pub report: CoSimReport,
+}
+
+impl FaultPoint {
+    /// Total energy of this scenario, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.report.total_energy_j()
+    }
+}
+
+/// Evaluates one fault scenario on the base configuration. Shared by
+/// the serial and parallel sweeps.
+pub(crate) fn eval_fault_point(
+    soc: &SocDescription,
+    base: &CoSimConfig,
+    label: &str,
+    plan: &FaultPlan,
+    profile: Option<&ArcSharedSink<ProfileReport>>,
+) -> Result<FaultPoint, BuildEstimatorError> {
+    let config = base.with_faults(plan.clone());
+    let mut sim = CoSimulator::new(soc.clone(), config)?;
+    let report = run_point(&mut sim, profile);
+    Ok(FaultPoint {
+        label: label.to_string(),
+        report,
+    })
+}
+
+/// Sweeps a fault matrix: one co-simulation per `(label, plan)`
+/// scenario, in slice order. Each point is an independent run of the
+/// same system under a different declarative fault plan, so the sweep
+/// ranks the design's energy behaviour across its failure modes (the
+/// fault-injection counterpart of §5.3's architecture sweep).
+///
+/// # Errors
+///
+/// Returns the first [`BuildEstimatorError`] encountered — including
+/// fault plans naming unknown events or processes.
+pub fn explore_fault_matrix(
+    soc: &SocDescription,
+    base: &CoSimConfig,
+    scenarios: &[(String, FaultPlan)],
+) -> Result<Vec<FaultPoint>, BuildEstimatorError> {
+    let mut points = Vec::with_capacity(scenarios.len());
+    for (label, plan) in scenarios {
+        points.push(eval_fault_point(soc, base, label, plan, None)?);
+    }
+    Ok(points)
+}
+
+/// How a Monte-Carlo stimulus variant perturbs the base stimulus.
+#[derive(Debug, Clone)]
+pub struct StimulusJitter {
+    /// Maximum absolute per-event time shift, simulation cycles (the
+    /// drawn shift is uniform in `-time..=time`; shifted times saturate
+    /// at zero and the schedule is re-sorted).
+    pub time: u64,
+    /// Maximum absolute perturbation of valued events' payloads
+    /// (uniform in `-value..=value`).
+    pub value: i64,
+}
+
+impl Default for StimulusJitter {
+    /// ±1000 cycles of arrival jitter, ±4 on event payloads.
+    fn default() -> Self {
+        StimulusJitter {
+            time: 1_000,
+            value: 4,
+        }
+    }
+}
+
+/// One evaluated Monte-Carlo stimulus variant.
+#[derive(Debug, Clone)]
+pub struct StimulusPoint {
+    /// The variant's stimulus seed.
+    pub seed: u64,
+    /// The full co-estimation report of the perturbed run.
+    pub report: CoSimReport,
+}
+
+impl StimulusPoint {
+    /// Total energy of this stimulus variant, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.report.total_energy_j()
+    }
+}
+
+/// The deterministic stimulus variant of `seed`: every event's arrival
+/// time and payload perturbed by a `detrand` stream. Pure in `(soc,
+/// seed, jitter)`, so the serial and parallel sweeps (and any re-run)
+/// evaluate the identical schedule for a given seed.
+pub(crate) fn mc_stimulus_variant(
+    soc: &SocDescription,
+    seed: u64,
+    jitter: &StimulusJitter,
+) -> SocDescription {
+    let mut rng = Rng::new(seed ^ 0x4D43_5354_494D_0001); // domain-separated
+    let mut variant = soc.clone();
+    for (time, occurrence) in &mut variant.stimulus {
+        let dt = rng.i64_in(-(jitter.time as i64), jitter.time as i64 + 1);
+        *time = time.saturating_add_signed(dt);
+        if let Some(v) = &mut occurrence.value {
+            *v = v.wrapping_add(rng.i64_in(-jitter.value, jitter.value + 1));
+        }
+    }
+    // Stable sort: events shifted onto the same cycle keep their
+    // original relative order.
+    variant.stimulus.sort_by_key(|&(t, _)| t);
+    variant
+}
+
+/// Evaluates one Monte-Carlo stimulus variant. Shared by the serial
+/// and parallel sweeps.
+pub(crate) fn eval_stimulus_point(
+    soc: &SocDescription,
+    base: &CoSimConfig,
+    seed: u64,
+    jitter: &StimulusJitter,
+    profile: Option<&ArcSharedSink<ProfileReport>>,
+) -> Result<StimulusPoint, BuildEstimatorError> {
+    let variant = mc_stimulus_variant(soc, seed, jitter);
+    let mut sim = CoSimulator::new(variant, base.clone())?;
+    let report = run_point(&mut sim, profile);
+    Ok(StimulusPoint { seed, report })
+}
+
+/// Monte-Carlo sweep over stimulus variants: one co-simulation per
+/// seed, each driving a deterministically jittered copy of the base
+/// stimulus. The spread of the per-point energies estimates how
+/// sensitive the design's power is to arrival times and payloads — the
+/// system-level sibling of the gate-level Monte-Carlo lanes in
+/// [`crate::run_lane_sweep`].
+///
+/// # Errors
+///
+/// Returns the first [`BuildEstimatorError`] encountered.
+pub fn explore_stimulus_seeds(
+    soc: &SocDescription,
+    base: &CoSimConfig,
+    seeds: &[u64],
+    jitter: &StimulusJitter,
+) -> Result<Vec<StimulusPoint>, BuildEstimatorError> {
+    let mut points = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        points.push(eval_stimulus_point(soc, base, seed, jitter, None)?);
     }
     Ok(points)
 }

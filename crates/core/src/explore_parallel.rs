@@ -31,9 +31,11 @@
 use crate::config::{CoSimConfig, SocDescription};
 use crate::estimator::BuildEstimatorError;
 use crate::explore::{
-    check_partition_count, eval_bus_point, eval_partition_point, eval_power_point, permutations,
-    ExplorationPoint, PartitionPoint, PowerPoint,
+    check_partition_count, eval_bus_point, eval_fault_point, eval_partition_point,
+    eval_power_point, eval_stimulus_point, permutations, ExplorationPoint, FaultPoint,
+    PartitionPoint, PowerPoint, StimulusJitter, StimulusPoint,
 };
+use crate::faults::FaultPlan;
 use crate::report::CoSimReport;
 use cfsm::ProcId;
 use soctrace::{ArcSharedSink, ProfileReport};
@@ -340,6 +342,69 @@ pub fn explore_power_policies_parallel(
     Ok(finish(items, t0, workers, |p| &p.report))
 }
 
+/// The parallel counterpart of
+/// [`explore_fault_matrix`](crate::explore_fault_matrix): one
+/// co-simulation per fault scenario, bit-for-bit identical to the
+/// serial sweep at every worker count, with every point's provenance
+/// partition intact.
+///
+/// # Errors
+///
+/// Returns the lowest-enumeration-order [`BuildEstimatorError`] — the
+/// same error the serial sweep returns, including fault plans naming
+/// unknown events or processes.
+pub fn explore_fault_matrix_parallel(
+    soc: &SocDescription,
+    base: &CoSimConfig,
+    scenarios: &[(String, FaultPlan)],
+    options: &ExploreOptions,
+) -> Result<SweepReport<FaultPoint>, BuildEstimatorError> {
+    if options.verify_first {
+        crate::verify::gate(crate::verify::verify_soc(soc))?;
+    }
+    let config = match &options.watchdog {
+        Some(w) => base.with_watchdog(w.clone()),
+        None => base.clone(),
+    };
+    let t0 = Instant::now();
+    let (items, workers) = run_indexed(scenarios.len(), options.workers, |i| {
+        let (label, plan) = &scenarios[i];
+        eval_fault_point(soc, &config, label, plan, options.profile.as_ref()).map(Some)
+    })?;
+    Ok(finish(items, t0, workers, |p| &p.report))
+}
+
+/// The parallel counterpart of
+/// [`explore_stimulus_seeds`](crate::explore_stimulus_seeds): one
+/// co-simulation per Monte-Carlo stimulus seed, bit-for-bit identical
+/// to the serial sweep at every worker count (each variant's jittered
+/// schedule is a pure function of its seed).
+///
+/// # Errors
+///
+/// Returns the lowest-enumeration-order [`BuildEstimatorError`] — the
+/// same error the serial sweep returns.
+pub fn explore_stimulus_seeds_parallel(
+    soc: &SocDescription,
+    base: &CoSimConfig,
+    seeds: &[u64],
+    jitter: &StimulusJitter,
+    options: &ExploreOptions,
+) -> Result<SweepReport<StimulusPoint>, BuildEstimatorError> {
+    if options.verify_first {
+        crate::verify::gate(crate::verify::verify_soc(soc))?;
+    }
+    let config = match &options.watchdog {
+        Some(w) => base.with_watchdog(w.clone()),
+        None => base.clone(),
+    };
+    let t0 = Instant::now();
+    let (items, workers) = run_indexed(seeds.len(), options.workers, |i| {
+        eval_stimulus_point(soc, &config, seeds[i], jitter, options.profile.as_ref()).map(Some)
+    })?;
+    Ok(finish(items, t0, workers, |p| &p.report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,6 +562,118 @@ mod tests {
                     s.policy_name
                 );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_fault_matrix_matches_serial_and_individual_runs() {
+        let soc = sweep_soc();
+        let config = CoSimConfig::date2000_defaults();
+        let scenarios: Vec<(String, FaultPlan)> = vec![
+            ("clean".into(), FaultPlan::new()),
+            ("drop_go".into(), FaultPlan::new().drop_event(1, "GO")),
+            (
+                "dup_ack+stall".into(),
+                FaultPlan::new().duplicate_event(8_500, "ACK").stall_bus(9_000, 1_500),
+            ),
+        ];
+        let serial =
+            crate::explore::explore_fault_matrix(&soc, &config, &scenarios).expect("serial");
+        assert_eq!(serial.len(), scenarios.len());
+        for (point, (label, plan)) in serial.iter().zip(&scenarios) {
+            assert_eq!(&point.label, label);
+            // Each point is bitwise-equal to an individual run of the
+            // same scenario, and the provenance partition stays exact
+            // even on faulted trajectories.
+            let solo = crate::master::CoSimulator::new(
+                soc.clone(),
+                config.with_faults(plan.clone()),
+            )
+            .expect("system builds")
+            .run();
+            assert_eq!(point.report.golden_snapshot(), solo.golden_snapshot());
+            point.report.verify_provenance().expect("exact partition");
+        }
+        for workers in [1usize, 3] {
+            let par = explore_fault_matrix_parallel(
+                &soc,
+                &config,
+                &scenarios,
+                &ExploreOptions::with_workers(workers),
+            )
+            .expect("parallel");
+            assert_eq!(par.points.len(), serial.len());
+            for (s, p) in serial.iter().zip(&par.points) {
+                assert_eq!(s.label, p.label);
+                assert_eq!(
+                    s.report.golden_snapshot(),
+                    p.report.golden_snapshot(),
+                    "scenario `{}` diverged at workers = {workers}",
+                    s.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_stimulus_sweep_matches_serial_and_individual_runs() {
+        let soc = sweep_soc();
+        let config = CoSimConfig::date2000_defaults();
+        let jitter = StimulusJitter { time: 500, value: 3 };
+        let seeds = [1u64, 2, 3, 4, 5];
+        let serial = crate::explore::explore_stimulus_seeds(&soc, &config, &seeds, &jitter)
+            .expect("serial");
+        assert_eq!(serial.len(), seeds.len());
+        // Jitter genuinely perturbs the runs: not all seeds land on the
+        // identical report.
+        let distinct: std::collections::BTreeSet<String> = serial
+            .iter()
+            .map(|p| p.report.golden_snapshot())
+            .collect();
+        assert!(distinct.len() > 1, "jitter changed nothing");
+        for (point, &seed) in serial.iter().zip(&seeds) {
+            assert_eq!(point.seed, seed);
+            // Per-point report bitwise-equal to an individual run of the
+            // same variant, provenance exact.
+            let variant = crate::explore::mc_stimulus_variant(&soc, seed, &jitter);
+            let solo = crate::master::CoSimulator::new(variant, config.clone())
+                .expect("system builds")
+                .run();
+            assert_eq!(point.report.golden_snapshot(), solo.golden_snapshot());
+            point.report.verify_provenance().expect("exact partition");
+        }
+        for workers in [1usize, 4] {
+            let par = explore_stimulus_seeds_parallel(
+                &soc,
+                &config,
+                &seeds,
+                &jitter,
+                &ExploreOptions::with_workers(workers),
+            )
+            .expect("parallel");
+            assert_eq!(par.points.len(), serial.len());
+            for (s, p) in serial.iter().zip(&par.points) {
+                assert_eq!(s.seed, p.seed);
+                assert_eq!(
+                    s.report.golden_snapshot(),
+                    p.report.golden_snapshot(),
+                    "seed {} diverged at workers = {workers}",
+                    s.seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stimulus_variants_are_pure_in_the_seed() {
+        let soc = sweep_soc();
+        let jitter = StimulusJitter::default();
+        for seed in [0u64, 9, 0xFFFF_FFFF_FFFF_FFFF] {
+            let a = crate::explore::mc_stimulus_variant(&soc, seed, &jitter);
+            let b = crate::explore::mc_stimulus_variant(&soc, seed, &jitter);
+            assert_eq!(a.stimulus, b.stimulus, "seed {seed}");
+            // Times stay sorted so the schedule is a valid stimulus.
+            assert!(a.stimulus.windows(2).all(|w| w[0].0 <= w[1].0));
         }
     }
 

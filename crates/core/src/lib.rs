@@ -106,6 +106,7 @@ mod estimator;
 mod explore;
 mod explore_parallel;
 mod faults;
+mod lanes;
 mod macromodel;
 mod master;
 mod powermgmt;
@@ -134,12 +135,18 @@ pub use report::{
     AccelEffectiveness, CacheEffectiveness, Provenance, ProvenanceBreakdown, SamplingEffectiveness,
 };
 pub use explore::{
-    explore_bus_architecture, explore_partitions, explore_power_policies, minimum_energy,
-    permutations, ExplorationPoint, PartitionPoint, PowerPoint,
+    explore_bus_architecture, explore_fault_matrix, explore_partitions, explore_power_policies,
+    explore_stimulus_seeds, minimum_energy, permutations, ExplorationPoint, FaultPoint,
+    PartitionPoint, PowerPoint, StimulusJitter, StimulusPoint,
 };
 pub use explore_parallel::{
-    explore_bus_architecture_parallel, explore_partitions_parallel,
-    explore_power_policies_parallel, ExploreOptions, SweepReport, SweepStats,
+    explore_bus_architecture_parallel, explore_fault_matrix_parallel,
+    explore_partitions_parallel, explore_power_policies_parallel,
+    explore_stimulus_seeds_parallel, ExploreOptions, SweepReport, SweepStats,
+};
+pub use lanes::{
+    fault_matrix_units, run_lane_sweep, run_lane_sweep_serial, toggle_statistics, LanePoint,
+    LaneSweep, LaneSweepConfig, LaneUnit, ToggleStats,
 };
 pub use powermgmt::{
     ComponentPolicy, ComponentPowerReport, GateMode, GatingPolicy, LeakageModel, OperatingPoint,

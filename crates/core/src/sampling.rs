@@ -15,6 +15,13 @@
 //!   other occurrences reuse the latest detailed result. This is the
 //!   "reduce the number of calls to the lower-level simulator" form of
 //!   sampling, and is exact whenever path energy is time-invariant.
+//!
+//! Both trade accuracy for fewer detailed simulations. The orthogonal
+//! throughput lever — making each detailed gate-level run cover many
+//! stimulus variants at once, with *no* accuracy trade at all — is the
+//! lane scheduler (`lanes`), which packs Monte-Carlo seeds or
+//! fault variants into the simd kernel's lockstep lanes and demuxes
+//! bit-identical per-unit results ([`crate::run_lane_sweep`]).
 
 use std::collections::HashMap;
 use std::hash::Hash;

@@ -14,10 +14,13 @@
 //! * [`bus`] — word-level datapath blocks (adders, multipliers,
 //!   comparators, registers);
 //! * [`Simulator`] — deterministic cycle-based logic simulation with
-//!   energy capture (three bit-identical kernels: event-driven,
-//!   oblivious, and word-parallel — see [`SimKernel`]);
-//! * [`word`] — bit-parallel lane primitives and the 64-stream
-//!   lockstep [`LaneSim`];
+//!   energy capture (four bit-identical kernels: event-driven,
+//!   oblivious, word-parallel, and simd — see [`SimKernel`]);
+//! * [`word`] — bit-parallel lane primitives and the lockstep
+//!   multi-stream [`MultiLaneSim`] (64-lane [`LaneSim`] instance);
+//! * [`simd`] — wide lane words ([`LaneWord`], [`Wide`]) that widen the
+//!   word kernels to 128/256/512 lanes per op, and the width-erased
+//!   [`SimdLaneSim`] multi-stream simulator;
 //! * [`HwCfsm`] — CFSM transitions synthesized to FSMDs plus the
 //!   run protocol the co-simulation master uses.
 //!
@@ -41,6 +44,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 
 pub mod analysis;
 pub mod blif;
@@ -48,13 +52,15 @@ pub mod bus;
 mod netlist;
 mod power;
 mod sim;
+pub mod simd;
 mod synth;
 pub mod word;
 
 pub use netlist::{Gate, GateKind, NetId, Netlist, ValidateNetlistError};
 pub use power::{CapacitanceMap, EnergyReport, PowerConfig};
-pub use sim::{SimKernel, Simulator, WindowRun};
-pub use word::LaneSim;
+pub use sim::{ParseKernelError, SimKernel, Simulator, WindowRun};
+pub use simd::{LaneWord, SimdLaneSim, Wide, W128, W256, W512};
+pub use word::{LaneSim, MultiLaneSim};
 pub use synth::{
     clear_synth_cache, synth_cache_stats, HwCfsm, HwRun, HwTransition, SynthConfig, SynthError,
 };

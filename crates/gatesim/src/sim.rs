@@ -1,6 +1,6 @@
 //! Cycle-based logic simulation with toggle-count energy.
 //!
-//! Three kernels produce bit-identical results:
+//! Four kernels produce bit-identical results:
 //!
 //! * **Event-driven** (the default, [`SimKernel::EventDriven`]): per-net
 //!   combinational fanout lists and a topological levelization are built
@@ -25,6 +25,15 @@
 //!   falls out of per-net toggle words
 //!   ([`crate::word::toggle_word`]) popcounted over the committed
 //!   prefix.
+//! * **Simd** ([`SimKernel::Simd`]): the word-parallel engine
+//!   instantiated at a [`crate::simd::Wide`] lane word — 256 cycles per
+//!   gate visit instead of 64, with the same speculate / commit-prefix /
+//!   replay seam, masked comparisons, and epoch-stamped lazy lane
+//!   invalidation (the engine is generic over
+//!   [`crate::simd::LaneWord`], so there is one implementation, not
+//!   two). The default build carries the wide word as `[u64; 4]` and
+//!   lets LLVM vectorize; the `portable-simd` feature routes the ops
+//!   through `std::simd`.
 //!
 //! Equivalence is contractual, not approximate: every kernel
 //! accumulates switch energy over the toggled nets in ascending net-id
@@ -35,8 +44,9 @@
 
 use crate::netlist::{GateKind, NetId, Netlist, ValidateNetlistError};
 use crate::power::{CapacitanceMap, EnergyReport, PowerConfig};
-use crate::word::{broadcast, toggle_word};
+use crate::simd::{toggle_word_w, LaneWord, Wide};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 /// Which inner loop a [`Simulator`] runs (see the module docs).
@@ -50,71 +60,183 @@ pub enum SimKernel {
     /// speculating across DFF boundaries and committing the bit-exact
     /// prefix (see the module docs).
     WordParallel,
+    /// Evaluate up to 256 cycles per gate visit as one wide
+    /// ([`crate::simd::W256`]) word op — the word-parallel engine at
+    /// four times the window width (see the module docs).
+    Simd,
+}
+
+/// A kernel name that parses to no known [`SimKernel`] — raised by
+/// [`SimKernel::from_str`](std::str::FromStr) and by the
+/// `GATESIM_KERNEL` environment hatch, instead of silently falling back
+/// to a default kernel a benchmark or CI matrix did not ask for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKernelError {
+    value: String,
+}
+
+impl ParseKernelError {
+    /// The rejected kernel name, verbatim.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+}
+
+impl fmt::Display for ParseKernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown gate-simulation kernel `{}` (expected one of: \
+             event, oblivious, word, simd — case-insensitive)",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for ParseKernelError {}
+
+impl std::str::FromStr for SimKernel {
+    type Err = ParseKernelError;
+
+    /// Parses a kernel name, case-insensitively: `event`, `oblivious`,
+    /// `word`, or `simd`. This is the single parser behind the
+    /// `GATESIM_KERNEL` hatch — tests and tools should go through it
+    /// rather than re-matching strings.
+    fn from_str(s: &str) -> Result<Self, ParseKernelError> {
+        let t = s.trim();
+        for (name, kernel) in [
+            ("event", SimKernel::EventDriven),
+            ("oblivious", SimKernel::Oblivious),
+            ("word", SimKernel::WordParallel),
+            ("simd", SimKernel::Simd),
+        ] {
+            if t.eq_ignore_ascii_case(name) {
+                return Ok(kernel);
+            }
+        }
+        Err(ParseKernelError {
+            value: s.to_string(),
+        })
+    }
 }
 
 impl SimKernel {
     /// The kernel explicitly forced by the environment, if any.
     ///
-    /// `GATESIM_KERNEL={event,oblivious,word}` picks any kernel and
-    /// takes precedence; the legacy `GATESIM_OBLIVIOUS=1` hatch still
-    /// forces the oblivious reference path. Anything else (including
-    /// unset) forces nothing.
-    pub fn env_override() -> Option<Self> {
+    /// `GATESIM_KERNEL={event,oblivious,word,simd}` (case-insensitive)
+    /// picks any kernel and takes precedence; the legacy
+    /// `GATESIM_OBLIVIOUS=1` hatch still forces the oblivious reference
+    /// path. Unset or empty `GATESIM_KERNEL` forces nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseKernelError`] if `GATESIM_KERNEL` is set to
+    /// anything other than a known kernel name — a typo'd kernel must
+    /// fail loudly, not silently fall back.
+    pub fn env_override() -> Result<Option<Self>, ParseKernelError> {
         if let Some(v) = std::env::var_os("GATESIM_KERNEL") {
-            if v == "event" {
-                return Some(SimKernel::EventDriven);
-            }
-            if v == "oblivious" {
-                return Some(SimKernel::Oblivious);
-            }
-            if v == "word" {
-                return Some(SimKernel::WordParallel);
+            if !v.is_empty() {
+                let s = v.to_str().ok_or_else(|| ParseKernelError {
+                    value: v.to_string_lossy().into_owned(),
+                })?;
+                return s.parse().map(Some);
             }
         }
-        match std::env::var_os("GATESIM_OBLIVIOUS") {
+        Ok(match std::env::var_os("GATESIM_OBLIVIOUS") {
             Some(v) if v == "1" => Some(SimKernel::Oblivious),
             _ => None,
-        }
+        })
     }
 
     /// The kernel selected by the environment alone: the override, or
     /// the event-driven default.
-    pub fn from_env() -> Self {
-        SimKernel::env_override().unwrap_or(SimKernel::EventDriven)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseKernelError`] if `GATESIM_KERNEL` names an
+    /// unknown kernel (see [`SimKernel::env_override`]).
+    pub fn from_env() -> Result<Self, ParseKernelError> {
+        Ok(SimKernel::env_override()?.unwrap_or(SimKernel::EventDriven))
     }
 
     /// Picks the kernel for one netlist: the environment override wins;
-    /// otherwise word-parallel where its window heuristic predicts a
-    /// win, else event-driven (see [`SimKernel::choose`]). Safe at any
-    /// answer — the kernels are contractually bit-identical.
-    pub fn auto_select(netlist: &Netlist) -> Self {
-        SimKernel::choose(SimKernel::env_override(), netlist)
+    /// otherwise the window heuristic of [`SimKernel::choose`] decides.
+    /// Safe at any answer — the kernels are contractually bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseKernelError`] if `GATESIM_KERNEL` names an
+    /// unknown kernel (see [`SimKernel::env_override`]).
+    pub fn auto_select(netlist: &Netlist) -> Result<Self, ParseKernelError> {
+        Ok(SimKernel::choose(SimKernel::env_override()?, netlist))
     }
 
     /// The pure (environment-free) selection rule behind
-    /// [`SimKernel::auto_select`]: a forced kernel wins; otherwise
-    /// word-parallel is chosen only for netlists without sequential
-    /// state, where every speculative window commits its full 64
-    /// cycles. Any DFF can bound a window to a one-cycle commit-replay
-    /// loop, which forfeits the lane packing's advantage, so sequential
-    /// netlists keep the event-driven kernel.
+    /// [`SimKernel::auto_select`], keyed on how long the speculative
+    /// windows are expected to run before a flop bounds them:
+    ///
+    /// * a forced kernel always wins;
+    /// * no sequential state at all — every window commits its full
+    ///   width, so take the widest kernel ([`SimKernel::Simd`], 256
+    ///   cycles per gate visit);
+    /// * flops but no sequential feedback
+    ///   ([`Netlist::sequential_feedback`] is false — shift registers,
+    ///   pipelined datapaths): the state settles to the input schedule
+    ///   within the pipeline depth, so windows amortize once inputs
+    ///   hold, but each input change still bounds a few windows during
+    ///   the flush — [`SimKernel::WordParallel`]'s 64-cycle window
+    ///   keeps that misspeculation waste small;
+    /// * sequential feedback (counters, FSM registers): the expected
+    ///   committed window length approaches one cycle, which forfeits
+    ///   the lane packing's advantage — stay [`SimKernel::EventDriven`].
     pub fn choose(forced: Option<SimKernel>, netlist: &Netlist) -> Self {
         if let Some(k) = forced {
             return k;
         }
         if netlist.dff_count() == 0 {
+            SimKernel::Simd
+        } else if !netlist.sequential_feedback() {
             SimKernel::WordParallel
         } else {
             SimKernel::EventDriven
         }
     }
+
+    /// Whether this kernel batches cycles into speculative lane-word
+    /// windows ([`SimKernel::WordParallel`] or [`SimKernel::Simd`]) —
+    /// the kernels [`Simulator::run_window`] and
+    /// [`Simulator::window_value`] work under.
+    pub const fn is_windowed(self) -> bool {
+        matches!(self, SimKernel::WordParallel | SimKernel::Simd)
+    }
+
+    /// Maximum cycles one speculative window can commit under this
+    /// kernel: 64 for word-parallel, 256 for simd, and 1 for the scalar
+    /// kernels (which evaluate cycle by cycle).
+    pub const fn window_bits(self) -> u32 {
+        match self {
+            SimKernel::WordParallel => 64,
+            SimKernel::Simd => 256,
+            SimKernel::EventDriven | SimKernel::Oblivious => 1,
+        }
+    }
+
+    /// `u64`s per net in the window lane buffer (0 for scalar kernels).
+    const fn window_words(self) -> usize {
+        match self {
+            SimKernel::WordParallel => 1,
+            SimKernel::Simd => 4,
+            SimKernel::EventDriven | SimKernel::Oblivious => 0,
+        }
+    }
 }
 
-/// The outcome of one speculative window under
-/// [`SimKernel::WordParallel`] (see [`Simulator::run_window`]).
+/// The outcome of one speculative window under a windowed kernel
+/// ([`SimKernel::is_windowed`]; see [`Simulator::run_window`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WindowRun {
-    /// Cycles actually committed (1..=64, never more than requested).
+    /// Cycles actually committed (at least 1, at most the kernel's
+    /// [`SimKernel::window_bits`], never more than requested).
     pub committed: u64,
     /// Whether the window ended because a stop net was asserted — the
     /// stop cycle itself is the last committed cycle.
@@ -183,10 +305,12 @@ pub struct Simulator {
     toggled: Vec<u32>,
     /// Scratch: D values sampled simultaneously at the clock edge.
     edge_sample: Vec<bool>,
-    // Word-parallel machinery (empty under the scalar kernels).
-    /// Per-net lane words for the current window: bit `j` is the net's
-    /// value at window cycle `j`. Valid only where `lane_epoch` matches
-    /// `epoch`; stale entries mean "held at `values` all window".
+    // Windowed-kernel machinery (empty under the scalar kernels).
+    /// Per-net lane words for the current window, flat at stride
+    /// `kernel.window_words()`: bit `j % 64` of `lanes[i * stride +
+    /// j / 64]` is net `i`'s value at window cycle `j`. Valid only
+    /// where `lane_epoch` matches `epoch`; stale entries mean "held at
+    /// `values` all window".
     lanes: Vec<u64>,
     /// Window stamp per lane word (lazy invalidation — no per-window
     /// clearing of the lane buffer).
@@ -200,7 +324,8 @@ pub struct Simulator {
     /// Scratch: nets whose lane differs from their committed value
     /// somewhere in the current window (ascending after sort).
     active: Vec<u32>,
-    /// Scratch: per-`active`-net toggle words over the committed prefix.
+    /// Scratch: per-`active`-net toggle words over the committed
+    /// prefix, flat at stride `kernel.window_words()`.
     active_toggle: Vec<u64>,
     /// Cycles committed by the most recent window (bounds
     /// [`Simulator::window_value`]).
@@ -220,9 +345,11 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns the netlist's [`ValidateNetlistError`] if it is malformed.
+    /// Returns the netlist's [`ValidateNetlistError`] if it is
+    /// malformed, or its [`ValidateNetlistError::Kernel`] variant if
+    /// `GATESIM_KERNEL` names an unknown kernel.
     pub fn new(netlist: &Netlist, config: PowerConfig) -> Result<Self, ValidateNetlistError> {
-        let kernel = SimKernel::auto_select(netlist);
+        let kernel = SimKernel::auto_select(netlist)?;
         Self::with_kernel(Arc::new(netlist.clone()), config, kernel)
     }
 
@@ -233,12 +360,14 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns the netlist's [`ValidateNetlistError`] if it is malformed.
+    /// Returns the netlist's [`ValidateNetlistError`] if it is
+    /// malformed, or its [`ValidateNetlistError::Kernel`] variant if
+    /// `GATESIM_KERNEL` names an unknown kernel.
     pub fn with_shared(
         netlist: Arc<Netlist>,
         config: PowerConfig,
     ) -> Result<Self, ValidateNetlistError> {
-        let kernel = SimKernel::auto_select(&netlist);
+        let kernel = SimKernel::auto_select(&netlist)?;
         Self::with_kernel(netlist, config, kernel)
     }
 
@@ -290,12 +419,8 @@ impl Simulator {
             pending_edge: Vec::new(),
             toggled: Vec::new(),
             edge_sample: Vec::new(),
-            lanes: if kernel == SimKernel::WordParallel {
-                vec![0; n]
-            } else {
-                Vec::new()
-            },
-            lane_epoch: if kernel == SimKernel::WordParallel {
+            lanes: vec![0; n * kernel.window_words()],
+            lane_epoch: if kernel.is_windowed() {
                 vec![0; n]
             } else {
                 Vec::new()
@@ -424,30 +549,30 @@ impl Simulator {
         match self.kernel {
             SimKernel::EventDriven => self.step_event(),
             SimKernel::Oblivious => self.step_oblivious(),
-            SimKernel::WordParallel => {
-                self.word_window(1, &[], &[]);
+            SimKernel::WordParallel | SimKernel::Simd => {
+                self.windowed_window(1, &[]);
                 self.report.per_cycle_j[self.report.per_cycle_j.len() - 1]
             }
         }
     }
 
     /// Runs `n` cycles with held inputs and returns the energy over
-    /// them, in joules. Under the word-parallel kernel the cycles are
-    /// batched into up-to-64-cycle windows; the returned energy is
-    /// re-folded cycle by cycle from the report so the float sum is
-    /// bit-identical to `n` scalar [`Simulator::step`] calls.
+    /// them, in joules. Under the windowed kernels the cycles are
+    /// batched into windows of up to [`SimKernel::window_bits`] cycles;
+    /// the returned energy is re-folded cycle by cycle from the report
+    /// so the float sum is bit-identical to `n` scalar
+    /// [`Simulator::step`] calls.
     pub fn run(&mut self, n: u64) -> f64 {
-        match self.kernel {
-            SimKernel::WordParallel => {
-                let start = self.report.per_cycle_j.len();
-                let mut left = n;
-                while left > 0 {
-                    let (m, _) = self.word_window(left, &[], &[]);
-                    left -= m;
-                }
-                self.report.per_cycle_j[start..].iter().sum()
+        if self.kernel.is_windowed() {
+            let start = self.report.per_cycle_j.len();
+            let mut left = n;
+            while left > 0 {
+                let (m, _) = self.windowed_window(left, &[]);
+                left -= m;
             }
-            _ => (0..n).map(|_| self.step()).sum(),
+            self.report.per_cycle_j[start..].iter().sum()
+        } else {
+            (0..n).map(|_| self.step()).sum()
         }
     }
 
@@ -456,8 +581,8 @@ impl Simulator {
     /// the energy over `changes.len()` cycles.
     ///
     /// This is the uniform batched driving surface across kernels: the
-    /// scalar kernels loop `set_input` + `step`, while the word-parallel
-    /// kernel packs each input's schedule into lane words so a whole
+    /// scalar kernels loop `set_input` + `step`, while the windowed
+    /// kernels pack each input's schedule into lane words so a whole
     /// block of cycles is evaluated per gate visit. Results are
     /// bit-identical either way.
     ///
@@ -465,25 +590,39 @@ impl Simulator {
     ///
     /// Panics if a scheduled net is not an `Input` gate.
     pub fn run_block(&mut self, changes: &[Vec<(NetId, bool)>]) -> f64 {
-        if self.kernel != SimKernel::WordParallel {
-            let mut energy = 0.0;
-            for cyc in changes {
-                for &(net, v) in cyc {
-                    self.set_input(net, v);
+        match self.kernel {
+            SimKernel::WordParallel => self.run_block_w::<1>(changes),
+            SimKernel::Simd => self.run_block_w::<4>(changes),
+            SimKernel::EventDriven | SimKernel::Oblivious => {
+                let mut energy = 0.0;
+                for cyc in changes {
+                    for &(net, v) in cyc {
+                        self.set_input(net, v);
+                    }
+                    energy += self.step();
                 }
-                energy += self.step();
+                energy
             }
-            return energy;
         }
+    }
+
+    /// [`Simulator::run_block`] under a windowed kernel at lane-word
+    /// width `W`.
+    fn run_block_w<const W: usize>(&mut self, changes: &[Vec<(NetId, bool)>]) -> f64
+    where
+        Wide<W>: LaneWord,
+    {
+        let bits = <Wide<W> as LaneWord>::BITS;
         let start = self.report.per_cycle_j.len();
         let mut pos = 0usize;
         while pos < changes.len() {
-            let chunk = (changes.len() - pos).min(64);
+            let chunk = (changes.len() - pos).min(bits as usize);
             // Pack each changed input's schedule into a lane word:
             // start from the currently forced value, overwrite from
-            // each change's offset onward (carry-forward to bit 63 so
-            // partial commits can shift the tail into a replay window).
-            let mut sched: Vec<(u32, u64)> = Vec::new();
+            // each change's offset onward (carry-forward to the top
+            // lane so partial commits can shift the tail into a replay
+            // window).
+            let mut sched: Vec<(u32, Wide<W>)> = Vec::new();
             let mut slot_of: HashMap<u32, usize> = HashMap::new();
             for (off, cyc) in changes[pos..pos + chunk].iter().enumerate() {
                 for &(net, v) in cyc {
@@ -493,28 +632,31 @@ impl Simulator {
                         "{net} is not a primary input"
                     );
                     let slot = *slot_of.entry(net.0).or_insert_with(|| {
-                        sched.push((net.0, broadcast(self.inputs[net.0 as usize])));
+                        sched.push((net.0, Wide::splat(self.inputs[net.0 as usize])));
                         sched.len() - 1
                     });
-                    let keep = (1u64 << off) - 1;
-                    sched[slot].1 = (sched[slot].1 & keep) | (broadcast(v) & !keep);
+                    let keep = Wide::<W>::low_mask(off as u32);
+                    sched[slot].1 = sched[slot]
+                        .1
+                        .and(keep)
+                        .or(Wide::splat(v).and(keep.not()));
                 }
             }
             // Speculate / commit / replay until the chunk is consumed.
             let mut live = sched.clone();
             let mut left = chunk as u64;
             while left > 0 {
-                let (m, _) = self.word_window(left, &live, &[]);
+                let (m, _) = self.word_window_w::<W>(left, &live, &[]);
                 left -= m;
                 if left > 0 {
                     for w in &mut live {
-                        w.1 = shift_schedule(w.1, m);
+                        w.1 = w.1.shr_fill(m as u32, w.1.bit(bits - 1));
                     }
                 }
             }
             // The last scheduled slot is the forced value going forward.
             for &(i, w) in &sched {
-                self.inputs[i as usize] = w >> 63 == 1;
+                self.inputs[i as usize] = w.bit(bits - 1);
             }
             pos += chunk;
         }
@@ -522,27 +664,26 @@ impl Simulator {
     }
 
     /// Runs one speculative window of at most `max_cycles` cycles
-    /// (capped at 64) with held inputs, additionally stopping at the
-    /// first cycle where any `stop` net is asserted — the seam
-    /// data-dependent input sequences (and, later, SIMD lanes or GPU
-    /// offload) drive the kernel through. The stop cycle itself is
-    /// committed; per-cycle values over the committed prefix are
-    /// readable through [`Simulator::window_value`] until the next
-    /// window starts.
+    /// (capped at the kernel's [`SimKernel::window_bits`]) with held
+    /// inputs, additionally stopping at the first cycle where any
+    /// `stop` net is asserted — the seam data-dependent input sequences
+    /// (and wider lanes or GPU offload) drive the kernel through. The
+    /// stop cycle itself is committed; per-cycle values over the
+    /// committed prefix are readable through
+    /// [`Simulator::window_value`] until the next window starts.
     ///
     /// # Panics
     ///
-    /// Panics unless the kernel is [`SimKernel::WordParallel`] and
-    /// `max_cycles >= 1`.
+    /// Panics unless the kernel is windowed
+    /// ([`SimKernel::is_windowed`]) and `max_cycles >= 1`.
     pub fn run_window(&mut self, max_cycles: u64, stop: &[NetId]) -> WindowRun {
-        assert_eq!(
-            self.kernel,
-            SimKernel::WordParallel,
-            "run_window requires the word-parallel kernel"
+        assert!(
+            self.kernel.is_windowed(),
+            "run_window requires a windowed kernel (word-parallel or simd)"
         );
         assert!(max_cycles >= 1, "a window is at least one cycle");
         let start = self.report.per_cycle_j.len();
-        let (committed, stopped) = self.word_window(max_cycles, &[], stop);
+        let (committed, stopped) = self.windowed_window(max_cycles, stop);
         WindowRun {
             committed,
             stopped,
@@ -551,22 +692,21 @@ impl Simulator {
     }
 
     /// A non-sequential net's value at cycle `cycle_in_window` of the
-    /// most recent window (word-parallel kernel only; valid until the
-    /// next window starts).
+    /// most recent window (windowed kernels only; valid until the next
+    /// window starts).
     ///
     /// # Panics
     ///
-    /// Panics unless the kernel is [`SimKernel::WordParallel`], the
-    /// cycle is within the last committed window, and the net is
-    /// combinational, constant, or an input (DFF outputs change *at*
-    /// the committing edge, so their per-cycle history is not
-    /// representable as one lane word; read them via
-    /// [`Simulator::value`] after the window instead).
+    /// Panics unless the kernel is windowed
+    /// ([`SimKernel::is_windowed`]), the cycle is within the last
+    /// committed window, and the net is combinational, constant, or an
+    /// input (DFF outputs change *at* the committing edge, so their
+    /// per-cycle history is not representable as one lane word; read
+    /// them via [`Simulator::value`] after the window instead).
     pub fn window_value(&self, net: NetId, cycle_in_window: u64) -> bool {
-        assert_eq!(
-            self.kernel,
-            SimKernel::WordParallel,
-            "window_value requires the word-parallel kernel"
+        assert!(
+            self.kernel.is_windowed(),
+            "window_value requires a windowed kernel (word-parallel or simd)"
         );
         assert!(
             cycle_in_window < self.window_len,
@@ -579,7 +719,9 @@ impl Simulator {
             "{net} is a DFF output; window lanes only cover combinational nets"
         );
         if self.lane_epoch[i] == self.epoch {
-            (self.lanes[i] >> cycle_in_window) & 1 == 1
+            let stride = self.kernel.window_words();
+            let w = self.lanes[i * stride + (cycle_in_window / 64) as usize];
+            (w >> (cycle_in_window % 64)) & 1 == 1
         } else {
             self.values[i]
         }
@@ -822,53 +964,74 @@ impl Simulator {
         }
     }
 
+    /// Runs one speculative window under whichever windowed kernel this
+    /// instance was built with (monomorphization dispatch point).
+    fn windowed_window(&mut self, budget: u64, stop: &[NetId]) -> (u64, bool) {
+        match self.kernel {
+            SimKernel::WordParallel => self.word_window_w::<1>(budget, &[], stop),
+            SimKernel::Simd => self.word_window_w::<4>(budget, &[], stop),
+            SimKernel::EventDriven | SimKernel::Oblivious => {
+                unreachable!("not a windowed kernel")
+            }
+        }
+    }
+
     /// A net's lane word for the current window: the computed lanes if
     /// the net changed this window, else its committed value broadcast
     /// to every cycle slot.
     #[inline]
-    fn lane_of(&self, i: usize) -> u64 {
+    fn lane_of_w<const W: usize>(&self, i: usize) -> Wide<W>
+    where
+        Wide<W>: LaneWord,
+    {
         if self.lane_epoch[i] == self.epoch {
-            self.lanes[i]
+            lane_get::<W>(&self.lanes, i)
         } else {
-            broadcast(self.values[i])
+            Wide::splat(self.values[i])
         }
     }
 
     /// Evaluates the combinational gate at `idx` as one word op over
     /// the current window's lanes.
-    fn eval_gate_word(&self, idx: usize) -> u64 {
+    fn eval_gate_word_w<const W: usize>(&self, idx: usize) -> Wide<W>
+    where
+        Wide<W>: LaneWord,
+    {
         let g = &self.netlist.gates()[idx];
         match g.kind {
-            GateKind::Buf => self.lane_of(g.inputs[0].0 as usize),
-            GateKind::Not => !self.lane_of(g.inputs[0].0 as usize),
+            GateKind::Buf => self.lane_of_w::<W>(g.inputs[0].0 as usize),
+            GateKind::Not => self.lane_of_w::<W>(g.inputs[0].0 as usize).not(),
             GateKind::And => g
                 .inputs
                 .iter()
-                .fold(u64::MAX, |a, &i| a & self.lane_of(i.0 as usize)),
+                .fold(Wide::ONES, |a, &i| a.and(self.lane_of_w::<W>(i.0 as usize))),
             GateKind::Or => g
                 .inputs
                 .iter()
-                .fold(0u64, |a, &i| a | self.lane_of(i.0 as usize)),
-            GateKind::Nand => !g
+                .fold(Wide::ZERO, |a, &i| a.or(self.lane_of_w::<W>(i.0 as usize))),
+            GateKind::Nand => g
                 .inputs
                 .iter()
-                .fold(u64::MAX, |a, &i| a & self.lane_of(i.0 as usize)),
-            GateKind::Nor => !g
+                .fold(Wide::ONES, |a, &i| a.and(self.lane_of_w::<W>(i.0 as usize)))
+                .not(),
+            GateKind::Nor => g
                 .inputs
                 .iter()
-                .fold(0u64, |a, &i| a | self.lane_of(i.0 as usize)),
+                .fold(Wide::ZERO, |a, &i| a.or(self.lane_of_w::<W>(i.0 as usize)))
+                .not(),
             GateKind::Xor => g
                 .inputs
                 .iter()
-                .fold(0u64, |a, &i| a ^ self.lane_of(i.0 as usize)),
-            GateKind::Xnor => !g
+                .fold(Wide::ZERO, |a, &i| a.xor(self.lane_of_w::<W>(i.0 as usize))),
+            GateKind::Xnor => g
                 .inputs
                 .iter()
-                .fold(0u64, |a, &i| a ^ self.lane_of(i.0 as usize)),
+                .fold(Wide::ZERO, |a, &i| a.xor(self.lane_of_w::<W>(i.0 as usize)))
+                .not(),
             GateKind::Mux => {
-                let s = self.lane_of(g.inputs[0].0 as usize);
-                (s & self.lane_of(g.inputs[1].0 as usize))
-                    | (!s & self.lane_of(g.inputs[2].0 as usize))
+                let s = self.lane_of_w::<W>(g.inputs[0].0 as usize);
+                s.and(self.lane_of_w::<W>(g.inputs[1].0 as usize))
+                    .or(s.not().and(self.lane_of_w::<W>(g.inputs[2].0 as usize)))
             }
             GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff(_) => {
                 unreachable!("not a combinational gate")
@@ -876,9 +1039,10 @@ impl Simulator {
         }
     }
 
-    /// One speculative word window: evaluates up to `budget` (≤64)
-    /// cycles at once under the assumption that no DFF changes inside
-    /// the window, then commits the longest provably exact prefix.
+    /// One speculative word window at lane-word width `W`: evaluates up
+    /// to `budget` (≤ the word's lane count) cycles at once under the
+    /// assumption that no DFF changes inside the window, then commits
+    /// the longest provably exact prefix.
     ///
     /// * Inputs are held at their forced values unless `sched` supplies
     ///   an explicit per-cycle lane word for them (bit `j` = the value
@@ -900,18 +1064,27 @@ impl Simulator {
     /// scalar kernels' exact float accumulation order: clock tree, then
     /// toggled nets ascending by net id, then (at the edge cycle only)
     /// DFF outputs ascending by gate order.
-    fn word_window(&mut self, budget: u64, sched: &[(u32, u64)], stop: &[NetId]) -> (u64, bool) {
-        let b = budget.min(64) as u32;
-        let mask = if b == 64 { u64::MAX } else { (1u64 << b) - 1 };
+    fn word_window_w<const W: usize>(
+        &mut self,
+        budget: u64,
+        sched: &[(u32, Wide<W>)],
+        stop: &[NetId],
+    ) -> (u64, bool)
+    where
+        Wide<W>: LaneWord,
+    {
+        let bits = <Wide<W> as LaneWord>::BITS;
+        let b = budget.min(bits as u64) as u32;
+        let mask = Wide::<W>::low_mask(b);
         self.epoch += 1;
         self.active.clear();
         // Scheduled inputs: an explicit per-cycle lane overrides the
         // held value.
         for &(i, w) in sched {
             let iu = i as usize;
-            self.lanes[iu] = w;
+            lane_set::<W>(&mut self.lanes, iu, w);
             self.lane_epoch[iu] = self.epoch;
-            if w & mask != broadcast(self.values[iu]) & mask {
+            if w.and(mask) != Wide::splat(self.values[iu]).and(mask) {
                 self.active.push(i);
                 for k in 0..self.comb_fanout[iu].len() {
                     let g = self.comb_fanout[iu][k];
@@ -927,7 +1100,7 @@ impl Simulator {
                 continue; // scheduled above
             }
             if self.values[i] != self.inputs[i] {
-                self.lanes[i] = broadcast(self.inputs[i]);
+                lane_set::<W>(&mut self.lanes, i, Wide::splat(self.inputs[i]));
                 self.lane_epoch[i] = self.epoch;
                 self.active.push(i as u32);
                 for j in 0..self.comb_fanout[i].len() {
@@ -954,9 +1127,9 @@ impl Simulator {
                 self.in_queue[g as usize] = false;
                 self.gate_evals += 1;
                 window_evals += 1;
-                let w = self.eval_gate_word(g as usize);
-                if w & mask != broadcast(self.values[g as usize]) & mask {
-                    self.lanes[g as usize] = w;
+                let w = self.eval_gate_word_w::<W>(g as usize);
+                if w.and(mask) != Wide::splat(self.values[g as usize]).and(mask) {
+                    lane_set::<W>(&mut self.lanes, g as usize, w);
                     self.lane_epoch[g as usize] = self.epoch;
                     self.active.push(g);
                     for k in 0..self.comb_fanout[g as usize].len() {
@@ -974,8 +1147,11 @@ impl Simulator {
         let mut m = b;
         for k in 0..self.dffs.len() {
             let (q, d) = self.dffs[k];
-            let viol = (self.lane_of(d as usize) ^ broadcast(self.values[q as usize])) & mask;
-            if viol != 0 {
+            let viol = self
+                .lane_of_w::<W>(d as usize)
+                .xor(Wide::splat(self.values[q as usize]))
+                .and(mask);
+            if !viol.is_zero() {
                 let t = viol.trailing_zeros() + 1;
                 if t < m {
                     m = t;
@@ -986,8 +1162,8 @@ impl Simulator {
         // at its first asserted cycle.
         let mut stopped = false;
         for &s in stop {
-            let sl = self.lane_of(s.0 as usize) & mask;
-            if sl != 0 {
+            let sl = self.lane_of_w::<W>(s.0 as usize).and(mask);
+            if !sl.is_zero() {
                 let t = sl.trailing_zeros() + 1;
                 if t <= m {
                     m = t;
@@ -999,13 +1175,13 @@ impl Simulator {
 
         // Commit: toggle words over the committed prefix, then the
         // per-cycle energy fold in the scalar kernels' order.
-        let cmask = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+        let cmask = Wide::<W>::low_mask(m);
         self.active.sort_unstable();
         self.active_toggle.clear();
         for k in 0..self.active.len() {
             let i = self.active[k] as usize;
-            self.active_toggle
-                .push(toggle_word(self.lanes[i], self.values[i]) & cmask);
+            let t = toggle_word_w(lane_get::<W>(&self.lanes, i), self.values[i]).and(cmask);
+            self.active_toggle.extend_from_slice(&t.0);
         }
         // Sample every D at the edge cycle before any state is written
         // (DFF-to-DFF chains shift simultaneously).
@@ -1013,13 +1189,14 @@ impl Simulator {
         for k in 0..self.dffs.len() {
             let d = self.dffs[k].1;
             self.edge_sample
-                .push((self.lane_of(d as usize) >> (m - 1)) & 1 == 1);
+                .push(self.lane_of_w::<W>(d as usize).bit(m - 1));
         }
         let clock = self.caps.clock_energy_per_cycle_j();
         for j in 0..m {
             let mut energy = clock;
+            let (jw, jb) = ((j / 64) as usize, j % 64);
             for k in 0..self.active.len() {
-                if (self.active_toggle[k] >> j) & 1 == 1 {
+                if (self.active_toggle[k * W + jw] >> jb) & 1 == 1 {
                     energy += self.config.switch_energy_j(self.caps.cap_ff(self.active[k]));
                 }
             }
@@ -1038,10 +1215,13 @@ impl Simulator {
         // the next window.
         for k in 0..self.active.len() {
             let i = self.active[k] as usize;
-            let pc = self.active_toggle[k].count_ones() as u64;
+            let pc: u64 = self.active_toggle[k * W..(k + 1) * W]
+                .iter()
+                .map(|w| w.count_ones() as u64)
+                .sum();
             self.toggles[i] += pc;
             self.gate_events += pc;
-            self.values[i] = (self.lanes[i] >> (m - 1)) & 1 == 1;
+            self.values[i] = lane_get::<W>(&self.lanes, i).bit(m - 1);
         }
         for k in 0..self.dffs.len() {
             let q = self.dffs[k].0 as usize;
@@ -1061,17 +1241,18 @@ impl Simulator {
     }
 }
 
-/// Shifts a `run_block` input schedule word past `m` committed cycles,
-/// extending with the final scheduled value (bit 63 is carry-filled by
-/// construction).
-fn shift_schedule(w: u64, m: u64) -> u64 {
-    debug_assert!((1..64).contains(&m));
-    let fill = if w >> 63 == 1 {
-        u64::MAX << (64 - m)
-    } else {
-        0
-    };
-    (w >> m) | fill
+/// Reads net `i`'s lane word from the flat window lane buffer.
+#[inline]
+fn lane_get<const W: usize>(lanes: &[u64], i: usize) -> Wide<W> {
+    let mut a = [0u64; W];
+    a.copy_from_slice(&lanes[i * W..(i + 1) * W]);
+    Wide(a)
+}
+
+/// Writes net `i`'s lane word into the flat window lane buffer.
+#[inline]
+fn lane_set<const W: usize>(lanes: &mut [u64], i: usize, w: Wide<W>) {
+    lanes[i * W..(i + 1) * W].copy_from_slice(&w.0);
 }
 
 #[cfg(test)]
@@ -1293,6 +1474,7 @@ mod tests {
         };
         assert_eq!(run(SimKernel::EventDriven), run(SimKernel::Oblivious));
         assert_eq!(run(SimKernel::WordParallel), run(SimKernel::Oblivious));
+        assert_eq!(run(SimKernel::Simd), run(SimKernel::Oblivious));
     }
 
     #[test]
@@ -1316,6 +1498,7 @@ mod tests {
             (e.to_bits(), report, sim.gate_events())
         };
         assert_eq!(run(SimKernel::WordParallel), run(SimKernel::Oblivious));
+        assert_eq!(run(SimKernel::Simd), run(SimKernel::Oblivious));
     }
 
     #[test]
@@ -1384,6 +1567,7 @@ mod tests {
         let word = drive(SimKernel::WordParallel);
         assert_eq!(word, drive(SimKernel::Oblivious));
         assert_eq!(word, drive(SimKernel::EventDriven));
+        assert_eq!(word, drive(SimKernel::Simd));
     }
 
     #[test]
@@ -1411,22 +1595,24 @@ mod tests {
             }
         }
         assert!(first_high > 1, "stop must not fire immediately");
-        let mut sim = Simulator::with_kernel(Arc::clone(&shared), cfg(), SimKernel::WordParallel)
-            .expect("valid");
-        let mut committed = 0u64;
-        let win = loop {
-            let w = sim.run_window(64, &[stop]);
-            committed += w.committed;
-            if w.stopped {
-                break w;
-            }
-        };
-        assert!(win.stopped);
-        assert_eq!(committed, first_high, "stop cycle is the last committed");
-        // The stop net reads high at the stop cycle through the window
-        // lane, and the committed prefix is replayable history.
-        assert!(sim.window_value(stop, win.committed - 1));
-        assert_eq!(sim.cycle(), first_high);
+        for kernel in [SimKernel::WordParallel, SimKernel::Simd] {
+            let mut sim =
+                Simulator::with_kernel(Arc::clone(&shared), cfg(), kernel).expect("valid");
+            let mut committed = 0u64;
+            let win = loop {
+                let w = sim.run_window(kernel.window_bits() as u64, &[stop]);
+                committed += w.committed;
+                if w.stopped {
+                    break w;
+                }
+            };
+            assert!(win.stopped);
+            assert_eq!(committed, first_high, "stop cycle is the last committed");
+            // The stop net reads high at the stop cycle through the
+            // window lane, and the committed prefix is replayable history.
+            assert!(sim.window_value(stop, win.committed - 1));
+            assert_eq!(sim.cycle(), first_high);
+        }
     }
 
     #[test]
@@ -1436,16 +1622,18 @@ mod tests {
         let x = n.gate(GateKind::Not, vec![a]);
         n.mark_output("x", x);
         let shared = Arc::new(n);
-        let mut sim = Simulator::with_kernel(Arc::clone(&shared), cfg(), SimKernel::WordParallel)
-            .expect("valid");
-        // Schedule a mid-block flip via run_block, then read history.
-        let mut changes = vec![Vec::new(); 10];
-        changes[4].push((a, true));
-        sim.run_block(&changes);
-        // run_block's last window covered all 10 cycles (no flops).
-        for j in 0..10u64 {
-            assert_eq!(sim.window_value(a, j), j >= 4);
-            assert_eq!(sim.window_value(x, j), j < 4);
+        for kernel in [SimKernel::WordParallel, SimKernel::Simd] {
+            let mut sim =
+                Simulator::with_kernel(Arc::clone(&shared), cfg(), kernel).expect("valid");
+            // Schedule a mid-block flip via run_block, then read history.
+            let mut changes = vec![Vec::new(); 10];
+            changes[4].push((a, true));
+            sim.run_block(&changes);
+            // run_block's last window covered all 10 cycles (no flops).
+            for j in 0..10u64 {
+                assert_eq!(sim.window_value(a, j), j >= 4);
+                assert_eq!(sim.window_value(x, j), j < 4);
+            }
         }
     }
 
@@ -1455,32 +1643,99 @@ mod tests {
         // environment (no other test here reads it concurrently).
         std::env::set_var("GATESIM_KERNEL", "word");
         std::env::set_var("GATESIM_OBLIVIOUS", "1");
-        assert_eq!(SimKernel::from_env(), SimKernel::WordParallel);
+        assert_eq!(SimKernel::from_env(), Ok(SimKernel::WordParallel));
+        // Parsing is case-insensitive and whitespace-tolerant.
+        std::env::set_var("GATESIM_KERNEL", " SIMD ");
+        assert_eq!(SimKernel::from_env(), Ok(SimKernel::Simd));
+        // Unknown values surface a typed error listing the options.
+        std::env::set_var("GATESIM_KERNEL", "warp");
+        let err = SimKernel::from_env().expect_err("unknown kernel");
+        assert_eq!(err.value(), "warp");
+        let msg = err.to_string();
+        for option in ["event", "oblivious", "word", "simd"] {
+            assert!(msg.contains(option), "{msg:?} must list {option:?}");
+        }
+        // Empty means unset: the legacy oblivious hatch applies.
+        std::env::set_var("GATESIM_KERNEL", "");
+        assert_eq!(SimKernel::from_env(), Ok(SimKernel::Oblivious));
         std::env::remove_var("GATESIM_KERNEL");
-        assert_eq!(SimKernel::from_env(), SimKernel::Oblivious);
+        assert_eq!(SimKernel::from_env(), Ok(SimKernel::Oblivious));
         std::env::remove_var("GATESIM_OBLIVIOUS");
-        assert_eq!(SimKernel::from_env(), SimKernel::EventDriven);
+        assert_eq!(SimKernel::from_env(), Ok(SimKernel::EventDriven));
     }
 
     #[test]
-    fn auto_select_prefers_word_parallel_only_without_flops() {
-        // Purely combinational: full 64-cycle windows always commit.
+    fn kernel_choice_scales_with_state_structure() {
+        // Purely combinational: full-width speculative windows always
+        // commit, so the widest (simd) kernel wins.
         let mut comb = Netlist::new();
         let a = comb.input();
         let x = comb.gate(GateKind::Not, vec![a]);
         comb.mark_output("x", x);
-        assert_eq!(SimKernel::choose(None, &comb), SimKernel::WordParallel);
-        // One flop bounds every speculative window: stay event-driven.
-        let mut seq = Netlist::new();
-        let b = seq.input();
-        let q = seq.dff(b, false);
-        seq.mark_output("q", q);
-        assert_eq!(SimKernel::choose(None, &seq), SimKernel::EventDriven);
+        assert_eq!(SimKernel::choose(None, &comb), SimKernel::Simd);
+        // Feed-forward flops (a pipeline): state settles to the input
+        // stream, so windows still run long — word-parallel pays off.
+        let mut pipe = Netlist::new();
+        let b = pipe.input();
+        let s1 = pipe.dff(b, false);
+        let s2 = pipe.dff(s1, false);
+        pipe.mark_output("q", s2);
+        assert_eq!(SimKernel::choose(None, &pipe), SimKernel::WordParallel);
+        // Sequential feedback (a toggle flop): every window commits a
+        // single cycle, so speculation never amortizes — event-driven.
+        let mut fb = Netlist::new();
+        let inv = fb.gate(GateKind::Not, vec![NetId(1)]);
+        let q = fb.dff(inv, false);
+        fb.mark_output("q", q);
+        assert_eq!(SimKernel::choose(None, &fb), SimKernel::EventDriven);
         // A forced kernel always wins over the heuristic.
-        for forced in [SimKernel::EventDriven, SimKernel::Oblivious, SimKernel::WordParallel] {
+        for forced in [
+            SimKernel::EventDriven,
+            SimKernel::Oblivious,
+            SimKernel::WordParallel,
+            SimKernel::Simd,
+        ] {
             assert_eq!(SimKernel::choose(Some(forced), &comb), forced);
-            assert_eq!(SimKernel::choose(Some(forced), &seq), forced);
+            assert_eq!(SimKernel::choose(Some(forced), &pipe), forced);
+            assert_eq!(SimKernel::choose(Some(forced), &fb), forced);
         }
+    }
+
+    #[test]
+    fn simd_kernel_commits_256_cycle_windows_when_quiescent() {
+        // The simd kernel quadruples the window: 8 wide evals cover
+        // 8 × 256 committed slots, four times the word kernel's batch.
+        let mut n = Netlist::new();
+        let a = n.input();
+        let mut prev = a;
+        for _ in 0..8 {
+            prev = n.gate(GateKind::Not, vec![prev]);
+        }
+        n.mark_output("out", prev);
+        let shared = Arc::new(n);
+        let mut sim =
+            Simulator::with_kernel(Arc::clone(&shared), cfg(), SimKernel::Simd).expect("valid");
+        sim.run(512);
+        assert_eq!(sim.gate_evals(), 0, "nothing dirty while inputs hold");
+        assert_eq!(sim.gate_eval_slots(), 0);
+        sim.set_input(a, true);
+        sim.run(256);
+        assert_eq!(sim.gate_evals(), 8);
+        assert_eq!(sim.gate_eval_slots(), 8 * 256);
+        // Same drive through the word kernel: identical energy, but the
+        // flip's window only spans 64 cycles (the three quiescent
+        // follow-up windows commit free), so a quarter of the slots.
+        let mut word = Simulator::with_kernel(Arc::clone(&shared), cfg(), SimKernel::WordParallel)
+            .expect("valid");
+        word.run(512);
+        word.set_input(a, true);
+        word.run(256);
+        assert_eq!(
+            sim.report().total_j().to_bits(),
+            word.report().total_j().to_bits()
+        );
+        assert_eq!(word.gate_evals(), 8);
+        assert_eq!(word.gate_eval_slots(), 8 * 64);
     }
 
     #[test]

@@ -1,0 +1,715 @@
+//! SIMD lane words: the `u64` lane word of [`crate::word`] widened to
+//! `[u64; N]` vectors, and the width-erased multi-stream simulator
+//! built on them.
+//!
+//! The word-parallel machinery packs 64 lanes — consecutive cycles of
+//! one stream, or 64 independent streams — into one `u64` and pays one
+//! word op per gate visit. This module widens that word to
+//! [`Wide<W>`]: `W` consecutive `u64`s treated as one `64 × W`-bit lane
+//! word, giving 128/256/512 lanes per op. Everything that made the
+//! 64-lane kernels bit-exact carries over unchanged, because every
+//! trick was already a pure word-level identity:
+//!
+//! * masked comparisons (`w & mask != splat(v) & mask`) detect window
+//!   activity;
+//! * toggle words (`lane ^ ((lane << 1) | prev)`) count transitions,
+//!   with the shift carrying across the `u64` boundaries of the wide
+//!   word;
+//! * `trailing_zeros` finds the first DFF violation, scanning the
+//!   constituent `u64`s in order.
+//!
+//! The [`LaneWord`] trait abstracts exactly those operations, with
+//! `u64` itself as the 64-lane instance — the word-parallel kernel and
+//! the widened SIMD kernel are one generic engine instantiated at two
+//! widths. Per-lane energy is still folded in the scalar kernels' exact
+//! float order (clock tree, then toggled nets ascending by net id, then
+//! DFF edges ascending by gate order), so every lane of a wide run is
+//! bit-identical to a scalar run of the same stream.
+//!
+//! # Fallback story
+//!
+//! The default build represents [`Wide<W>`] as a plain `[u64; W]` and
+//! lets LLVM auto-vectorize the elementwise loops — this compiles on
+//! stable toolchains and is what CI tests. The off-by-default
+//! `portable-simd` cargo feature (nightly only) routes the bitwise ops
+//! through `std::simd` explicit vectors instead; both paths compute the
+//! same bits, so the choice is invisible to results.
+
+use crate::netlist::{NetId, Netlist, ValidateNetlistError};
+use crate::power::{EnergyReport, PowerConfig};
+use crate::word::MultiLaneSim;
+use std::sync::Arc;
+
+/// A lane word: `BITS` independent boolean lanes evaluated by single
+/// word-level operations. Implemented by `u64` (64 lanes) and by
+/// [`Wide<W>`] (`64 × W` lanes); the gate-evaluation kernels are
+/// generic over this trait.
+pub trait LaneWord: Copy + PartialEq + Eq + std::fmt::Debug + Send + Sync + 'static {
+    /// Lanes (bits) in this word.
+    const BITS: u32;
+    /// The all-zeroes word.
+    const ZERO: Self;
+    /// The all-ones word.
+    const ONES: Self;
+
+    /// A word with every lane holding `v` (broadcast).
+    #[inline]
+    fn splat(v: bool) -> Self {
+        if v {
+            Self::ONES
+        } else {
+            Self::ZERO
+        }
+    }
+
+    /// Bitwise AND.
+    fn and(self, other: Self) -> Self;
+    /// Bitwise OR.
+    fn or(self, other: Self) -> Self;
+    /// Bitwise XOR.
+    fn xor(self, other: Self) -> Self;
+    /// Bitwise NOT.
+    fn not(self) -> Self;
+
+    /// A word with the `n` lowest lanes set (`n == BITS` gives
+    /// [`LaneWord::ONES`]).
+    fn low_mask(n: u32) -> Self;
+    /// Lane `j` as a boolean.
+    fn bit(self, j: u32) -> bool;
+    /// Returns `self` with lane `j` forced to `v`.
+    fn with_bit(self, j: u32, v: bool) -> Self;
+    /// Whether no lane is set.
+    #[inline]
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+    /// Index of the lowest set lane (`BITS` when none is set).
+    fn trailing_zeros(self) -> u32;
+    /// Number of set lanes.
+    fn count_ones(self) -> u32;
+    /// Clears the lowest set lane (identity on zero).
+    fn clear_lowest(self) -> Self;
+    /// `(self << 1) | carry_in` — the shift a toggle word needs, with
+    /// the carry propagating across constituent-`u64` boundaries.
+    fn shl1_carry(self, carry_in: bool) -> Self;
+    /// Logical shift right by `m` lanes (`0 <= m < BITS`), filling the
+    /// vacated top lanes with `fill` — how an input schedule is slid
+    /// past a partially committed window.
+    fn shr_fill(self, m: u32, fill: bool) -> Self;
+    /// Calls `f(j)` for every set lane `j`, ascending — the per-lane
+    /// demux loop of the multi-lane engines. Wide words override this
+    /// to walk their constituent `u64`s directly, keeping the cost per
+    /// set lane O(1) in the width (a `trailing_zeros`/`clear_lowest`
+    /// loop would rescan the whole word per lane).
+    #[inline]
+    fn for_each_lane(self, mut f: impl FnMut(u32)) {
+        let mut m = self;
+        while !m.is_zero() {
+            f(m.trailing_zeros());
+            m = m.clear_lowest();
+        }
+    }
+    /// Calls `f(k, word)` for each constituent `u64` (`k` ascending, 64
+    /// lanes per word), letting per-lane consumers hoist work to word
+    /// granularity — e.g. charging energy into one 64-slot chunk per
+    /// word without per-lane bounds checks.
+    fn for_each_word(self, f: impl FnMut(usize, u64));
+}
+
+impl LaneWord for u64 {
+    const BITS: u32 = 64;
+    const ZERO: Self = 0;
+    const ONES: Self = u64::MAX;
+
+    #[inline]
+    fn and(self, other: Self) -> Self {
+        self & other
+    }
+    #[inline]
+    fn or(self, other: Self) -> Self {
+        self | other
+    }
+    #[inline]
+    fn xor(self, other: Self) -> Self {
+        self ^ other
+    }
+    #[inline]
+    fn not(self) -> Self {
+        !self
+    }
+    #[inline]
+    fn low_mask(n: u32) -> Self {
+        debug_assert!(n <= 64);
+        if n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+    #[inline]
+    fn bit(self, j: u32) -> bool {
+        (self >> j) & 1 == 1
+    }
+    #[inline]
+    fn with_bit(self, j: u32, v: bool) -> Self {
+        if v {
+            self | (1u64 << j)
+        } else {
+            self & !(1u64 << j)
+        }
+    }
+    #[inline]
+    fn trailing_zeros(self) -> u32 {
+        u64::trailing_zeros(self)
+    }
+    #[inline]
+    fn count_ones(self) -> u32 {
+        u64::count_ones(self)
+    }
+    #[inline]
+    fn clear_lowest(self) -> Self {
+        self & self.wrapping_sub(1)
+    }
+    #[inline]
+    fn shl1_carry(self, carry_in: bool) -> Self {
+        (self << 1) | carry_in as u64
+    }
+    #[inline]
+    fn shr_fill(self, m: u32, fill: bool) -> Self {
+        debug_assert!(m < 64);
+        if m == 0 {
+            return self;
+        }
+        let fill_bits = if fill { u64::MAX << (64 - m) } else { 0 };
+        (self >> m) | fill_bits
+    }
+    #[inline]
+    fn for_each_word(self, mut f: impl FnMut(usize, u64)) {
+        f(0, self);
+    }
+}
+
+/// A wide lane word: `W` consecutive `u64`s treated as one
+/// `64 × W`-bit word — lane `j` is bit `j % 64` of element `j / 64`.
+///
+/// The default representation is a plain array whose elementwise ops
+/// LLVM auto-vectorizes; the `portable-simd` feature swaps the bitwise
+/// ops for `std::simd` vectors (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wide<const W: usize>(pub [u64; W]);
+
+/// 128 lanes (two `u64`s).
+pub type W128 = Wide<2>;
+/// 256 lanes (four `u64`s).
+pub type W256 = Wide<4>;
+/// 512 lanes (eight `u64`s).
+pub type W512 = Wide<8>;
+
+#[inline]
+fn wide_low_mask<const W: usize>(n: u32) -> [u64; W] {
+    debug_assert!(n as usize <= 64 * W);
+    let mut a = [0u64; W];
+    let full = (n / 64) as usize;
+    for w in a.iter_mut().take(full.min(W)) {
+        *w = u64::MAX;
+    }
+    let rem = n % 64;
+    if rem != 0 && full < W {
+        a[full] = (1u64 << rem) - 1;
+    }
+    a
+}
+
+#[inline]
+fn wide_trailing_zeros<const W: usize>(a: &[u64; W]) -> u32 {
+    for (k, &w) in a.iter().enumerate() {
+        if w != 0 {
+            return k as u32 * 64 + w.trailing_zeros();
+        }
+    }
+    64 * W as u32
+}
+
+#[inline]
+fn wide_clear_lowest<const W: usize>(mut a: [u64; W]) -> [u64; W] {
+    for w in a.iter_mut() {
+        if *w != 0 {
+            *w &= w.wrapping_sub(1);
+            break;
+        }
+    }
+    a
+}
+
+#[inline]
+fn wide_shl1_carry<const W: usize>(a: [u64; W], carry_in: bool) -> [u64; W] {
+    let mut out = [0u64; W];
+    let mut carry = carry_in as u64;
+    for (o, &w) in out.iter_mut().zip(a.iter()) {
+        *o = (w << 1) | carry;
+        carry = w >> 63;
+    }
+    out
+}
+
+#[inline]
+fn wide_shr_fill<const W: usize>(a: [u64; W], m: u32, fill: bool) -> [u64; W] {
+    debug_assert!((m as usize) < 64 * W);
+    let fill_word = if fill { u64::MAX } else { 0 };
+    // Element `i` of the result takes bits from the source extended
+    // with fill words past the top: that reproduces both the shifted
+    // payload and the `fill`-valued vacated lanes in one indexing rule.
+    let ext = |i: usize| -> u64 {
+        if i < W {
+            a[i]
+        } else {
+            fill_word
+        }
+    };
+    let wsh = (m / 64) as usize;
+    let bsh = m % 64;
+    let mut out = [0u64; W];
+    for (k, o) in out.iter_mut().enumerate() {
+        *o = if bsh == 0 {
+            ext(k + wsh)
+        } else {
+            (ext(k + wsh) >> bsh) | (ext(k + wsh + 1) << (64 - bsh))
+        };
+    }
+    out
+}
+
+// The shared (width-agnostic) part of the two `LaneWord` impls below;
+// only the four bitwise ops differ between the fallback and the
+// `std::simd` build.
+macro_rules! wide_common_methods {
+    () => {
+        const BITS: u32 = 64 * W as u32;
+        const ZERO: Self = Wide([0u64; W]);
+        const ONES: Self = Wide([u64::MAX; W]);
+
+        #[inline]
+        fn low_mask(n: u32) -> Self {
+            Wide(wide_low_mask::<W>(n))
+        }
+        #[inline]
+        fn bit(self, j: u32) -> bool {
+            (self.0[(j / 64) as usize] >> (j % 64)) & 1 == 1
+        }
+        #[inline]
+        fn with_bit(mut self, j: u32, v: bool) -> Self {
+            let w = &mut self.0[(j / 64) as usize];
+            if v {
+                *w |= 1u64 << (j % 64);
+            } else {
+                *w &= !(1u64 << (j % 64));
+            }
+            self
+        }
+        #[inline]
+        fn trailing_zeros(self) -> u32 {
+            wide_trailing_zeros(&self.0)
+        }
+        #[inline]
+        fn count_ones(self) -> u32 {
+            self.0.iter().map(|w| w.count_ones()).sum()
+        }
+        #[inline]
+        fn clear_lowest(self) -> Self {
+            Wide(wide_clear_lowest(self.0))
+        }
+        #[inline]
+        fn shl1_carry(self, carry_in: bool) -> Self {
+            Wide(wide_shl1_carry(self.0, carry_in))
+        }
+        #[inline]
+        fn shr_fill(self, m: u32, fill: bool) -> Self {
+            Wide(wide_shr_fill(self.0, m, fill))
+        }
+        #[inline]
+        fn for_each_lane(self, mut f: impl FnMut(u32)) {
+            for (k, &word) in self.0.iter().enumerate() {
+                let base = k as u32 * 64;
+                let mut w = word;
+                while w != 0 {
+                    f(base + w.trailing_zeros());
+                    w &= w.wrapping_sub(1);
+                }
+            }
+        }
+        #[inline]
+        fn for_each_word(self, mut f: impl FnMut(usize, u64)) {
+            for (k, &word) in self.0.iter().enumerate() {
+                f(k, word);
+            }
+        }
+    };
+}
+
+#[cfg(not(feature = "portable-simd"))]
+impl<const W: usize> LaneWord for Wide<W> {
+    wide_common_methods!();
+
+    #[inline]
+    fn and(mut self, other: Self) -> Self {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a &= b;
+        }
+        self
+    }
+    #[inline]
+    fn or(mut self, other: Self) -> Self {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a |= b;
+        }
+        self
+    }
+    #[inline]
+    fn xor(mut self, other: Self) -> Self {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a ^= b;
+        }
+        self
+    }
+    #[inline]
+    fn not(mut self) -> Self {
+        for a in self.0.iter_mut() {
+            *a = !*a;
+        }
+        self
+    }
+}
+
+#[cfg(feature = "portable-simd")]
+impl<const W: usize> LaneWord for Wide<W>
+where
+    std::simd::LaneCount<W>: std::simd::SupportedLaneCount,
+{
+    wide_common_methods!();
+
+    #[inline]
+    fn and(self, other: Self) -> Self {
+        use std::simd::Simd;
+        Wide((Simd::from_array(self.0) & Simd::from_array(other.0)).to_array())
+    }
+    #[inline]
+    fn or(self, other: Self) -> Self {
+        use std::simd::Simd;
+        Wide((Simd::from_array(self.0) | Simd::from_array(other.0)).to_array())
+    }
+    #[inline]
+    fn xor(self, other: Self) -> Self {
+        use std::simd::Simd;
+        Wide((Simd::from_array(self.0) ^ Simd::from_array(other.0)).to_array())
+    }
+    #[inline]
+    fn not(self) -> Self {
+        use std::simd::Simd;
+        Wide((!Simd::from_array(self.0)).to_array())
+    }
+}
+
+/// The toggle word of a cycle-packed lane at any width: lane `j` is set
+/// iff the value at slot `j` differs from slot `j - 1`, where slot `-1`
+/// is the committed value `prev` (the generic form of
+/// [`crate::word::toggle_word`]).
+#[inline]
+pub fn toggle_word_w<W: LaneWord>(lane: W, prev: bool) -> W {
+    lane.xor(lane.shl1_carry(prev))
+}
+
+/// The widest lane count [`SimdLaneSim`] supports (a [`W512`] word).
+pub const MAX_LANES: usize = 512;
+
+/// A width-erased multi-stream lockstep simulator: up to [`MAX_LANES`]
+/// independent stimulus streams over one shared netlist, packed into
+/// the narrowest lane word that fits the requested count. Each lane is
+/// bit-identical to a scalar [`crate::Simulator`] run of the same
+/// stream (see [`MultiLaneSim`]).
+///
+/// This is the simulation target of lane schedulers: Monte-Carlo
+/// stimulus points and fault/stimulus variants map one sweep unit per
+/// lane and demux per-lane reports afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use gatesim::{GateKind, Netlist, PowerConfig, SimdLaneSim};
+/// use std::sync::Arc;
+///
+/// let mut n = Netlist::new();
+/// let a = n.input();
+/// let x = n.gate(GateKind::Not, vec![a]);
+/// n.mark_output("x", x);
+/// let mut sim = SimdLaneSim::new(Arc::new(n), PowerConfig::date2000_defaults(), 100)?;
+/// sim.set_input(70, a, true); // stream 70 raises `a`, the rest hold low
+/// sim.step();
+/// assert!(!sim.value(x, 70) && sim.value(x, 0));
+/// # Ok::<(), gatesim::ValidateNetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub enum SimdLaneSim {
+    /// Up to 64 streams in a `u64` word.
+    U64(MultiLaneSim<u64>),
+    /// 65–128 streams in a [`W128`] word.
+    W128(MultiLaneSim<W128>),
+    /// 129–256 streams in a [`W256`] word.
+    W256(MultiLaneSim<W256>),
+    /// 257–512 streams in a [`W512`] word.
+    W512(MultiLaneSim<W512>),
+}
+
+macro_rules! each_width {
+    ($self:expr, $sim:ident => $body:expr) => {
+        match $self {
+            SimdLaneSim::U64($sim) => $body,
+            SimdLaneSim::W128($sim) => $body,
+            SimdLaneSim::W256($sim) => $body,
+            SimdLaneSim::W512($sim) => $body,
+        }
+    };
+}
+
+impl SimdLaneSim {
+    /// Builds a simulator for `lanes` independent streams
+    /// (1..=[`MAX_LANES`]) in the narrowest word width that holds them,
+    /// validating the netlist. All streams start from the scalar reset
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the netlist's [`ValidateNetlistError`] if it is
+    /// malformed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds [`MAX_LANES`].
+    pub fn new(
+        netlist: Arc<Netlist>,
+        config: PowerConfig,
+        lanes: usize,
+    ) -> Result<Self, ValidateNetlistError> {
+        assert!(
+            (1..=MAX_LANES).contains(&lanes),
+            "1..={MAX_LANES} lanes per simd simulator"
+        );
+        Ok(if lanes <= 64 {
+            SimdLaneSim::U64(MultiLaneSim::new(netlist, config, lanes)?)
+        } else if lanes <= 128 {
+            SimdLaneSim::W128(MultiLaneSim::new(netlist, config, lanes)?)
+        } else if lanes <= 256 {
+            SimdLaneSim::W256(MultiLaneSim::new(netlist, config, lanes)?)
+        } else {
+            SimdLaneSim::W512(MultiLaneSim::new(netlist, config, lanes)?)
+        })
+    }
+
+    /// The shared netlist this simulator evaluates.
+    pub fn netlist(&self) -> &Arc<Netlist> {
+        each_width!(self, s => s.netlist())
+    }
+
+    /// Number of independent streams in flight.
+    pub fn lanes(&self) -> usize {
+        each_width!(self, s => s.lanes())
+    }
+
+    /// Lanes per word of the selected width (64/128/256/512) — how many
+    /// streams one word op covers, including any unoccupied tail lanes.
+    pub fn word_lanes(&self) -> usize {
+        match self {
+            SimdLaneSim::U64(_) => 64,
+            SimdLaneSim::W128(_) => 128,
+            SimdLaneSim::W256(_) => 256,
+            SimdLaneSim::W512(_) => 512,
+        }
+    }
+
+    /// Forces a primary input for one stream from the next cycle on
+    /// (see [`MultiLaneSim::set_input`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an `Input` gate or `lane` is out of range.
+    #[inline]
+    pub fn set_input(&mut self, lane: usize, net: NetId, value: bool) {
+        each_width!(self, s => s.set_input(lane, net, value));
+    }
+
+    /// The settled value of a net in one stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn value(&self, net: NetId, lane: usize) -> bool {
+        each_width!(self, s => s.value(net, lane))
+    }
+
+    /// Total toggle count of a net in one stream so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn toggle_count(&self, net: NetId, lane: usize) -> u64 {
+        each_width!(self, s => s.toggle_count(net, lane))
+    }
+
+    /// One stream's accumulated cycle-by-cycle energy report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn report(&self, lane: usize) -> &EnergyReport {
+        each_width!(self, s => s.report(lane))
+    }
+
+    /// Cycles simulated so far (all streams advance together).
+    pub fn cycle(&self) -> u64 {
+        each_width!(self, s => s.cycle())
+    }
+
+    /// Combinational word evaluations so far (each covers every lane).
+    pub fn gate_evals(&self) -> u64 {
+        each_width!(self, s => s.gate_evals())
+    }
+
+    /// Committed `(gate, stream, cycle)` evaluation slots:
+    /// `gate_evals × lanes` (see [`MultiLaneSim::gate_eval_slots`]).
+    pub fn gate_eval_slots(&self) -> u64 {
+        each_width!(self, s => s.gate_eval_slots())
+    }
+
+    /// Net value changes observed so far, summed over all streams.
+    pub fn gate_events(&self) -> u64 {
+        each_width!(self, s => s.gate_events())
+    }
+
+    /// Simulates one clock cycle of every stream in lockstep.
+    pub fn step(&mut self) {
+        each_width!(self, s => s.step());
+    }
+
+    /// Runs `n` lockstep cycles.
+    pub fn run(&mut self, n: u64) {
+        each_width!(self, s => s.run(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detrand::Rng;
+
+    /// Reference model: a `Vec<bool>` of lanes.
+    fn ref_bits(n: u32, rng: &mut Rng) -> Vec<bool> {
+        (0..n).map(|_| rng.bool_with(0.5)).collect()
+    }
+
+    fn from_bits<W: LaneWord>(bits: &[bool]) -> W {
+        bits.iter()
+            .enumerate()
+            .fold(W::ZERO, |w, (i, &b)| w.with_bit(i as u32, b))
+    }
+
+    fn to_bits<W: LaneWord>(w: W) -> Vec<bool> {
+        (0..W::BITS).map(|j| w.bit(j)).collect()
+    }
+
+    fn check_width<W: LaneWord>(seed: u64) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..40 {
+            let a_bits = ref_bits(W::BITS, &mut rng);
+            let b_bits = ref_bits(W::BITS, &mut rng);
+            let a: W = from_bits(&a_bits);
+            let b: W = from_bits(&b_bits);
+            // Bitwise ops against the boolean model.
+            let pair = |f: fn(bool, bool) -> bool| -> Vec<bool> {
+                a_bits.iter().zip(&b_bits).map(|(&x, &y)| f(x, y)).collect()
+            };
+            assert_eq!(to_bits(a.and(b)), pair(|x, y| x && y));
+            assert_eq!(to_bits(a.or(b)), pair(|x, y| x || y));
+            assert_eq!(to_bits(a.xor(b)), pair(|x, y| x ^ y));
+            assert_eq!(
+                to_bits(a.not()),
+                a_bits.iter().map(|&x| !x).collect::<Vec<_>>()
+            );
+            // Population counts and scans.
+            assert_eq!(
+                a.count_ones(),
+                a_bits.iter().filter(|&&x| x).count() as u32
+            );
+            let first_set = a_bits.iter().position(|&x| x).map(|p| p as u32);
+            assert_eq!(a.trailing_zeros(), first_set.unwrap_or(W::BITS));
+            if let Some(p) = first_set {
+                assert_eq!(a.clear_lowest(), a.with_bit(p, false));
+            }
+            // Shift with carry-in (toggle-word shift).
+            for carry in [false, true] {
+                let mut expect = vec![carry];
+                expect.extend(&a_bits[..W::BITS as usize - 1]);
+                assert_eq!(to_bits(a.shl1_carry(carry)), expect);
+            }
+            // Schedule shift: right by m, top filled.
+            let m = rng.u64_in(0, W::BITS as u64) as u32;
+            for fill in [false, true] {
+                let mut expect: Vec<bool> = a_bits[m as usize..].to_vec();
+                expect.resize(W::BITS as usize, fill);
+                assert_eq!(to_bits(a.shr_fill(m, fill)), expect, "m = {m}");
+            }
+            // Masks.
+            let n = rng.u64_in(0, W::BITS as u64 + 1) as u32;
+            let mask = W::low_mask(n);
+            assert_eq!(mask.count_ones(), n);
+            assert_eq!(mask.and(W::ONES), mask);
+            if n < W::BITS {
+                assert!(!mask.bit(n));
+            }
+        }
+        assert!(W::ZERO.is_zero() && !W::ONES.is_zero());
+        assert_eq!(W::splat(true), W::ONES);
+        assert_eq!(W::splat(false), W::ZERO);
+        assert_eq!(W::ZERO.trailing_zeros(), W::BITS);
+        assert_eq!(W::ZERO.clear_lowest(), W::ZERO);
+    }
+
+    #[test]
+    fn lane_word_ops_match_the_boolean_model_at_every_width() {
+        check_width::<u64>(1);
+        check_width::<W128>(2);
+        check_width::<W256>(3);
+        check_width::<W512>(4);
+        check_width::<Wide<1>>(5);
+    }
+
+    #[test]
+    fn wide_toggle_word_matches_u64_per_element_semantics() {
+        let mut rng = Rng::new(99);
+        for _ in 0..20 {
+            let bits = ref_bits(256, &mut rng);
+            let prev = rng.bool_with(0.5);
+            let w: W256 = from_bits(&bits);
+            let t = toggle_word_w(w, prev);
+            let mut last = prev;
+            for (j, &b) in bits.iter().enumerate() {
+                assert_eq!(t.bit(j as u32), b != last, "lane {j}");
+                last = b;
+            }
+        }
+    }
+
+    #[test]
+    fn simd_lane_sim_picks_the_narrowest_width() {
+        use crate::netlist::GateKind;
+        let mut n = Netlist::new();
+        let a = n.input();
+        let x = n.gate(GateKind::Not, vec![a]);
+        n.mark_output("x", x);
+        let shared = Arc::new(n);
+        let cfg = PowerConfig::date2000_defaults();
+        for (lanes, words) in [(1, 64), (64, 64), (65, 128), (128, 128), (129, 256), (512, 512)] {
+            let sim = SimdLaneSim::new(Arc::clone(&shared), cfg.clone(), lanes).expect("valid");
+            assert_eq!(sim.lanes(), lanes);
+            assert_eq!(sim.word_lanes(), words, "lanes = {lanes}");
+        }
+    }
+}

@@ -35,7 +35,7 @@ use crate::bus::{
 };
 use crate::netlist::{GateKind, NetId, Netlist, ValidateNetlistError};
 use crate::power::PowerConfig;
-use crate::sim::{SimKernel, Simulator};
+use crate::sim::Simulator;
 use cfsm::{BinOp, Cfsm, EventId, Expr, Stmt, Terminator, TransitionId, UnOp, VarId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -327,7 +327,7 @@ impl HwTransition {
         event_value: &dyn Fn(EventId) -> i64,
         mem_reads: &[i64],
     ) -> HwRun {
-        if self.sim.kernel() == SimKernel::WordParallel {
+        if self.sim.kernel().is_windowed() {
             return self.run_word(vars_in, event_value, mem_reads);
         }
         let w = self.width;
@@ -409,10 +409,11 @@ impl HwTransition {
         }
     }
 
-    /// The word-parallel run protocol: identical observable behavior to
-    /// the scalar [`HwTransition::run`] loop, bit for bit, but the
-    /// execution cycles advance through up-to-64-cycle speculative
-    /// windows ([`Simulator::run_window`]) instead of scalar steps.
+    /// The windowed (word-parallel / simd) run protocol: identical
+    /// observable behavior to the scalar [`HwTransition::run`] loop, bit
+    /// for bit, but the execution cycles advance through speculative
+    /// windows of up to the kernel's lane count
+    /// ([`Simulator::run_window`]) instead of scalar steps.
     ///
     /// Data-dependent input sequencing is the interesting seam: the
     /// master supplies memory read data *in response to* `mem_re`, so a
@@ -456,7 +457,7 @@ impl HwTransition {
         let mut next_read = 0usize;
         'execute: loop {
             let base = sim.report().per_cycle_j.len();
-            let win = sim.run_window(64, &stop);
+            let win = sim.run_window(sim.kernel().window_bits() as u64, &stop);
             for j in 0..win.committed {
                 energy += sim.report().per_cycle_j[base + j as usize];
                 cycles += 1;

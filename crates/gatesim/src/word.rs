@@ -1,35 +1,50 @@
 //! Word-level (bit-parallel) simulation support: lane packing utilities
-//! and a 64-stream lockstep simulator.
+//! and a multi-stream lockstep simulator generic over the lane width.
 //!
 //! The software analogue of hardware-accelerated power estimation
 //! (Coburn/Ravi/Raghunathan): a net's value over 64 cycle slots — or
 //! across 64 independent stimulus streams — is one `u64` *lane word*,
 //! and every gate evaluation is a single word operation (`&`, `|`, `^`,
 //! `!`, and `(s & a) | (!s & b)` for a mux). Toggle counting becomes a
-//! popcount over a *toggle word* ([`toggle_word`]).
+//! popcount over a *toggle word* ([`toggle_word`]). The
+//! [`crate::simd::LaneWord`] trait widens the same scheme to 128/256/512
+//! lanes per word op.
 //!
-//! Two consumers build on these primitives:
+//! Three consumers build on these primitives:
 //!
 //! * [`crate::SimKernel::WordParallel`] packs up to 64 *consecutive
 //!   cycles of one stream* into each lane word, with a speculate /
 //!   commit-prefix / replay seam at DFF boundaries (see
-//!   `gatesim::sim`).
-//! * [`LaneSim`] (here) packs *64 independent streams* into each lane
-//!   word and steps them in lockstep — sequential feedback never limits
-//!   the batch because the lanes share nothing, which is what makes
-//!   word-level evaluation pay off on state-dense netlists. Each lane
-//!   is bit-identical to a scalar [`crate::Simulator`] run of the same
-//!   stream, including the per-cycle float accumulation order and the
-//!   seed's constant-init quirk.
+//!   `gatesim::sim`); [`crate::SimKernel::Simd`] is the same engine at
+//!   256 cycles per word.
+//! * [`MultiLaneSim`] (here) packs *independent streams* into each lane
+//!   word — one per lane — and steps them in lockstep; sequential
+//!   feedback never limits the batch because the lanes share nothing,
+//!   which is what makes word-level evaluation pay off on state-dense
+//!   netlists. Each lane is bit-identical to a scalar
+//!   [`crate::Simulator`] run of the same stream, including the
+//!   per-cycle float accumulation order and the seed's constant-init
+//!   quirk. [`LaneSim`] is its classic 64-stream `u64` instance;
+//!   [`crate::SimdLaneSim`] erases the width and scales to 512 streams.
 
 use crate::netlist::{GateKind, NetId, Netlist, ValidateNetlistError};
 use crate::power::{CapacitanceMap, EnergyReport, PowerConfig};
+use crate::simd::LaneWord;
 use std::sync::Arc;
 
-/// Number of cycle (or stream) slots packed into one lane word.
+/// Number of cycle (or stream) slots packed into one `u64` lane word.
 pub const LANES: usize = 64;
 
-/// A lane word with every slot holding `v`.
+/// Bit-planes of the bit-sliced per-lane toggle counters in
+/// [`MultiLaneSim`]: plane `k` holds bit `k` of every lane's running
+/// count, so counts up to `2^TOGGLE_PLANES - 1` live entirely in word
+/// ops; wraps past the top plane spill into a per-lane overflow array.
+/// Eight planes keep a wrap (a whole cache line of spill traffic) down
+/// to once per 256 toggles of a net, while the plane-major carry pass
+/// concentrates its traffic in the bottom row or two.
+const TOGGLE_PLANES: usize = 8;
+
+/// A `u64` lane word with every slot holding `v`.
 #[inline]
 pub fn broadcast(v: bool) -> u64 {
     if v {
@@ -66,6 +81,7 @@ pub fn unpack_lanes(word: u64, n: usize) -> Vec<bool> {
 /// where cycle `-1` is the committed value `prev` from before the
 /// window. `popcount(toggle_word(..) & prefix_mask)` is exactly the
 /// scalar kernels' toggle count over that prefix.
+/// ([`crate::simd::toggle_word_w`] is the width-generic form.)
 #[inline]
 pub fn toggle_word(lane: u64, prev: bool) -> u64 {
     lane ^ ((lane << 1) | prev as u64)
@@ -81,47 +97,118 @@ struct CompiledOp {
     args_len: u32,
 }
 
+/// A maximal consecutive range of compiled ops sharing one
+/// `(kind, args_len)` shape, so the evaluator can hoist the kind
+/// dispatch out of the per-op loop and run a tight specialized sweep
+/// over each run.
+#[derive(Debug, Clone, Copy)]
+struct EvalRun {
+    kind: GateKind,
+    args_len: u32,
+    start: u32,
+    end: u32,
+}
+
 /// The netlist's combinational logic flattened to a branch-light op
 /// stream in topological order — one pass is one full settle.
 #[derive(Debug, Clone)]
 struct CompiledOps {
     ops: Vec<CompiledOp>,
     args: Vec<u32>,
+    runs: Vec<EvalRun>,
+}
+
+/// Sort rank of a gate kind within one depth level (any fixed order
+/// works; the point is grouping equal kinds together).
+fn kind_rank(kind: GateKind) -> u8 {
+    match kind {
+        GateKind::Buf => 0,
+        GateKind::Not => 1,
+        GateKind::And => 2,
+        GateKind::Or => 3,
+        GateKind::Nand => 4,
+        GateKind::Nor => 5,
+        GateKind::Xor => 6,
+        GateKind::Xnor => 7,
+        GateKind::Mux => 8,
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff(_) => 9,
+    }
 }
 
 fn compile(netlist: &Netlist, order: &[NetId]) -> CompiledOps {
-    let mut ops = Vec::with_capacity(order.len());
-    let mut args = Vec::new();
+    // Logic depth per net: non-combinational sources stay 0, each gate
+    // sits one past its deepest input. Evaluating in ascending depth is
+    // topologically valid (a gate only reads strictly shallower nets),
+    // and inside a level no gate depends on another — so a stable sort
+    // by (depth, kind) is free to group equal kinds into long runs,
+    // keeping the evaluator's per-op kind dispatch predicted instead of
+    // mispredicting on every netlist-order kind change.
+    let mut depth = vec![0u32; netlist.gate_count()];
     for &id in order {
+        let g = &netlist.gates()[id.0 as usize];
+        let deepest = g.inputs.iter().map(|i| depth[i.0 as usize]).max();
+        depth[id.0 as usize] = deepest.unwrap_or(0) + 1;
+    }
+    let mut sorted: Vec<NetId> = order.to_vec();
+    sorted.sort_by_key(|id| {
+        let g = &netlist.gates()[id.0 as usize];
+        (depth[id.0 as usize], kind_rank(g.kind), g.inputs.len())
+    });
+    let mut ops: Vec<CompiledOp> = Vec::with_capacity(sorted.len());
+    let mut args = Vec::new();
+    let mut runs: Vec<EvalRun> = Vec::new();
+    for &id in &sorted {
         let g = &netlist.gates()[id.0 as usize];
         let start = args.len() as u32;
         args.extend(g.inputs.iter().map(|n| n.0));
+        let len = g.inputs.len() as u32;
+        match runs.last_mut() {
+            Some(r) if r.kind == g.kind && r.args_len == len => r.end += 1,
+            _ => runs.push(EvalRun {
+                kind: g.kind,
+                args_len: len,
+                start: ops.len() as u32,
+                end: ops.len() as u32 + 1,
+            }),
+        }
         ops.push(CompiledOp {
             kind: g.kind,
             out: id.0,
             args_start: start,
-            args_len: g.inputs.len() as u32,
+            args_len: len,
         });
     }
-    CompiledOps { ops, args }
+    CompiledOps { ops, args, runs }
 }
 
-/// Evaluates one compiled op over lane words.
+/// Evaluates one compiled op over lane words of any width.
 #[inline]
-fn eval_op(op: &CompiledOp, args: &[u32], values: &[u64]) -> u64 {
+fn eval_op<W: LaneWord>(op: &CompiledOp, args: &[u32], values: &[W]) -> W {
     let ins = &args[op.args_start as usize..(op.args_start + op.args_len) as usize];
     match op.kind {
         GateKind::Buf => values[ins[0] as usize],
-        GateKind::Not => !values[ins[0] as usize],
-        GateKind::And => ins.iter().fold(u64::MAX, |a, &i| a & values[i as usize]),
-        GateKind::Or => ins.iter().fold(0u64, |a, &i| a | values[i as usize]),
-        GateKind::Nand => !ins.iter().fold(u64::MAX, |a, &i| a & values[i as usize]),
-        GateKind::Nor => !ins.iter().fold(0u64, |a, &i| a | values[i as usize]),
-        GateKind::Xor => ins.iter().fold(0u64, |a, &i| a ^ values[i as usize]),
-        GateKind::Xnor => !ins.iter().fold(0u64, |a, &i| a ^ values[i as usize]),
+        GateKind::Not => values[ins[0] as usize].not(),
+        GateKind::And => ins
+            .iter()
+            .fold(W::ONES, |a, &i| a.and(values[i as usize])),
+        GateKind::Or => ins.iter().fold(W::ZERO, |a, &i| a.or(values[i as usize])),
+        GateKind::Nand => ins
+            .iter()
+            .fold(W::ONES, |a, &i| a.and(values[i as usize]))
+            .not(),
+        GateKind::Nor => ins
+            .iter()
+            .fold(W::ZERO, |a, &i| a.or(values[i as usize]))
+            .not(),
+        GateKind::Xor => ins.iter().fold(W::ZERO, |a, &i| a.xor(values[i as usize])),
+        GateKind::Xnor => ins
+            .iter()
+            .fold(W::ZERO, |a, &i| a.xor(values[i as usize]))
+            .not(),
         GateKind::Mux => {
             let s = values[ins[0] as usize];
-            (s & values[ins[1] as usize]) | (!s & values[ins[2] as usize])
+            s.and(values[ins[1] as usize])
+                .or(s.not().and(values[ins[2] as usize]))
         }
         GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff(_) => {
             unreachable!("not a combinational gate")
@@ -129,8 +216,33 @@ fn eval_op(op: &CompiledOp, args: &[u32], values: &[u64]) -> u64 {
     }
 }
 
-/// A lockstep simulator of up to 64 *independent* stimulus streams over
-/// one shared netlist: lane `ℓ` of every net word is stream `ℓ`'s value.
+/// One specialized evaluation sweep over a run of same-shape ops: for
+/// each op, `eval` computes the settled word, and the toggle against
+/// the overwritten previous value is recorded branchlessly into the
+/// mask/scratch pair. Monomorphized per gate shape so the kind dispatch
+/// lives outside the loop.
+#[inline]
+fn sweep_run<W: LaneWord>(
+    ops: &[CompiledOp],
+    values: &mut [W],
+    lane_mask: W,
+    toggled_mask: &mut [u64],
+    toggle_scratch: &mut [W],
+    eval: impl Fn(&CompiledOp, &[W]) -> W,
+) {
+    for op in ops {
+        let out = op.out as usize;
+        let v = eval(op, values);
+        let t = v.xor(values[out]).and(lane_mask);
+        values[out] = v;
+        toggled_mask[out / 64] |= (!t.is_zero() as u64) << (out % 64);
+        toggle_scratch[out] = t;
+    }
+}
+
+/// A lockstep simulator of *independent* stimulus streams over one
+/// shared netlist — one stream per lane of the lane word `W`, so a
+/// `u64` word carries 64 streams and a [`crate::simd::W256`] word 256.
 ///
 /// Every cycle runs one full compiled word pass (oblivious-style) and a
 /// full before/after diff, so the per-lane energy accumulation order —
@@ -155,32 +267,68 @@ fn eval_op(op: &CompiledOp, args: &[u32], values: &[u64]) -> u64 {
 /// # Ok::<(), gatesim::ValidateNetlistError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct LaneSim {
+pub struct MultiLaneSim<W: LaneWord> {
     netlist: Arc<Netlist>,
     caps: CapacitanceMap,
-    config: PowerConfig,
     lanes: usize,
-    lane_mask: u64,
+    lane_mask: W,
     compiled: CompiledOps,
     input_ids: Vec<u32>,
+    /// One bit per net: is it a primary input? `set_input` validates
+    /// against this instead of indexing the full gate array — the check
+    /// runs per (lane, change) in the hot driving loop, and the bitmap
+    /// stays cache-resident where the gate records do not.
+    input_mask: Vec<u64>,
     /// `(gate index, D-input net)` per DFF, ascending by gate index.
     dffs: Vec<(u32, u32)>,
-    values: Vec<u64>,
-    inputs: Vec<u64>,
-    prev: Vec<u64>,
-    edge_sample: Vec<u64>,
+    values: Vec<W>,
+    inputs: Vec<W>,
+    /// One bit per net: toggled this step. The input-apply and eval
+    /// sweeps record toggles here as they overwrite each net's settled
+    /// value (the old word is already in hand at that moment), and the
+    /// charge pass drains set bits in ascending net order — the scalar
+    /// kernels' float accumulation order — without a separate
+    /// whole-array `prev` diff scan.
+    toggled_mask: Vec<u64>,
+    /// The toggle word recorded for each net set in `toggled_mask`
+    /// (stale entries for unset nets are never read).
+    toggle_scratch: Vec<W>,
+    edge_sample: Vec<W>,
+    /// Per-step, per-lane energy scratch, padded to the full `W::BITS`
+    /// slots so the charge loop can slice one whole 64-slot chunk per
+    /// constituent word (lanes past `lanes` are never set in a masked
+    /// toggle word and stay at the clock-fill value).
     energy: Vec<f64>,
-    toggles: Vec<u64>,
+    /// Switch energy per net, precomputed once from the capacitance
+    /// map — the charge drain reads it per toggled net.
+    switch_e: Vec<f64>,
+    /// Bit-sliced per-lane toggle counters, plane-major: plane `k` of
+    /// net `i` lives at `k * nets + i`, so the end-of-step carry pass
+    /// sweeps one dense row per plane (and plane `k`'s row is touched
+    /// only by nets still carrying after `k` halvings — the hot
+    /// footprint is ~2 rows, not the whole array). Each lane's count
+    /// has bit `k` in plane `k`; a toggle is a ripple-carry increment
+    /// in word ops rather than a per-lane read-modify-write over a
+    /// `nets × lanes` array.
+    toggle_planes: Vec<W>,
+    /// Overflow spill: whole-plane wraps land here as `2^TOGGLE_PLANES`
+    /// per-lane increments (touched once every `2^TOGGLE_PLANES`
+    /// toggles of a net, so its cache traffic is negligible).
+    toggle_wraps: Vec<u64>,
     reports: Vec<EnergyReport>,
     cycle: u64,
     gate_evals: u64,
-    gate_events: u64,
+    gate_eval_slots: u64,
 }
 
-impl LaneSim {
+/// The classic 64-stream lockstep simulator: [`MultiLaneSim`] over a
+/// `u64` lane word.
+pub type LaneSim = MultiLaneSim<u64>;
+
+impl<W: LaneWord> MultiLaneSim<W> {
     /// Builds a lane simulator for `lanes` independent streams
-    /// (1..=64), validating the netlist. All streams start from the
-    /// same reset state a scalar [`crate::Simulator`] starts from.
+    /// (`1..=W::BITS`), validating the netlist. All streams start from
+    /// the same reset state a scalar [`crate::Simulator`] starts from.
     ///
     /// # Errors
     ///
@@ -189,50 +337,63 @@ impl LaneSim {
     ///
     /// # Panics
     ///
-    /// Panics if `lanes` is 0 or exceeds [`LANES`].
+    /// Panics if `lanes` is 0 or exceeds the word's lane count.
     pub fn new(
         netlist: Arc<Netlist>,
         config: PowerConfig,
         lanes: usize,
     ) -> Result<Self, ValidateNetlistError> {
-        assert!((1..=LANES).contains(&lanes), "1..=64 lanes per word");
+        assert!(
+            (1..=W::BITS as usize).contains(&lanes),
+            "1..={} lanes per word",
+            W::BITS
+        );
         let order = netlist.validate()?;
         let caps = CapacitanceMap::new(&netlist, &config);
         let compiled = compile(&netlist, &order);
         let n = netlist.gate_count();
+        let switch_e: Vec<f64> = (0..n)
+            .map(|i| config.switch_energy_j(caps.cap_ff(i as u32)))
+            .collect();
         let mut input_ids = Vec::new();
+        let mut input_mask = vec![0u64; n.div_ceil(64)];
         let mut dffs = Vec::new();
         for (i, g) in netlist.gates().iter().enumerate() {
             match g.kind {
-                GateKind::Input => input_ids.push(i as u32),
+                GateKind::Input => {
+                    input_ids.push(i as u32);
+                    input_mask[i / 64] |= 1u64 << (i % 64);
+                }
                 GateKind::Dff(_) => dffs.push((i as u32, g.inputs[0].0)),
                 _ => {}
             }
         }
-        let lane_mask = if lanes == LANES {
-            u64::MAX
-        } else {
-            (1u64 << lanes) - 1
-        };
-        let mut sim = LaneSim {
+        let mut sim = MultiLaneSim {
             netlist,
             caps,
-            config,
             lanes,
-            lane_mask,
+            lane_mask: W::low_mask(lanes as u32),
             compiled,
             input_ids,
+            input_mask,
             dffs,
-            values: vec![0; n],
-            inputs: vec![0; n],
-            prev: vec![0; n],
+            values: vec![W::ZERO; n],
+            inputs: vec![W::ZERO; n],
+            toggled_mask: vec![0; n.div_ceil(64)],
+            toggle_scratch: vec![W::ZERO; n],
             edge_sample: Vec::new(),
-            energy: vec![0.0; lanes],
-            toggles: vec![0; n * lanes],
+            energy: vec![0.0; W::BITS as usize],
+            switch_e,
+            toggle_planes: if W::BITS == 64 {
+                Vec::new() // narrow charge path counts directly in `toggle_wraps`
+            } else {
+                vec![W::ZERO; n * TOGGLE_PLANES]
+            },
+            toggle_wraps: vec![0; n * lanes],
             reports: vec![EnergyReport::default(); lanes],
             cycle: 0,
             gate_evals: 0,
-            gate_events: 0,
+            gate_eval_slots: 0,
         };
         // Reset settle, mirroring the scalar construction exactly: DFFs
         // at their init values, one combinational pass *before* the
@@ -241,7 +402,7 @@ impl LaneSim {
         // cycle charges them as toggles).
         for (i, g) in sim.netlist.gates().iter().enumerate() {
             if let GateKind::Dff(init) = g.kind {
-                sim.values[i] = broadcast(init);
+                sim.values[i] = W::splat(init);
             }
         }
         for op in &sim.compiled.ops {
@@ -249,8 +410,8 @@ impl LaneSim {
         }
         for (i, g) in sim.netlist.gates().iter().enumerate() {
             match g.kind {
-                GateKind::Const0 => sim.values[i] = 0,
-                GateKind::Const1 => sim.values[i] = u64::MAX,
+                GateKind::Const0 => sim.values[i] = W::ZERO,
+                GateKind::Const1 => sim.values[i] = W::ONES,
                 _ => {}
             }
         }
@@ -274,17 +435,13 @@ impl LaneSim {
     /// Panics if `net` is not an `Input` gate or `lane` is out of range.
     pub fn set_input(&mut self, lane: usize, net: NetId, value: bool) {
         assert!(lane < self.lanes, "lane {lane} out of range");
-        assert_eq!(
-            self.netlist.gates()[net.0 as usize].kind,
-            GateKind::Input,
+        let i = net.0 as usize;
+        assert!(
+            self.input_mask[i / 64] >> (i % 64) & 1 == 1,
             "{net} is not a primary input"
         );
-        let bit = 1u64 << lane;
-        if value {
-            self.inputs[net.0 as usize] |= bit;
-        } else {
-            self.inputs[net.0 as usize] &= !bit;
-        }
+        let w = &mut self.inputs[i];
+        *w = w.with_bit(lane as u32, value);
     }
 
     /// The settled value of a net in one stream.
@@ -294,12 +451,12 @@ impl LaneSim {
     /// Panics if `lane` is out of range.
     pub fn value(&self, net: NetId, lane: usize) -> bool {
         assert!(lane < self.lanes, "lane {lane} out of range");
-        (self.values[net.0 as usize] >> lane) & 1 == 1
+        self.values[net.0 as usize].bit(lane as u32)
     }
 
-    /// The settled lane word of a net (bit `ℓ` is stream `ℓ`).
-    pub fn value_word(&self, net: NetId) -> u64 {
-        self.values[net.0 as usize] & self.lane_mask
+    /// The settled lane word of a net (lane `ℓ` is stream `ℓ`).
+    pub fn value_word(&self, net: NetId) -> W {
+        self.values[net.0 as usize].and(self.lane_mask)
     }
 
     /// Total toggle count of a net in one stream so far.
@@ -309,7 +466,15 @@ impl LaneSim {
     /// Panics if `lane` is out of range.
     pub fn toggle_count(&self, net: NetId, lane: usize) -> u64 {
         assert!(lane < self.lanes, "lane {lane} out of range");
-        self.toggles[net.0 as usize * self.lanes + lane]
+        let mut count = self.toggle_wraps[net.0 as usize * self.lanes + lane];
+        if W::BITS != 64 {
+            let n = self.netlist.gate_count();
+            for k in 0..TOGGLE_PLANES {
+                count +=
+                    (self.toggle_planes[k * n + net.0 as usize].bit(lane as u32) as u64) << k;
+            }
+        }
+        count
     }
 
     /// One stream's accumulated cycle-by-cycle energy report.
@@ -327,44 +492,154 @@ impl LaneSim {
     }
 
     /// Combinational *word* evaluations so far — each covers every lane,
-    /// so the per-stream-cycle equivalent is `gate_evals × lanes`.
+    /// so the per-stream-cycle equivalent is `gate_evals × lanes`
+    /// (which is exactly [`Self::gate_eval_slots`]).
     pub fn gate_evals(&self) -> u64 {
         self.gate_evals
     }
 
+    /// Committed `(gate, stream, cycle)` evaluation slots:
+    /// `gate_evals × lanes`, since every word evaluation settles one
+    /// cycle of every stream. Comparable across kernels — a scalar run
+    /// of the same streams would report this many `gate_eval_slots`
+    /// under the oblivious kernel.
+    pub fn gate_eval_slots(&self) -> u64 {
+        self.gate_eval_slots
+    }
+
     /// Net value changes observed so far, summed over all streams
     /// (directly comparable to the sum of scalar runs' `gate_events`).
+    ///
+    /// Derived from the toggle counters on demand — the same integer
+    /// total an incremental tally would hold, without spending a
+    /// (software, on baseline x86-64) popcount per charged net in the
+    /// hot loop. Costs a pass over the counter arrays, so query it at
+    /// batch granularity rather than per cycle.
     pub fn gate_events(&self) -> u64 {
-        self.gate_events
+        // Wrap spills are stored pre-scaled (`+= 1 << TOGGLE_PLANES`
+        // per spill; `+= 1` per toggle at `u64` width), so the raw sum
+        // is already in toggle units.
+        let mut total: u64 = self.toggle_wraps.iter().sum();
+        if W::BITS != 64 {
+            let n = self.netlist.gate_count();
+            for k in 0..TOGGLE_PLANES {
+                let bits: u64 = self.toggle_planes[k * n..(k + 1) * n]
+                    .iter()
+                    .map(|p| p.count_ones() as u64)
+                    .sum();
+                total += bits << k;
+            }
+        }
+        total
     }
 
     /// Simulates one clock cycle of every stream in lockstep.
     pub fn step(&mut self) {
-        self.prev.copy_from_slice(&self.values);
-        // 1. Apply inputs.
-        for &i in &self.input_ids {
-            self.values[i as usize] = self.inputs[i as usize];
+        // 1. Apply inputs, diffing against the old settled values.
+        for k in 0..self.input_ids.len() {
+            let i = self.input_ids[k] as usize;
+            let v = self.inputs[i];
+            let t = v.xor(self.values[i]).and(self.lane_mask);
+            self.values[i] = v;
+            if !t.is_zero() {
+                self.toggled_mask[i / 64] |= 1u64 << (i % 64);
+                self.toggle_scratch[i] = t;
+            }
         }
-        // 2. One word pass settles all streams at once.
-        for op in &self.compiled.ops {
-            self.values[op.out as usize] = eval_op(op, &self.compiled.args, &self.values);
+        // 2. One word pass settles all streams at once. Each net is
+        //    written by exactly one op, so the value overwritten here
+        //    *is* the previous settled state — toggles are recorded in
+        //    the same pass, sparing a separate whole-array diff scan.
+        //    The toggle recording is branchless: whether a net toggles
+        //    is close to a coin flip at wide lane counts, so a
+        //    conditional store would mispredict constantly; the
+        //    unconditional scratch store is a cheap streaming write.
+        //    Runs of one (kind, arity) shape get a tight sweep with the
+        //    kind dispatch hoisted out of the per-op loop.
+        for run in &self.compiled.runs {
+            let ops = &self.compiled.ops[run.start as usize..run.end as usize];
+            let args = &self.compiled.args;
+            match (run.kind, run.args_len) {
+                (GateKind::And, 2) => sweep_run(
+                    ops,
+                    &mut self.values,
+                    self.lane_mask,
+                    &mut self.toggled_mask,
+                    &mut self.toggle_scratch,
+                    |op, values| {
+                        values[args[op.args_start as usize] as usize]
+                            .and(values[args[op.args_start as usize + 1] as usize])
+                    },
+                ),
+                (GateKind::Or, 2) => sweep_run(
+                    ops,
+                    &mut self.values,
+                    self.lane_mask,
+                    &mut self.toggled_mask,
+                    &mut self.toggle_scratch,
+                    |op, values| {
+                        values[args[op.args_start as usize] as usize]
+                            .or(values[args[op.args_start as usize + 1] as usize])
+                    },
+                ),
+                (GateKind::Xor, 2) => sweep_run(
+                    ops,
+                    &mut self.values,
+                    self.lane_mask,
+                    &mut self.toggled_mask,
+                    &mut self.toggle_scratch,
+                    |op, values| {
+                        values[args[op.args_start as usize] as usize]
+                            .xor(values[args[op.args_start as usize + 1] as usize])
+                    },
+                ),
+                (GateKind::Mux, _) => sweep_run(
+                    ops,
+                    &mut self.values,
+                    self.lane_mask,
+                    &mut self.toggled_mask,
+                    &mut self.toggle_scratch,
+                    |op, values| {
+                        let s = values[args[op.args_start as usize] as usize];
+                        let t1 = values[args[op.args_start as usize + 1] as usize];
+                        let t0 = values[args[op.args_start as usize + 2] as usize];
+                        // s ? t1 : t0 in three word ops instead of five.
+                        t0.xor(s.and(t0.xor(t1)))
+                    },
+                ),
+                _ => sweep_run(
+                    ops,
+                    &mut self.values,
+                    self.lane_mask,
+                    &mut self.toggled_mask,
+                    &mut self.toggle_scratch,
+                    |op, values| eval_op(op, args, values),
+                ),
+            }
         }
         self.gate_evals += self.compiled.ops.len() as u64;
-        // 3. Per-lane energy from the before/after diff, ascending by
-        //    net id — the scalar kernels' float accumulation order.
+        self.gate_eval_slots += self.compiled.ops.len() as u64 * self.lanes as u64;
+        // 3. Per-lane energy for the recorded toggles, drained in
+        //    ascending net id — the scalar kernels' float accumulation
+        //    order, regardless of which pass recorded each toggle. The
+        //    mask and scratch words are left in place: the counter pass
+        //    below consumes them after the clock edge adds its own.
         let clock = self.caps.clock_energy_per_cycle_j();
         for e in &mut self.energy {
             *e = clock;
         }
-        for i in 0..self.values.len() {
-            let t = (self.values[i] ^ self.prev[i]) & self.lane_mask;
-            if t != 0 {
-                let se = self.config.switch_energy_j(self.caps.cap_ff(i as u32));
-                self.charge(i, t, se);
+        for wi in 0..self.toggled_mask.len() {
+            let mut m = self.toggled_mask[wi];
+            while m != 0 {
+                let i = wi * 64 + m.trailing_zeros() as usize;
+                m &= m.wrapping_sub(1);
+                let se = self.switch_e[i];
+                self.charge_energy(self.toggle_scratch[i], se);
             }
         }
         // 4. Clock edge: all D words sampled simultaneously, then
-        //    committed in ascending gate order.
+        //    committed in ascending gate order, charging each edge as
+        //    it commits and recording the toggle for the counter pass.
         self.edge_sample.clear();
         for k in 0..self.dffs.len() {
             let d = self.dffs[k].1;
@@ -373,13 +648,18 @@ impl LaneSim {
         for k in 0..self.dffs.len() {
             let q = self.dffs[k].0 as usize;
             let v = self.edge_sample[k];
-            let t = (v ^ self.values[q]) & self.lane_mask;
-            if t != 0 {
-                let se = self.config.switch_energy_j(self.caps.cap_ff(q as u32));
-                self.charge(q, t, se);
+            let t = v.xor(self.values[q]).and(self.lane_mask);
+            if !t.is_zero() {
+                let se = self.switch_e[q];
+                self.charge_energy(t, se);
+                self.toggled_mask[q / 64] |= 1u64 << (q % 64);
+                self.toggle_scratch[q] = t;
             }
             self.values[q] = v;
         }
+        // 5. One unified toggle-counter pass over everything this step
+        //    recorded (inputs, gates, DFF edges); clears the mask.
+        self.bump_counters();
         for (l, r) in self.reports.iter_mut().enumerate() {
             r.per_cycle_j.push(self.energy[l]);
         }
@@ -393,24 +673,110 @@ impl LaneSim {
         }
     }
 
-    /// Adds switch energy `se` to every lane set in toggle word `t` and
-    /// bumps that net's per-lane toggle counters.
+    /// Adds switch energy `se` to every lane set in toggle word `t`.
+    ///
+    /// One 64-slot chunk per constituent word: the chunk bound is
+    /// checked once per word and `tz & 63` keeps the per-lane indexing
+    /// provably in range, so the inner loop is pure load/add/store.
     #[inline]
-    fn charge(&mut self, net: usize, t: u64, se: f64) {
-        let mut m = t;
-        while m != 0 {
-            let l = m.trailing_zeros() as usize;
-            self.energy[l] += se;
-            self.toggles[net * self.lanes + l] += 1;
-            m &= m - 1;
+    fn charge_energy(&mut self, t: W, se: f64) {
+        let energy = &mut self.energy;
+        t.for_each_word(|k, mut w| {
+            if w == 0 {
+                return;
+            }
+            let chunk = &mut energy[k * 64..k * 64 + 64];
+            while w != 0 {
+                chunk[(w.trailing_zeros() & 63) as usize] += se;
+                w &= w.wrapping_sub(1);
+            }
+        });
+    }
+
+    /// Drains `toggled_mask`/`toggle_scratch` into the per-lane toggle
+    /// counters and clears the mask.
+    ///
+    /// Wide words propagate the increment one *plane at a time* across
+    /// every recorded net: plane `k`'s dense row absorbs all of this
+    /// step's carries at once, and the live set roughly halves each
+    /// plane, so the sweep stays inside the bottom row or two instead
+    /// of striding a `TOGGLE_PLANES`-word block per net across the
+    /// whole array (which overflows L2 and eats a cache miss per
+    /// toggled net). The scratch words are consumed as carry storage —
+    /// legal because every masked net's scratch is rewritten before the
+    /// next step reads it.
+    fn bump_counters(&mut self) {
+        let lanes = self.lanes;
+        if W::BITS == 64 {
+            // Narrow words see few set lanes per step, so a direct
+            // per-lane bump (into the overflow array, which doubles as
+            // the whole counter at this width) beats plane slicing.
+            for wi in 0..self.toggled_mask.len() {
+                let mut m = self.toggled_mask[wi];
+                self.toggled_mask[wi] = 0;
+                while m != 0 {
+                    let i = wi * 64 + m.trailing_zeros() as usize;
+                    m &= m.wrapping_sub(1);
+                    let t = self.toggle_scratch[i];
+                    let wraps = &mut self.toggle_wraps;
+                    t.for_each_lane(|l| {
+                        wraps[i * lanes + l as usize] += 1;
+                    });
+                }
+            }
+            return;
         }
-        self.gate_events += t.count_ones() as u64;
+        let n = self.netlist.gate_count();
+        for k in 0..TOGGLE_PLANES {
+            let row = &mut self.toggle_planes[k * n..(k + 1) * n];
+            let mut live = 0u64;
+            for wi in 0..self.toggled_mask.len() {
+                let mut m = self.toggled_mask[wi];
+                if m == 0 {
+                    continue;
+                }
+                let mut still = 0u64;
+                while m != 0 {
+                    let b = m.trailing_zeros();
+                    let i = wi * 64 + b as usize;
+                    m &= m.wrapping_sub(1);
+                    let c = self.toggle_scratch[i];
+                    let p = row[i];
+                    row[i] = p.xor(c);
+                    let carry = p.and(c);
+                    self.toggle_scratch[i] = carry;
+                    still |= ((!carry.is_zero()) as u64) << b;
+                }
+                self.toggled_mask[wi] = still;
+                live |= still;
+            }
+            if live == 0 {
+                return; // every carry died; the mask is already clear
+            }
+        }
+        // Whole-plane wrap: spill `2^TOGGLE_PLANES` per-lane increments
+        // (reached once every 256 toggles of a net, so the scattered
+        // traffic into the wide overflow array is negligible).
+        for wi in 0..self.toggled_mask.len() {
+            let mut m = self.toggled_mask[wi];
+            self.toggled_mask[wi] = 0;
+            while m != 0 {
+                let i = wi * 64 + m.trailing_zeros() as usize;
+                m &= m.wrapping_sub(1);
+                let t = self.toggle_scratch[i];
+                let wraps = &mut self.toggle_wraps;
+                t.for_each_lane(|l| {
+                    wraps[i * lanes + l as usize] += 1 << TOGGLE_PLANES;
+                });
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simd::W256;
 
     #[test]
     fn pack_unpack_roundtrip() {
@@ -451,5 +817,43 @@ mod tests {
         assert_eq!(sim.toggle_count(a, 1), 1);
         assert_eq!(sim.toggle_count(a, 0), 0);
         assert!(sim.report(1).total_j() > sim.report(0).total_j());
+    }
+
+    #[test]
+    fn wide_lane_streams_match_the_u64_instance_bitwise() {
+        // The same 3 streams through the u64 word and a W256 word must
+        // produce identical values, toggles, and energy floats.
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let x = n.gate(GateKind::Xor, vec![a, b]);
+        let d = n.dff(x, false);
+        let y = n.gate(GateKind::And, vec![x, d]);
+        n.mark_output("y", y);
+        let shared = Arc::new(n);
+        let cfg = PowerConfig::date2000_defaults();
+        let mut narrow =
+            LaneSim::new(Arc::clone(&shared), cfg.clone(), 3).expect("valid");
+        let mut wide =
+            MultiLaneSim::<W256>::new(Arc::clone(&shared), cfg, 200).expect("valid");
+        for step in 0u64..20 {
+            for (l, net) in [(0usize, a), (1, b), (2, a)] {
+                let v = (step.wrapping_mul(l as u64 + 3) >> 1) & 1 == 1;
+                narrow.set_input(l, net, v);
+                wide.set_input(l, net, v);
+            }
+            narrow.step();
+            wide.step();
+        }
+        for l in 0..3 {
+            assert_eq!(narrow.report(l).per_cycle_j, wide.report(l).per_cycle_j);
+            for i in [a, b, d, x, y] {
+                assert_eq!(narrow.toggle_count(i, l), wide.toggle_count(i, l));
+                assert_eq!(narrow.value(i, l), wide.value(i, l));
+            }
+        }
+        assert_eq!(narrow.gate_evals(), wide.gate_evals());
+        assert_eq!(narrow.gate_eval_slots(), narrow.gate_evals() * 3);
+        assert_eq!(wide.gate_eval_slots(), wide.gate_evals() * 200);
     }
 }

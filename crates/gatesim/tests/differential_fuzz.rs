@@ -1,6 +1,6 @@
-//! Differential fuzzing of the three simulation kernels.
+//! Differential fuzzing of the four simulation kernels.
 //!
-//! The event-driven and word-parallel kernels' contract with the
+//! The event-driven, word-parallel, and simd kernels' contract with the
 //! oblivious reference path is *bitwise* identity — same settled values
 //! every cycle, same toggle counters, same per-cycle energy down to the
 //! last mantissa bit (the float accumulation order is part of the
@@ -9,8 +9,9 @@
 //! reconvergent logic) and drives all kernels with identical random
 //! input sequences, both cycle by cycle and through the batched
 //! [`Simulator::run_block`] surface at block-boundary cycle counts
-//! (1, 63, 64, 65, 127 — the word kernel's 64-cycle windows must be
-//! exact at and across every boundary).
+//! (1, 63, 64, 65, 127, 128, 255, 256, 257 — the word kernel's 64-cycle
+//! and the simd kernel's 256-cycle windows must be exact at and across
+//! every boundary).
 
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 
@@ -18,10 +19,11 @@ use detrand::Rng;
 use gatesim::{GateKind, NetId, Netlist, PowerConfig, SimKernel, Simulator};
 use std::sync::Arc;
 
-const KERNELS: [SimKernel; 3] = [
+const KERNELS: [SimKernel; 4] = [
     SimKernel::Oblivious,
     SimKernel::EventDriven,
     SimKernel::WordParallel,
+    SimKernel::Simd,
 ];
 
 /// Builds a random valid netlist: inputs and constants first, then a
@@ -166,7 +168,7 @@ fn all_kernels_match_oblivious_over_120_random_cases() {
         let cycles = rng.usize_in(10, 40);
         let stimulus = random_stimulus(&netlist, cycles, 0.6, &mut rng);
         let reference = drive(&netlist, SimKernel::Oblivious, &stimulus);
-        for kernel in [SimKernel::EventDriven, SimKernel::WordParallel] {
+        for kernel in [SimKernel::EventDriven, SimKernel::WordParallel, SimKernel::Simd] {
             let got = drive(&netlist, kernel, &stimulus);
             assert_eq!(
                 got, reference,
@@ -180,12 +182,13 @@ fn all_kernels_match_oblivious_over_120_random_cases() {
 
 #[test]
 fn batched_blocks_match_at_word_boundaries() {
-    // Cycle counts straddling the 64-cycle lane width: a single cycle,
-    // one short of a window, exactly one window, one past it, and one
-    // short of two windows. Segment sizes are randomized so chunk seams
+    // Cycle counts straddling both windowed lane widths: a single
+    // cycle, one short of / exactly / one past the word kernel's
+    // 64-cycle window, and the same lattice around the simd kernel's
+    // 256-cycle window. Segment sizes are randomized so chunk seams
     // land everywhere, and the input change probability is low enough
     // that windows actually span many cycles.
-    for &cycles in &[1usize, 63, 64, 65, 127] {
+    for &cycles in &[1usize, 63, 64, 65, 127, 128, 255, 256, 257] {
         for case in 0..30u64 {
             let mut rng = Rng::new(0xB10C_0000_0000_0000 ^ (cycles as u64) << 32 ^ case);
             let netlist = Arc::new(random_netlist(&mut rng));
@@ -194,14 +197,14 @@ fn batched_blocks_match_at_word_boundaries() {
                 let mut segs = Vec::new();
                 let mut left = cycles;
                 while left > 0 {
-                    let s = rng.usize_in(1, left.min(70) + 1);
+                    let s = rng.usize_in(1, left.min(300) + 1);
                     segs.push(s);
                     left -= s;
                 }
                 segs
             };
             let reference = drive_blocks(&netlist, SimKernel::Oblivious, &stimulus, &segments);
-            for kernel in [SimKernel::EventDriven, SimKernel::WordParallel] {
+            for kernel in [SimKernel::EventDriven, SimKernel::WordParallel, SimKernel::Simd] {
                 let got = drive_blocks(&netlist, kernel, &stimulus, &segments);
                 assert_eq!(
                     got, reference,
@@ -236,7 +239,7 @@ fn block_boundary_dff_edges_shift_exactly() {
         // Kernels agree on everything including per-block energy totals
         // when driven through the same segmentation...
         let reference = drive_blocks(&netlist, SimKernel::Oblivious, &stimulus, &segments);
-        for kernel in [SimKernel::EventDriven, SimKernel::WordParallel] {
+        for kernel in [SimKernel::EventDriven, SimKernel::WordParallel, SimKernel::Simd] {
             let got = drive_blocks(&netlist, kernel, &stimulus, &segments);
             assert_eq!(got, reference, "{kernel:?} diverged with segments {segments:?}");
         }
@@ -313,15 +316,17 @@ fn eval_slots_are_comparable_across_kernels() {
         for sim in &mut sims {
             sim.run_block(&stimulus);
         }
-        let [ob, ev, word] = &sims[..] else {
-            unreachable!("three kernels")
+        let [ob, ev, word, simd] = &sims[..] else {
+            unreachable!("four kernels")
         };
         assert_eq!(ob.gate_evals(), ob.gate_eval_slots());
         assert_eq!(ev.gate_evals(), ev.gate_eval_slots());
         assert!(word.gate_evals() <= word.gate_eval_slots());
+        assert!(simd.gate_evals() <= simd.gate_eval_slots());
         // Kernel-invariant activity: the cross-kernel comparison metric.
         assert_eq!(word.gate_events(), ob.gate_events(), "case {case}");
         assert_eq!(ev.gate_events(), ob.gate_events(), "case {case}");
+        assert_eq!(simd.gate_events(), ob.gate_events(), "case {case}");
     }
 }
 
@@ -331,18 +336,25 @@ fn env_escape_hatches_select_kernels() {
     // sibling tests in this binary pin kernels explicitly and never
     // read it).
     std::env::set_var("GATESIM_OBLIVIOUS", "1");
-    assert_eq!(SimKernel::from_env(), SimKernel::Oblivious);
+    assert_eq!(SimKernel::from_env(), Ok(SimKernel::Oblivious));
     std::env::set_var("GATESIM_OBLIVIOUS", "0");
-    assert_eq!(SimKernel::from_env(), SimKernel::EventDriven);
+    assert_eq!(SimKernel::from_env(), Ok(SimKernel::EventDriven));
     // GATESIM_KERNEL mirrors the legacy hatch and takes precedence.
     std::env::set_var("GATESIM_KERNEL", "word");
     std::env::set_var("GATESIM_OBLIVIOUS", "1");
-    assert_eq!(SimKernel::from_env(), SimKernel::WordParallel);
+    assert_eq!(SimKernel::from_env(), Ok(SimKernel::WordParallel));
     std::env::set_var("GATESIM_KERNEL", "oblivious");
     std::env::remove_var("GATESIM_OBLIVIOUS");
-    assert_eq!(SimKernel::from_env(), SimKernel::Oblivious);
+    assert_eq!(SimKernel::from_env(), Ok(SimKernel::Oblivious));
     std::env::set_var("GATESIM_KERNEL", "event");
-    assert_eq!(SimKernel::from_env(), SimKernel::EventDriven);
+    assert_eq!(SimKernel::from_env(), Ok(SimKernel::EventDriven));
+    // Case-insensitive, including the simd kernel.
+    std::env::set_var("GATESIM_KERNEL", "Simd");
+    assert_eq!(SimKernel::from_env(), Ok(SimKernel::Simd));
+    // Unknown values fail loudly instead of silently falling back.
+    std::env::set_var("GATESIM_KERNEL", "turbo");
+    let err = SimKernel::from_env().expect_err("unknown kernel must error");
+    assert_eq!(err.value(), "turbo");
     std::env::remove_var("GATESIM_KERNEL");
-    assert_eq!(SimKernel::from_env(), SimKernel::EventDriven);
+    assert_eq!(SimKernel::from_env(), Ok(SimKernel::EventDriven));
 }

@@ -18,7 +18,9 @@
 
 use detrand::Rng;
 use gatesim::word::{broadcast, pack_lanes, toggle_word, unpack_lanes, LANES};
-use gatesim::{GateKind, LaneSim, NetId, Netlist, PowerConfig, SimKernel, Simulator};
+use gatesim::{
+    GateKind, LaneSim, NetId, Netlist, PowerConfig, SimKernel, SimdLaneSim, Simulator,
+};
 use std::sync::Arc;
 
 #[test]
@@ -238,5 +240,85 @@ fn every_lane_matches_a_scalar_run() {
         }
         // Lockstep activity is the sum of the scalar runs' activity.
         assert_eq!(lane_sim.gate_events(), scalar_events, "case {case}");
+    }
+}
+
+#[test]
+fn simd_lane_counts_match_scalar_runs_at_width_boundaries() {
+    // Lane counts straddling every lane-word width — a single lane, one
+    // short of / exactly / one past the u64 word, and the wider 128-
+    // and 256-lane words. Every lane of the width-erased [`SimdLaneSim`]
+    // must be bit-identical (per-cycle energy, values, toggles) to its
+    // own scalar event-driven run; the random netlists include DFF
+    // chains, so flop edges land inside and across word boundaries.
+    for &lanes in &[1usize, 63, 64, 65, 128, 256] {
+        let mut rng = Rng::new(0x51D0_0000_0000_0000 | lanes as u64);
+        let netlist = Arc::new(random_netlist(&mut rng));
+        let primary = netlist.primary_inputs();
+        let cycles = 20usize;
+        let streams: Vec<Vec<Vec<(NetId, bool)>>> = (0..lanes)
+            .map(|_| {
+                (0..cycles)
+                    .map(|_| {
+                        primary
+                            .iter()
+                            .filter_map(|&p| {
+                                rng.bool_with(0.4).then(|| (p, rng.bool_with(0.5)))
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut sim = SimdLaneSim::new(
+            Arc::clone(&netlist),
+            PowerConfig::date2000_defaults(),
+            lanes,
+        )
+        .expect("valid");
+        assert_eq!(sim.lanes(), lanes);
+        for j in 0..cycles {
+            for (l, stream) in streams.iter().enumerate() {
+                for &(net, v) in &stream[j] {
+                    sim.set_input(l, net, v);
+                }
+            }
+            sim.step();
+        }
+        let mut scalar_events = 0u64;
+        for (l, stream) in streams.iter().enumerate() {
+            let mut scalar = Simulator::with_kernel(
+                Arc::clone(&netlist),
+                PowerConfig::date2000_defaults(),
+                SimKernel::EventDriven,
+            )
+            .expect("valid");
+            for cyc in stream {
+                for &(net, v) in cyc {
+                    scalar.set_input(net, v);
+                }
+                scalar.step();
+            }
+            scalar_events += scalar.gate_events();
+            let scalar_bits: Vec<u64> =
+                scalar.report().per_cycle_j.iter().map(|e| e.to_bits()).collect();
+            let lane_bits: Vec<u64> =
+                sim.report(l).per_cycle_j.iter().map(|e| e.to_bits()).collect();
+            assert_eq!(scalar_bits, lane_bits, "lanes {lanes} lane {l} energy");
+            for i in 0..netlist.gate_count() {
+                let net = NetId(i as u32);
+                assert_eq!(
+                    sim.value(net, l),
+                    scalar.value(net),
+                    "lanes {lanes} lane {l} net {i}"
+                );
+                assert_eq!(
+                    sim.toggle_count(net, l),
+                    scalar.toggle_count(net),
+                    "lanes {lanes} lane {l} net {i} toggles"
+                );
+            }
+        }
+        assert_eq!(sim.gate_events(), scalar_events, "lanes {lanes}");
     }
 }

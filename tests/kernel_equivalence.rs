@@ -1,6 +1,6 @@
 //! System-level kernel equivalence: every gate-simulation kernel —
-//! event-driven (the default), oblivious, and word-parallel — must
-//! reproduce the exact same co-simulation report, golden snapshots
+//! event-driven (the default), oblivious, word-parallel, and simd —
+//! must reproduce the exact same co-simulation report, golden snapshots
 //! compared down to float bit patterns, on every reference system,
 //! with trace sinks attached, and under fault injection.
 //!
@@ -25,12 +25,13 @@ use systems::tcpip::{self, TcpIpParams};
 /// this binary (they run on parallel threads within one process).
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
-/// The three first-class kernels as `GATESIM_KERNEL` values; `None` is
+/// The four first-class kernels as `GATESIM_KERNEL` values; `None` is
 /// "leave the environment alone" — the event-driven default.
-const KERNELS: [(&str, Option<&str>); 3] = [
+const KERNELS: [(&str, Option<&str>); 4] = [
     ("event(default)", None),
     ("oblivious", Some("oblivious")),
     ("word", Some("word")),
+    ("simd", Some("simd")),
 ];
 
 /// Runs `f` with the gate-simulation kernel selection pinned to
