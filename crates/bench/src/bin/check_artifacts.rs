@@ -1,0 +1,69 @@
+//! Validates emitted observability artifacts, dispatching on extension:
+//!
+//! * `.vcd` — must pass [`soctrace::check_vcd`] (well-formed header,
+//!   declared ids, monotonic timestamps);
+//! * `.json` — must parse with the in-repo [`soctrace::json`] parser;
+//!   a Chrome-trace document must additionally carry a nonempty
+//!   `traceEvents` array;
+//! * `.ndjson` — every line must parse as a JSON value.
+//!
+//! Exits nonzero on the first invalid file, so CI can gate on artifact
+//! validity without any external tooling.
+//!
+//! Usage:
+//!   `cargo run -p soc-bench --bin check_artifacts -- <file>...`
+
+// CI gate binary: aborting loudly on an invalid artifact is the whole
+// point, matching the tests-and-benches carve-out from the
+// workspace-wide panic-free policy.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use soctrace::json::{self, JsonValue};
+
+fn check_one(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    if path.ends_with(".vcd") {
+        let s = soctrace::check_vcd(&text)?;
+        Ok(format!(
+            "valid VCD: {} signals, {} changes, end time {} ns",
+            s.signals, s.changes, s.end_time
+        ))
+    } else if path.ends_with(".ndjson") {
+        let mut rows = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            rows += 1;
+        }
+        Ok(format!("valid NDJSON: {rows} rows"))
+    } else if path.ends_with(".json") {
+        let doc = json::parse(&text).map_err(|e| e.to_string())?;
+        match doc.get("traceEvents").and_then(JsonValue::as_array) {
+            Some([]) => Err("empty traceEvents array".to_string()),
+            Some(events) => Ok(format!("valid Chrome trace: {} events", events.len())),
+            None => Ok("valid JSON".to_string()),
+        }
+    } else {
+        Err("unknown extension (expected .vcd, .json or .ndjson)".to_string())
+    }
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    assert!(!paths.is_empty(), "usage: check_artifacts <file>...");
+    let mut failed = false;
+    for path in &paths {
+        match check_one(path) {
+            Ok(msg) => println!("{path}: {msg}"),
+            Err(msg) => {
+                eprintln!("{path}: INVALID: {msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -23,9 +23,9 @@
 
 use co_estimation::{
     estimate_separately, Acceleration, CachingConfig, CoSimConfig, CoSimReport, CoSimulator,
-    ExplorationPoint, ExploreOptions, SamplingConfig, SweepReport, SweepStats,
+    ExplorationPoint, ExploreOptions, SamplingConfig, SweepReport, SweepStats, TimelineOptions,
 };
-use soctrace::{ArcSharedSink, ProfileReport};
+use soctrace::{ArcSharedSink, PowerTimelineSink, ProfileReport, TimelineConfig, TimelineReport};
 use std::time::Instant;
 use systems::producer_consumer::{self, ProducerConsumerParams};
 use systems::tcpip::{self, TcpIpParams};
@@ -182,18 +182,42 @@ pub fn render_observe_table(rows: &[ObserveRow]) -> String {
     s
 }
 
-/// Measures the profiler's cost on the Fig. 7 sweep: one detached and
-/// one attached pass of the same serial sweep, asserted bit-identical.
-/// Returns `(detached_s, attached_s, profile)`.
+/// Passes per timing side of the overhead measurements. Each side
+/// reports its *minimum* wall over the passes (the `bench_gatesim`
+/// idiom): the minimum estimates the sweep's cost rather than the
+/// host's transient load, which a single pass per side cannot — the
+/// one-pass version of this measurement reported negative overheads on
+/// busy hosts.
+const OVERHEAD_PASSES: usize = 3;
+
+/// Runs `passes` timed calls of `sweep` and returns the best (minimum)
+/// wall time together with the last pass's result.
+fn best_of<T>(passes: usize, mut sweep: impl FnMut() -> T) -> (f64, T) {
+    let mut best_s = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..passes {
+        let t0 = Instant::now();
+        let out = sweep();
+        best_s = best_s.min(t0.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best_s, last.expect("at least one pass"))
+}
+
+/// Measures the profiler's cost on the Fig. 7 sweep: best-of-N detached
+/// passes vs. best-of-N attached passes of the same serial sweep,
+/// asserted bit-identical. Each attached pass gets a fresh sink so the
+/// returned profile's span counts describe a single sweep. Returns
+/// `(detached_s, attached_s, profile)`.
 pub fn fig7_profile_overhead(params: &TcpIpParams) -> (f64, f64, ProfileReport) {
     let _ = fig7_parallel(params, &ExploreOptions::serial()); // warm-up
-    let t0 = Instant::now();
-    let detached = fig7_parallel(params, &ExploreOptions::serial());
-    let detached_s = t0.elapsed().as_secs_f64();
-    let sink = ArcSharedSink::new(ProfileReport::new());
-    let t0 = Instant::now();
-    let attached = fig7_parallel(params, &ExploreOptions::serial().profiled(sink.clone()));
-    let attached_s = t0.elapsed().as_secs_f64();
+    let (detached_s, detached) =
+        best_of(OVERHEAD_PASSES, || fig7_parallel(params, &ExploreOptions::serial()));
+    let (attached_s, (attached, sink)) = best_of(OVERHEAD_PASSES, || {
+        let sink = ArcSharedSink::new(ProfileReport::new());
+        let sweep = fig7_parallel(params, &ExploreOptions::serial().profiled(sink.clone()));
+        (sweep, sink)
+    });
     assert_eq!(detached.points.len(), attached.points.len());
     assert!(
         detached
@@ -204,6 +228,55 @@ pub fn fig7_profile_overhead(params: &TcpIpParams) -> (f64, f64, ProfileReport) 
         "profiling must not perturb the sweep"
     );
     (detached_s, attached_s, sink.with(|r| r.clone()))
+}
+
+/// Measures the power-timeline sink's cost on the Fig. 7 sweep:
+/// best-of-N detached passes vs. best-of-N passes with a per-point
+/// [`soctrace::PowerTimelineSink`] attached
+/// ([`ExploreOptions::with_timeline`]), asserted bit-identical.
+/// Returns `(detached_s, timed_s, point_peaks_w)` — the per-point
+/// peak-window powers from the last timed pass.
+pub fn fig7_timeline_overhead(params: &TcpIpParams) -> (f64, f64, Vec<f64>) {
+    let _ = fig7_parallel(params, &ExploreOptions::serial()); // warm-up
+    let (detached_s, detached) =
+        best_of(OVERHEAD_PASSES, || fig7_parallel(params, &ExploreOptions::serial()));
+    let (timed_s, timed) = best_of(OVERHEAD_PASSES, || {
+        fig7_parallel(
+            params,
+            &ExploreOptions::serial().with_timeline(TimelineOptions::default()),
+        )
+    });
+    assert_eq!(detached.points.len(), timed.points.len());
+    assert!(
+        detached
+            .points
+            .iter()
+            .zip(&timed.points)
+            .all(|(a, b)| a.report.golden_snapshot() == b.report.golden_snapshot()),
+        "the timeline sink must not perturb the sweep"
+    );
+    assert_eq!(timed.stats.point_peak_power_w.len(), timed.points.len());
+    (detached_s, timed_s, timed.stats.point_peak_power_w)
+}
+
+/// Runs one co-estimation with a [`PowerTimelineSink`] attached and
+/// returns the (bit-identical) report plus the binned timeline.
+pub fn timeline_run(
+    soc: co_estimation::SocDescription,
+    config: CoSimConfig,
+    window_cycles: u64,
+) -> (CoSimReport, TimelineReport) {
+    let clock_hz = config.clock_hz;
+    let mut sim = CoSimulator::new(soc, config).expect("system builds");
+    let sink = soctrace::SharedSink::new(PowerTimelineSink::new(TimelineConfig::new(
+        window_cycles,
+        clock_hz,
+    )));
+    sim.attach_trace(Box::new(sink.clone()));
+    let report = sim.run();
+    let names = sim.component_names();
+    let timeline = sink.with(|s| s.report(&names, report.total_cycles));
+    (report, timeline)
 }
 
 // ---------------------------------------------------------------------

@@ -13,29 +13,52 @@
 
 use crate::config::{CoSimConfig, SocDescription};
 use crate::estimator::BuildEstimatorError;
+use crate::explore_parallel::TimelineOptions;
 use crate::faults::FaultPlan;
 use crate::master::CoSimulator;
 use crate::report::CoSimReport;
 use cfsm::ProcId;
 use detrand::Rng;
-use soctrace::{ArcSharedSink, ProfileReport, ProfileSink, SpanKind};
+use soctrace::{
+    ArcSharedSink, PowerTimelineSink, ProfileReport, ProfileSink, SharedSink, SpanKind,
+    TimelineConfig,
+};
 use std::time::Instant;
 
 /// Runs one sweep-point simulation, optionally wiring the shared
 /// profiler into the master and timing the whole point as a
-/// [`SpanKind::SweepPoint`] span. Profiling never perturbs results
-/// (wall time only), so the sweeps stay bit-identical with or without
-/// a sink.
+/// [`SpanKind::SweepPoint`] span, and optionally attaching a per-point
+/// power timeline whose peak-window power rides back with the report.
+/// Profiling and tracing never perturb results (observability only),
+/// so the sweeps stay bit-identical with or without either sink.
 fn run_point(
     sim: &mut CoSimulator,
     profile: Option<&ArcSharedSink<ProfileReport>>,
-) -> CoSimReport {
-    let Some(p) = profile else { return sim.run() };
-    sim.attach_profile(Box::new(p.clone()));
-    let t0 = Instant::now();
-    let report = sim.run();
-    p.clone().span(SpanKind::SweepPoint, t0.elapsed());
-    report
+    timeline: Option<TimelineOptions>,
+    clock_hz: f64,
+) -> (CoSimReport, Option<f64>) {
+    let tl = timeline.map(|t| {
+        let sink = SharedSink::new(PowerTimelineSink::new(TimelineConfig::new(
+            t.window_cycles,
+            clock_hz,
+        )));
+        sim.attach_trace(Box::new(sink.clone()));
+        sink
+    });
+    let report = if let Some(p) = profile {
+        sim.attach_profile(Box::new(p.clone()));
+        let t0 = Instant::now();
+        let report = sim.run();
+        p.clone().span(SpanKind::SweepPoint, t0.elapsed());
+        report
+    } else {
+        sim.run()
+    };
+    let peak = tl.map(|sink| {
+        let names = sim.component_names();
+        sink.with(|s| s.report(&names, report.total_cycles).peak_power_w())
+    });
+    (report, peak)
 }
 
 /// One evaluated configuration.
@@ -97,7 +120,8 @@ pub(crate) fn eval_bus_point(
     perm: &[ProcId],
     dma: u32,
     profile: Option<&ArcSharedSink<ProfileReport>>,
-) -> Result<ExplorationPoint, BuildEstimatorError> {
+    timeline: Option<TimelineOptions>,
+) -> Result<(ExplorationPoint, Option<f64>), BuildEstimatorError> {
     let mut soc_variant = soc.clone();
     let n = perm.len() as u8;
     let mut priorities = Vec::with_capacity(perm.len());
@@ -110,14 +134,18 @@ pub(crate) fn eval_bus_point(
     }
     let label = label_parts.join(" > ");
     let config = base.with_dma_block_size(dma);
+    let clock_hz = config.clock_hz;
     let mut sim = CoSimulator::new(soc_variant, config)?;
-    let report = run_point(&mut sim, profile);
-    Ok(ExplorationPoint {
-        dma_block_size: dma,
-        priorities,
-        label,
-        report,
-    })
+    let (report, peak) = run_point(&mut sim, profile, timeline, clock_hz);
+    Ok((
+        ExplorationPoint {
+            dma_block_size: dma,
+            priorities,
+            label,
+            report,
+        },
+        peak,
+    ))
 }
 
 /// Sweeps the communication-architecture design space: every priority
@@ -139,7 +167,7 @@ pub fn explore_bus_architecture(
     let mut points = Vec::with_capacity(perms.len() * dma_sizes.len());
     for perm in &perms {
         for &dma in dma_sizes {
-            points.push(eval_bus_point(soc, base, perm, dma, None)?);
+            points.push(eval_bus_point(soc, base, perm, dma, None, None)?.0);
         }
     }
     Ok(points)
@@ -173,7 +201,8 @@ pub(crate) fn eval_partition_point(
     movable: &[ProcId],
     bits: u32,
     profile: Option<&ArcSharedSink<ProfileReport>>,
-) -> Result<Option<PartitionPoint>, BuildEstimatorError> {
+    timeline: Option<TimelineOptions>,
+) -> Result<Option<(PartitionPoint, Option<f64>)>, BuildEstimatorError> {
     use cfsm::Implementation;
     let mut soc_variant = soc.clone();
     let mut label_parts = Vec::with_capacity(movable.len());
@@ -189,16 +218,19 @@ pub(crate) fn eval_partition_point(
     let label = label_parts.join(" ");
     match CoSimulator::new(soc_variant.clone(), config.clone()) {
         Ok(mut sim) => {
-            let report = run_point(&mut sim, profile);
-            Ok(Some(PartitionPoint {
-                mapping: soc_variant
-                    .network
-                    .process_ids()
-                    .map(|p| soc_variant.network.mapping(p))
-                    .collect(),
-                label,
-                report,
-            }))
+            let (report, peak) = run_point(&mut sim, profile, timeline, config.clock_hz);
+            Ok(Some((
+                PartitionPoint {
+                    mapping: soc_variant
+                        .network
+                        .process_ids()
+                        .map(|p| soc_variant.network.mapping(p))
+                        .collect(),
+                    label,
+                    report,
+                },
+                peak,
+            )))
         }
         Err(BuildEstimatorError::Synth(_, _)) => Ok(None), // infeasible in HW
         Err(e) => Err(e),
@@ -238,7 +270,7 @@ pub fn explore_partitions(
     let n = movable.len();
     let mut points = Vec::with_capacity(1 << n);
     for bits in 0..(1u32 << n) {
-        if let Some(point) = eval_partition_point(soc, config, movable, bits, None)? {
+        if let Some((point, _)) = eval_partition_point(soc, config, movable, bits, None, None)? {
             points.push(point);
         }
     }
@@ -281,14 +313,19 @@ pub(crate) fn eval_power_point(
     base: &CoSimConfig,
     policy: &crate::powermgmt::PowerPolicy,
     profile: Option<&ArcSharedSink<ProfileReport>>,
-) -> Result<PowerPoint, BuildEstimatorError> {
+    timeline: Option<TimelineOptions>,
+) -> Result<(PowerPoint, Option<f64>), BuildEstimatorError> {
     let config = base.with_power_policy(policy.clone());
+    let clock_hz = config.clock_hz;
     let mut sim = CoSimulator::new(soc.clone(), config)?;
-    let report = run_point(&mut sim, profile);
-    Ok(PowerPoint {
-        policy_name: policy.name.clone(),
-        report,
-    })
+    let (report, peak) = run_point(&mut sim, profile, timeline, clock_hz);
+    Ok((
+        PowerPoint {
+            policy_name: policy.name.clone(),
+            report,
+        },
+        peak,
+    ))
 }
 
 /// Sweeps power-management policies (operating-point assignments ×
@@ -308,7 +345,7 @@ pub fn explore_power_policies(
 ) -> Result<Vec<PowerPoint>, BuildEstimatorError> {
     let mut points = Vec::with_capacity(policies.len());
     for policy in policies {
-        points.push(eval_power_point(soc, base, policy, None)?);
+        points.push(eval_power_point(soc, base, policy, None, None)?.0);
     }
     Ok(points)
 }
@@ -339,14 +376,19 @@ pub(crate) fn eval_fault_point(
     label: &str,
     plan: &FaultPlan,
     profile: Option<&ArcSharedSink<ProfileReport>>,
-) -> Result<FaultPoint, BuildEstimatorError> {
+    timeline: Option<TimelineOptions>,
+) -> Result<(FaultPoint, Option<f64>), BuildEstimatorError> {
     let config = base.with_faults(plan.clone());
+    let clock_hz = config.clock_hz;
     let mut sim = CoSimulator::new(soc.clone(), config)?;
-    let report = run_point(&mut sim, profile);
-    Ok(FaultPoint {
-        label: label.to_string(),
-        report,
-    })
+    let (report, peak) = run_point(&mut sim, profile, timeline, clock_hz);
+    Ok((
+        FaultPoint {
+            label: label.to_string(),
+            report,
+        },
+        peak,
+    ))
 }
 
 /// Sweeps a fault matrix: one co-simulation per `(label, plan)`
@@ -366,7 +408,7 @@ pub fn explore_fault_matrix(
 ) -> Result<Vec<FaultPoint>, BuildEstimatorError> {
     let mut points = Vec::with_capacity(scenarios.len());
     for (label, plan) in scenarios {
-        points.push(eval_fault_point(soc, base, label, plan, None)?);
+        points.push(eval_fault_point(soc, base, label, plan, None, None)?.0);
     }
     Ok(points)
 }
@@ -441,11 +483,12 @@ pub(crate) fn eval_stimulus_point(
     seed: u64,
     jitter: &StimulusJitter,
     profile: Option<&ArcSharedSink<ProfileReport>>,
-) -> Result<StimulusPoint, BuildEstimatorError> {
+    timeline: Option<TimelineOptions>,
+) -> Result<(StimulusPoint, Option<f64>), BuildEstimatorError> {
     let variant = mc_stimulus_variant(soc, seed, jitter);
     let mut sim = CoSimulator::new(variant, base.clone())?;
-    let report = run_point(&mut sim, profile);
-    Ok(StimulusPoint { seed, report })
+    let (report, peak) = run_point(&mut sim, profile, timeline, base.clock_hz);
+    Ok((StimulusPoint { seed, report }, peak))
 }
 
 /// Monte-Carlo sweep over stimulus variants: one co-simulation per
@@ -466,7 +509,7 @@ pub fn explore_stimulus_seeds(
 ) -> Result<Vec<StimulusPoint>, BuildEstimatorError> {
     let mut points = Vec::with_capacity(seeds.len());
     for &seed in seeds {
-        points.push(eval_stimulus_point(soc, base, seed, jitter, None)?);
+        points.push(eval_stimulus_point(soc, base, seed, jitter, None, None)?.0);
     }
     Ok(points)
 }

@@ -45,6 +45,29 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::Instant;
 
+/// Per-point power-timeline capture for a sweep (see
+/// [`ExploreOptions::timeline`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineOptions {
+    /// Width of each timeline window, master clock cycles (clamped to
+    /// ≥ 1 by the sink).
+    pub window_cycles: u64,
+}
+
+impl TimelineOptions {
+    /// A timeline with the given window width.
+    pub fn new(window_cycles: u64) -> Self {
+        TimelineOptions { window_cycles }
+    }
+}
+
+impl Default for TimelineOptions {
+    /// 1000-cycle windows — the ledger's default waveform bucket.
+    fn default() -> Self {
+        TimelineOptions { window_cycles: 1_000 }
+    }
+}
+
 /// How a parallel sweep should run.
 #[derive(Debug, Clone)]
 pub struct ExploreOptions {
@@ -68,6 +91,13 @@ pub struct ExploreOptions {
     /// invariant under the re-mappings and re-prioritisations a sweep
     /// explores. Off by default (sweeps of trusted specs pay nothing).
     pub verify_first: bool,
+    /// When set, every point's master runs with a private
+    /// [`soctrace::PowerTimelineSink`] attached and the point's
+    /// peak-window power lands in
+    /// [`SweepStats::point_peak_power_w`], turning a sweep's scalar
+    /// energy ranking into an energy *and* transient-peak ranking.
+    /// Observability only — results stay bit-identical.
+    pub timeline: Option<TimelineOptions>,
 }
 
 impl ExploreOptions {
@@ -79,6 +109,7 @@ impl ExploreOptions {
             watchdog: None,
             profile: None,
             verify_first: false,
+            timeline: None,
         }
     }
 
@@ -89,6 +120,7 @@ impl ExploreOptions {
             watchdog: None,
             profile: None,
             verify_first: false,
+            timeline: None,
         }
     }
 
@@ -111,6 +143,14 @@ impl ExploreOptions {
         self.verify_first = true;
         self
     }
+
+    /// Returns a copy that captures a per-point power timeline and
+    /// reports each point's peak-window power (see
+    /// [`ExploreOptions::timeline`]).
+    pub fn with_timeline(mut self, timeline: TimelineOptions) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
 }
 
 impl Default for ExploreOptions {
@@ -121,6 +161,7 @@ impl Default for ExploreOptions {
             watchdog: None,
             profile: None,
             verify_first: false,
+            timeline: None,
         }
     }
 }
@@ -141,6 +182,9 @@ pub struct SweepStats {
     /// Per-point evaluation wall-clock, milliseconds, aligned with the
     /// returned points.
     pub point_wall_ms: Vec<f64>,
+    /// Per-point peak-window power, watts, aligned with the returned
+    /// points. Empty unless [`ExploreOptions::timeline`] is set.
+    pub point_peak_power_w: Vec<f64>,
 }
 
 /// A parallel sweep's result: the points (bit-identical to the serial
@@ -213,15 +257,25 @@ where
     Ok((items, workers))
 }
 
-/// Wraps collected items and timings into a [`SweepReport`].
+/// Wraps collected items, timings and per-point peaks into a
+/// [`SweepReport`].
 fn finish<T>(
-    items: Vec<(T, f64)>,
+    items: Vec<((T, Option<f64>), f64)>,
     t0: Instant,
     workers: usize,
     report_of: impl Fn(&T) -> &CoSimReport,
 ) -> SweepReport<T> {
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let (points, point_wall_ms): (Vec<T>, Vec<f64>) = items.into_iter().unzip();
+    let mut points = Vec::with_capacity(items.len());
+    let mut point_wall_ms = Vec::with_capacity(items.len());
+    let mut point_peak_power_w = Vec::new();
+    for ((point, peak), ms) in items {
+        points.push(point);
+        point_wall_ms.push(ms);
+        if let Some(w) = peak {
+            point_peak_power_w.push(w);
+        }
+    }
     let degraded = points
         .iter()
         .filter(|p| report_of(p).outcome.is_degraded())
@@ -239,6 +293,7 @@ fn finish<T>(
             degraded,
             workers,
             point_wall_ms,
+            point_peak_power_w,
         },
         points,
     }
@@ -273,7 +328,8 @@ pub fn explore_bus_architecture_parallel(
     let (items, workers) = run_indexed(total, options.workers, |i| {
         let perm = &perms[i / dma_sizes.len()];
         let dma = dma_sizes[i % dma_sizes.len()];
-        eval_bus_point(soc, &config, perm, dma, options.profile.as_ref()).map(Some)
+        eval_bus_point(soc, &config, perm, dma, options.profile.as_ref(), options.timeline)
+            .map(Some)
     })?;
     Ok(finish(items, t0, workers, |p| &p.report))
 }
@@ -305,7 +361,14 @@ pub fn explore_partitions_parallel(
     let total = 1usize << movable.len();
     let t0 = Instant::now();
     let (items, workers) = run_indexed(total, options.workers, |i| {
-        eval_partition_point(soc, &config, movable, i as u32, options.profile.as_ref())
+        eval_partition_point(
+            soc,
+            &config,
+            movable,
+            i as u32,
+            options.profile.as_ref(),
+            options.timeline,
+        )
     })?;
     Ok(finish(items, t0, workers, |p| &p.report))
 }
@@ -337,7 +400,8 @@ pub fn explore_power_policies_parallel(
     };
     let t0 = Instant::now();
     let (items, workers) = run_indexed(policies.len(), options.workers, |i| {
-        eval_power_point(soc, &config, &policies[i], options.profile.as_ref()).map(Some)
+        eval_power_point(soc, &config, &policies[i], options.profile.as_ref(), options.timeline)
+            .map(Some)
     })?;
     Ok(finish(items, t0, workers, |p| &p.report))
 }
@@ -369,7 +433,8 @@ pub fn explore_fault_matrix_parallel(
     let t0 = Instant::now();
     let (items, workers) = run_indexed(scenarios.len(), options.workers, |i| {
         let (label, plan) = &scenarios[i];
-        eval_fault_point(soc, &config, label, plan, options.profile.as_ref()).map(Some)
+        eval_fault_point(soc, &config, label, plan, options.profile.as_ref(), options.timeline)
+            .map(Some)
     })?;
     Ok(finish(items, t0, workers, |p| &p.report))
 }
@@ -400,7 +465,15 @@ pub fn explore_stimulus_seeds_parallel(
     };
     let t0 = Instant::now();
     let (items, workers) = run_indexed(seeds.len(), options.workers, |i| {
-        eval_stimulus_point(soc, &config, seeds[i], jitter, options.profile.as_ref()).map(Some)
+        eval_stimulus_point(
+            soc,
+            &config,
+            seeds[i],
+            jitter,
+            options.profile.as_ref(),
+            options.timeline,
+        )
+        .map(Some)
     })?;
     Ok(finish(items, t0, workers, |p| &p.report))
 }
@@ -734,6 +807,39 @@ mod tests {
         .expect("empty sweep");
         assert!(par.points.is_empty());
         assert_eq!(par.stats.points, 0);
+    }
+
+    #[test]
+    fn timeline_option_adds_peak_column_without_perturbing_results() {
+        let soc = sweep_soc();
+        let config = CoSimConfig::date2000_defaults();
+        let procs: Vec<ProcId> = soc.network.process_ids().collect();
+        let dmas = [2u32, 16];
+        let plain = explore_bus_architecture_parallel(
+            &soc,
+            &config,
+            &procs,
+            &dmas,
+            &ExploreOptions::serial(),
+        )
+        .expect("plain sweep");
+        assert!(plain.stats.point_peak_power_w.is_empty());
+        let mut peaks_by_workers: Vec<Vec<f64>> = Vec::new();
+        for workers in [1usize, 3] {
+            let opts =
+                ExploreOptions::with_workers(workers).with_timeline(TimelineOptions::new(500));
+            let timed = explore_bus_architecture_parallel(&soc, &config, &procs, &dmas, &opts)
+                .expect("timeline sweep");
+            // One peak per point, every peak physical, and the reports
+            // bit-identical to the sink-free sweep.
+            assert_eq!(timed.stats.point_peak_power_w.len(), timed.points.len());
+            assert!(timed.stats.point_peak_power_w.iter().all(|p| p.is_finite() && *p > 0.0));
+            assert!(points_bitwise_equal(&plain.points, &timed.points));
+            peaks_by_workers.push(timed.stats.point_peak_power_w.clone());
+        }
+        // The peak column itself is deterministic across worker counts.
+        let bits = |v: &Vec<f64>| v.iter().map(|p| p.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&peaks_by_workers[0]), bits(&peaks_by_workers[1]));
     }
 
     #[test]

@@ -142,7 +142,7 @@ pub use explore::{
 pub use explore_parallel::{
     explore_bus_architecture_parallel, explore_fault_matrix_parallel,
     explore_partitions_parallel, explore_power_policies_parallel,
-    explore_stimulus_seeds_parallel, ExploreOptions, SweepReport, SweepStats,
+    explore_stimulus_seeds_parallel, ExploreOptions, SweepReport, SweepStats, TimelineOptions,
 };
 pub use lanes::{
     fault_matrix_units, run_lane_sweep, run_lane_sweep_serial, toggle_statistics, LanePoint,

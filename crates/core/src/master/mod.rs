@@ -41,7 +41,7 @@ use crate::estimator::{
 };
 use crate::faults::{self, ResolvedFault};
 use crate::macromodel::ParameterFile;
-use crate::powermgmt::{PowerRt, Settlement};
+use crate::powermgmt::{PowerRt, PowerState, Settlement};
 use crate::report::{
     AccelEffectiveness, CacheEffectiveness, CoSimReport, ProcessReport, Provenance,
     ProvenanceBreakdown, RunOutcome, SamplingEffectiveness,
@@ -318,12 +318,39 @@ impl CoSimulator {
         self.profiler.detach()
     }
 
+    /// Component names in ledger order (one per process, then the bus
+    /// and the i-cache) — labels for timeline and waveform exports,
+    /// aligned with the `component` field of emitted trace records.
+    pub fn component_names(&self) -> Vec<String> {
+        (0..self.account.component_count())
+            .map(|i| self.account.name(ComponentId(i as u32)).to_string())
+            .collect()
+    }
+
     /// Runs to quiescence — or until a watchdog budget or the firing
     /// bound trips, in which case the report's
     /// [`outcome`](CoSimReport::outcome) is [`RunOutcome::Degraded`] and
     /// its figures cover the simulated time up to the trip.
     pub fn run(&mut self) -> CoSimReport {
         let t0 = self.profiler.start();
+        if let Some(rt) = &self.power {
+            // Trace-only: pin each component whose base power state is
+            // not `active` with a synthetic cycle-0 transition, so the
+            // trace stream is self-describing for residency
+            // reconstruction (DVFS-pinned components never transition
+            // at runtime). Reports are unaffected, and plain runs have
+            // no power runtime at all.
+            for (i, state) in rt.initial_states().into_iter().enumerate() {
+                if state != PowerState::Active {
+                    self.tracer.emit(|| TraceRecord::PowerTransition {
+                        at: 0,
+                        process: i as u32,
+                        from: PowerState::Active.as_str(),
+                        to: state.as_str(),
+                    });
+                }
+            }
+        }
         while self.step() {}
         if self.power.is_some() {
             // Settle every component's leakage tail up to the simulated

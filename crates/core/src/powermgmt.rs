@@ -603,6 +603,16 @@ impl PowerRt {
         }))
     }
 
+    /// Base (cycle-0) power state per process component, in process
+    /// order. The master uses this to emit synthetic cycle-0
+    /// `PowerTransition` trace records for components whose base state
+    /// is not `Active` (DVFS-pinned components never transition at
+    /// runtime), making the trace stream self-describing for residency
+    /// reconstruction. Trace-only: reports are not affected.
+    pub(crate) fn initial_states(&self) -> Vec<PowerState> {
+        self.comps.iter().map(CompRt::base_state).collect()
+    }
+
     /// Scales one dynamic charge by component `idx`'s operating point
     /// (the charge-time scaling rule). Leakage and wake charges pass
     /// through unscaled — they are computed in absolute joules.

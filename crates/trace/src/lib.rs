@@ -25,6 +25,15 @@
 //! [`ArcSharedSink`] is its `Arc<Mutex<…>>` counterpart for sinks shared
 //! across a worker pool (parallel exploration sweeps).
 //!
+//! The [`timeline`] module adds the fourth sink:
+//! [`PowerTimelineSink`] bins every ledger charge into fixed-width
+//! cycle windows — per-component / per-provenance power waveforms,
+//! per-window activity counters, and power-state timelines — with
+//! exporters to VCD ([`vcd::write_vcd`], GTKWave-viewable) and Chrome
+//! Trace Event / Perfetto JSON ([`perfetto::write_perfetto`]). The
+//! [`json`] module carries the dependency-free parser used to
+//! round-trip validate emitted artifacts.
+//!
 //! Alongside the record stream, the crate carries the **span profiler**:
 //! a [`Profiler`] handle emits monotonic-clock [`SpanKind`] timings into
 //! a [`ProfileSink`] — typically a [`ProfileReport`], which aggregates
@@ -49,6 +58,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
+pub mod perfetto;
+pub mod timeline;
+pub mod vcd;
+
+pub use perfetto::write_perfetto;
+pub use timeline::{
+    AnomalyMark, ComponentWaveform, PeakWindow, PowerTimelineSink, StateChange, StatePower,
+    TimelineConfig, TimelineReport, WindowCounters,
+};
+pub use vcd::{check_vcd, write_vcd, VcdSummary};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -232,7 +253,7 @@ pub enum TraceRecord {
 }
 
 /// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -444,6 +465,15 @@ pub struct MetricsSink {
     pub gate_events: u64,
     /// Power-management state transitions observed.
     pub power_transitions: u64,
+    /// Power-state residency settled by observed transitions: cycles
+    /// per `(process, state)` pair, closed at each transition (the
+    /// span from the last transition to the end of the run is *not*
+    /// here — it needs the run horizon; see
+    /// [`power_residency`](MetricsSink::power_residency)).
+    pub state_cycles: BTreeMap<(u32, &'static str), u64>,
+    /// Per-process open state span: `(since_cycle, state)` as of the
+    /// last observed transition.
+    pub open_states: BTreeMap<u32, (u64, &'static str)>,
 }
 
 impl MetricsSink {
@@ -455,6 +485,31 @@ impl MetricsSink {
     /// Firings answered by any acceleration layer.
     pub fn accelerated_calls(&self) -> u64 {
         self.answered_by_layer.values().sum()
+    }
+
+    /// Cycles process `process` spent in `state` over `[0, end_cycle)`,
+    /// reconstructed from the observed [`TraceRecord::PowerTransition`]
+    /// stream: closed spans plus the tail from the last transition to
+    /// `end_cycle`. A process never mentioned by a transition is
+    /// assumed `active` for the whole run — the master emits a
+    /// synthetic cycle-0 transition for any component whose base state
+    /// differs (e.g. a DVFS operating point), so the stream is
+    /// self-describing.
+    pub fn power_residency(&self, process: u32, state: &str, end_cycle: u64) -> u64 {
+        let closed: u64 = self
+            .state_cycles
+            .iter()
+            .filter(|((p, s), _)| *p == process && *s == state)
+            .map(|(_, c)| *c)
+            .sum();
+        match self.open_states.get(&process) {
+            Some((since, open)) if *open == state => {
+                closed + end_cycle.saturating_sub(*since)
+            }
+            Some(_) => closed,
+            None if state == "active" => end_cycle,
+            None => 0,
+        }
     }
 
     /// Energy-cache hit rate over observed lookups (0 when none).
@@ -483,6 +538,25 @@ impl MetricsSink {
             }
             prov.push_str(&format!("\"{tag}\": {e:e}"));
         }
+        // Settled residency per state, aggregated over processes (the
+        // open tail spans need the run horizon and are not included —
+        // `power_residency` reconciles those).
+        let mut residency = String::new();
+        for (i, state) in ["active", "dvfs", "clock_gated", "power_gated"]
+            .iter()
+            .enumerate()
+        {
+            let cycles: u64 = self
+                .state_cycles
+                .iter()
+                .filter(|((_, s), _)| s == state)
+                .map(|(_, c)| *c)
+                .sum();
+            if i > 0 {
+                residency.push_str(", ");
+            }
+            residency.push_str(&format!("\"{state}\": {cycles}"));
+        }
         format!(
             "{{\"records\": {}, \"firings\": {}, \"detailed_calls\": {}, \
              \"accelerated_calls\": {}, \"answered_by_layer\": {{{layers}}}, \
@@ -491,7 +565,7 @@ impl MetricsSink {
              \"bus_grants\": {}, \"bus_words\": {}, \
              \"icache_batches\": {}, \"icache_fetches\": {}, \"faults_injected\": {}, \
              \"watchdog_trips\": {}, \"gate_evals\": {}, \"gate_events\": {}, \
-             \"power_transitions\": {}}}",
+             \"power_transitions\": {}, \"state_cycles\": {{{residency}}}}}",
             self.records,
             self.firings,
             self.detailed_calls,
@@ -553,7 +627,16 @@ impl TraceSink for MetricsSink {
                 self.gate_evals += evals;
                 self.gate_events += events;
             }
-            TraceRecord::PowerTransition { .. } => self.power_transitions += 1,
+            TraceRecord::PowerTransition { at, process, from, to } => {
+                self.power_transitions += 1;
+                // Close the open span (a process first seen here was in
+                // `from` since cycle 0) and open one in the new state.
+                let (since, state) =
+                    self.open_states.get(process).copied().unwrap_or((0, from));
+                *self.state_cycles.entry((*process, state)).or_insert(0) +=
+                    at.saturating_sub(since);
+                self.open_states.insert(*process, (*at, to));
+            }
             TraceRecord::RtosGrant { .. } => self.rtos_grants += 1,
         }
     }
@@ -1232,6 +1315,42 @@ mod tests {
         m.record(&rec);
         assert_eq!(m.power_transitions, 1);
         assert!(m.to_json().contains("\"power_transitions\": 1"));
+        // The span before the first observed transition is settled in
+        // its `from` state, counted from cycle 0.
+        assert_eq!(m.state_cycles.get(&(1, "active")), Some(&42));
+        assert_eq!(m.open_states.get(&1), Some(&(42, "clock_gated")));
+        assert!(m.to_json().contains("\"state_cycles\": {\"active\": 42, \"dvfs\": 0, \
+             \"clock_gated\": 0, \"power_gated\": 0}"));
+    }
+
+    #[test]
+    fn power_residency_reconstructs_spans_and_tails() {
+        let mut m = MetricsSink::new();
+        let tr = |at, from, to| TraceRecord::PowerTransition { at, process: 0, from, to };
+        m.record(&tr(100, "active", "clock_gated"));
+        m.record(&tr(150, "clock_gated", "active"));
+        m.record(&tr(300, "active", "clock_gated"));
+        // Closed: active 100 + 150, gated 50; open: gated since 300.
+        assert_eq!(m.power_residency(0, "active", 400), 250);
+        assert_eq!(m.power_residency(0, "clock_gated", 400), 150);
+        assert_eq!(m.power_residency(0, "power_gated", 400), 0);
+        // Residency partitions the horizon exactly.
+        assert_eq!(
+            m.power_residency(0, "active", 400) + m.power_residency(0, "clock_gated", 400),
+            400
+        );
+        // A process never mentioned is active for the whole run; a
+        // synthetic cycle-0 record pins a non-active base state.
+        assert_eq!(m.power_residency(7, "active", 400), 400);
+        assert_eq!(m.power_residency(7, "dvfs", 400), 0);
+        m.record(&TraceRecord::PowerTransition {
+            at: 0,
+            process: 2,
+            from: "active",
+            to: "dvfs",
+        });
+        assert_eq!(m.power_residency(2, "dvfs", 400), 400);
+        assert_eq!(m.power_residency(2, "active", 400), 0);
     }
 
     #[test]
@@ -1246,7 +1365,8 @@ mod tests {
              \"bus_grants\": 0, \"bus_words\": 0, \
              \"icache_batches\": 0, \"icache_fetches\": 0, \"faults_injected\": 0, \
              \"watchdog_trips\": 0, \"gate_evals\": 0, \"gate_events\": 0, \
-             \"power_transitions\": 0}";
+             \"power_transitions\": 0, \"state_cycles\": {\"active\": 0, \
+             \"dvfs\": 0, \"clock_gated\": 0, \"power_gated\": 0}}";
         assert_eq!(MetricsSink::new().to_json(), expected);
     }
 

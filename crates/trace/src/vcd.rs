@@ -1,0 +1,444 @@
+//! VCD (Value Change Dump, IEEE 1364) export of a power timeline,
+//! viewable in GTKWave — plus the minimal checker CI uses to validate
+//! emitted files.
+//!
+//! # Schema
+//!
+//! * One `real` signal per ledger component (`power_<name>_w`): the
+//!   component's average power over each timeline window, updated at
+//!   window boundaries.
+//! * One `real` system-total signal (`power_system_w`).
+//! * One 2-bit `reg` per process with observed power-state activity
+//!   (`state_<name>`), encoded `b00` = active, `b01` = dvfs, `b10` =
+//!   clock_gated, `b11` = power_gated (the legend is embedded as a
+//!   `$comment`). Enum-style string signals are a VCD extension not
+//!   every viewer accepts; a 2-bit vector is universally parseable.
+//! * Timescale is `1 ns`; cycle timestamps are scaled by the master
+//!   clock (e.g. 40 ns per cycle at 25 MHz).
+
+use crate::timeline::TimelineReport;
+
+/// Power-state encoding legend, embedded in the header `$comment`.
+const STATE_BITS: [(&str, &str); 4] = [
+    ("active", "b00"),
+    ("dvfs", "b01"),
+    ("clock_gated", "b10"),
+    ("power_gated", "b11"),
+];
+
+fn state_bits(state: &str) -> &'static str {
+    STATE_BITS
+        .iter()
+        .find(|(s, _)| *s == state)
+        .map_or("bxx", |(_, b)| b)
+}
+
+/// A short printable VCD identifier for signal index `i` (base-94 over
+/// `!`..`~`).
+fn vcd_id(mut i: usize) -> String {
+    let mut id = String::new();
+    loop {
+        id.push((b'!' + (i % 94) as u8) as char);
+        i /= 94;
+        if i == 0 {
+            return id;
+        }
+    }
+}
+
+/// Restricts a component name to identifier-safe characters.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Renders the timeline as a VCD document (component power as real
+/// signals, power states as 2-bit regs). The result parses with
+/// [`check_vcd`] and loads in GTKWave.
+pub fn write_vcd(t: &TimelineReport) -> String {
+    let ns_per_cycle = (1e9 / t.clock_hz).max(1.0);
+    let stamp = |cycle: u64| (cycle as f64 * ns_per_cycle).round() as u64;
+    let mut out = String::new();
+    out.push_str("$version soctrace power timeline $end\n");
+    out.push_str(&format!(
+        "$comment clock {} Hz, {} cycles per window; power-state encoding: \
+         b00=active b01=dvfs b10=clock_gated b11=power_gated $end\n",
+        t.clock_hz, t.window_cycles
+    ));
+    out.push_str("$timescale 1 ns $end\n");
+    out.push_str("$scope module power $end\n");
+
+    // Signal table: components, the system total, then state regs for
+    // every process that has transition activity.
+    let mut next_id = 0usize;
+    let mut fresh = || {
+        let id = vcd_id(next_id);
+        next_id += 1;
+        id
+    };
+    let comp_ids: Vec<String> = t
+        .components
+        .iter()
+        .map(|c| {
+            let id = fresh();
+            out.push_str(&format!(
+                "$var real 64 {id} power_{}_w $end\n",
+                sanitize(&c.name)
+            ));
+            id
+        })
+        .collect();
+    let system_id = fresh();
+    out.push_str(&format!("$var real 64 {system_id} power_system_w $end\n"));
+    let mut state_procs: Vec<u32> = t.transitions.iter().map(|tr| tr.process).collect();
+    state_procs.sort_unstable();
+    state_procs.dedup();
+    let state_ids: Vec<(u32, String)> = state_procs
+        .iter()
+        .map(|&p| {
+            let id = fresh();
+            let name = t
+                .components
+                .get(p as usize)
+                .map_or_else(|| format!("proc{p}"), |c| sanitize(&c.name));
+            out.push_str(&format!("$var reg 2 {id} state_{name} $end\n"));
+            (p, id)
+        })
+        .collect();
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    // Merge window-boundary power updates and state changes into one
+    // time-ordered change stream. Power values are emitted only when
+    // they change, so idle stretches stay compact.
+    let dt = t.window_seconds();
+    let system = t.system_window_energy_j();
+    let windows = system.len();
+    #[derive(PartialEq)]
+    enum Change {
+        Real(usize, f64),   // signal table index → watts
+        State(usize, &'static str), // state_ids index → bits
+    }
+    let mut events: Vec<(u64, Change)> = Vec::new();
+    let mut last: Vec<Option<u64>> = vec![None; t.components.len() + 1];
+    for (w, sys_e) in system.iter().enumerate().take(windows) {
+        let at = w as u64 * t.window_cycles;
+        for (ci, c) in t.components.iter().enumerate() {
+            let p = c.window_energy_j.get(w).copied().unwrap_or(0.0) / dt;
+            if last[ci] != Some(p.to_bits()) {
+                events.push((at, Change::Real(ci, p)));
+                last[ci] = Some(p.to_bits());
+            }
+        }
+        let p = sys_e / dt;
+        let slot = t.components.len();
+        if last[slot] != Some(p.to_bits()) {
+            events.push((at, Change::Real(slot, p)));
+            last[slot] = Some(p.to_bits());
+        }
+    }
+    for tr in &t.transitions {
+        if let Some(si) = state_ids.iter().position(|(p, _)| *p == tr.process) {
+            events.push((tr.at, Change::State(si, state_bits(tr.to))));
+        }
+    }
+    events.sort_by_key(|(at, _)| *at);
+
+    // Initial dump: every signal gets a value at #0 (states start at
+    // their pre-first-transition value).
+    out.push_str("#0\n$dumpvars\n");
+    for (ci, id) in comp_ids.iter().enumerate() {
+        let p = t.components[ci]
+            .window_energy_j
+            .first()
+            .copied()
+            .unwrap_or(0.0)
+            / dt;
+        out.push_str(&format!("r{p:e} {id}\n"));
+    }
+    out.push_str(&format!(
+        "r{:e} {system_id}\n",
+        system.first().copied().unwrap_or(0.0) / dt
+    ));
+    for (p, id) in &state_ids {
+        let initial = t
+            .transitions
+            .iter()
+            .find(|tr| tr.process == *p)
+            .map_or("b00", |tr| state_bits(tr.from));
+        out.push_str(&format!("{initial} {id}\n"));
+    }
+    out.push_str("$end\n");
+
+    let mut cursor = 0u64;
+    for (at, change) in events {
+        if at > cursor {
+            out.push_str(&format!("#{}\n", stamp(at)));
+            cursor = at;
+        } else if at == 0 {
+            // Initial values already dumped at #0.
+            if matches!(change, Change::Real(_, _)) {
+                continue;
+            }
+        }
+        match change {
+            Change::Real(ci, p) => {
+                let id = comp_ids.get(ci).unwrap_or(&system_id);
+                out.push_str(&format!("r{p:e} {id}\n"));
+            }
+            Change::State(si, bits) => {
+                if let Some((_, id)) = state_ids.get(si) {
+                    out.push_str(&format!("{bits} {id}\n"));
+                }
+            }
+        }
+    }
+    out.push_str(&format!("#{}\n", stamp(t.end_cycle)));
+    out
+}
+
+/// Summary of a validated VCD document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VcdSummary {
+    /// Declared signals.
+    pub signals: usize,
+    /// Value changes (initial dump included).
+    pub changes: usize,
+    /// Final timestamp.
+    pub end_time: u64,
+}
+
+/// Validates a VCD document: well-formed header sections, every value
+/// change references a declared identifier, real values parse, vector
+/// values use valid bits, and timestamps never decrease.
+///
+/// This is a *checker*, not a full simulator-grade parser: it covers
+/// the subset [`write_vcd`] emits plus ordinary single-bit changes, so
+/// CI can prove emitted artifacts stay loadable.
+///
+/// # Errors
+///
+/// A line-prefixed description of the first violation.
+pub fn check_vcd(text: &str) -> Result<VcdSummary, String> {
+    let mut ids: Vec<String> = Vec::new();
+    let mut in_definitions = true;
+    let mut in_comment = false;
+    let mut time = 0u64;
+    let mut saw_time = false;
+    let mut changes = 0usize;
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if in_comment {
+            if line.ends_with("$end") {
+                in_comment = false;
+            }
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let Some(first) = tokens.next() else { continue };
+        match first {
+            "$version" | "$comment" | "$date" | "$timescale" => {
+                if !line.ends_with("$end") {
+                    in_comment = true; // multi-line section
+                }
+            }
+            "$scope" | "$upscope" => {
+                if !in_definitions {
+                    return Err(format!("line {ln}: scope section after definitions"));
+                }
+            }
+            "$var" => {
+                if !in_definitions {
+                    return Err(format!("line {ln}: $var after $enddefinitions"));
+                }
+                // $var <type> <width> <id> <name...> $end
+                let ty = tokens.next().ok_or(format!("line {ln}: $var missing type"))?;
+                let width = tokens.next().ok_or(format!("line {ln}: $var missing width"))?;
+                let id = tokens.next().ok_or(format!("line {ln}: $var missing id"))?;
+                let rest: Vec<&str> = tokens.collect();
+                if width.parse::<u32>().is_err() {
+                    return Err(format!("line {ln}: bad $var width `{width}`"));
+                }
+                if ty.is_empty() || rest.last() != Some(&"$end") || rest.len() < 2 {
+                    return Err(format!("line {ln}: malformed $var"));
+                }
+                if ids.iter().any(|existing| existing == id) {
+                    return Err(format!("line {ln}: duplicate identifier `{id}`"));
+                }
+                ids.push(id.to_string());
+            }
+            "$enddefinitions" => in_definitions = false,
+            "$dumpvars" | "$end" => {}
+            t if t.starts_with('#') => {
+                if in_definitions {
+                    return Err(format!("line {ln}: timestamp before $enddefinitions"));
+                }
+                let stamp: u64 = t[1..]
+                    .parse()
+                    .map_err(|_| format!("line {ln}: bad timestamp `{t}`"))?;
+                if saw_time && stamp < time {
+                    return Err(format!(
+                        "line {ln}: timestamp {stamp} goes backwards (was {time})"
+                    ));
+                }
+                time = stamp;
+                saw_time = true;
+            }
+            t if t.starts_with('r') => {
+                if in_definitions {
+                    return Err(format!("line {ln}: value change before $enddefinitions"));
+                }
+                t[1..]
+                    .parse::<f64>()
+                    .map_err(|_| format!("line {ln}: bad real value `{t}`"))?;
+                let id = tokens.next().ok_or(format!("line {ln}: real change missing id"))?;
+                if !ids.iter().any(|existing| existing == id) {
+                    return Err(format!("line {ln}: undeclared identifier `{id}`"));
+                }
+                changes += 1;
+            }
+            t if t.starts_with('b') || t.starts_with('B') => {
+                if in_definitions {
+                    return Err(format!("line {ln}: value change before $enddefinitions"));
+                }
+                if !t[1..].chars().all(|c| matches!(c, '0' | '1' | 'x' | 'z' | 'X' | 'Z')) {
+                    return Err(format!("line {ln}: bad vector value `{t}`"));
+                }
+                let id = tokens.next().ok_or(format!("line {ln}: vector change missing id"))?;
+                if !ids.iter().any(|existing| existing == id) {
+                    return Err(format!("line {ln}: undeclared identifier `{id}`"));
+                }
+                changes += 1;
+            }
+            t if t.starts_with(['0', '1', 'x', 'z', 'X', 'Z']) && t.len() >= 2 => {
+                // Scalar change: value glued to the identifier.
+                if in_definitions {
+                    return Err(format!("line {ln}: value change before $enddefinitions"));
+                }
+                let id = &t[1..];
+                if !ids.iter().any(|existing| existing == id) {
+                    return Err(format!("line {ln}: undeclared identifier `{id}`"));
+                }
+                changes += 1;
+            }
+            t => return Err(format!("line {ln}: unrecognized token `{t}`")),
+        }
+    }
+    if in_definitions {
+        return Err("missing $enddefinitions".to_string());
+    }
+    if ids.is_empty() {
+        return Err("no signals declared".to_string());
+    }
+    Ok(VcdSummary {
+        signals: ids.len(),
+        changes,
+        end_time: time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{PowerTimelineSink, TimelineConfig};
+    use crate::{TraceRecord, TraceSink};
+
+    fn sample_report() -> TimelineReport {
+        let mut sink = PowerTimelineSink::new(TimelineConfig::new(100, 1_000.0));
+        for (at, e) in [(0, 1e-9), (120, 3e-9), (250, 2e-9)] {
+            sink.record(&TraceRecord::EnergySample {
+                component: 0,
+                start: at,
+                end: at + 10,
+                energy_j: e,
+                provenance: "measured_iss",
+            });
+        }
+        sink.record(&TraceRecord::EnergySample {
+            component: 1,
+            start: 50,
+            end: 60,
+            energy_j: 5e-10,
+            provenance: "bus_model",
+        });
+        sink.record(&TraceRecord::PowerTransition {
+            at: 150,
+            process: 0,
+            from: "active",
+            to: "clock_gated",
+        });
+        sink.record(&TraceRecord::PowerTransition {
+            at: 240,
+            process: 0,
+            from: "clock_gated",
+            to: "active",
+        });
+        sink.report(&["cpu".into(), "bus".into()], 300)
+    }
+
+    #[test]
+    fn written_vcd_passes_the_checker() {
+        let text = write_vcd(&sample_report());
+        let summary = check_vcd(&text).expect("emitted VCD is valid");
+        // cpu + bus + system + one state reg.
+        assert_eq!(summary.signals, 4);
+        assert!(summary.changes >= 6, "{summary:?}\n{text}");
+        // 1 kHz clock → 1 ms per cycle → 300 cycles end at 3e8 ns.
+        assert_eq!(summary.end_time, 300_000_000);
+        assert!(text.contains("power_cpu_w"), "{text}");
+        assert!(text.contains("state_cpu"), "{text}");
+        assert!(text.contains("b10"), "gated state encoded:\n{text}");
+    }
+
+    #[test]
+    fn checker_rejects_malformed_documents() {
+        for (bad, why) in [
+            ("$enddefinitions $end\n#0\n", "no signals"),
+            ("$var real 64 ! p $end\n", "missing enddefinitions"),
+            (
+                "$var real 64 ! p $end\n$enddefinitions $end\n#5\n#3\n",
+                "backwards time",
+            ),
+            (
+                "$var real 64 ! p $end\n$enddefinitions $end\nrnope !\n",
+                "bad real",
+            ),
+            (
+                "$var real 64 ! p $end\n$enddefinitions $end\nr1.0 ?\n",
+                "undeclared id",
+            ),
+            (
+                "$var real 64 ! p $end\n$var real 64 ! q $end\n$enddefinitions $end\n",
+                "duplicate id",
+            ),
+            (
+                "$var real 64 ! p $end\n$enddefinitions $end\nb012 !\n",
+                "bad vector bits",
+            ),
+        ] {
+            assert!(check_vcd(bad).is_err(), "{why}");
+        }
+    }
+
+    #[test]
+    fn vcd_ids_stay_printable_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..500 {
+            let id = vcd_id(i);
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)), "{id}");
+            assert!(seen.insert(id));
+        }
+    }
+
+    #[test]
+    fn empty_timeline_still_emits_valid_vcd() {
+        let sink = PowerTimelineSink::new(TimelineConfig::new(100, 1_000.0));
+        let text = write_vcd(&sink.report(&[], 0));
+        let summary = check_vcd(&text).expect("valid");
+        assert_eq!(summary.signals, 1); // system power only
+    }
+}

@@ -237,6 +237,43 @@ fn provenance_stays_an_exact_partition_under_power_management() {
 }
 
 #[test]
+fn metrics_residency_reconciles_with_the_power_report() {
+    // The MetricsSink reconstructs per-state residency purely from the
+    // PowerTransition trace stream (plus the synthetic cycle-0 records
+    // for DVFS-pinned components); it must agree cycle-for-cycle with
+    // the power report's residency counters, which the runtime
+    // integrates independently during leakage settlement.
+    let base = CoSimConfig::date2000_defaults();
+    for (system, soc) in all_systems() {
+        let config = base.with_power_policy(managed_policy(&soc));
+        let metrics = SharedSink::new(MetricsSink::new());
+        let mut sim = CoSimulator::new(soc, config).expect("valid soc");
+        sim.attach_trace(Box::new(metrics.clone()));
+        let report = sim.run();
+        drop(sim);
+        let metrics = metrics.into_inner();
+        let power = report.power.as_ref().expect("managed run has a power report");
+        let end = report.total_cycles;
+        for (p, c) in power.components.iter().enumerate() {
+            let p = p as u32;
+            let mut reconstructed = 0u64;
+            for (state, expected) in [
+                ("active", c.active_cycles),
+                ("dvfs", c.dvfs_cycles),
+                ("clock_gated", c.clock_gated_cycles),
+                ("power_gated", c.power_gated_cycles),
+            ] {
+                let got = metrics.power_residency(p, state, end);
+                assert_eq!(got, expected, "{system}: process {p} residency in `{state}`");
+                reconstructed += got;
+            }
+            // The four states partition the whole run.
+            assert_eq!(reconstructed, end, "{system}: process {p} residency total");
+        }
+    }
+}
+
+#[test]
 fn provenance_stays_exact_with_power_management_and_faults() {
     let soc = small_tcpip();
     let faults = FaultPlan::new()
